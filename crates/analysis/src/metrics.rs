@@ -1,0 +1,174 @@
+//! General distortion metrics (paper Metric 2).
+//!
+//! PSNR here follows the lossy-compression convention the paper (and SZ's
+//! own tooling) uses: `PSNR = 20 log10(range) - 10 log10(MSE)` with `range`
+//! the original data's value range. MRE and NRMSE are reported alongside,
+//! as CBench does.
+
+/// Distortion summary between an original field and its reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distortion {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB (infinite for identical inputs).
+    pub psnr: f64,
+    /// Largest absolute pointwise error.
+    pub max_abs_err: f64,
+    /// Mean absolute error.
+    pub mean_abs_err: f64,
+    /// Mean relative error over values with `|x| > 0` (0 when none).
+    pub mre: f64,
+    /// Root-mean-square error normalized by the value range.
+    pub nrmse: f64,
+    /// Original value range used for PSNR/NRMSE.
+    pub range: f64,
+}
+
+/// Computes [`Distortion`] between `orig` and `recon`.
+///
+/// Panics if lengths differ (caller bug, not data corruption).
+/// Non-finite pairs are skipped — the codecs store them losslessly, so a
+/// surviving NaN would otherwise poison every aggregate.
+pub fn distortion(orig: &[f32], recon: &[f32]) -> Distortion {
+    assert_eq!(orig.len(), recon.len(), "field length mismatch");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut se = 0.0f64;
+    let mut ae = 0.0f64;
+    let mut max_err = 0.0f64;
+    let mut rel = 0.0f64;
+    let mut n_rel = 0u64;
+    let mut n = 0u64;
+    for (&a, &b) in orig.iter().zip(recon) {
+        let (a, b) = (a as f64, b as f64);
+        if !a.is_finite() || !b.is_finite() {
+            continue;
+        }
+        lo = lo.min(a);
+        hi = hi.max(a);
+        let e = (a - b).abs();
+        se += e * e;
+        ae += e;
+        max_err = max_err.max(e);
+        if a != 0.0 {
+            rel += e / a.abs();
+            n_rel += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Distortion {
+            mse: 0.0,
+            psnr: f64::INFINITY,
+            max_abs_err: 0.0,
+            mean_abs_err: 0.0,
+            mre: 0.0,
+            nrmse: 0.0,
+            range: 0.0,
+        };
+    }
+    let mse = se / n as f64;
+    let range = hi - lo;
+    let psnr = if mse == 0.0 {
+        f64::INFINITY
+    } else if range > 0.0 {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    } else {
+        -10.0 * mse.log10()
+    };
+    Distortion {
+        mse,
+        psnr,
+        max_abs_err: max_err,
+        mean_abs_err: ae / n as f64,
+        mre: if n_rel > 0 { rel / n_rel as f64 } else { 0.0 },
+        nrmse: if range > 0.0 { mse.sqrt() / range } else { 0.0 },
+        range,
+    }
+}
+
+/// A point on a rate-distortion curve (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDistortionPoint {
+    /// Bits per value of the compressed stream.
+    pub bitrate: f64,
+    /// Compression ratio (32 / bitrate for f32 inputs).
+    pub ratio: f64,
+    /// PSNR of the reconstruction at this rate.
+    pub psnr: f64,
+}
+
+impl RateDistortionPoint {
+    /// Builds a point from stream size and measured distortion.
+    pub fn new(n_values: usize, stream_bytes: usize, psnr: f64) -> Self {
+        let bitrate =
+            if n_values == 0 { 0.0 } else { stream_bytes as f64 * 8.0 / n_values as f64 };
+        let ratio = if stream_bytes == 0 {
+            f64::INFINITY
+        } else {
+            n_values as f64 * 4.0 / stream_bytes as f64
+        };
+        Self { bitrate, ratio, psnr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_fields_are_perfect() {
+        let a = vec![1.0f32, -2.0, 3.5];
+        let d = distortion(&a, &a);
+        assert_eq!(d.mse, 0.0);
+        assert!(d.psnr.is_infinite());
+        assert_eq!(d.max_abs_err, 0.0);
+    }
+
+    #[test]
+    fn known_error_values() {
+        let orig = vec![0.0f32, 10.0];
+        let recon = vec![1.0f32, 9.0];
+        let d = distortion(&orig, &recon);
+        assert!((d.mse - 1.0).abs() < 1e-12);
+        assert!((d.max_abs_err - 1.0).abs() < 1e-12);
+        assert!((d.mean_abs_err - 1.0).abs() < 1e-12);
+        // range = 10, mse = 1 => psnr = 20*log10(10) - 0 = 20 dB.
+        assert!((d.psnr - 20.0).abs() < 1e-9);
+        assert!((d.nrmse - 0.1).abs() < 1e-12);
+        // MRE only counts the x=10 sample: 1/10.
+        assert!((d.mre - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_improves_when_error_shrinks() {
+        let orig: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin() * 50.0).collect();
+        let noisy = |eps: f32| -> Vec<f32> {
+            orig.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { eps } else { -eps }).collect()
+        };
+        let d1 = distortion(&orig, &noisy(0.1));
+        let d2 = distortion(&orig, &noisy(0.01));
+        assert!(d2.psnr > d1.psnr + 19.0, "{} vs {}", d2.psnr, d1.psnr);
+    }
+
+    #[test]
+    fn nan_pairs_are_skipped() {
+        let orig = vec![f32::NAN, 1.0, 2.0];
+        let recon = vec![f32::NAN, 1.0, 2.5];
+        let d = distortion(&orig, &recon);
+        assert!((d.max_abs_err - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_distortion_point_math() {
+        let p = RateDistortionPoint::new(1000, 500, 80.0);
+        assert!((p.bitrate - 4.0).abs() < 1e-12);
+        assert!((p.ratio - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        distortion(&[1.0], &[1.0, 2.0]);
+    }
+}

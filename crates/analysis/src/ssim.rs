@@ -1,0 +1,178 @@
+//! Structural similarity (SSIM) for 2-D fields.
+//!
+//! The paper's introduction names climate simulation with the structural
+//! similarity index as the canonical "other domain" its methodology
+//! extends to. This module provides that metric so the Foresight pipeline
+//! can serve non-cosmology users out of the box: mean SSIM over sliding
+//! windows with the standard Wang et al. constants, applied to a 2-D
+//! field (or a slice of a 3-D one).
+
+use foresight_util::{Error, Result};
+
+/// SSIM parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SsimOptions {
+    /// Window edge in cells (default 8).
+    pub window: usize,
+    /// Dynamic range `L` of the data; if `None`, the original's range.
+    pub dynamic_range: Option<f64>,
+}
+
+impl Default for SsimOptions {
+    fn default() -> Self {
+        Self { window: 8, dynamic_range: None }
+    }
+}
+
+/// Mean SSIM between two 2-D fields of shape `(nx, ny)` (x fastest).
+pub fn ssim2d(
+    orig: &[f32],
+    recon: &[f32],
+    nx: usize,
+    ny: usize,
+    opts: &SsimOptions,
+) -> Result<f64> {
+    if orig.len() != nx * ny || recon.len() != nx * ny {
+        return Err(Error::invalid("field sizes do not match nx*ny"));
+    }
+    let w = opts.window.max(2);
+    if nx < w || ny < w {
+        return Err(Error::invalid(format!("field smaller than the {w}x{w} window")));
+    }
+    let range = match opts.dynamic_range {
+        Some(r) => r,
+        None => {
+            let s = foresight_util::stats::summarize(orig);
+            s.range().max(f64::MIN_POSITIVE)
+        }
+    };
+    let c1 = (0.01 * range).powi(2);
+    let c2 = (0.03 * range).powi(2);
+
+    let mut total = 0.0f64;
+    let mut windows = 0u64;
+    // Non-overlapping windows (stride = window), as CBench-style batch
+    // metrics do; overlapping Gaussian windows change values slightly but
+    // not orderings.
+    let mut wy = 0;
+    while wy + w <= ny {
+        let mut wx = 0;
+        while wx + w <= nx {
+            let mut sx = 0.0f64;
+            let mut sy = 0.0f64;
+            let mut sxx = 0.0f64;
+            let mut syy = 0.0f64;
+            let mut sxy = 0.0f64;
+            let n = (w * w) as f64;
+            for j in 0..w {
+                for i in 0..w {
+                    let a = orig[(wx + i) + nx * (wy + j)] as f64;
+                    let b = recon[(wx + i) + nx * (wy + j)] as f64;
+                    sx += a;
+                    sy += b;
+                    sxx += a * a;
+                    syy += b * b;
+                    sxy += a * b;
+                }
+            }
+            let mx = sx / n;
+            let my = sy / n;
+            let vx = (sxx / n - mx * mx).max(0.0);
+            let vy = (syy / n - my * my).max(0.0);
+            let cov = sxy / n - mx * my;
+            let ssim = ((2.0 * mx * my + c1) * (2.0 * cov + c2))
+                / ((mx * mx + my * my + c1) * (vx + vy + c2));
+            total += ssim;
+            windows += 1;
+            wx += w;
+        }
+        wy += w;
+    }
+    Ok(total / windows as f64)
+}
+
+/// Mean SSIM of the mid-`z` slice of two 3-D cubes of side `n`.
+pub fn ssim_mid_slice(orig: &[f32], recon: &[f32], n: usize, opts: &SsimOptions) -> Result<f64> {
+    if orig.len() != n * n * n || recon.len() != n * n * n {
+        return Err(Error::invalid("cube sizes do not match n^3"));
+    }
+    let z = n / 2;
+    let start = n * n * z;
+    ssim2d(&orig[start..start + n * n], &recon[start..start + n * n], n, n, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(nx: usize, ny: usize) -> Vec<f32> {
+        (0..nx * ny)
+            .map(|i| {
+                let x = (i % nx) as f32;
+                let y = (i / nx) as f32;
+                (x * 0.3).sin() * 10.0 + (y * 0.2).cos() * 5.0 + 20.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_fields_score_one() {
+        let f = field(32, 32);
+        let s = ssim2d(&f, &f, 32, 32, &SsimOptions::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "ssim {s}");
+    }
+
+    #[test]
+    fn noise_lowers_ssim_monotonically() {
+        let f = field(64, 64);
+        let noisy = |eps: f32| -> Vec<f32> {
+            f.iter()
+                .enumerate()
+                .map(|(i, v)| v + if i % 2 == 0 { eps } else { -eps })
+                .collect()
+        };
+        let s1 = ssim2d(&f, &noisy(0.5), 64, 64, &SsimOptions::default()).unwrap();
+        let s2 = ssim2d(&f, &noisy(2.0), 64, 64, &SsimOptions::default()).unwrap();
+        assert!(s1 > s2, "{s1} vs {s2}");
+        assert!(s1 < 1.0 && s2 > -1.0);
+    }
+
+    #[test]
+    fn structural_break_detected_even_at_equal_means() {
+        // Shuffle a field's structure while preserving mean: SSIM must
+        // drop much more than a tiny uniform offset does.
+        let f = field(32, 32);
+        let mut scrambled = f.clone();
+        // Deterministic Fisher-Yates (reversing alone is too symmetric
+        // for this periodic field to notice).
+        let mut s = 0x9E3779B97F4A7C15u64;
+        for i in (1..scrambled.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            scrambled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let offset: Vec<f32> = f.iter().map(|v| v + 0.01).collect();
+        let s_scr = ssim2d(&f, &scrambled, 32, 32, &SsimOptions::default()).unwrap();
+        let s_off = ssim2d(&f, &offset, 32, 32, &SsimOptions::default()).unwrap();
+        assert!(s_off > 0.99, "tiny offset should barely matter: {s_off}");
+        assert!(s_scr < 0.8, "scrambling should be caught: {s_scr}");
+    }
+
+    #[test]
+    fn mid_slice_of_cube() {
+        let n = 16;
+        let f: Vec<f32> = (0..n * n * n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let s = ssim_mid_slice(&f, &f, n, &SsimOptions::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let f = field(8, 8);
+        assert!(ssim2d(&f, &f[..10], 8, 8, &SsimOptions::default()).is_err());
+        assert!(ssim2d(&f, &f, 4, 4, &SsimOptions::default()).is_err());
+        let small = field(4, 4);
+        assert!(ssim2d(&small, &small, 4, 4, &SsimOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the analysis substrates: FFT, power spectrum,
+//! FoF halo finding, and the N-body PM step.
+
+use cosmo_analysis::{friends_of_friends, linking_length_for, power_spectrum};
+use cosmo_fft::{fft3_forward, Grid3};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody_sim::{cic_deposit, pm, simulate_universe, PmOptions};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3_forward");
+    for n in [32usize, 64] {
+        let grid = Grid3::cube(n);
+        let field: Vec<f64> = (0..grid.len()).map(|i| (i as f64 * 0.37).sin()).collect();
+        g.throughput(Throughput::Elements(grid.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fft3_forward(&field, grid).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_power_spectrum(c: &mut Criterion) {
+    let grid = Grid3::cube(64);
+    let field: Vec<f64> =
+        (0..grid.len()).map(|i| (i as f64 * 0.11).sin() * (i as f64 * 0.003).cos()).collect();
+    let mut g = c.benchmark_group("power_spectrum");
+    g.throughput(Throughput::Elements(grid.len() as u64));
+    g.bench_function("64^3_16bins", |b| {
+        b.iter(|| power_spectrum(&field, grid, 256.0, 16).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_fof(c: &mut Criterion) {
+    let p = simulate_universe(32, 256.0, 42, 8).unwrap();
+    let bl = linking_length_for(p.len(), 256.0, 0.2);
+    let mut g = c.benchmark_group("fof");
+    g.throughput(Throughput::Elements(p.len() as u64));
+    g.bench_function("32^3_particles", |b| {
+        b.iter(|| friends_of_friends(&p.x, &p.y, &p.z, 256.0, bl, 10).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_pm_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nbody");
+    let grid = Grid3::cube(32);
+    let p0 = simulate_universe(32, 256.0, 7, 0).unwrap();
+    g.throughput(Throughput::Elements(p0.len() as u64));
+    g.bench_function("cic_deposit_32^3", |b| {
+        b.iter(|| cic_deposit(&p0, grid, 256.0));
+    });
+    g.bench_function("pm_step_32^3", |b| {
+        b.iter_batched(
+            || p0.clone(),
+            |mut p| pm::step(&mut p, grid, &PmOptions::default()).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_power_spectrum, bench_fof, bench_pm_step);
+criterion_main!(benches);

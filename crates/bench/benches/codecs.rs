@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the two codecs across configurations
+//! (throughput backing for paper Figs. 7, 8, 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use foresight::codec::{compress, decompress, CodecConfig, Shape};
+use lossy_sz::{EntropyBackend, SzConfig};
+use lossy_zfp::ZfpConfig;
+
+fn nyx_like_field(n: usize) -> Vec<f32> {
+    (0..n * n * n)
+        .map(|i| {
+            let x = (i % n) as f32 / n as f32;
+            let y = ((i / n) % n) as f32 / n as f32;
+            let z = (i / (n * n)) as f32 / n as f32;
+            let base = ((x * 6.3).sin() + (y * 4.4).cos() + (z * 9.1).sin()).exp();
+            base * 35.0 + ((i as f32 * 0.61).sin() * 0.3)
+        })
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 48usize;
+    let data = nyx_like_field(n);
+    let shape = Shape::D3(n, n, n);
+    let bytes = (data.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-1, 1e-3] {
+        g.bench_with_input(BenchmarkId::new("sz_abs", eb), &eb, |b, &eb| {
+            let cfg = CodecConfig::Sz(SzConfig::abs(eb));
+            b.iter(|| compress(&data, shape, &cfg).unwrap());
+        });
+    }
+    for rate in [2.0, 8.0] {
+        g.bench_with_input(BenchmarkId::new("zfp_rate", rate), &rate, |b, &rate| {
+            let cfg = CodecConfig::Zfp(ZfpConfig::rate(rate));
+            b.iter(|| compress(&data, shape, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let n = 48usize;
+    let data = nyx_like_field(n);
+    let shape = Shape::D3(n, n, n);
+    let bytes = (data.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(bytes));
+    let sz_stream = compress(&data, shape, &CodecConfig::Sz(SzConfig::abs(1e-3))).unwrap();
+    g.bench_function("sz_abs_1e-3", |b| b.iter(|| decompress(&sz_stream).unwrap()));
+    let zfp_stream = compress(&data, shape, &CodecConfig::Zfp(ZfpConfig::rate(8.0))).unwrap();
+    g.bench_function("zfp_rate_8", |b| b.iter(|| decompress(&zfp_stream).unwrap()));
+    g.finish();
+}
+
+fn bench_entropy_backends(c: &mut Criterion) {
+    // Ablation: Huffman-only vs Huffman+LZSS (DESIGN.md ablation list).
+    let n = 32usize;
+    let data = nyx_like_field(n);
+    let shape = Shape::D3(n, n, n);
+    let mut g = c.benchmark_group("sz_entropy_backend");
+    g.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    for (name, backend) in
+        [("huffman", EntropyBackend::Huffman), ("huffman_lzss", EntropyBackend::HuffmanLzss)]
+    {
+        g.bench_function(name, |b| {
+            let cfg = CodecConfig::Sz(SzConfig { entropy: backend, ..SzConfig::abs(1e-3) });
+            b.iter(|| compress(&data, shape, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_entropy_backends);
+criterion_main!(benches);

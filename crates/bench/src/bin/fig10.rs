@@ -1,0 +1,112 @@
+//! Fig. 10 regenerator: cuZFP kernel vs overall throughput as a function
+//! of bitrate on the Nyx dataset (V100), against the no-compression
+//! transfer baseline.
+//!
+//! The paper's observations to reproduce: both kernel and overall
+//! throughput fall as bitrate rises; overall sits far below kernel
+//! because PCIe transfers dominate; every compressed configuration still
+//! beats shipping raw data (the baseline), and lower bitrate widens the
+//! gap — the throughput half of the §V-D guideline. The codec runs on the
+//! real `--n-side` data; the device model is evaluated at the paper's
+//! `--sim-side` volume.
+
+use foresight::cbench::run_one;
+use foresight::codec::CodecConfig;
+use foresight::{ascii_chart, CinemaDb};
+use foresight_bench::{nyx_fields, Cli};
+use foresight_util::table::{fmt_f64, Table};
+use gpu_sim::{
+    baseline_transfer_seconds, run_compression, run_decompression, Device, GpuSpec, KernelKind,
+};
+use lossy_zfp::ZfpConfig;
+
+const RATES: [f64; 6] = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0];
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig10");
+    let opts = cli.synth();
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    println!(
+        "generating Nyx snapshot (n_side={}, timing at sim_side={})...",
+        cli.n_side, cli.sim_side
+    );
+    let (_, fields) = nyx_fields(&opts).expect("nyx");
+    let mut dev = Device::new(GpuSpec::tesla_v100());
+    let n_sim = (cli.sim_side as u64).pow(3) * fields.len() as u64;
+    let sim_bytes = n_sim * 4;
+    let baseline_gbs = sim_bytes as f64 / 1e9 / baseline_transfer_seconds(&dev, n_sim);
+
+    let mut t = Table::new([
+        "rate",
+        "comp_kernel_gbs",
+        "comp_overall_gbs",
+        "decomp_kernel_gbs",
+        "decomp_overall_gbs",
+        "baseline_gbs",
+    ]);
+    let mut kernel_series = Vec::new();
+    let mut overall_series = Vec::new();
+    for &rate in &RATES {
+        let cfg = CodecConfig::Zfp(ZfpConfig::rate(rate));
+        // Achieved bitrate, averaged over the real fields.
+        let mut bits = 0.0;
+        for f in &fields {
+            bits += run_one(f, &cfg, false).expect("cbench").bitrate;
+        }
+        bits /= fields.len() as f64;
+        let comp_bytes = (bits * n_sim as f64 / 8.0) as u64;
+        let ((), crep) = run_compression(
+            &mut dev,
+            KernelKind::ZfpCompress,
+            n_sim,
+            bits,
+            "cuZFP",
+            || ((), comp_bytes),
+        )
+        .expect("sim");
+        let ((), drep) = run_decompression(
+            &mut dev,
+            KernelKind::ZfpDecompress,
+            n_sim,
+            comp_bytes,
+            "cuZFP",
+            || (),
+        )
+        .expect("sim");
+        let gbs = |secs: f64| sim_bytes as f64 / 1e9 / secs;
+        t.push_row([
+            format!("{rate}"),
+            fmt_f64(gbs(crep.breakdown.kernel)),
+            fmt_f64(gbs(crep.breakdown.total())),
+            fmt_f64(gbs(drep.breakdown.kernel)),
+            fmt_f64(gbs(drep.breakdown.total())),
+            fmt_f64(baseline_gbs),
+        ]);
+        kernel_series.push((rate, gbs(crep.breakdown.kernel)));
+        overall_series.push((rate, gbs(crep.breakdown.total())));
+        println!(
+            "  rate {rate}: kernel {:.1} GB/s overall {:.1} GB/s",
+            gbs(crep.breakdown.kernel),
+            gbs(crep.breakdown.total())
+        );
+    }
+
+    let baseline_series: Vec<(f64, f64)> = RATES.iter().map(|&r| (r, baseline_gbs)).collect();
+    let chart = ascii_chart(
+        &[
+            ("kernel", &kernel_series),
+            ("overall", &overall_series),
+            ("baseline", &baseline_series),
+        ],
+        90,
+        22,
+    );
+    println!("\nFig. 10 — throughput (y, GB/s) vs bitrate (x):\n{chart}");
+    println!("{}", t.to_ascii());
+    db.add_table("fig10.csv", &t, &[("exhibit", "fig10".into())]).unwrap();
+    db.add_text("fig10.txt", &chart, &[]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

@@ -1,0 +1,113 @@
+//! Fig. 4 regenerator: rate-distortion (PSNR vs bitrate) of GPU-SZ and
+//! cuZFP on the Nyx (a) and HACC (b) datasets.
+//!
+//! Policies mirror the paper (§IV-B, §V-A): Nyx fields and HACC position
+//! fields compress with GPU-SZ in error-bounded mode (a sweep of
+//! value-range-relative bounds produces the curve); HACC velocity fields
+//! use PW_REL via the log transform; cuZFP sweeps fixed rates. HACC 1-D
+//! arrays are reshaped to 3-D cubes first.
+
+use foresight::cbench::{run_one, FieldData};
+use foresight::codec::CodecConfig;
+use foresight::{ascii_chart, CinemaDb};
+use foresight_bench::{hacc_fields_cubed, hacc_snapshot, nyx_fields, Cli};
+use foresight_util::table::{fmt_f64, Table};
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+
+const SZ_REL_BOUNDS: [f64; 6] = [1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 1e-4];
+const SZ_PWREL_BOUNDS: [f64; 6] = [0.25, 0.1, 0.03, 0.01, 0.003, 0.001];
+const ZFP_RATES: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0];
+
+fn sweep_field(
+    table: &mut Table,
+    series: &mut Vec<(String, Vec<(f64, f64)>)>,
+    dataset: &str,
+    field: &FieldData,
+    sz_configs: &[CodecConfig],
+) {
+    let mut sz_curve = Vec::new();
+    for cfg in sz_configs {
+        let rec = run_one(field, cfg, false).expect("cbench");
+        table.push_row([
+            dataset.to_string(),
+            field.name.clone(),
+            "GPU-SZ".to_string(),
+            rec.param.clone(),
+            fmt_f64(rec.bitrate),
+            fmt_f64(rec.distortion.psnr),
+            fmt_f64(rec.ratio),
+        ]);
+        sz_curve.push((rec.bitrate, rec.distortion.psnr));
+    }
+    series.push((format!("SZ:{}", field.name), sz_curve));
+    let mut zfp_curve = Vec::new();
+    for &rate in &ZFP_RATES {
+        let cfg = CodecConfig::Zfp(ZfpConfig::rate(rate));
+        let rec = run_one(field, &cfg, false).expect("cbench");
+        table.push_row([
+            dataset.to_string(),
+            field.name.clone(),
+            "cuZFP".to_string(),
+            rec.param.clone(),
+            fmt_f64(rec.bitrate),
+            fmt_f64(rec.distortion.psnr),
+            fmt_f64(rec.ratio),
+        ]);
+        zfp_curve.push((rec.bitrate, rec.distortion.psnr));
+    }
+    series.push((format!("ZFP:{}", field.name), zfp_curve));
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig4");
+    let opts = cli.synth();
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    let mut table = Table::new([
+        "dataset", "field", "compressor", "param", "bitrate", "psnr_db", "ratio",
+    ]);
+
+    // (a) Nyx.
+    println!("generating Nyx snapshot (n_side={})...", cli.n_side);
+    let (_, fields) = nyx_fields(&opts).expect("nyx");
+    let sz_rel: Vec<CodecConfig> =
+        SZ_REL_BOUNDS.iter().map(|&b| CodecConfig::Sz(SzConfig::rel(b))).collect();
+    let mut nyx_series = Vec::new();
+    for f in &fields {
+        println!("  rate-distortion: {}", f.name);
+        sweep_field(&mut table, &mut nyx_series, "nyx", f, &sz_rel);
+    }
+
+    // (b) HACC (reshaped to cubes; ABS on positions, PW_REL on velocities).
+    println!("generating HACC snapshot...");
+    let snap = hacc_snapshot(&opts).expect("hacc");
+    let hfields = hacc_fields_cubed(&snap).expect("reshape");
+    let mut hacc_series = Vec::new();
+    for f in &hfields {
+        println!("  rate-distortion: {}", f.name);
+        let is_velocity = f.name.starts_with('v');
+        let sz_cfgs: Vec<CodecConfig> = if is_velocity {
+            SZ_PWREL_BOUNDS.iter().map(|&b| CodecConfig::Sz(SzConfig::pw_rel(b))).collect()
+        } else {
+            SZ_REL_BOUNDS.iter().map(|&b| CodecConfig::Sz(SzConfig::rel(b))).collect()
+        };
+        sweep_field(&mut table, &mut hacc_series, "hacc", f, &sz_cfgs);
+    }
+
+    // Emit artifacts: one CSV + one chart per dataset.
+    let chart = |series: &[(String, Vec<(f64, f64)>)]| -> String {
+        let refs: Vec<(&str, &[(f64, f64)])> =
+            series.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
+        ascii_chart(&refs, 100, 28)
+    };
+    println!("\nFig. 4a (Nyx) — PSNR (y) vs bitrate (x):\n{}", chart(&nyx_series));
+    println!("Fig. 4b (HACC) — PSNR (y) vs bitrate (x):\n{}", chart(&hacc_series));
+
+    db.add_table("fig4.csv", &table, &[("exhibit", "fig4".into())]).unwrap();
+    db.add_text("fig4a_nyx.txt", &chart(&nyx_series), &[("panel", "a".into())]).unwrap();
+    db.add_text("fig4b_hacc.txt", &chart(&hacc_series), &[("panel", "b".into())]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

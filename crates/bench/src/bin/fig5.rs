@@ -1,0 +1,271 @@
+//! Fig. 5 regenerator: power spectrum analysis of reconstructed Nyx
+//! fields, plus the best-fit configuration selection (§V-B).
+//!
+//! Six spectra as in the paper: baryon density, dark matter density,
+//! overall density (sum of the two), temperature, velocity magnitude, and
+//! velocity z. cuZFP sweeps fixed rates {1,2,4,8}; GPU-SZ sweeps
+//! error-bound levels. A configuration is acceptable when every shell of
+//! every spectrum it influences stays within the paper's 1±1% band; among
+//! acceptable configurations the highest-ratio one wins, and the overall
+//! dataset ratio is reported (paper: 10.7x for cuZFP vs 15.4x for GPU-SZ).
+
+use cosmo_analysis::{pk_ratio, power_spectrum_f32, PkBin};
+use cosmo_fft::Grid3;
+use foresight::cbench::{run_one, FieldData};
+use foresight::codec::CodecConfig;
+use foresight::{ascii_chart, CinemaDb};
+use foresight_bench::{nyx_fields, velocity_magnitude, Cli};
+use foresight_util::table::{fmt_f64, Table};
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+use std::collections::HashMap;
+
+const ZFP_RATES: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+const SZ_REL_LEVELS: [f64; 4] = [3e-2, 1e-2, 3e-3, 1e-3];
+const PK_BINS: usize = 12;
+const PK_TOL: f64 = 0.01;
+
+/// The six spectra and which native fields feed each.
+const SPECTRA: [(&str, &[&str]); 6] = [
+    ("baryon_density", &["baryon_density"]),
+    ("dark_matter_density", &["dark_matter_density"]),
+    ("overall_density", &["baryon_density", "dark_matter_density"]),
+    ("temperature", &["temperature"]),
+    ("velocity_magnitude", &["velocity_x", "velocity_y", "velocity_z"]),
+    ("velocity_z", &["velocity_z"]),
+];
+
+/// Derived spectrum input from a map of (possibly reconstructed) fields.
+fn spectrum_input(name: &str, fields: &HashMap<String, Vec<f32>>) -> Vec<f32> {
+    match name {
+        "overall_density" => fields["baryon_density"]
+            .iter()
+            .zip(&fields["dark_matter_density"])
+            .map(|(a, b)| a + b)
+            .collect(),
+        "velocity_magnitude" => fields["velocity_x"]
+            .iter()
+            .zip(&fields["velocity_y"])
+            .zip(&fields["velocity_z"])
+            .map(|((&x, &y), &z)| {
+                ((x as f64).powi(2) + (y as f64).powi(2) + (z as f64).powi(2)).sqrt() as f32
+            })
+            .collect(),
+        other => fields[other].clone(),
+    }
+}
+
+struct LevelResult {
+    label: String,
+    /// Per-spectrum worst |ratio-1| and the full curve.
+    deviations: HashMap<String, f64>,
+    curves: HashMap<String, Vec<(f64, f64)>>,
+    /// Per-field (ratio, bitrate).
+    field_ratio: HashMap<String, f64>,
+}
+
+fn evaluate_level(
+    fields: &[FieldData],
+    orig_spectra: &HashMap<String, Vec<PkBin>>,
+    grid: Grid3,
+    box_size: f64,
+    cfg_for: &dyn Fn(&str) -> CodecConfig,
+    label: String,
+) -> LevelResult {
+    let mut recon: HashMap<String, Vec<f32>> = HashMap::new();
+    let mut field_ratio = HashMap::new();
+    for f in fields {
+        let rec = run_one(f, &cfg_for(&f.name), true).expect("cbench");
+        field_ratio.insert(f.name.clone(), rec.ratio);
+        recon.insert(f.name.clone(), rec.reconstructed.unwrap());
+    }
+    let mut deviations = HashMap::new();
+    let mut curves = HashMap::new();
+    for (spec_name, _) in SPECTRA {
+        let input = spectrum_input(spec_name, &recon);
+        let pk = power_spectrum_f32(&input, grid, box_size, PK_BINS).expect("pk");
+        let ratios = pk_ratio(&orig_spectra[spec_name], &pk).expect("ratio");
+        let dev = ratios.iter().map(|&(_, r)| (r - 1.0).abs()).fold(0.0f64, f64::max);
+        deviations.insert(spec_name.to_string(), dev);
+        curves.insert(spec_name.to_string(), ratios);
+    }
+    LevelResult { label, deviations, curves, field_ratio }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig5");
+    let opts = cli.synth();
+    let grid = Grid3::cube(cli.n_side);
+    let box_size = opts.box_size;
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    println!("generating Nyx snapshot (n_side={})...", cli.n_side);
+    let (snap, fields) = nyx_fields(&opts).expect("nyx");
+
+    // Original spectra.
+    let mut orig_fields: HashMap<String, Vec<f32>> = HashMap::new();
+    for (name, data) in snap.fields() {
+        orig_fields.insert(name.to_string(), data.to_vec());
+    }
+    orig_fields.insert("velocity_magnitude_src".into(), velocity_magnitude(&snap));
+    let mut orig_spectra = HashMap::new();
+    for (spec_name, _) in SPECTRA {
+        let input = spectrum_input(spec_name, &orig_fields);
+        orig_spectra.insert(
+            spec_name.to_string(),
+            power_spectrum_f32(&input, grid, box_size, PK_BINS).expect("pk"),
+        );
+    }
+
+    let mut table = Table::new([
+        "compressor", "level", "spectrum", "k", "pk_ratio",
+    ]);
+    let mut summary = Table::new([
+        "compressor", "level", "spectrum", "max_dev", "acceptable",
+    ]);
+
+    // Sweep cuZFP rates and GPU-SZ bound levels.
+    let mut all_levels: Vec<(&'static str, LevelResult)> = Vec::new();
+    for &rate in &ZFP_RATES {
+        println!("cuZFP rate {rate}...");
+        let lr = evaluate_level(
+            &fields,
+            &orig_spectra,
+            grid,
+            box_size,
+            &|_| CodecConfig::Zfp(ZfpConfig::rate(rate)),
+            format!("rate={rate}"),
+        );
+        all_levels.push(("cuZFP", lr));
+    }
+    for &lvl in &SZ_REL_LEVELS {
+        println!("GPU-SZ rel bound {lvl}...");
+        let lr = evaluate_level(
+            &fields,
+            &orig_spectra,
+            grid,
+            box_size,
+            &|_| CodecConfig::Sz(SzConfig::rel(lvl)),
+            format!("rel={lvl}"),
+        );
+        all_levels.push(("GPU-SZ", lr));
+    }
+
+    for (comp, lr) in &all_levels {
+        for (spec_name, _) in SPECTRA {
+            for &(k, r) in &lr.curves[spec_name] {
+                table.push_row([
+                    comp.to_string(),
+                    lr.label.clone(),
+                    spec_name.to_string(),
+                    fmt_f64(k),
+                    fmt_f64(r),
+                ]);
+            }
+            let dev = lr.deviations[spec_name];
+            summary.push_row([
+                comp.to_string(),
+                lr.label.clone(),
+                spec_name.to_string(),
+                fmt_f64(dev),
+                (dev <= PK_TOL).to_string(),
+            ]);
+        }
+    }
+
+    // Best-fit per field per compressor: cheapest config whose relevant
+    // spectra all pass, then the overall dataset ratio.
+    let mut bestfit = Table::new(["compressor", "field", "chosen", "field_ratio"]);
+    let mut overall_rows = Vec::new();
+    for comp in ["cuZFP", "GPU-SZ"] {
+        let levels: Vec<&LevelResult> =
+            all_levels.iter().filter(|(c, _)| *c == comp).map(|(_, l)| l).collect();
+        let mut total_orig = 0.0f64;
+        let mut total_comp = 0.0f64;
+        let mut all_ok = true;
+        for f in &fields {
+            let relevant: Vec<&str> = SPECTRA
+                .iter()
+                .filter(|(_, inputs)| inputs.contains(&f.name.as_str()))
+                .map(|(s, _)| *s)
+                .collect();
+            // Highest-ratio level passing all relevant spectra.
+            let best = levels
+                .iter()
+                .filter(|l| relevant.iter().all(|s| l.deviations[*s] <= PK_TOL))
+                .max_by(|a, b| {
+                    a.field_ratio[&f.name].partial_cmp(&b.field_ratio[&f.name]).unwrap()
+                });
+            match best {
+                Some(l) => {
+                    let r = l.field_ratio[&f.name];
+                    bestfit.push_row([
+                        comp.to_string(),
+                        f.name.clone(),
+                        l.label.clone(),
+                        fmt_f64(r),
+                    ]);
+                    total_orig += (f.data.len() * 4) as f64;
+                    total_comp += (f.data.len() * 4) as f64 / r;
+                }
+                None => {
+                    all_ok = false;
+                    bestfit.push_row([
+                        comp.to_string(),
+                        f.name.clone(),
+                        "none acceptable".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+        if all_ok {
+            let overall = total_orig / total_comp;
+            overall_rows.push(format!(
+                "{comp}: overall best-fit compression ratio = {overall:.2}x \
+                 (paper at 512^3: {} )",
+                if comp == "cuZFP" { "10.7x" } else { "15.4x" }
+            ));
+        } else {
+            overall_rows.push(format!("{comp}: some field had no acceptable config"));
+        }
+    }
+
+    println!("\n== per-spectrum acceptance ==\n{}", summary.to_ascii());
+    println!("== best-fit configurations ==\n{}", bestfit.to_ascii());
+    for row in &overall_rows {
+        println!("{row}");
+    }
+
+    // Charts: pk-ratio curves for the baryon density spectrum.
+    let chart_for = |spec: &str, comp: &str| -> String {
+        let series: Vec<(String, Vec<(f64, f64)>)> = all_levels
+            .iter()
+            .filter(|(c, _)| *c == comp)
+            .map(|(_, l)| (l.label.clone(), l.curves[spec].clone()))
+            .collect();
+        let refs: Vec<(&str, &[(f64, f64)])> =
+            series.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
+        ascii_chart(&refs, 90, 20)
+    };
+    for (spec_name, _) in SPECTRA {
+        let txt = format!(
+            "pk ratio vs k — {spec_name}\n\ncuZFP:\n{}\nGPU-SZ:\n{}",
+            chart_for(spec_name, "cuZFP"),
+            chart_for(spec_name, "GPU-SZ")
+        );
+        db.add_text(
+            &format!("pk_{spec_name}.txt"),
+            &txt,
+            &[("spectrum", spec_name.to_string())],
+        )
+        .unwrap();
+    }
+    db.add_table("fig5_curves.csv", &table, &[("exhibit", "fig5".into())]).unwrap();
+    db.add_table("fig5_acceptance.csv", &summary, &[("exhibit", "fig5".into())]).unwrap();
+    db.add_table("fig5_bestfit.csv", &bestfit, &[("exhibit", "fig5".into())]).unwrap();
+    db.add_text("fig5_overall.txt", &overall_rows.join("\n"), &[]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

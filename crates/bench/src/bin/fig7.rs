@@ -1,0 +1,108 @@
+//! Fig. 7 regenerator: breakdown of cuZFP compression and decompression
+//! time (init / kernel / memcpy / free) on the Nyx dataset, per bitrate,
+//! plus the no-compression transfer baseline.
+//!
+//! The real ZFP codec runs on the generated `--n-side` data to obtain the
+//! achieved bitrate; the V100 device model is then evaluated at the
+//! paper's `--sim-side` (default 512^3 values per field — the device model
+//! is linear in volume, so this is an exact extrapolation, see DESIGN.md).
+
+use foresight::cbench::run_one;
+use foresight::codec::CodecConfig;
+use foresight::CinemaDb;
+use foresight_bench::{nyx_fields, Cli};
+use foresight_util::table::{fmt_f64, Table};
+use gpu_sim::{
+    baseline_transfer_seconds, run_compression, run_decompression, Device, GpuSpec, KernelKind,
+};
+use lossy_zfp::ZfpConfig;
+
+const RATES: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig7");
+    let opts = cli.synth();
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    println!(
+        "generating Nyx snapshot (n_side={}, timing at sim_side={})...",
+        cli.n_side, cli.sim_side
+    );
+    let (_, fields) = nyx_fields(&opts).expect("nyx");
+    let mut dev = Device::new(GpuSpec::tesla_v100());
+    let n_sim = (cli.sim_side as u64).pow(3);
+    let baseline = baseline_transfer_seconds(&dev, n_sim);
+
+    let mut comp = Table::new([
+        "field", "rate", "init_ms", "kernel_ms", "memcpy_ms", "free_ms", "total_ms",
+        "baseline_ms",
+    ]);
+    let mut decomp = Table::new([
+        "field", "rate", "init_ms", "kernel_ms", "memcpy_ms", "free_ms", "total_ms",
+    ]);
+
+    for f in &fields {
+        for &rate in &RATES {
+            // Run the real codec to get the achieved bitrate (fixed-rate
+            // ZFP: the user rate plus a small container overhead).
+            let cfg = CodecConfig::Zfp(ZfpConfig::rate(rate));
+            let rec = run_one(f, &cfg, false).expect("cbench");
+            let bits = rec.bitrate;
+            let comp_bytes = (bits * n_sim as f64 / 8.0) as u64;
+            let ((), crep) = run_compression(
+                &mut dev,
+                KernelKind::ZfpCompress,
+                n_sim,
+                bits,
+                "cuZFP",
+                || ((), comp_bytes),
+            )
+            .expect("sim");
+            let b = crep.breakdown;
+            comp.push_row([
+                f.name.clone(),
+                format!("{rate}"),
+                fmt_f64(b.init * 1e3),
+                fmt_f64(b.kernel * 1e3),
+                fmt_f64(b.memcpy * 1e3),
+                fmt_f64(b.free * 1e3),
+                fmt_f64(b.total() * 1e3),
+                fmt_f64(baseline * 1e3),
+            ]);
+            let ((), drep) = run_decompression(
+                &mut dev,
+                KernelKind::ZfpDecompress,
+                n_sim,
+                comp_bytes,
+                "cuZFP",
+                || (),
+            )
+            .expect("sim");
+            let b = drep.breakdown;
+            decomp.push_row([
+                f.name.clone(),
+                format!("{rate}"),
+                fmt_f64(b.init * 1e3),
+                fmt_f64(b.kernel * 1e3),
+                fmt_f64(b.memcpy * 1e3),
+                fmt_f64(b.free * 1e3),
+                fmt_f64(b.total() * 1e3),
+            ]);
+        }
+        println!("  {} done", f.name);
+    }
+
+    println!(
+        "\nFig. 7a — compression breakdown (ms) at {}^3 values/field, V100, PCIe 3.0 x16:\n{}",
+        cli.sim_side,
+        comp.to_ascii()
+    );
+    println!("Fig. 7b — decompression breakdown (ms):\n{}", decomp.to_ascii());
+    println!("no-compression GPU->CPU transfer baseline: {:.3} ms/field", baseline * 1e3);
+
+    db.add_table("fig7a_compress.csv", &comp, &[("panel", "a".into())]).unwrap();
+    db.add_table("fig7b_decompress.csv", &decomp, &[("panel", "b".into())]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

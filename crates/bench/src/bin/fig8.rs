@@ -1,0 +1,159 @@
+//! Fig. 8 regenerator: compression/decompression throughput of SZ and ZFP
+//! on CPU vs the simulated Tesla V100 GPU.
+//!
+//! CPU rows are *measured* wall-clock runs of this repository's codecs in
+//! a rayon pool of the requested width (1 core, all host cores). A
+//! modeled 20-core Xeon Gold 6148 row extrapolates the 1-core measurement
+//! with a 0.85 parallel efficiency — the paper's CPU baseline — which is
+//! labeled as such (this container exposes a single core). GPU rows run
+//! the real codec to get achieved bitrates and evaluate the V100 device
+//! model at the paper's `--sim-side` volume.
+//!
+//! The paper's qualitative result to reproduce: GPU cuZFP beats even the
+//! multicore CPU by a large factor including PCIe transfer; CPU-ZFP has
+//! no parallel decompression (N/A, as in the paper).
+
+use foresight::cbench::FieldData;
+use foresight::codec::{compress, decompress, CodecConfig};
+use foresight::CinemaDb;
+use foresight_bench::{nyx_fields, Cli};
+use foresight_util::parallel::with_threads;
+use foresight_util::table::{fmt_f64, Table};
+use foresight_util::timer::time;
+use gpu_sim::{run_compression, run_decompression, CpuSpec, Device, GpuSpec, KernelKind};
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+
+/// Best-fit-style Nyx configs (§V-B), reused here as the paper does.
+fn sz_cfg() -> CodecConfig {
+    CodecConfig::Sz(SzConfig::rel(1e-3))
+}
+fn zfp_cfg() -> CodecConfig {
+    CodecConfig::Zfp(ZfpConfig::rate(4.0))
+}
+
+/// Measured (compress, decompress) GB/s over all fields with `threads`.
+fn measure_cpu(fields: &[FieldData], cfg: &CodecConfig, threads: usize) -> (f64, f64) {
+    with_threads(threads, || {
+        let mut total_bytes = 0u64;
+        let mut c_secs = 0.0;
+        let mut d_secs = 0.0;
+        for f in fields {
+            let (stream, cs) = time(|| compress(&f.data, f.shape, cfg).expect("compress"));
+            let (_, ds) = time(|| decompress(&stream).expect("decompress"));
+            total_bytes += (f.data.len() * 4) as u64;
+            c_secs += cs;
+            d_secs += ds;
+        }
+        (total_bytes as f64 / 1e9 / c_secs, total_bytes as f64 / 1e9 / d_secs)
+    })
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig8");
+    let opts = cli.synth();
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    println!("generating Nyx snapshot (n_side={})...", cli.n_side);
+    let (_, fields) = nyx_fields(&opts).expect("nyx");
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let xeon = CpuSpec::xeon_gold_6148();
+    const PAR_EFF: f64 = 0.85;
+
+    let mut t = Table::new(["configuration", "compress_gbs", "decompress_gbs", "note"]);
+
+    println!("measuring SZ on 1 CPU core...");
+    let (sz_c1, sz_d1) = measure_cpu(&fields, &sz_cfg(), 1);
+    t.push_row(["SZ CPU (1 core)".into(), fmt_f64(sz_c1), fmt_f64(sz_d1), "measured".into()]);
+    if host_cores > 1 {
+        println!("measuring SZ on {host_cores} CPU cores...");
+        let (c, d) = measure_cpu(&fields, &sz_cfg(), host_cores);
+        t.push_row([
+            format!("SZ CPU ({host_cores} cores)"),
+            fmt_f64(c),
+            fmt_f64(d),
+            "measured".into(),
+        ]);
+    }
+    t.push_row([
+        format!("SZ CPU ({} x {}, modeled)", xeon.cores, xeon.name),
+        fmt_f64(sz_c1 * xeon.cores as f64 * PAR_EFF),
+        fmt_f64(sz_d1 * xeon.cores as f64 * PAR_EFF),
+        format!("1-core measurement x {} x {PAR_EFF} efficiency", xeon.cores),
+    ]);
+
+    println!("measuring ZFP on 1 CPU core...");
+    let (zfp_c1, _) = measure_cpu(&fields, &zfp_cfg(), 1);
+    t.push_row([
+        "ZFP CPU (1 core)".into(),
+        fmt_f64(zfp_c1),
+        "N/A".into(),
+        "measured; OpenMP ZFP had no parallel decompression (paper)".into(),
+    ]);
+    t.push_row([
+        format!("ZFP CPU ({} x {}, modeled)", xeon.cores, xeon.name),
+        fmt_f64(zfp_c1 * xeon.cores as f64 * PAR_EFF),
+        "N/A".into(),
+        "modeled as above".into(),
+    ]);
+
+    // GPU rows at paper-scale volume (device model is linear in volume).
+    println!("simulating cuZFP / GPU-SZ on Tesla V100 (sim_side={})...", cli.sim_side);
+    let n_sim = (cli.sim_side as u64).pow(3) * fields.len() as u64;
+    let sim_bytes = n_sim * 4;
+    let mut dev = Device::new(GpuSpec::tesla_v100());
+    let gpu_row = |dev: &mut Device,
+                   cfg: &CodecConfig,
+                   ck: KernelKind,
+                   dk: KernelKind,
+                   fields: &[FieldData]|
+     -> (f64, f64) {
+        let mut bits = 0.0;
+        for f in fields {
+            let stream = compress(&f.data, f.shape, cfg).expect("compress");
+            bits += stream.len() as f64 * 8.0 / f.data.len() as f64;
+        }
+        bits /= fields.len() as f64;
+        let comp_bytes = (bits * n_sim as f64 / 8.0) as u64;
+        let ((), crep) =
+            run_compression(dev, ck, n_sim, bits, "gpu", || ((), comp_bytes)).expect("sim");
+        let ((), drep) =
+            run_decompression(dev, dk, n_sim, comp_bytes, "gpu", || ()).expect("sim");
+        (
+            sim_bytes as f64 / 1e9 / crep.breakdown.total(),
+            sim_bytes as f64 / 1e9 / drep.breakdown.total(),
+        )
+    };
+    let (c, d) = gpu_row(
+        &mut dev,
+        &zfp_cfg(),
+        KernelKind::ZfpCompress,
+        KernelKind::ZfpDecompress,
+        &fields,
+    );
+    t.push_row([
+        "cuZFP GPU (V100, incl. PCIe)".into(),
+        fmt_f64(c),
+        fmt_f64(d),
+        "device model at paper volume".into(),
+    ]);
+    let (c, _) = gpu_row(
+        &mut dev,
+        &sz_cfg(),
+        KernelKind::SzCompress,
+        KernelKind::SzDecompress,
+        &fields,
+    );
+    t.push_row([
+        "GPU-SZ GPU (V100, incl. PCIe)".into(),
+        fmt_f64(c),
+        "-".into(),
+        "prototype model; paper excludes GPU-SZ throughput (unoptimized layout)".into(),
+    ]);
+
+    println!("\nFig. 8 — SZ/ZFP throughput, CPU vs V100 (GB/s):\n{}", t.to_ascii());
+    db.add_table("fig8.csv", &t, &[("exhibit", "fig8".into())]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

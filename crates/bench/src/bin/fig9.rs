@@ -1,0 +1,45 @@
+//! Fig. 9 regenerator: cuZFP kernel throughput across the seven GPUs of
+//! Table I (compression and decompression, rate 4), from the gpu-sim
+//! timing model.
+//!
+//! The paper's observation to reproduce: kernel throughput ranks with
+//! hardware capability (memory bandwidth, shader count, peak FP32) across
+//! GPU generations; transfer time is identical since every card sits on
+//! PCIe 3.0 x16.
+
+use foresight::{ascii_chart, CinemaDb};
+use foresight_bench::Cli;
+use foresight_util::table::{fmt_f64, Table};
+use gpu_sim::{kernel_throughput_gbs, table1, KernelKind};
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("fig9");
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+    let n_values = (cli.n_side as u64).pow(3) * 6; // six Nyx fields
+
+    let mut t = Table::new(["GPU", "compress_gbs", "decompress_gbs", "mem_bw_gbs"]);
+    let mut comp_series = Vec::new();
+    for (i, g) in table1().iter().enumerate() {
+        let c = kernel_throughput_gbs(g, KernelKind::ZfpCompress, n_values, 4.0);
+        let d = kernel_throughput_gbs(g, KernelKind::ZfpDecompress, n_values, 4.0);
+        t.push_row([
+            g.name.to_string(),
+            fmt_f64(c),
+            fmt_f64(d),
+            format!("{}", g.memory_bw_gbs),
+        ]);
+        comp_series.push((i as f64, c));
+    }
+    println!(
+        "Fig. 9 — cuZFP kernel throughput on different GPUs (rate 4, {} values):\n{}",
+        n_values,
+        t.to_ascii()
+    );
+    let chart = ascii_chart(&[("compress", &comp_series)], 80, 16);
+    println!("throughput (y) per GPU index in Table I order (x):\n{chart}");
+    db.add_table("fig9.csv", &t, &[("exhibit", "fig9".into())]).unwrap();
+    db.add_text("fig9.txt", &chart, &[]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

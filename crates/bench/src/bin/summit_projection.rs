@@ -1,0 +1,91 @@
+//! Summit-scale projection: the paper's introduction and §V-C numbers.
+//!
+//! Reproduces (1) the storage/I-O math that motivates the whole study —
+//! a trillion-particle HACC campaign writes 22 PB and takes >10 hours of
+//! I/O at 500 GB/s, cut to ~1 hour by a 10-15x lossy ratio — and (2) the
+//! in-situ overhead comparison: multicore-CPU SZ costs >10% of each 10 s
+//! timestep on 1024 nodes, six V100s running cuZFP cost <0.3%.
+
+use foresight::CinemaDb;
+use foresight_bench::Cli;
+use foresight_util::table::{fmt_f64, Table};
+use gpu_sim::{ClusterSim, KernelKind, SnapshotScenario};
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("summit_projection");
+    let mut db = CinemaDb::create(&dir).expect("cinema db");
+
+    // --- Intro storage math. ---
+    let sc = SnapshotScenario::hacc_trillion();
+    let mut t1 = Table::new(["quantity", "value", "paper"]);
+    t1.push_row([
+        "snapshot size".into(),
+        foresight_util::timer::format_bytes(sc.snapshot_bytes),
+        "220 TB".to_string(),
+    ]);
+    t1.push_row([
+        "campaign total (100 snapshots)".into(),
+        foresight_util::timer::format_bytes(sc.total_bytes()),
+        "22 PB".into(),
+    ]);
+    t1.push_row([
+        "I/O hours at 500 GB/s, uncompressed".into(),
+        fmt_f64(sc.io_hours(500.0, 1.0)),
+        ">10 hours".into(),
+    ]);
+    for ratio in [5.0, 10.0, 15.0] {
+        t1.push_row([
+            format!("I/O hours at 500 GB/s, {ratio}x lossy"),
+            fmt_f64(sc.io_hours(500.0, ratio)),
+            "-".into(),
+        ]);
+    }
+    println!("== introduction storage scenario ==\n{}", t1.to_ascii());
+
+    // --- §V-C in-situ overhead. ---
+    let cluster = ClusterSim::summit_1024();
+    let snapshot = 2_500_000_000_000u64; // 2.5 TB per snapshot
+    let timestep = 10.0; // seconds
+    let mut t2 = Table::new([
+        "configuration",
+        "aggregate throughput (TB/s)",
+        "compress seconds",
+        "overhead of 10 s step",
+        "paper",
+    ]);
+    let cpu_agg = cluster.cpu_compression_throughput_gbs(2.0);
+    t2.push_row([
+        "SZ on CPUs (64 cores/node x 1024 nodes)".into(),
+        fmt_f64(cpu_agg / 1000.0),
+        fmt_f64(cluster.compression_seconds(snapshot, cpu_agg)),
+        format!("{:.1}%", cluster.overhead_fraction(snapshot, cpu_agg, timestep) * 100.0),
+        "~2 TB/s, >10%".into(),
+    ]);
+    for rate in [2.0, 4.0] {
+        let gpu_agg = cluster.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, rate);
+        t2.push_row([
+            format!("cuZFP on 6 x V100 x 1024 nodes (rate {rate})"),
+            fmt_f64(gpu_agg / 1000.0),
+            fmt_f64(cluster.compression_seconds(snapshot, gpu_agg)),
+            format!(
+                "{:.3}%",
+                cluster.overhead_fraction(snapshot, gpu_agg, timestep) * 100.0
+            ),
+            "<0.3%".into(),
+        ]);
+    }
+    println!("== §V-C in-situ compression overhead (1024 Summit nodes) ==\n{}", t2.to_ascii());
+    let factor = cluster.overhead_fraction(snapshot, cpu_agg, timestep)
+        / cluster.overhead_fraction(
+            snapshot,
+            cluster.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0),
+            timestep,
+        );
+    println!("overhead reduction factor: {factor:.0}x (paper: ~40x)");
+
+    db.add_table("intro_storage.csv", &t1, &[("scenario", "intro".into())]).unwrap();
+    db.add_table("summit_overhead.csv", &t2, &[("scenario", "v-c".into())]).unwrap();
+    db.finalize().unwrap();
+    println!("wrote {}", dir.display());
+}

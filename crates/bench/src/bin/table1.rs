@@ -1,0 +1,39 @@
+//! Table I regenerator: specifications of the GPUs used in the paper.
+//!
+//! Prints the spec table from `gpu-sim` and writes it as CSV. These specs
+//! parameterize every GPU timing experiment (figs. 7-10).
+
+use foresight_bench::Cli;
+use foresight_util::table::Table;
+use gpu_sim::table1;
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("table1");
+    let mut t = Table::new([
+        "GPU",
+        "Release",
+        "Architecture",
+        "Compute Capability",
+        "Memory (GB)",
+        "Shaders",
+        "Peak FP32 (TFLOPS)",
+        "Memory B/W (GB/s)",
+    ]);
+    for g in table1() {
+        t.push_row([
+            g.name.to_string(),
+            format!("c. {}", g.year),
+            format!("{:?}", g.arch),
+            format!("{:.1}", g.compute_capability),
+            format!("{}", g.memory_gb),
+            g.shaders.to_string(),
+            format!("{}", g.fp32_tflops),
+            format!("{}", g.memory_bw_gbs),
+        ]);
+    }
+    println!("Table I: Specifications of Different GPUs Used in Our Experiments\n");
+    print!("{}", t.to_ascii());
+    t.write_csv(dir.join("table1.csv")).expect("write csv");
+    println!("\nwrote {}", dir.join("table1.csv").display());
+}

@@ -1,0 +1,60 @@
+//! Table II regenerator: details of the HACC and Nyx datasets.
+//!
+//! Generates both synthetic snapshots and prints their dimensions, sizes,
+//! and per-field value ranges next to the paper's expected ranges; range
+//! containment is checked so drift in the generators is caught here.
+
+use cosmo_data::expected_range;
+use foresight_bench::{hacc_snapshot, nyx_fields, Cli};
+use foresight_util::table::Table;
+use foresight_util::timer::format_bytes;
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.exhibit_dir("table2");
+    let opts = cli.synth();
+
+    let hacc = hacc_snapshot(&opts).expect("hacc synthesis");
+    let (nyx, _) = nyx_fields(&opts).expect("nyx synthesis");
+
+    let mut t = Table::new([
+        "Dataset",
+        "Dimension",
+        "Size",
+        "Field",
+        "Value Range (measured)",
+        "Value Range (paper)",
+        "In Range",
+    ]);
+    let n = hacc.len();
+    for (name, s) in hacc.summaries() {
+        let (lo, hi) = expected_range(name).unwrap();
+        t.push_row([
+            "HACC".to_string(),
+            format!("{n}"),
+            format_bytes(hacc.payload_bytes()),
+            name.to_string(),
+            format!("({:.3e}, {:.3e})", s.min, s.max),
+            format!("({lo:.0e}, {hi:.0e})"),
+            (s.min >= lo && s.max <= hi).to_string(),
+        ]);
+    }
+    let side = nyx.n_side;
+    for (name, s) in nyx.summaries() {
+        let (lo, hi) = expected_range(name).unwrap();
+        t.push_row([
+            "Nyx".to_string(),
+            format!("{side}x{side}x{side}"),
+            format_bytes(nyx.payload_bytes()),
+            name.to_string(),
+            format!("({:.3e}, {:.3e})", s.min, s.max),
+            format!("({lo:.0e}, {hi:.0e})"),
+            (s.min >= lo && s.max <= hi).to_string(),
+        ]);
+    }
+    println!("Table II: Details of HACC and Nyx Dataset Used in Experiments");
+    println!("(synthetic, n_side={}, seed={}; paper: 1,073,726,359 / 512^3)\n", cli.n_side, cli.seed);
+    print!("{}", t.to_ascii());
+    t.write_csv(dir.join("table2.csv")).expect("write csv");
+    println!("\nwrote {}", dir.join("table2.csv").display());
+}

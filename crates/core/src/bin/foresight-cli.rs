@@ -1,0 +1,57 @@
+//! Foresight command-line interface: run a full pipeline from a JSON
+//! configuration file, as the original tool does.
+//!
+//! ```text
+//! foresight-cli path/to/config.json
+//! ```
+
+use foresight::runner::run_pipeline;
+use foresight::{ForesightConfig, SlurmSim};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: foresight-cli <config.json>");
+        eprintln!("see README.md for the configuration schema");
+        std::process::exit(2);
+    };
+    let cfg = match ForesightConfig::from_file(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot load '{path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "foresight: dataset={:?} n_side={} | {} codec configs | analyses {:?}",
+        cfg.input.dataset,
+        cfg.input.n_side,
+        cfg.codec_configs().len(),
+        cfg.analysis
+    );
+    match run_pipeline(&cfg, &SlurmSim::default()) {
+        Ok(report) => {
+            println!("\n== PAT workflow ==");
+            for j in &report.workflow.jobs {
+                println!(
+                    "wave {} | {:<12} | {:>7.2}s | {}",
+                    j.wave, j.name, j.wall_seconds, j.output
+                );
+            }
+            for line in &report.best_fit_lines {
+                println!("{line}");
+            }
+            if report.artifacts > 0 {
+                println!(
+                    "{} artifacts in {}",
+                    report.artifacts,
+                    cfg.output.dir.display()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! CBench: the compression benchmarking stage of Foresight.
+//!
+//! Runs every (field x codec-configuration) pair: compress, decompress,
+//! verify, and record compression ratio, bitrate, distortion metrics, and
+//! wall-clock (de)compression times — the exact outputs the paper's
+//! CBench produces for the downstream analysis and visualization stages.
+
+use crate::codec::{compress, decompress, CodecConfig, CompressorId, Shape};
+use cosmo_analysis::metrics::{distortion, Distortion};
+use foresight_util::timer::time;
+use foresight_util::{Error, Result};
+
+/// One named input field.
+#[derive(Debug, Clone)]
+pub struct FieldData {
+    /// Field name ("baryon_density", "x", ...).
+    pub name: String,
+    /// Values.
+    pub data: Vec<f32>,
+    /// Logical shape.
+    pub shape: Shape,
+}
+
+impl FieldData {
+    /// Creates a field, validating shape against the data length.
+    pub fn new(name: impl Into<String>, data: Vec<f32>, shape: Shape) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(Error::invalid(format!(
+                "field data length {} does not match shape {:?}",
+                data.len(),
+                shape
+            )));
+        }
+        Ok(Self { name: name.into(), data, shape })
+    }
+}
+
+/// One CBench measurement row.
+#[derive(Debug, Clone)]
+pub struct CBenchRecord {
+    /// Field name.
+    pub field: String,
+    /// Compressor used.
+    pub compressor: CompressorId,
+    /// Parameter label ("abs=0.2", "rate=4").
+    pub param: String,
+    /// Compressed bytes.
+    pub compressed_bytes: usize,
+    /// Original bytes (4 per value).
+    pub original_bytes: usize,
+    /// Compression ratio.
+    pub ratio: f64,
+    /// Bits per value.
+    pub bitrate: f64,
+    /// Distortion metrics vs the original.
+    pub distortion: Distortion,
+    /// Wall-clock compression seconds (this process, all cores).
+    pub compress_seconds: f64,
+    /// Wall-clock decompression seconds.
+    pub decompress_seconds: f64,
+    /// Reconstructed field, kept when requested for post-analysis.
+    pub reconstructed: Option<Vec<f32>>,
+}
+
+impl CBenchRecord {
+    /// Compression throughput in GB/s (uncompressed volume / time).
+    pub fn compress_throughput_gbs(&self) -> f64 {
+        self.original_bytes as f64 / 1e9 / self.compress_seconds.max(1e-12)
+    }
+
+    /// Decompression throughput in GB/s.
+    pub fn decompress_throughput_gbs(&self) -> f64 {
+        self.original_bytes as f64 / 1e9 / self.decompress_seconds.max(1e-12)
+    }
+}
+
+/// Runs one (field, config) measurement.
+pub fn run_one(field: &FieldData, cfg: &CodecConfig, keep_recon: bool) -> Result<CBenchRecord> {
+    let (stream, c_secs) = time(|| compress(&field.data, field.shape, cfg));
+    let stream = stream?;
+    let (out, d_secs) = time(|| decompress(&stream));
+    let (recon, shape) = out?;
+    if shape.len() != field.shape.len() {
+        return Err(Error::corrupt("reconstructed shape mismatch"));
+    }
+    let dist = distortion(&field.data, &recon);
+    let original_bytes = field.data.len() * 4;
+    Ok(CBenchRecord {
+        field: field.name.clone(),
+        compressor: cfg.id(),
+        param: cfg.param_label(),
+        compressed_bytes: stream.len(),
+        original_bytes,
+        ratio: original_bytes as f64 / stream.len().max(1) as f64,
+        bitrate: stream.len() as f64 * 8.0 / field.data.len().max(1) as f64,
+        distortion: dist,
+        compress_seconds: c_secs,
+        decompress_seconds: d_secs,
+        reconstructed: if keep_recon { Some(recon) } else { None },
+    })
+}
+
+/// Runs the full sweep: every field against every configuration.
+pub fn run_sweep(
+    fields: &[FieldData],
+    configs: &[CodecConfig],
+    keep_recon: bool,
+) -> Result<Vec<CBenchRecord>> {
+    let mut out = Vec::with_capacity(fields.len() * configs.len());
+    for f in fields {
+        for c in configs {
+            out.push(run_one(f, c, keep_recon)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Dataset-level compression ratio for one chosen config per field
+/// (the paper's "overall compression ratio", e.g. 10.7x / 15.4x).
+pub fn overall_ratio(records: &[&CBenchRecord]) -> f64 {
+    let orig: usize = records.iter().map(|r| r.original_bytes).sum();
+    let comp: usize = records.iter().map(|r| r.compressed_bytes).sum();
+    if comp == 0 {
+        f64::INFINITY
+    } else {
+        orig as f64 / comp as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossy_sz::SzConfig;
+    use lossy_zfp::ZfpConfig;
+
+    fn smooth_field(name: &str) -> FieldData {
+        let n = 16usize;
+        let data: Vec<f32> = (0..n * n * n)
+            .map(|i| {
+                let x = (i % n) as f32;
+                let y = ((i / n) % n) as f32;
+                (x * 0.2 + y * 0.4).sin() * 100.0
+            })
+            .collect();
+        FieldData::new(name, data, Shape::D3(n, n, n)).unwrap()
+    }
+
+    #[test]
+    fn record_fields_are_consistent() {
+        let f = smooth_field("t");
+        let rec = run_one(&f, &CodecConfig::Sz(SzConfig::abs(0.1)), true).unwrap();
+        assert_eq!(rec.field, "t");
+        assert_eq!(rec.original_bytes, 4096 * 4);
+        assert!((rec.ratio - rec.original_bytes as f64 / rec.compressed_bytes as f64).abs() < 1e-9);
+        assert!((rec.bitrate - 32.0 / rec.ratio).abs() < 1e-9);
+        assert!(rec.distortion.max_abs_err <= 0.1 + 1e-9);
+        assert!(rec.compress_seconds > 0.0 && rec.decompress_seconds > 0.0);
+        assert!(rec.reconstructed.is_some());
+    }
+
+    #[test]
+    fn sweep_covers_cross_product() {
+        let fields = vec![smooth_field("a"), smooth_field("b")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+            CodecConfig::Zfp(ZfpConfig::rate(8.0)),
+        ];
+        let records = run_sweep(&fields, &configs, false).unwrap();
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.reconstructed.is_none()));
+        // Fixed-rate 4 gives ~8x ratio.
+        let r4 = records.iter().find(|r| r.param == "rate=4").unwrap();
+        assert!((r4.ratio - 8.0).abs() < 1.0, "ratio {}", r4.ratio);
+    }
+
+    #[test]
+    fn overall_ratio_weights_by_bytes() {
+        let f = smooth_field("a");
+        let r1 = run_one(&f, &CodecConfig::Zfp(ZfpConfig::rate(4.0)), false).unwrap();
+        let r2 = run_one(&f, &CodecConfig::Zfp(ZfpConfig::rate(8.0)), false).unwrap();
+        let overall = overall_ratio(&[&r1, &r2]);
+        // Rates 4 and 8 -> ratios ~8 and ~4 -> overall ~ 2*32/(4+8) = 5.33.
+        assert!((overall - 5.33).abs() < 0.5, "overall {overall}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(FieldData::new("x", vec![0.0; 10], Shape::D1(11)).is_err());
+    }
+}

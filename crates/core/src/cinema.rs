@@ -1,0 +1,208 @@
+//! Cinema-style output databases and ASCII plots.
+//!
+//! The visualization stage of Foresight groups plots into a Cinema
+//! Explorer database — a directory with a `data.csv` index whose rows
+//! point at artifacts. This module writes the same structure with open
+//! formats (CSV series + ASCII charts) so results are inspectable without
+//! a browser.
+
+use foresight_util::table::Table;
+use foresight_util::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// An in-progress Cinema database.
+#[derive(Debug)]
+pub struct CinemaDb {
+    dir: PathBuf,
+    columns: Vec<String>,
+    rows: Vec<BTreeMap<String, String>>,
+}
+
+impl CinemaDb {
+    /// Creates (or wipes stale index of) a database directory.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, columns: vec!["FILE".to_string()], rows: Vec::new() })
+    }
+
+    /// Database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes an artifact table as CSV and indexes it with parameters.
+    ///
+    /// `params` become index columns (e.g. field, compressor, bound).
+    pub fn add_table(
+        &mut self,
+        rel_path: &str,
+        table: &Table,
+        params: &[(&str, String)],
+    ) -> Result<()> {
+        let path = self.dir.join(rel_path);
+        table.write_csv(&path)?;
+        self.index(rel_path, params);
+        Ok(())
+    }
+
+    /// Writes a text artifact (e.g. an ASCII chart) and indexes it.
+    pub fn add_text(
+        &mut self,
+        rel_path: &str,
+        content: &str,
+        params: &[(&str, String)],
+    ) -> Result<()> {
+        let path = self.dir.join(rel_path);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, content)?;
+        self.index(rel_path, params);
+        Ok(())
+    }
+
+    fn index(&mut self, rel_path: &str, params: &[(&str, String)]) {
+        let mut row = BTreeMap::new();
+        row.insert("FILE".to_string(), rel_path.to_string());
+        for (k, v) in params {
+            if !self.columns.iter().any(|c| c == k) {
+                self.columns.push((*k).to_string());
+            }
+            row.insert((*k).to_string(), v.clone());
+        }
+        self.rows.push(row);
+    }
+
+    /// Writes `data.csv` and returns the number of indexed artifacts.
+    pub fn finalize(&self) -> Result<usize> {
+        if self.rows.is_empty() {
+            return Err(Error::invalid("cinema database has no artifacts"));
+        }
+        let mut t = Table::new(self.columns.iter().map(String::as_str));
+        for row in &self.rows {
+            t.push_row(
+                self.columns.iter().map(|c| row.get(c).cloned().unwrap_or_default()),
+            );
+        }
+        t.write_csv(self.dir.join("data.csv"))?;
+        Ok(self.rows.len())
+    }
+}
+
+/// Renders an ASCII line/scatter chart of `(x, y)` series.
+///
+/// Multiple series get distinct glyphs; axes are annotated with ranges.
+/// Good enough to eyeball the shapes the paper's figures show.
+pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(5, 60);
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let pts: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, s)| s.iter().copied()).filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 == y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in s.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: [{y0:.3e}, {y1:.3e}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: [{x0:.3e}, {x1:.3e}]   "));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", glyphs[si % glyphs.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cinema_test_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let dir = tmpdir("rt");
+        let mut db = CinemaDb::create(&dir).unwrap();
+        let mut t = Table::new(["k", "ratio"]);
+        t.push_row(["0.1", "1.002"]);
+        db.add_table("pk/baryon.csv", &t, &[("field", "baryon".into()), ("eb", "0.1".into())])
+            .unwrap();
+        db.add_text("plots/rd.txt", "chart", &[("field", "all".into())]).unwrap();
+        let n = db.finalize().unwrap();
+        assert_eq!(n, 2);
+        let index = std::fs::read_to_string(dir.join("data.csv")).unwrap();
+        assert!(index.contains("FILE"));
+        assert!(index.contains("pk/baryon.csv"));
+        assert!(index.contains("baryon"));
+        assert!(dir.join("plots/rd.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_database_rejected() {
+        let dir = tmpdir("empty");
+        let db = CinemaDb::create(&dir).unwrap();
+        assert!(db.finalize().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chart_renders_points() {
+        let s1: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s2: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (20 * i) as f64)).collect();
+        let c = ascii_chart(&[("quad", &s1), ("lin", &s2)], 40, 12);
+        assert!(c.contains('*') && c.contains('o'));
+        assert!(c.contains("quad") && c.contains("lin"));
+        assert!(c.lines().count() >= 12);
+    }
+
+    #[test]
+    fn chart_handles_degenerate_input() {
+        assert!(ascii_chart(&[("e", &[])], 40, 10).contains("no data"));
+        let s = [(1.0, 5.0)];
+        let c = ascii_chart(&[("p", &s)], 40, 10);
+        assert!(c.contains('*'));
+        let s = [(f64::NAN, 1.0), (2.0, 3.0)];
+        let c = ascii_chart(&[("n", &s)], 40, 10);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,285 @@
+//! JSON configuration for Foresight pipelines.
+//!
+//! The real Foresight is driven by "a simple JSON file" (paper §IV-A);
+//! this module mirrors that: dataset selection, compressor sweeps,
+//! analysis stages, and output location, deserialized with serde and
+//! validated before a run.
+//!
+//! ```json
+//! {
+//!   "input":       { "dataset": "nyx", "n_side": 64, "seed": 42, "steps": 10 },
+//!   "compressors": [ { "name": "gpu-sz", "mode": "abs", "bounds": [0.1, 0.2] },
+//!                    { "name": "cuzfp", "rates": [2, 4, 8] } ],
+//!   "analysis":    [ "distortion", "power-spectrum" ],
+//!   "output":      { "dir": "out", "cinema": true }
+//! }
+//! ```
+
+use crate::codec::CodecConfig;
+use foresight_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DatasetKind {
+    /// HACC-like particle snapshot (six 1-D arrays).
+    Hacc,
+    /// Nyx-like grid snapshot (six 3-D fields).
+    Nyx,
+}
+
+/// Input dataset parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InputConfig {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Grid/particle-lattice side.
+    #[serde(default = "default_n_side")]
+    pub n_side: usize,
+    /// RNG seed for the synthetic universe.
+    #[serde(default)]
+    pub seed: u64,
+    /// PM steps (clustering strength).
+    #[serde(default = "default_steps")]
+    pub steps: usize,
+    /// Box side length.
+    #[serde(default = "default_box")]
+    pub box_size: f64,
+}
+
+fn default_n_side() -> usize {
+    64
+}
+fn default_steps() -> usize {
+    10
+}
+fn default_box() -> f64 {
+    256.0
+}
+
+/// One compressor sweep entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "name", rename_all = "kebab-case")]
+pub enum CompressorSweep {
+    /// GPU-SZ with a list of error bounds.
+    GpuSz {
+        /// Error-bound mode.
+        mode: SzModeKind,
+        /// Bounds to sweep.
+        bounds: Vec<f64>,
+        /// Optional block-size override.
+        #[serde(default)]
+        block_size: Option<usize>,
+    },
+    /// cuZFP with a list of fixed rates.
+    Cuzfp {
+        /// Bitrates to sweep.
+        rates: Vec<f64>,
+    },
+}
+
+/// SZ error-bound mode names used in configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SzModeKind {
+    /// Absolute bound.
+    Abs,
+    /// Value-range relative bound.
+    Rel,
+    /// Point-wise relative bound (log-transform scheme).
+    PwRel,
+}
+
+/// Analysis stages to run after compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum AnalysisKind {
+    /// PSNR/MSE/MRE and rate-distortion.
+    Distortion,
+    /// Matter power spectrum pk-ratio.
+    PowerSpectrum,
+    /// FoF halo finder comparison.
+    HaloFinder,
+    /// GPU/CPU throughput modeling.
+    Throughput,
+}
+
+/// Output location and options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputConfig {
+    /// Directory for CSVs and the Cinema database.
+    pub dir: PathBuf,
+    /// Whether to emit a Cinema-style database.
+    #[serde(default)]
+    pub cinema: bool,
+}
+
+/// A full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForesightConfig {
+    /// Dataset to generate.
+    pub input: InputConfig,
+    /// Compressors and their parameter sweeps.
+    pub compressors: Vec<CompressorSweep>,
+    /// Analyses to run.
+    pub analysis: Vec<AnalysisKind>,
+    /// Output options.
+    pub output: OutputConfig,
+}
+
+impl ForesightConfig {
+    /// Parses and validates a JSON document.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let cfg: ForesightConfig =
+            serde_json::from_str(json).map_err(|e| Error::Config(e.to_string()))?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Reads a config file.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+
+    /// Validates semantic constraints beyond the schema.
+    pub fn validate(&self) -> Result<()> {
+        if self.input.n_side < 8 || !self.input.n_side.is_power_of_two() {
+            return Err(Error::Config(format!(
+                "n_side must be a power of two >= 8, got {}",
+                self.input.n_side
+            )));
+        }
+        if self.compressors.is_empty() {
+            return Err(Error::Config("at least one compressor sweep required".into()));
+        }
+        for c in &self.compressors {
+            match c {
+                CompressorSweep::GpuSz { bounds, block_size, .. } => {
+                    if bounds.is_empty() || bounds.iter().any(|&b| !(b > 0.0 && b.is_finite())) {
+                        return Err(Error::Config("gpu-sz bounds must be positive".into()));
+                    }
+                    if let Some(bs) = block_size {
+                        if *bs < 2 {
+                            return Err(Error::Config("gpu-sz block_size must be >= 2".into()));
+                        }
+                    }
+                }
+                CompressorSweep::Cuzfp { rates } => {
+                    if rates.is_empty()
+                        || rates.iter().any(|&r| !(r > 0.0 && r <= 64.0 && r.is_finite()))
+                    {
+                        return Err(Error::Config("cuzfp rates must be in (0, 64]".into()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands all sweeps into concrete codec configurations.
+    pub fn codec_configs(&self) -> Vec<CodecConfig> {
+        let mut out = Vec::new();
+        for c in &self.compressors {
+            match c {
+                CompressorSweep::GpuSz { mode, bounds, block_size } => {
+                    for &b in bounds {
+                        let mut cfg = match mode {
+                            SzModeKind::Abs => lossy_sz::SzConfig::abs(b),
+                            SzModeKind::Rel => lossy_sz::SzConfig::rel(b),
+                            SzModeKind::PwRel => lossy_sz::SzConfig::pw_rel(b),
+                        };
+                        if let Some(bs) = block_size {
+                            cfg.block_size = *bs;
+                        }
+                        out.push(CodecConfig::Sz(cfg));
+                    }
+                }
+                CompressorSweep::Cuzfp { rates } => {
+                    for &r in rates {
+                        out.push(CodecConfig::Zfp(lossy_zfp::ZfpConfig::rate(r)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "input": { "dataset": "nyx", "n_side": 32, "seed": 42, "steps": 6 },
+        "compressors": [
+            { "name": "gpu-sz", "mode": "abs", "bounds": [0.1, 0.2] },
+            { "name": "cuzfp", "rates": [2, 4] }
+        ],
+        "analysis": ["distortion", "power-spectrum"],
+        "output": { "dir": "out", "cinema": true }
+    }"#;
+
+    #[test]
+    fn parses_sample() {
+        let cfg = ForesightConfig::from_json(SAMPLE).unwrap();
+        assert_eq!(cfg.input.dataset, DatasetKind::Nyx);
+        assert_eq!(cfg.input.n_side, 32);
+        assert_eq!(cfg.analysis.len(), 2);
+        assert!(cfg.output.cinema);
+        let configs = cfg.codec_configs();
+        assert_eq!(configs.len(), 4);
+        assert_eq!(configs[0].param_label(), "abs=0.1");
+        assert_eq!(configs[3].param_label(), "rate=4");
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cfg = ForesightConfig::from_json(
+            r#"{
+            "input": { "dataset": "hacc" },
+            "compressors": [ { "name": "cuzfp", "rates": [4] } ],
+            "analysis": [],
+            "output": { "dir": "o" }
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.input.n_side, 64);
+        assert_eq!(cfg.input.box_size, 256.0);
+        assert!(!cfg.output.cinema);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        // Bad n_side.
+        let bad = SAMPLE.replace("\"n_side\": 32", "\"n_side\": 33");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+        // Negative bound.
+        let bad = SAMPLE.replace("[0.1, 0.2]", "[-0.1]");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+        // Rate too high.
+        let bad = SAMPLE.replace("\"rates\": [2, 4]", "\"rates\": [100]");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+        // Syntax error.
+        assert!(ForesightConfig::from_json("{ nope").is_err());
+        // No compressors.
+        let bad = SAMPLE.replace(
+            r#"[
+            { "name": "gpu-sz", "mode": "abs", "bounds": [0.1, 0.2] },
+            { "name": "cuzfp", "rates": [2, 4] }
+        ]"#,
+            "[]",
+        );
+        assert!(ForesightConfig::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let cfg = ForesightConfig::from_json(SAMPLE).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let cfg2 = ForesightConfig::from_json(&json).unwrap();
+        assert_eq!(cfg2.codec_configs().len(), 4);
+    }
+}

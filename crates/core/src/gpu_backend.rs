@@ -1,0 +1,144 @@
+//! GPU execution backend: runs the real codecs through the simulated
+//! device to obtain the paper's GPU timing results.
+//!
+//! The compression work is genuine (the actual `lossy-sz`/`lossy-zfp`
+//! codecs produce real streams and real reconstructions); only the clock
+//! is simulated, per the substitution documented in DESIGN.md.
+
+use crate::codec::{compress, decompress, CodecConfig, CompressorId, Shape};
+use foresight_util::Result;
+use gpu_sim::{run_compression, run_decompression, Device, GpuRunReport, KernelKind};
+
+fn kinds(id: CompressorId) -> (KernelKind, KernelKind) {
+    match id {
+        CompressorId::GpuSz => (KernelKind::SzCompress, KernelKind::SzDecompress),
+        CompressorId::CuZfp => (KernelKind::ZfpCompress, KernelKind::ZfpDecompress),
+    }
+}
+
+/// Bits/value the cost model should assume before compression runs.
+fn planned_bits(cfg: &CodecConfig) -> Option<f64> {
+    match cfg {
+        CodecConfig::Zfp(z) => match z.mode {
+            lossy_zfp::ZfpMode::FixedRate(r) => Some(r),
+            _ => None,
+        },
+        CodecConfig::Sz(_) => None,
+    }
+}
+
+/// Compresses on the simulated GPU; returns the stream and timing report.
+pub fn gpu_compress(
+    device: &mut Device,
+    cfg: &CodecConfig,
+    data: &[f32],
+    shape: Shape,
+) -> Result<(Vec<u8>, GpuRunReport)> {
+    let (ck, _) = kinds(cfg.id());
+    let n = data.len() as u64;
+    // For error-bounded codecs the achieved rate is only known after the
+    // fact; run the codec first, then charge the model with actual bits.
+    match planned_bits(cfg) {
+        Some(bits) => {
+            let (stream, report) =
+                run_compression(device, ck, n, bits, cfg.id().display(), || {
+                    let s = compress(data, shape, cfg);
+                    let len = s.as_ref().map(|v| v.len() as u64).unwrap_or(0);
+                    (s, len)
+                })?;
+            Ok((stream?, report))
+        }
+        None => {
+            let stream = compress(data, shape, cfg)?;
+            let bits = stream.len() as f64 * 8.0 / n.max(1) as f64;
+            let slen = stream.len() as u64;
+            let (stream, report) =
+                run_compression(device, ck, n, bits, cfg.id().display(), move || {
+                    (stream, slen)
+                })?;
+            Ok((stream, report))
+        }
+    }
+}
+
+/// Decompresses on the simulated GPU; returns data and timing report.
+pub fn gpu_decompress(
+    device: &mut Device,
+    id: CompressorId,
+    stream: &[u8],
+    n_values: u64,
+) -> Result<(Vec<f32>, GpuRunReport)> {
+    let (_, dk) = kinds(id);
+    let (out, report) = run_decompression(
+        device,
+        dk,
+        n_values,
+        stream.len() as u64,
+        id.display(),
+        || decompress(stream),
+    )?;
+    let (data, _) = out?;
+    Ok((data, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuSpec;
+    use lossy_zfp::ZfpConfig;
+
+    fn field() -> Vec<f32> {
+        (0..32 * 32 * 32).map(|i| (i as f32 * 0.003).sin() * 10.0).collect()
+    }
+
+    #[test]
+    fn zfp_gpu_roundtrip_with_timing() {
+        let mut dev = Device::new(GpuSpec::tesla_v100());
+        let data = field();
+        let cfg = CodecConfig::Zfp(ZfpConfig::rate(4.0));
+        let (stream, crep) =
+            gpu_compress(&mut dev, &cfg, &data, Shape::D3(32, 32, 32)).unwrap();
+        assert!(crep.breakdown.kernel > 0.0 && crep.breakdown.memcpy > 0.0);
+        assert!((crep.ratio() - 8.0).abs() < 0.5);
+        let (rec, drep) =
+            gpu_decompress(&mut dev, CompressorId::CuZfp, &stream, data.len() as u64).unwrap();
+        assert_eq!(rec.len(), data.len());
+        assert!(drep.breakdown.kernel > 0.0);
+        // Kernel throughput beats overall (transfers dominate on PCIe).
+        assert!(crep.kernel_throughput_gbs > crep.overall_throughput_gbs);
+    }
+
+    #[test]
+    fn sz_gpu_uses_achieved_bitrate() {
+        let mut dev = Device::new(GpuSpec::tesla_v100());
+        let data = field();
+        let cfg = CodecConfig::Sz(lossy_sz::SzConfig::abs(0.01));
+        let (stream, rep) = gpu_compress(&mut dev, &cfg, &data, Shape::D3(32, 32, 32)).unwrap();
+        let achieved = stream.len() as f64 * 8.0 / data.len() as f64;
+        assert!(achieved > 0.0 && achieved < 32.0);
+        assert!(rep.compressed_bytes as usize == stream.len());
+    }
+
+    #[test]
+    fn sz_kernel_model_is_slower_than_zfp() {
+        // The paper's motivation for excluding GPU-SZ throughput.
+        let data = field();
+        let mut d1 = Device::new(GpuSpec::tesla_v100());
+        let (_, zfp) = gpu_compress(
+            &mut d1,
+            &CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+            &data,
+            Shape::D3(32, 32, 32),
+        )
+        .unwrap();
+        let mut d2 = Device::new(GpuSpec::tesla_v100());
+        let (_, sz) = gpu_compress(
+            &mut d2,
+            &CodecConfig::Sz(lossy_sz::SzConfig::abs(0.01)),
+            &data,
+            Shape::D3(32, 32, 32),
+        )
+        .unwrap();
+        assert!(zfp.kernel_throughput_gbs > sz.kernel_throughput_gbs * 3.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Foresight: compression benchmark and analysis framework.
+//!
+//! Rust reproduction of LANL's VizAly-Foresight as used in *Understanding
+//! GPU-Based Lossy Compression for Extreme-Scale Cosmological Simulations*
+//! (Jin et al., 2020). The three components of the paper's Fig. 2 map to:
+//!
+//! - **CBench** ([`cbench`]) — runs compressor sweeps over dataset fields
+//!   and records ratio, distortion, and throughput;
+//! - **PAT** ([`pat`]) — a Job/Workflow engine with dependency-aware
+//!   scheduling on a simulated SLURM cluster;
+//! - **Cinema** ([`cinema`]) — an artifact database of CSV series and
+//!   ASCII plots.
+//!
+//! Supporting modules: the unified codec layer ([`codec`]), JSON pipeline
+//! configuration ([`config`]), the GPU execution backend ([`gpu_backend`])
+//! and the paper's best-fit configuration guideline ([`optimizer`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use foresight::cbench::{run_one, FieldData};
+//! use foresight::codec::{CodecConfig, Shape};
+//!
+//! let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let field = FieldData::new("demo", data, Shape::D3(16, 16, 16)).unwrap();
+//! let cfg = CodecConfig::Sz(lossy_sz::SzConfig::abs(1e-3));
+//! let record = run_one(&field, &cfg, false).unwrap();
+//! assert!(record.ratio > 1.0);
+//! assert!(record.distortion.max_abs_err <= 1e-3);
+//! ```
+
+pub mod cbench;
+pub mod cinema;
+pub mod codec;
+pub mod config;
+pub mod gpu_backend;
+pub mod optimizer;
+pub mod pat;
+pub mod runner;
+pub mod viz;
+
+pub use cbench::{run_one, run_sweep, CBenchRecord, FieldData};
+pub use cinema::{ascii_chart, CinemaDb};
+pub use codec::{CodecConfig, CompressorId, Shape};
+pub use config::{AnalysisKind, DatasetKind, ForesightConfig};
+pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
+pub use pat::{Job, JobResult, SlurmSim, Workflow, WorkflowReport};
+pub use runner::{run_pipeline, PipelineReport};

@@ -1,0 +1,357 @@
+//! End-to-end pipeline runner: everything a `ForesightConfig` describes,
+//! executed as PAT jobs — generate, CBench, analyses, report.
+//!
+//! This is the library behind the `foresight-cli` binary and the
+//! `foresight_pipeline` example; tests drive it directly.
+
+use crate::cbench::{run_sweep, CBenchRecord, FieldData};
+use crate::cinema::CinemaDb;
+use crate::codec::Shape;
+use crate::config::{AnalysisKind, DatasetKind, ForesightConfig};
+use crate::gpu_backend::gpu_compress;
+use crate::optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, Candidate};
+use crate::pat::{Job, SlurmSim, Workflow, WorkflowReport};
+use crate::CompressorId;
+use cosmo_analysis::{
+    friends_of_friends, halo_count_ratio, linking_length_for, pk_ratio, power_spectrum_f32,
+};
+use cosmo_fft::Grid3;
+use foresight_util::table::{fmt_f64, Table};
+use foresight_util::{Error, Result};
+use gpu_sim::{Device, GpuSpec};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Everything a pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// CBench measurement rows.
+    pub records: Vec<CBenchRecord>,
+    /// Post-analysis candidates (deviations filled per requested analysis).
+    pub candidates: Vec<Candidate>,
+    /// Best-fit summary lines (one per compressor), when computable.
+    pub best_fit_lines: Vec<String>,
+    /// The PAT execution report.
+    pub workflow: WorkflowReport,
+    /// Artifacts written (paths relative to the output dir).
+    pub artifacts: usize,
+}
+
+/// Runs the configured pipeline on the (simulated) cluster.
+pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<PipelineReport> {
+    cfg.validate()?;
+    let configs = cfg.codec_configs();
+    let input = cfg.input.clone();
+    let analyses = cfg.analysis.clone();
+    let outdir = cfg.output.dir.clone();
+    let want_cinema = cfg.output.cinema;
+
+    let fields: Arc<Mutex<Vec<FieldData>>> = Arc::new(Mutex::new(Vec::new()));
+    let hacc_coords: Arc<Mutex<Option<[Vec<f32>; 3]>>> = Arc::new(Mutex::new(None));
+    let records: Arc<Mutex<Vec<CBenchRecord>>> = Arc::new(Mutex::new(Vec::new()));
+    let candidates: Arc<Mutex<Vec<Candidate>>> = Arc::new(Mutex::new(Vec::new()));
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let artifacts: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+
+    let mut wf = Workflow::new();
+    // Stage 1: dataset generation.
+    {
+        let fields = fields.clone();
+        let hacc_coords = hacc_coords.clone();
+        let input = input.clone();
+        wf.add(Job::new("generate", 4, move || {
+            let opts = cosmo_data::SynthOptions {
+                n_side: input.n_side,
+                box_size: input.box_size,
+                seed: input.seed,
+                steps: input.steps,
+            };
+            let out = match input.dataset {
+                DatasetKind::Nyx => {
+                    let snap = cosmo_data::generate_nyx(&opts)?;
+                    let n = snap.n_side;
+                    snap.fields()
+                        .iter()
+                        .map(|(name, d)| FieldData::new(*name, d.to_vec(), Shape::D3(n, n, n)))
+                        .collect::<Result<Vec<_>>>()?
+                }
+                DatasetKind::Hacc => {
+                    let snap = cosmo_data::generate_hacc(&opts)?;
+                    *hacc_coords.lock() =
+                        Some([snap.x.clone(), snap.y.clone(), snap.z.clone()]);
+                    snap.fields()
+                        .iter()
+                        .map(|(name, d)| FieldData::new(*name, d.to_vec(), Shape::D1(d.len())))
+                        .collect::<Result<Vec<_>>>()?
+                }
+            };
+            let n = out.len();
+            *fields.lock() = out;
+            Ok(format!("{n} fields"))
+        }))?;
+    }
+    // Stage 2: CBench.
+    {
+        let fields = fields.clone();
+        let records = records.clone();
+        let configs = configs.clone();
+        let keep = !analyses.is_empty();
+        wf.add(
+            Job::new("cbench", 8, move || {
+                let f = fields.lock();
+                let recs = run_sweep(&f, &configs, keep)?;
+                let n = recs.len();
+                *records.lock() = recs;
+                Ok(format!("{n} records"))
+            })
+            .after("generate"),
+        )?;
+    }
+    // Stage 3: analyses populate candidates.
+    {
+        let fields = fields.clone();
+        let records = records.clone();
+        let candidates = candidates.clone();
+        let hacc_coords = hacc_coords.clone();
+        let input = input.clone();
+        let analyses2 = analyses.clone();
+        wf.add(
+            Job::new("analysis", 8, move || {
+                let recs = std::mem::take(&mut *records.lock());
+                let fields = fields.lock();
+                let mut cands = Vec::with_capacity(recs.len());
+                let grid = Grid3::cube(input.n_side);
+                // Original halo catalog, once, for HACC runs.
+                let orig_cat = if analyses2.contains(&AnalysisKind::HaloFinder) {
+                    hacc_coords.lock().as_ref().map(|[x, y, z]| {
+                        let b = linking_length_for(x.len(), input.box_size, 0.2);
+                        friends_of_friends(x, y, z, input.box_size, b, 10)
+                    })
+                } else {
+                    None
+                };
+                for mut rec in recs {
+                    let recon = rec.reconstructed.take();
+                    let mut cand =
+                        Candidate { record: rec, pk_deviation: None, halo_deviation: None };
+                    if let Some(recon) = &recon {
+                        if analyses2.contains(&AnalysisKind::PowerSpectrum)
+                            && input.dataset == DatasetKind::Nyx
+                        {
+                            let field = fields
+                                .iter()
+                                .find(|f| f.name == cand.record.field)
+                                .ok_or_else(|| Error::invalid("missing field"))?;
+                            let orig =
+                                power_spectrum_f32(&field.data, grid, input.box_size, 10)?;
+                            let pk = power_spectrum_f32(recon, grid, input.box_size, 10)?;
+                            let dev = pk_ratio(&orig, &pk)?
+                                .iter()
+                                .map(|&(_, r)| (r - 1.0).abs())
+                                .fold(0.0f64, f64::max);
+                            cand.pk_deviation = Some(dev);
+                        }
+                        if let Some(Ok(orig_cat)) = &orig_cat {
+                            // Halo analysis uses the position fields; the
+                            // reconstructed coordinate replaces one axis at
+                            // a time, which bounds the impact per field.
+                            if ["x", "y", "z"].contains(&cand.record.field.as_str()) {
+                                let coords = hacc_coords.lock();
+                                let [x, y, z] = coords.as_ref().unwrap();
+                                let wrapped: Vec<f32> = recon
+                                    .iter()
+                                    .map(|v| v.rem_euclid(input.box_size as f32))
+                                    .collect();
+                                let (rx, ry, rz) = match cand.record.field.as_str() {
+                                    "x" => (&wrapped, y, z),
+                                    "y" => (x, &wrapped, z),
+                                    _ => (x, y, &wrapped),
+                                };
+                                let b = linking_length_for(x.len(), input.box_size, 0.2);
+                                let cat = friends_of_friends(
+                                    rx,
+                                    ry,
+                                    rz,
+                                    input.box_size,
+                                    b,
+                                    10,
+                                )?;
+                                let worst = halo_count_ratio(orig_cat, &cat)
+                                    .iter()
+                                    .filter(|&&(_, oc, _, _)| oc >= 5)
+                                    .map(|&(_, _, _, r)| (r - 1.0).abs())
+                                    .fold(0.0f64, f64::max);
+                                cand.halo_deviation = Some(worst);
+                            }
+                        }
+                    }
+                    cands.push(cand);
+                }
+                let n = cands.len();
+                *candidates.lock() = cands;
+                Ok(format!("{n} candidates"))
+            })
+            .after("cbench"),
+        )?;
+    }
+    // Stage 4: throughput modeling (optional).
+    if analyses.contains(&AnalysisKind::Throughput) {
+        let fields = fields.clone();
+        let configs = configs.clone();
+        let lines = lines.clone();
+        wf.add(
+            Job::new("throughput", 2, move || {
+                let f = fields.lock();
+                let mut dev = Device::new(GpuSpec::tesla_v100());
+                let mut out = Vec::new();
+                for cfg in configs.iter() {
+                    let Some(field) = f.first() else { continue };
+                    let (_, rep) = gpu_compress(&mut dev, cfg, &field.data, field.shape)?;
+                    out.push(format!(
+                        "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
+                        cfg.id().display(),
+                        cfg.param_label(),
+                        rep.kernel_throughput_gbs,
+                        rep.overall_throughput_gbs
+                    ));
+                }
+                let n = out.len();
+                lines.lock().extend(out);
+                Ok(format!("{n} throughput rows"))
+            })
+            .after("generate"),
+        )?;
+    }
+    // Stage 5: optimizer + report.
+    {
+        let candidates2 = candidates.clone();
+        let lines = lines.clone();
+        let artifacts2 = artifacts.clone();
+        wf.add(
+            Job::new("report", 1, move || {
+                let cands = candidates2.lock();
+                let acc = Acceptance::default();
+                let mut table = Table::new([
+                    "field",
+                    "compressor",
+                    "param",
+                    "ratio",
+                    "bitrate",
+                    "psnr_db",
+                    "pk_dev",
+                    "halo_dev",
+                ]);
+                for c in cands.iter() {
+                    table.push_row([
+                        c.record.field.clone(),
+                        c.record.compressor.display().to_string(),
+                        c.record.param.clone(),
+                        fmt_f64(c.record.ratio),
+                        fmt_f64(c.record.bitrate),
+                        fmt_f64(c.record.distortion.psnr),
+                        c.pk_deviation.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                        c.halo_deviation.map(fmt_f64).unwrap_or_else(|| "-".into()),
+                    ]);
+                }
+                let mut out_lines = Vec::new();
+                for comp in [CompressorId::GpuSz, CompressorId::CuZfp] {
+                    if let Ok(fits) = best_fit_per_field(&cands, comp, &acc) {
+                        let overall = overall_best_ratio(&fits, &cands);
+                        out_lines.push(format!(
+                            "{}: overall best-fit ratio {:.2}x over {} fields",
+                            comp.display(),
+                            overall,
+                            fits.len()
+                        ));
+                    }
+                }
+                if want_cinema {
+                    let mut db = CinemaDb::create(&outdir)?;
+                    db.add_table("cbench.csv", &table, &[("stage", "report".into())])?;
+                    db.add_text("bestfit.txt", &out_lines.join("\n"), &[])?;
+                    *artifacts2.lock() = db.finalize()?;
+                }
+                let summary = out_lines.join("; ");
+                lines.lock().extend(out_lines);
+                Ok(if summary.is_empty() { "no acceptable configs".into() } else { summary })
+            })
+            .after("analysis"),
+        )?;
+    }
+
+    let workflow = wf.run(cluster)?;
+    // `records` was drained by the analysis stage; re-expose through the
+    // candidates for callers.
+    let final_candidates = std::mem::take(&mut *candidates.lock());
+    let final_records: Vec<CBenchRecord> =
+        final_candidates.iter().map(|c| c.record.clone()).collect();
+    let final_lines = std::mem::take(&mut *lines.lock());
+    let final_artifacts = *artifacts.lock();
+    Ok(PipelineReport {
+        records: final_records,
+        candidates: final_candidates,
+        best_fit_lines: final_lines,
+        workflow,
+        artifacts: final_artifacts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(dataset: &str, analyses: &str) -> ForesightConfig {
+        let dir = std::env::temp_dir().join(format!(
+            "runner_test_{dataset}_{}",
+            std::process::id()
+        ));
+        ForesightConfig::from_json(&format!(
+            r#"{{
+            "input": {{ "dataset": "{dataset}", "n_side": 16, "seed": 11, "steps": 3 }},
+            "compressors": [
+                {{ "name": "gpu-sz", "mode": "rel", "bounds": [0.01] }},
+                {{ "name": "cuzfp", "rates": [8] }}
+            ],
+            "analysis": [{analyses}],
+            "output": {{ "dir": "{}", "cinema": true }}
+        }}"#,
+            dir.display()
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn nyx_pipeline_with_power_spectrum() {
+        let cfg = base_config("nyx", "\"distortion\", \"power-spectrum\"");
+        let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert_eq!(report.records.len(), 12); // 6 fields x 2 configs
+        assert!(report.candidates.iter().all(|c| c.pk_deviation.is_some()));
+        assert!(report.artifacts >= 2);
+        assert!(report.workflow.job("report").is_some());
+        std::fs::remove_dir_all(&cfg.output.dir).ok();
+    }
+
+    #[test]
+    fn hacc_pipeline_with_halo_finder() {
+        let cfg = base_config("hacc", "\"halo-finder\"");
+        let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert_eq!(report.records.len(), 12);
+        // Position fields got halo deviations; velocities did not.
+        let pos: Vec<&Candidate> = report
+            .candidates
+            .iter()
+            .filter(|c| ["x", "y", "z"].contains(&c.record.field.as_str()))
+            .collect();
+        assert!(!pos.is_empty());
+        assert!(pos.iter().all(|c| c.halo_deviation.is_some()));
+        std::fs::remove_dir_all(&cfg.output.dir).ok();
+    }
+
+    #[test]
+    fn throughput_stage_produces_lines() {
+        let mut cfg = base_config("nyx", "\"throughput\"");
+        cfg.output.cinema = false;
+        let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert!(report.best_fit_lines.iter().any(|l| l.contains("GB/s")));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the PAT workflow engine: random DAGs always either
+//! complete every job exactly once in dependency order, or report a cycle.
+
+use foresight::{Job, SlurmSim, Workflow};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random forward-edge DAGs (job i may depend only on j < i) always
+    /// complete, run every job exactly once, and never run a job before
+    /// its dependencies.
+    #[test]
+    fn random_dags_complete_in_order(
+        n_jobs in 1usize..20,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        cores_per_node in 3usize..8, // jobs request up to 3 cores
+    ) {
+        let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_jobs];
+        for &(a, b) in &edges {
+            let hi = (a as usize % n_jobs).max(b as usize % n_jobs);
+            let lo = (a as usize % n_jobs).min(b as usize % n_jobs);
+            if lo != hi && !deps[hi].contains(&lo) {
+                deps[hi].push(lo); // job hi depends on job lo < hi
+            }
+        }
+        let mut wf = Workflow::new();
+        #[allow(clippy::needless_range_loop)] // index names the job
+        for i in 0..n_jobs {
+            let o = order.clone();
+            let mut job = Job::new(format!("j{i}"), 1 + i % 3, move || {
+                o.lock().push(i);
+                Ok(String::new())
+            });
+            for &d in &deps[i] {
+                job = job.after(format!("j{d}"));
+            }
+            wf.add(job).unwrap();
+        }
+        let report = wf
+            .run(&SlurmSim { nodes: 1, cores_per_node })
+            .expect("acyclic DAG must complete");
+        prop_assert_eq!(report.jobs.len(), n_jobs);
+        let ran = order.lock();
+        prop_assert_eq!(ran.len(), n_jobs);
+        // Dependency order: position of every dep precedes the job.
+        let pos = |j: usize| ran.iter().position(|&x| x == j).unwrap();
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                prop_assert!(pos(d) < pos(i), "job {i} ran before dep {d}");
+            }
+        }
+        // Waves are consistent: a job's wave strictly exceeds its deps'.
+        for (i, ds) in deps.iter().enumerate() {
+            let wave = report.job(&format!("j{i}")).unwrap().wave;
+            for &d in ds {
+                let dwave = report.job(&format!("j{d}")).unwrap().wave;
+                prop_assert!(dwave < wave);
+            }
+        }
+    }
+
+    /// Any 2-cycle is reported as an error rather than hanging.
+    #[test]
+    fn cycles_always_detected(extra in 0usize..6) {
+        let mut wf = Workflow::new();
+        wf.add(Job::new("a", 1, || Ok(String::new())).after("b")).unwrap();
+        wf.add(Job::new("b", 1, || Ok(String::new())).after("a")).unwrap();
+        for i in 0..extra {
+            wf.add(Job::new(format!("x{i}"), 1, || Ok(String::new()))).unwrap();
+        }
+        let err = wf.run(&SlurmSim::default()).unwrap_err();
+        prop_assert!(err.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Dimension conversion between HACC's 1-D arrays and 3-D shapes.
+//!
+//! GPU-SZ only accepts 3-D input, so the paper (§IV-B-4) splits each
+//! 1,073,726,359-element array into eight 2^27 partitions (zero-padded)
+//! and reshapes each to either 512x512x512 (best for GPU-SZ) or
+//! 2,097,152x8x8 (best for cuZFP). These helpers implement the same
+//! scheme for arbitrary sizes: split into fixed-size partitions, pad the
+//! last with zeros, reshape, and reverse losslessly using the recorded
+//! original length.
+
+use foresight_util::{Error, Result};
+
+/// A reshaped partition set: `parts` each hold exactly `shape` values.
+#[derive(Debug, Clone)]
+pub struct Reshaped {
+    /// Partitions, each of `shape.0 * shape.1 * shape.2` values
+    /// (x-fastest layout; the memory order is unchanged from the 1-D
+    /// input, as in the paper — "we only pass the pointer and specify the
+    /// data dimension").
+    pub parts: Vec<Vec<f32>>,
+    /// 3-D shape of each partition.
+    pub shape: (usize, usize, usize),
+    /// Original 1-D length (for the inverse conversion).
+    pub original_len: usize,
+}
+
+/// The paper's cube policy scaled to `len`: the largest power-of-two cube
+/// no bigger than the data (at least 8^3), so most partitions are full.
+pub fn cube_shape_for(len: usize) -> (usize, usize, usize) {
+    let mut side = 8usize;
+    while (side * 2) * (side * 2) * (side * 2) <= len.max(512) && side < 512 {
+        side *= 2;
+    }
+    (side, side, side)
+}
+
+/// The paper's thin policy scaled to `len`: an `(n/64) x 8 x 8` slab.
+pub fn thin_shape_for(len: usize) -> (usize, usize, usize) {
+    let nx = (len / 64).max(1);
+    (nx, 8, 8)
+}
+
+/// Splits a 1-D array into zero-padded partitions of the given 3-D shape.
+pub fn to_3d(data: &[f32], shape: (usize, usize, usize)) -> Result<Reshaped> {
+    let part = shape.0 * shape.1 * shape.2;
+    if part == 0 {
+        return Err(Error::invalid("partition shape must be non-empty"));
+    }
+    let mut parts = Vec::with_capacity(data.len().div_ceil(part).max(1));
+    if data.is_empty() {
+        parts.push(vec![0.0; part]);
+    }
+    for chunk in data.chunks(part) {
+        let mut p = chunk.to_vec();
+        p.resize(part, 0.0);
+        parts.push(p);
+    }
+    Ok(Reshaped { parts, shape, original_len: data.len() })
+}
+
+/// Reassembles the original 1-D array, dropping the zero padding.
+pub fn to_1d(r: &Reshaped) -> Result<Vec<f32>> {
+    let part = r.shape.0 * r.shape.1 * r.shape.2;
+    for (i, p) in r.parts.iter().enumerate() {
+        if p.len() != part {
+            return Err(Error::invalid(format!(
+                "partition {i} has {} values, expected {part}",
+                p.len()
+            )));
+        }
+    }
+    if r.parts.len() * part < r.original_len {
+        return Err(Error::invalid("partitions shorter than the recorded original length"));
+    }
+    let mut out = Vec::with_capacity(r.original_len);
+    for p in &r.parts {
+        let take = (r.original_len - out.len()).min(part);
+        out.extend_from_slice(&p[..take]);
+        if out.len() == r.original_len {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_multiple() {
+        let data: Vec<f32> = (0..512 * 3).map(|i| i as f32).collect();
+        let r = to_3d(&data, (8, 8, 8)).unwrap();
+        assert_eq!(r.parts.len(), 3);
+        assert_eq!(to_1d(&r).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let r = to_3d(&data, (8, 8, 8)).unwrap();
+        assert_eq!(r.parts.len(), 2);
+        // Padding cells are zero.
+        assert_eq!(r.parts[1][1000 - 512], 0.0 * 0.0 + r.parts[1][1000 - 512]);
+        assert!(r.parts[1][488..].iter().all(|&v| v == 0.0));
+        assert_eq!(to_1d(&r).unwrap(), data);
+    }
+
+    #[test]
+    fn shape_policies() {
+        // Paper scale: 2^27 values -> a 512 cube; our scaled variants
+        // stay powers of two.
+        assert_eq!(cube_shape_for(1 << 27), (512, 512, 512));
+        assert_eq!(cube_shape_for(40_000), (32, 32, 32));
+        assert_eq!(cube_shape_for(100), (8, 8, 8));
+        assert_eq!(thin_shape_for(1 << 27), (1 << 21, 8, 8));
+        assert_eq!(thin_shape_for(6400), (100, 8, 8));
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let r = to_3d(&[], (8, 8, 8)).unwrap();
+        assert_eq!(to_1d(&r).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn corrupt_partition_rejected() {
+        let data: Vec<f32> = (0..100).collect::<Vec<_>>().iter().map(|&i| i as f32).collect();
+        let mut r = to_3d(&data, (8, 8, 8)).unwrap();
+        r.parts[0].pop();
+        assert!(to_1d(&r).is_err());
+        let mut r2 = to_3d(&data, (8, 8, 8)).unwrap();
+        r2.original_len = 10_000;
+        assert!(to_1d(&r2).is_err());
+    }
+}

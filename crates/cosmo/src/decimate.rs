@@ -1,0 +1,152 @@
+//! Decimation: the baseline data-reduction strategy the paper's
+//! introduction argues against.
+//!
+//! "The data are usually saved using a process known as decimation ...
+//! This process can lead to a loss of valuable simulation information."
+//! Two flavours are provided so the comparison experiments can quantify
+//! that loss at matched storage budgets:
+//!
+//! - **stride decimation** — keep every k-th value and reconstruct by
+//!   linear interpolation (spatial subsampling);
+//! - **snapshot decimation** — keep every k-th snapshot of a time series
+//!   and reconstruct intermediate frames by linear interpolation in time.
+
+use foresight_util::{Error, Result};
+
+/// Keeps every `k`-th value of `data` (k >= 1).
+pub fn stride_decimate(data: &[f32], k: usize) -> Result<Vec<f32>> {
+    if k == 0 {
+        return Err(Error::invalid("stride must be positive"));
+    }
+    Ok(data.iter().step_by(k).copied().collect())
+}
+
+/// Reconstructs a stride-decimated array to `original_len` values by
+/// linear interpolation between kept samples (edge-extended at the tail).
+pub fn stride_reconstruct(kept: &[f32], k: usize, original_len: usize) -> Result<Vec<f32>> {
+    if k == 0 {
+        return Err(Error::invalid("stride must be positive"));
+    }
+    if kept.len() != original_len.div_ceil(k) {
+        return Err(Error::invalid(format!(
+            "{} kept samples cannot reconstruct {original_len} values at stride {k}",
+            kept.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(original_len);
+    for i in 0..original_len {
+        let j = i / k;
+        let frac = (i % k) as f32 / k as f32;
+        let a = kept[j];
+        let b = kept.get(j + 1).copied().unwrap_or(a);
+        out.push(a + (b - a) * frac);
+    }
+    Ok(out)
+}
+
+/// Effective compression ratio of stride decimation.
+pub fn stride_ratio(k: usize, original_len: usize) -> f64 {
+    if original_len == 0 {
+        return 1.0;
+    }
+    original_len as f64 / original_len.div_ceil(k) as f64
+}
+
+/// Keeps every `k`-th snapshot of a series (always keeps the first).
+pub fn snapshot_decimate<T: Clone>(snapshots: &[T], k: usize) -> Result<Vec<T>> {
+    if k == 0 {
+        return Err(Error::invalid("snapshot stride must be positive"));
+    }
+    Ok(snapshots.iter().step_by(k).cloned().collect())
+}
+
+/// Reconstructs frame `t` (0-based) of a decimated series of original
+/// length `n_frames` by linear interpolation between surviving frames.
+pub fn snapshot_reconstruct(
+    kept: &[Vec<f32>],
+    k: usize,
+    n_frames: usize,
+    t: usize,
+) -> Result<Vec<f32>> {
+    if k == 0 || kept.is_empty() {
+        return Err(Error::invalid("need a positive stride and at least one kept frame"));
+    }
+    if t >= n_frames {
+        return Err(Error::invalid(format!("frame {t} out of range {n_frames}")));
+    }
+    let j = t / k;
+    let frac = (t % k) as f32 / k as f32;
+    let a = &kept[j.min(kept.len() - 1)];
+    let b = kept.get(j + 1).unwrap_or(a);
+    if a.len() != b.len() {
+        return Err(Error::invalid("kept frames have different sizes"));
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| x + (y - x) * frac).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_roundtrip_on_linear_data_is_exact() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32 * 2.0).collect();
+        let kept = stride_decimate(&data, 4).unwrap();
+        assert_eq!(kept.len(), 25);
+        let rec = stride_reconstruct(&kept, 4, 100).unwrap();
+        // Exact between kept samples; the tail past the last kept sample
+        // is edge-extended (flat), so it is excluded.
+        let covered = (kept.len() - 1) * 4;
+        for i in 0..covered {
+            assert!((data[i] - rec[i]).abs() < 1e-4, "{} vs {}", data[i], rec[i]);
+        }
+        for r in rec.iter().take(100).skip(covered) {
+            assert_eq!(*r, *kept.last().unwrap(), "tail should edge-extend");
+        }
+    }
+
+    #[test]
+    fn stride_loses_high_frequency_content() {
+        // A fast oscillation is destroyed by stride-4 decimation.
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 2.0).sin()).collect();
+        let kept = stride_decimate(&data, 4).unwrap();
+        let rec = stride_reconstruct(&kept, 4, 1000).unwrap();
+        let mse: f64 = data
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / 1000.0;
+        assert!(mse > 0.1, "decimation should hurt oscillatory data, mse={mse}");
+    }
+
+    #[test]
+    fn ratio_accounting() {
+        assert!((stride_ratio(4, 100) - 4.0).abs() < 1e-12);
+        assert!((stride_ratio(3, 10) - 2.5).abs() < 1e-12);
+        assert_eq!(stride_ratio(4, 0), 1.0);
+    }
+
+    #[test]
+    fn snapshot_series_roundtrip() {
+        let frames: Vec<Vec<f32>> =
+            (0..9).map(|t| vec![t as f32, t as f32 * 10.0]).collect();
+        let kept = snapshot_decimate(&frames, 2).unwrap();
+        assert_eq!(kept.len(), 5);
+        // Even frames exact, odd frames interpolated.
+        let f4 = snapshot_reconstruct(&kept, 2, 9, 4).unwrap();
+        assert_eq!(f4, vec![4.0, 40.0]);
+        let f3 = snapshot_reconstruct(&kept, 2, 9, 3).unwrap();
+        assert_eq!(f3, vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(stride_decimate(&[1.0], 0).is_err());
+        assert!(stride_reconstruct(&[1.0], 0, 5).is_err());
+        assert!(stride_reconstruct(&[1.0], 2, 100).is_err());
+        assert!(snapshot_decimate(&[1u8], 0).is_err());
+        let kept = vec![vec![0.0f32]];
+        assert!(snapshot_reconstruct(&kept, 1, 1, 5).is_err());
+    }
+}

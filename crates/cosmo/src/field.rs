@@ -1,0 +1,222 @@
+//! Dataset containers mirroring the paper's Table II.
+//!
+//! HACC snapshots are six 1-D particle arrays (position x/y/z, velocity
+//! vx/vy/vz); Nyx snapshots are six 3-D grids (baryon density, dark matter
+//! density, temperature, velocity x/y/z). Value-range metadata follows
+//! Table II and is validated by the synthesis tests.
+
+use foresight_util::stats::{summarize, Summary};
+
+/// The six HACC fields, in file order.
+pub const HACC_FIELDS: [&str; 6] = ["x", "y", "z", "vx", "vy", "vz"];
+
+/// The six Nyx fields, in file order.
+pub const NYX_FIELDS: [&str; 6] = [
+    "baryon_density",
+    "dark_matter_density",
+    "temperature",
+    "velocity_x",
+    "velocity_y",
+    "velocity_z",
+];
+
+/// Expected value range per Table II (loose containment bounds).
+pub fn expected_range(field: &str) -> Option<(f64, f64)> {
+    match field {
+        "x" | "y" | "z" => Some((0.0, 256.0)),
+        "vx" | "vy" | "vz" => Some((-1e4, 1e4)),
+        "baryon_density" => Some((0.0, 1e5)),
+        "dark_matter_density" => Some((0.0, 1e4)),
+        "temperature" => Some((1e2, 1e7)),
+        "velocity_x" | "velocity_y" | "velocity_z" => Some((-1e8, 1e8)),
+        _ => None,
+    }
+}
+
+/// A HACC-style particle snapshot: six 1-D single-precision arrays.
+#[derive(Debug, Clone, Default)]
+pub struct HaccSnapshot {
+    /// Position arrays in `[0, box_size)`.
+    pub x: Vec<f32>,
+    /// Position arrays.
+    pub y: Vec<f32>,
+    /// Position arrays.
+    pub z: Vec<f32>,
+    /// Velocity arrays in the Table II `(-1e4, 1e4)` range.
+    pub vx: Vec<f32>,
+    /// Velocity arrays.
+    pub vy: Vec<f32>,
+    /// Velocity arrays.
+    pub vz: Vec<f32>,
+    /// Box side length (position units).
+    pub box_size: f64,
+}
+
+impl HaccSnapshot {
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the snapshot holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Named read-only views of the six fields, file order.
+    pub fn fields(&self) -> [(&'static str, &[f32]); 6] {
+        [
+            ("x", &self.x),
+            ("y", &self.y),
+            ("z", &self.z),
+            ("vx", &self.vx),
+            ("vy", &self.vy),
+            ("vz", &self.vz),
+        ]
+    }
+
+    /// Mutable view of a field by name.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut Vec<f32>> {
+        match name {
+            "x" => Some(&mut self.x),
+            "y" => Some(&mut self.y),
+            "z" => Some(&mut self.z),
+            "vx" => Some(&mut self.vx),
+            "vy" => Some(&mut self.vy),
+            "vz" => Some(&mut self.vz),
+            _ => None,
+        }
+    }
+
+    /// Total uncompressed payload in bytes (six f32 arrays).
+    pub fn payload_bytes(&self) -> u64 {
+        self.len() as u64 * 6 * 4
+    }
+
+    /// Per-field summaries, file order.
+    pub fn summaries(&self) -> Vec<(&'static str, Summary)> {
+        self.fields().iter().map(|(n, d)| (*n, summarize(d))).collect()
+    }
+}
+
+/// A Nyx-style grid snapshot: six 3-D single-precision fields on a cube.
+#[derive(Debug, Clone, Default)]
+pub struct NyxSnapshot {
+    /// Grid side length (fields are `n_side^3`, x fastest).
+    pub n_side: usize,
+    /// Physical box side.
+    pub box_size: f64,
+    /// Baryon (gas) density.
+    pub baryon_density: Vec<f32>,
+    /// Dark matter density.
+    pub dark_matter_density: Vec<f32>,
+    /// Gas temperature.
+    pub temperature: Vec<f32>,
+    /// Gas velocity components (cm/s-like range).
+    pub velocity_x: Vec<f32>,
+    /// Gas velocity components.
+    pub velocity_y: Vec<f32>,
+    /// Gas velocity components.
+    pub velocity_z: Vec<f32>,
+}
+
+impl NyxSnapshot {
+    /// Cells per field.
+    pub fn cells(&self) -> usize {
+        self.n_side * self.n_side * self.n_side
+    }
+
+    /// Named read-only views of the six fields, file order.
+    pub fn fields(&self) -> [(&'static str, &[f32]); 6] {
+        [
+            ("baryon_density", &self.baryon_density),
+            ("dark_matter_density", &self.dark_matter_density),
+            ("temperature", &self.temperature),
+            ("velocity_x", &self.velocity_x),
+            ("velocity_y", &self.velocity_y),
+            ("velocity_z", &self.velocity_z),
+        ]
+    }
+
+    /// Mutable view of a field by name.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut Vec<f32>> {
+        match name {
+            "baryon_density" => Some(&mut self.baryon_density),
+            "dark_matter_density" => Some(&mut self.dark_matter_density),
+            "temperature" => Some(&mut self.temperature),
+            "velocity_x" => Some(&mut self.velocity_x),
+            "velocity_y" => Some(&mut self.velocity_y),
+            "velocity_z" => Some(&mut self.velocity_z),
+            _ => None,
+        }
+    }
+
+    /// Total uncompressed payload in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.cells() as u64 * 6 * 4
+    }
+
+    /// Per-field summaries, file order.
+    pub fn summaries(&self) -> Vec<(&'static str, Summary)> {
+        self.fields().iter().map(|(n, d)| (*n, summarize(d))).collect()
+    }
+}
+
+/// Checks a field's values against its Table II range.
+pub fn in_expected_range(field: &str, data: &[f32]) -> bool {
+    match expected_range(field) {
+        Some((lo, hi)) => {
+            let s = summarize(data);
+            s.min >= lo && s.max <= hi
+        }
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_names_and_ranges() {
+        for f in HACC_FIELDS.iter().chain(NYX_FIELDS.iter()) {
+            assert!(expected_range(f).is_some(), "missing range for {f}");
+        }
+        assert!(expected_range("unknown").is_none());
+    }
+
+    #[test]
+    fn hacc_views_and_sizes() {
+        let snap = HaccSnapshot {
+            x: vec![1.0; 10],
+            y: vec![2.0; 10],
+            z: vec![3.0; 10],
+            vx: vec![0.0; 10],
+            vy: vec![0.0; 10],
+            vz: vec![0.0; 10],
+            box_size: 256.0,
+        };
+        assert_eq!(snap.len(), 10);
+        assert_eq!(snap.payload_bytes(), 240);
+        assert_eq!(snap.fields()[0].0, "x");
+        assert_eq!(snap.fields()[5].1[0], 0.0);
+    }
+
+    #[test]
+    fn range_check_works() {
+        assert!(in_expected_range("x", &[0.5, 100.0, 255.9]));
+        assert!(!in_expected_range("x", &[-1.0]));
+        assert!(!in_expected_range("vx", &[2e4]));
+        assert!(in_expected_range("temperature", &[150.0, 9e6]));
+    }
+
+    #[test]
+    fn nyx_field_mut_roundtrip() {
+        let mut snap = NyxSnapshot { n_side: 2, ..Default::default() };
+        snap.baryon_density = vec![1.0; 8];
+        snap.field_mut("baryon_density").unwrap()[0] = 9.0;
+        assert_eq!(snap.baryon_density[0], 9.0);
+        assert!(snap.field_mut("nope").is_none());
+        assert_eq!(snap.cells(), 8);
+    }
+}

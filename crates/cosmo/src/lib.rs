@@ -1,0 +1,24 @@
+//! Cosmology dataset substrate: containers, synthesis, and file formats.
+//!
+//! The paper evaluates on two datasets (Table II): a HACC particle
+//! snapshot (six 1-D arrays in GenericIO format) and a Nyx grid snapshot
+//! (six 3-D fields in HDF5). Neither is redistributable here, so this
+//! crate synthesizes equivalents from the `nbody-sim` substrate (see
+//! DESIGN.md for the substitution argument) and provides:
+//!
+//! - [`field`] — snapshot containers with Table II range metadata;
+//! - [`synth`] — HACC/Nyx generation from a simulated universe;
+//! - [`convert`] — the paper's 1-D <-> 3-D reshaping (§IV-B-4);
+//! - [`gio`] — GIO-lite, a blocked CRC-protected particle format;
+//! - [`h5lite`] — H5-lite, a chunked hierarchical grid format.
+
+pub mod convert;
+pub mod decimate;
+pub mod field;
+pub mod gio;
+pub mod ranks;
+pub mod h5lite;
+pub mod synth;
+
+pub use field::{expected_range, in_expected_range, HaccSnapshot, NyxSnapshot, HACC_FIELDS, NYX_FIELDS};
+pub use synth::{generate_hacc, generate_nyx, SynthOptions};

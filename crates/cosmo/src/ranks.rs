@@ -1,0 +1,216 @@
+//! MPI-rank decomposition of particle snapshots.
+//!
+//! The paper's HACC dataset "runs with 8x8x4 MPI processes, and each MPI
+//! process saves its own portion of the dataset, leading to 8x8x4 data
+//! partitions" (§IV-B-4) — the very structure that motivates the 1-D→3-D
+//! conversion. This module reproduces it: spatial domain decomposition of
+//! a snapshot into per-rank sub-boxes, per-rank GIO-lite files, and the
+//! merge that reads them back.
+
+use crate::field::HaccSnapshot;
+use crate::gio::GioFile;
+use foresight_util::{Error, Result};
+use std::path::Path;
+
+/// A rank grid `(rx, ry, rz)`; the paper's layout is `(8, 8, 4)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankGrid {
+    /// Ranks along x.
+    pub rx: usize,
+    /// Ranks along y.
+    pub ry: usize,
+    /// Ranks along z.
+    pub rz: usize,
+}
+
+impl RankGrid {
+    /// Creates a rank grid; all extents must be positive.
+    pub fn new(rx: usize, ry: usize, rz: usize) -> Result<Self> {
+        if rx == 0 || ry == 0 || rz == 0 {
+            return Err(Error::invalid("rank grid extents must be positive"));
+        }
+        Ok(Self { rx, ry, rz })
+    }
+
+    /// The paper's 8x8x4 layout.
+    pub fn paper() -> Self {
+        Self { rx: 8, ry: 8, rz: 4 }
+    }
+
+    /// Total rank count.
+    pub fn len(&self) -> usize {
+        self.rx * self.ry * self.rz
+    }
+
+    /// True when the grid is degenerate (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rank id of a position in `[0, box)^3`.
+    pub fn rank_of(&self, x: f32, y: f32, z: f32, box_size: f64) -> usize {
+        let cell = |v: f32, n: usize| -> usize {
+            let t = (v as f64 / box_size).clamp(0.0, 1.0 - 1e-12);
+            (t * n as f64) as usize
+        };
+        cell(x, self.rx) + self.rx * (cell(y, self.ry) + self.ry * cell(z, self.rz))
+    }
+}
+
+/// Splits a snapshot into per-rank snapshots by particle position.
+///
+/// Every particle lands in exactly one rank; empty ranks are kept (they
+/// occur in the real decomposition too when the density is uneven).
+pub fn decompose(snap: &HaccSnapshot, grid: RankGrid) -> Vec<HaccSnapshot> {
+    let mut ranks: Vec<HaccSnapshot> = (0..grid.len())
+        .map(|_| HaccSnapshot { box_size: snap.box_size, ..Default::default() })
+        .collect();
+    for i in 0..snap.len() {
+        let r = grid.rank_of(snap.x[i], snap.y[i], snap.z[i], snap.box_size);
+        let dst = &mut ranks[r];
+        dst.x.push(snap.x[i]);
+        dst.y.push(snap.y[i]);
+        dst.z.push(snap.z[i]);
+        dst.vx.push(snap.vx[i]);
+        dst.vy.push(snap.vy[i]);
+        dst.vz.push(snap.vz[i]);
+    }
+    ranks
+}
+
+/// Merges per-rank snapshots back into one (rank order, as GenericIO
+/// readers produce).
+pub fn merge(ranks: &[HaccSnapshot]) -> Result<HaccSnapshot> {
+    let Some(first) = ranks.first() else {
+        return Err(Error::invalid("no ranks to merge"));
+    };
+    let mut out = HaccSnapshot { box_size: first.box_size, ..Default::default() };
+    for r in ranks {
+        if (r.box_size - first.box_size).abs() > 1e-9 {
+            return Err(Error::invalid("ranks disagree on box size"));
+        }
+        out.x.extend_from_slice(&r.x);
+        out.y.extend_from_slice(&r.y);
+        out.z.extend_from_slice(&r.z);
+        out.vx.extend_from_slice(&r.vx);
+        out.vy.extend_from_slice(&r.vy);
+        out.vz.extend_from_slice(&r.vz);
+    }
+    Ok(out)
+}
+
+/// Writes per-rank GIO-lite files `rank_<id>.gio` under `dir`.
+pub fn write_ranks(ranks: &[HaccSnapshot], dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (i, snap) in ranks.iter().enumerate() {
+        let mut f = GioFile::new();
+        for (name, data) in snap.fields() {
+            f.push_field(name, data.to_vec())?;
+        }
+        f.write(dir.join(format!("rank_{i}.gio")))?;
+    }
+    Ok(())
+}
+
+/// Reads `n_ranks` per-rank files written by [`write_ranks`].
+pub fn read_ranks(dir: impl AsRef<Path>, n_ranks: usize, box_size: f64) -> Result<Vec<HaccSnapshot>> {
+    let dir = dir.as_ref();
+    let mut out = Vec::with_capacity(n_ranks);
+    for i in 0..n_ranks {
+        let snap = crate::gio::read_hacc(dir.join(format!("rank_{i}.gio")), box_size)?;
+        out.push(snap);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, box_size: f64) -> HaccSnapshot {
+        let mut s = HaccSnapshot { box_size, ..Default::default() };
+        for i in 0..n {
+            let t = i as f32;
+            s.x.push((t * 37.1).rem_euclid(box_size as f32));
+            s.y.push((t * 17.7).rem_euclid(box_size as f32));
+            s.z.push((t * 53.3).rem_euclid(box_size as f32));
+            s.vx.push((t * 0.1).sin() * 100.0);
+            s.vy.push((t * 0.2).cos() * 100.0);
+            s.vz.push(t);
+        }
+        s
+    }
+
+    #[test]
+    fn decompose_partitions_all_particles() {
+        let snap = sample(1000, 256.0);
+        let grid = RankGrid::new(2, 2, 1).unwrap();
+        let ranks = decompose(&snap, grid);
+        assert_eq!(ranks.len(), 4);
+        let total: usize = ranks.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 1000);
+        // Rank-local positions stay in their sub-box.
+        for (ri, r) in ranks.iter().enumerate() {
+            for i in 0..r.len() {
+                assert_eq!(
+                    grid.rank_of(r.x[i], r.y[i], r.z[i], 256.0),
+                    ri,
+                    "particle assigned to wrong rank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_restores_multiset() {
+        let snap = sample(500, 256.0);
+        let grid = RankGrid::paper();
+        assert_eq!(grid.len(), 256);
+        let ranks = decompose(&snap, grid);
+        let merged = merge(&ranks).unwrap();
+        assert_eq!(merged.len(), snap.len());
+        // Order changes (rank-major), but the (z, vz) multiset survives —
+        // vz was a unique per-particle tag in `sample`.
+        let mut orig: Vec<u32> = snap.vz.iter().map(|v| v.to_bits()).collect();
+        let mut back: Vec<u32> = merged.vz.iter().map(|v| v.to_bits()).collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = sample(300, 256.0);
+        let grid = RankGrid::new(2, 1, 2).unwrap();
+        let ranks = decompose(&snap, grid);
+        let dir =
+            std::env::temp_dir().join(format!("ranks_test_{}", std::process::id()));
+        write_ranks(&ranks, &dir).unwrap();
+        let back = read_ranks(&dir, grid.len(), 256.0).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back.len(), ranks.len());
+        for (a, b) in ranks.iter().zip(&back) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.vz, b.vz);
+        }
+    }
+
+    #[test]
+    fn rank_of_boundaries() {
+        let grid = RankGrid::new(8, 8, 4).unwrap();
+        assert_eq!(grid.rank_of(0.0, 0.0, 0.0, 256.0), 0);
+        // The far corner maps to the last rank, not out of range.
+        assert_eq!(grid.rank_of(256.0, 256.0, 256.0, 256.0), grid.len() - 1);
+        assert_eq!(grid.rank_of(255.9999, 255.9999, 255.9999, 256.0), grid.len() - 1);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(RankGrid::new(0, 1, 1).is_err());
+        assert!(merge(&[]).is_err());
+        let a = HaccSnapshot { box_size: 100.0, ..Default::default() };
+        let b = HaccSnapshot { box_size: 200.0, ..Default::default() };
+        assert!(merge(&[a, b]).is_err());
+    }
+}

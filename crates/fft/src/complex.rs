@@ -1,0 +1,155 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! Only the operations the FFT and the spectral solvers need; no attempt at
+//! full `num-complex` parity.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i*im` in `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + i*im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a real-valued complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.0, 0.5);
+        assert!(close(a + b - b, a));
+        assert!(close(a * Complex::ONE, a));
+        assert!(close(a * b, b * a));
+        assert!(close(-a + a, Complex::ZERO));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Complex::real(25.0)));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let i = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(close(i, Complex::new(6.123233995736766e-17, 1.0)) || i.im == 1.0);
+        let m1 = Complex::cis(std::f64::consts::PI);
+        assert!((m1.re + 1.0).abs() < 1e-12 && m1.im.abs() < 1e-12);
+    }
+}

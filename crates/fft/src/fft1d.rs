@@ -1,0 +1,217 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The transform is unnormalized in the forward direction and applies the
+//! `1/n` factor on the inverse, so `inverse(forward(x)) == x`. A [`Fft`]
+//! planner caches the bit-reversal permutation and twiddle factors for a
+//! fixed power-of-two size; the free function [`fft_in_place`] builds a
+//! throwaway plan for one-off use.
+
+use crate::complex::Complex;
+use foresight_util::{Error, Result};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = sum_n x_n e^{-2 pi i k n / N}` (no normalization).
+    Forward,
+    /// `x_n = (1/N) sum_k X_k e^{+2 pi i k n / N}`.
+    Inverse,
+}
+
+/// A cached FFT plan for a fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+    /// Forward twiddles for each butterfly stage, flattened stage-major:
+    /// stage `s` (half-size `m = 2^s`) stores `m` twiddles.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Builds a plan for length `n` (must be a power of two, `n >= 1`).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(Error::invalid(format!("FFT length {n} is not a power of two")));
+        }
+        let log2n = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 0..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n.max(1) - 1));
+        }
+        if log2n == 0 {
+            rev[0] = 0;
+        }
+        // Twiddles: for each stage with half-width m, w_j = e^{-i pi j / m}.
+        let mut twiddles = Vec::new();
+        let mut m = 1;
+        while m < n {
+            for j in 0..m {
+                twiddles.push(Complex::cis(-std::f64::consts::PI * j as f64 / m as f64));
+            }
+            m *= 2;
+        }
+        Ok(Self { n, rev, twiddles })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Transforms `data` in place; `data.len()` must equal the plan length.
+    pub fn process(&self, data: &mut [Complex], dir: Direction) -> Result<()> {
+        if data.len() != self.n {
+            return Err(Error::invalid(format!(
+                "buffer length {} does not match plan length {}",
+                data.len(),
+                self.n
+            )));
+        }
+        let n = self.n;
+        if n <= 1 {
+            return Ok(());
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly stages with cached twiddles.
+        let mut m = 1;
+        let mut toff = 0;
+        while m < n {
+            let tw = &self.twiddles[toff..toff + m];
+            let step = 2 * m;
+            let mut k = 0;
+            while k < n {
+                for j in 0..m {
+                    let w = match dir {
+                        Direction::Forward => tw[j],
+                        Direction::Inverse => tw[j].conj(),
+                    };
+                    let t = w * data[k + j + m];
+                    let u = data[k + j];
+                    data[k + j] = u + t;
+                    data[k + j + m] = u - t;
+                }
+                k += step;
+            }
+            toff += m;
+            m = step;
+        }
+        if dir == Direction::Inverse {
+            let inv_n = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(inv_n);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One-shot in-place FFT of a power-of-two-length buffer.
+pub fn fft_in_place(data: &mut [Complex], dir: Direction) -> Result<()> {
+    Fft::new(data.len())?.process(data, dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Fft::new(0).is_err());
+        assert!(Fft::new(3).is_err());
+        assert!(Fft::new(12).is_err());
+        assert!(Fft::new(8).is_ok());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 1.1).cos()))
+                .collect();
+            let mut y = x.clone();
+            fft_in_place(&mut y, Direction::Forward).unwrap();
+            assert_close(&y, &naive_dft(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_identity() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i * i % 17) as f64 - 8.0, (i % 5) as f64))
+            .collect();
+        let mut y = x.clone();
+        let plan = Fft::new(n).unwrap();
+        plan.process(&mut y, Direction::Forward).unwrap();
+        plan.process(&mut y, Direction::Inverse).unwrap();
+        assert_close(&y, &x, 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 32;
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::ONE;
+        fft_in_place(&mut x, Direction::Forward).unwrap();
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_frequency_bin() {
+        // x_n = e^{2 pi i 3 n / N} should put all energy in bin 3.
+        let n = 64;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64))
+            .collect();
+        fft_in_place(&mut x, Direction::Forward).unwrap();
+        for (k, v) in x.iter().enumerate() {
+            let expect = if k == 3 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "bin {k}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn mismatched_buffer_errors() {
+        let plan = Fft::new(8).unwrap();
+        let mut buf = vec![Complex::ZERO; 4];
+        assert!(plan.process(&mut buf, Direction::Forward).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! 3-D transforms built from 1-D line transforms.
+//!
+//! Lines along x are contiguous and transform via `par_chunks_mut`. Lines
+//! along y and z are strided; they are processed in parallel through a raw
+//! pointer wrapper — distinct lines never alias, which makes the unsafe
+//! parallel scatter sound (see the SAFETY comments).
+
+use crate::complex::Complex;
+use crate::fft1d::{Direction, Fft};
+use crate::grid::Grid3;
+use foresight_util::{Error, Result};
+use rayon::prelude::*;
+
+/// Pointer wrapper that lets rayon workers write disjoint strided lines.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex);
+// SAFETY: every parallel task derived from a `SendPtr` touches a disjoint
+// set of indices (one grid line), so concurrent access never aliases.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Transforms every line along one axis.
+fn transform_axis(data: &mut [Complex], grid: Grid3, axis: usize, dir: Direction) -> Result<()> {
+    let (n, stride, lines): (usize, usize, Vec<usize>) = match axis {
+        0 => {
+            // Contiguous: handled with safe chunking below.
+            let plan = Fft::new(grid.nx)?;
+            data.par_chunks_mut(grid.nx)
+                .try_for_each(|line| plan.process(line, dir))?;
+            return Ok(());
+        }
+        1 => {
+            let mut starts = Vec::with_capacity(grid.nx * grid.nz);
+            for z in 0..grid.nz {
+                for x in 0..grid.nx {
+                    starts.push(grid.index(x, 0, z));
+                }
+            }
+            (grid.ny, grid.nx, starts)
+        }
+        2 => {
+            let mut starts = Vec::with_capacity(grid.nx * grid.ny);
+            for y in 0..grid.ny {
+                for x in 0..grid.nx {
+                    starts.push(grid.index(x, y, 0));
+                }
+            }
+            (grid.nz, grid.nx * grid.ny, starts)
+        }
+        _ => return Err(Error::invalid("axis must be 0, 1, or 2")),
+    };
+    let plan = Fft::new(n)?;
+    let ptr = SendPtr(data.as_mut_ptr());
+    lines.par_iter().try_for_each_init(
+        || vec![Complex::ZERO; n],
+        |scratch, &start| -> Result<()> {
+            let p = ptr;
+            // SAFETY: lines with distinct `start` values index disjoint cells
+            // (start enumerates all (x,z) or (x,y) combinations once; the
+            // line then varies only the remaining coordinate).
+            unsafe {
+                for (j, s) in scratch.iter_mut().enumerate() {
+                    *s = *p.0.add(start + j * stride);
+                }
+                plan.process(scratch, dir)?;
+                for (j, s) in scratch.iter().enumerate() {
+                    *p.0.add(start + j * stride) = *s;
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Validates that `grid` matches `len` and is FFT-compatible.
+fn check(grid: Grid3, len: usize) -> Result<()> {
+    if grid.len() != len {
+        return Err(Error::invalid(format!(
+            "grid {grid:?} has {} cells but buffer holds {len}",
+            grid.len()
+        )));
+    }
+    if !grid.is_pow2() {
+        return Err(Error::invalid(format!("grid {grid:?} extents must be powers of two")));
+    }
+    Ok(())
+}
+
+/// Forward 3-D FFT of a real field; returns the full complex cube.
+pub fn fft3_forward(field: &[f64], grid: Grid3) -> Result<Vec<Complex>> {
+    check(grid, field.len())?;
+    let mut data: Vec<Complex> = field.iter().map(|&v| Complex::real(v)).collect();
+    fft3_in_place(&mut data, grid, Direction::Forward)?;
+    Ok(data)
+}
+
+/// In-place 3-D FFT of a complex cube.
+pub fn fft3_in_place(data: &mut [Complex], grid: Grid3, dir: Direction) -> Result<()> {
+    check(grid, data.len())?;
+    transform_axis(data, grid, 0, dir)?;
+    transform_axis(data, grid, 1, dir)?;
+    transform_axis(data, grid, 2, dir)?;
+    Ok(())
+}
+
+/// Inverse 3-D FFT returning the complex cube.
+pub fn fft3_inverse(spectrum: &[Complex], grid: Grid3) -> Result<Vec<Complex>> {
+    check(grid, spectrum.len())?;
+    let mut data = spectrum.to_vec();
+    fft3_in_place(&mut data, grid, Direction::Inverse)?;
+    Ok(data)
+}
+
+/// Inverse 3-D FFT of a spectrum known to come from a real field; returns
+/// the real parts (imaginary residue is numerical noise).
+pub fn fft3_inverse_real(spectrum: &[Complex], grid: Grid3) -> Result<Vec<f64>> {
+    Ok(fft3_inverse(spectrum, grid)?.into_iter().map(|c| c.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_real_field() {
+        let grid = Grid3::cube(8);
+        let field: Vec<f64> = (0..grid.len()).map(|i| ((i * 7919) % 101) as f64 - 50.0).collect();
+        let spec = fft3_forward(&field, grid).unwrap();
+        let back = fft3_inverse_real(&spec, grid).unwrap();
+        for (a, b) in field.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let grid = Grid3::new(4, 8, 2);
+        let field: Vec<f64> = (0..grid.len()).map(|i| i as f64).collect();
+        let spec = fft3_forward(&field, grid).unwrap();
+        let sum: f64 = field.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn plane_wave_lands_in_single_bin() {
+        let grid = Grid3::cube(8);
+        let mut field = vec![0.0f64; grid.len()];
+        // cos wave along y with frequency 2.
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    field[grid.index(x, y, z)] =
+                        (2.0 * std::f64::consts::PI * 2.0 * y as f64 / 8.0).cos();
+                }
+            }
+        }
+        let spec = fft3_forward(&field, grid).unwrap();
+        let expected = grid.len() as f64 / 2.0; // split between +2 and -2 bins
+        let hit1 = grid.index(0, 2, 0);
+        let hit2 = grid.index(0, 6, 0);
+        assert!((spec[hit1].re - expected).abs() < 1e-9);
+        assert!((spec[hit2].re - expected).abs() < 1e-9);
+        for (i, c) in spec.iter().enumerate() {
+            if i != hit1 && i != hit2 {
+                assert!(c.abs() < 1e-8, "leakage at {i}: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_symmetry_for_real_input() {
+        let grid = Grid3::cube(4);
+        let field: Vec<f64> = (0..grid.len()).map(|i| ((i * 31) % 13) as f64).collect();
+        let spec = fft3_forward(&field, grid).unwrap();
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let a = spec[grid.index(x, y, z)];
+                    let b = spec[grid.index((4 - x) % 4, (4 - y) % 4, (4 - z) % 4)];
+                    assert!((a.re - b.re).abs() < 1e-9);
+                    assert!((a.im + b.im).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_grid() {
+        assert!(fft3_forward(&[0.0; 27], Grid3::cube(3)).is_err());
+        assert!(fft3_forward(&[0.0; 10], Grid3::cube(4)).is_err());
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let grid = Grid3::cube(8);
+        let field: Vec<f64> =
+            (0..grid.len()).map(|i| ((i as f64 * 0.7).sin() * 3.0) + 0.1).collect();
+        let spec = fft3_forward(&field, grid).unwrap();
+        let time_energy: f64 = field.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / grid.len() as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Periodic 3-D grid bookkeeping: linear indexing and wavenumbers.
+//!
+//! Layout convention across the workspace: **x fastest**, i.e.
+//! `index = x + nx*(y + ny*z)`. Wavenumber helpers map FFT bin indices to
+//! signed frequencies and physical comoving wavenumbers for a box of side
+//! `L`, which is what the power-spectrum analysis bins over.
+
+/// Dimensions of a 3-D grid (often cubic, never zero-sized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Extent along x (fastest-varying).
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z (slowest-varying).
+    pub nz: usize,
+}
+
+impl Grid3 {
+    /// Creates a grid; panics on zero extents.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive");
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic grid of side `n`.
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True if the grid has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Inverse of [`Grid3::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let x = idx % self.nx;
+        let y = (idx / self.nx) % self.ny;
+        let z = idx / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Signed FFT frequency of bin `i` on an axis of length `n`:
+    /// `0, 1, ..., n/2, -(n/2-1), ..., -1`.
+    #[inline]
+    pub fn freq(i: usize, n: usize) -> i64 {
+        if i <= n / 2 {
+            i as i64
+        } else {
+            i as i64 - n as i64
+        }
+    }
+
+    /// Physical wavenumber components `2*pi*freq/L` of bin `(ix, iy, iz)`
+    /// in a periodic box of side `box_len`.
+    pub fn wavenumber(&self, ix: usize, iy: usize, iz: usize, box_len: f64) -> (f64, f64, f64) {
+        let f = 2.0 * std::f64::consts::PI / box_len;
+        (
+            f * Self::freq(ix, self.nx) as f64,
+            f * Self::freq(iy, self.ny) as f64,
+            f * Self::freq(iz, self.nz) as f64,
+        )
+    }
+
+    /// True when all extents are powers of two (FFT-compatible).
+    pub fn is_pow2(&self) -> bool {
+        self.nx.is_power_of_two() && self.ny.is_power_of_two() && self.nz.is_power_of_two()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid3::new(4, 6, 8);
+        assert_eq!(g.len(), 192);
+        for idx in 0..g.len() {
+            let (x, y, z) = g.coords(idx);
+            assert_eq!(g.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest() {
+        let g = Grid3::new(8, 8, 8);
+        assert_eq!(g.index(1, 0, 0), 1);
+        assert_eq!(g.index(0, 1, 0), 8);
+        assert_eq!(g.index(0, 0, 1), 64);
+    }
+
+    #[test]
+    fn freq_mapping() {
+        assert_eq!(Grid3::freq(0, 8), 0);
+        assert_eq!(Grid3::freq(4, 8), 4);
+        assert_eq!(Grid3::freq(5, 8), -3);
+        assert_eq!(Grid3::freq(7, 8), -1);
+    }
+
+    #[test]
+    fn wavenumber_scaling() {
+        let g = Grid3::cube(8);
+        let (kx, ky, kz) = g.wavenumber(1, 0, 7, 2.0 * std::f64::consts::PI);
+        assert!((kx - 1.0).abs() < 1e-12);
+        assert_eq!(ky, 0.0);
+        assert!((kz + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow2_detection() {
+        assert!(Grid3::cube(64).is_pow2());
+        assert!(!Grid3::new(64, 48, 64).is_pow2());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        Grid3::new(0, 4, 4);
+    }
+}

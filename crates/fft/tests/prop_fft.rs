@@ -1,0 +1,72 @@
+//! Property tests: FFT algebraic identities on random inputs.
+
+use cosmo_fft::{fft3_forward, fft3_inverse_real, fft_in_place, Complex, Direction, Grid3};
+use proptest::prelude::*;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    /// inverse(forward(x)) == x for random complex signals.
+    #[test]
+    fn roundtrip_1d(log2n in 0u32..9, seed_idx in 0usize..4) {
+        let n = 1usize << log2n;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = (i + seed_idx * 131) as f64;
+                Complex::new((t * 0.713).sin() * 1e3, (t * 1.37).cos() * 1e2)
+            })
+            .collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y, Direction::Forward).unwrap();
+        fft_in_place(&mut y, Direction::Inverse).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    /// Linearity: F(a*x + y) == a*F(x) + F(y).
+    #[test]
+    fn linearity(x in complex_vec(64), y in complex_vec(64), a in -10.0f64..10.0) {
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        fft_in_place(&mut fx, Direction::Forward).unwrap();
+        fft_in_place(&mut fy, Direction::Forward).unwrap();
+        let mut combo: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(&xi, &yi)| xi.scale(a) + yi)
+            .collect();
+        fft_in_place(&mut combo, Direction::Forward).unwrap();
+        for i in 0..64 {
+            let expect = fx[i].scale(a) + fy[i];
+            prop_assert!((combo[i].re - expect.re).abs() < 1e-3);
+            prop_assert!((combo[i].im - expect.im).abs() < 1e-3);
+        }
+    }
+
+    /// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+    #[test]
+    fn parseval_1d(x in complex_vec(128)) {
+        let time: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let mut fx = x;
+        fft_in_place(&mut fx, Direction::Forward).unwrap();
+        let freq: f64 = fx.iter().map(|c| c.norm_sqr()).sum::<f64>() / 128.0;
+        let scale = time.abs().max(1.0);
+        prop_assert!((time - freq).abs() / scale < 1e-9);
+    }
+
+    /// 3-D roundtrip on real fields.
+    #[test]
+    fn roundtrip_3d(vals in prop::collection::vec(-1e5f64..1e5, 64..=64)) {
+        let grid = Grid3::cube(4);
+        let spec = fft3_forward(&vals, grid).unwrap();
+        let back = fft3_inverse_real(&spec, grid).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

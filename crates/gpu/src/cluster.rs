@@ -1,0 +1,190 @@
+//! Node- and cluster-level projections.
+//!
+//! Two of the paper's headline numbers live above single-GPU scope:
+//!
+//! - the introduction's storage math — a 1-trillion-particle HACC run
+//!   emits ~220 TB/snapshot, 22 PB over 100 snapshots, and >10 hours of
+//!   I/O at a sustained 500 GB/s;
+//! - §V-C's claim that with six V100s per Summit node, cuZFP cuts the
+//!   compression overhead of a 2.5 TB snapshot (10 s timestep, 1024
+//!   nodes) from >10% of runtime (multicore CPU SZ at ~2 TB/s aggregate)
+//!   to under 0.3%.
+//!
+//! [`ClusterSim`] models exactly those quantities from the same
+//! ingredients the paper uses: per-unit throughput x unit count, plus the
+//! filesystem bandwidth for the I/O leg.
+
+use crate::cost::{kernel_time, KernelKind};
+use crate::device::PcieLink;
+use crate::specs::{CpuSpec, GpuSpec};
+
+/// One compute node.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// The GPU model.
+    pub gpu: GpuSpec,
+    /// The host CPU.
+    pub cpu: CpuSpec,
+    /// Host link shared semantics are ignored; each GPU gets its own link
+    /// (true for Summit's NVLink-attached V100s; conservative for PCIe).
+    pub link: PcieLink,
+}
+
+impl NodeSpec {
+    /// A Summit-like node: six Tesla V100s + beefy host CPUs.
+    pub fn summit() -> Self {
+        Self {
+            gpus_per_node: 6,
+            gpu: GpuSpec::tesla_v100(),
+            cpu: CpuSpec::xeon_gold_6148(),
+            link: PcieLink::gen3_x16(),
+        }
+    }
+}
+
+/// A cluster of identical nodes plus a parallel filesystem.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    /// Node count.
+    pub nodes: usize,
+    /// Node description.
+    pub node: NodeSpec,
+    /// Sustained aggregate filesystem bandwidth in GB/s (the paper's
+    /// figure for the scenario is 500 GB/s).
+    pub storage_bw_gbs: f64,
+}
+
+impl ClusterSim {
+    /// The paper's Summit scenario: 1024 nodes, 500 GB/s filesystem.
+    pub fn summit_1024() -> Self {
+        Self { nodes: 1024, node: NodeSpec::summit(), storage_bw_gbs: 500.0 }
+    }
+
+    /// Aggregate GPU compression throughput (GB/s of uncompressed data,
+    /// including each GPU's host-transfer leg for the compressed stream).
+    pub fn gpu_compression_throughput_gbs(
+        &self,
+        kind: KernelKind,
+        bits_per_value: f64,
+    ) -> f64 {
+        // Per-GPU: kernel time for a representative large buffer plus the
+        // compressed-bytes transfer.
+        let n: u64 = 128 * 1024 * 1024; // 512 MB of f32 per kernel call
+        let kernel = kernel_time(&self.node.gpu, kind, n, bits_per_value);
+        let comp_bytes = (n as f64 * bits_per_value / 8.0) as u64;
+        let transfer = self.node.link.transfer_time(comp_bytes);
+        let per_gpu = (n as f64 * 4.0) / 1e9 / (kernel + transfer);
+        per_gpu * (self.node.gpus_per_node * self.nodes) as f64
+    }
+
+    /// Aggregate CPU compression throughput (GB/s), scaled from a
+    /// measured-or-known per-node figure.
+    pub fn cpu_compression_throughput_gbs(&self, per_node_gbs: f64) -> f64 {
+        per_node_gbs * self.nodes as f64
+    }
+
+    /// Seconds to compress one snapshot of `snapshot_bytes` at the given
+    /// aggregate throughput.
+    pub fn compression_seconds(&self, snapshot_bytes: u64, aggregate_gbs: f64) -> f64 {
+        snapshot_bytes as f64 / 1e9 / aggregate_gbs
+    }
+
+    /// Seconds to write `bytes` to the filesystem.
+    pub fn io_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1e9 / self.storage_bw_gbs
+    }
+
+    /// Fraction of a timestep spent compressing.
+    pub fn overhead_fraction(
+        &self,
+        snapshot_bytes: u64,
+        aggregate_gbs: f64,
+        timestep_seconds: f64,
+    ) -> f64 {
+        self.compression_seconds(snapshot_bytes, aggregate_gbs) / timestep_seconds
+    }
+}
+
+/// The introduction's storage scenario in one struct.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotScenario {
+    /// Bytes per snapshot (intro: 220 TB for the trillion-particle run).
+    pub snapshot_bytes: u64,
+    /// Snapshots over the campaign (intro: 100).
+    pub snapshots: u32,
+}
+
+impl SnapshotScenario {
+    /// The intro's trillion-particle HACC numbers.
+    pub fn hacc_trillion() -> Self {
+        Self { snapshot_bytes: 220_000_000_000_000, snapshots: 100 }
+    }
+
+    /// Total campaign bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.snapshot_bytes * self.snapshots as u64
+    }
+
+    /// Campaign I/O hours at `bw_gbs`, optionally divided by a
+    /// compression ratio.
+    pub fn io_hours(&self, bw_gbs: f64, compression_ratio: f64) -> f64 {
+        self.total_bytes() as f64 / compression_ratio / 1e9 / bw_gbs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intro_io_math_reproduces() {
+        // 22 PB at 500 GB/s: the paper says "would exceed 10 hours".
+        let sc = SnapshotScenario::hacc_trillion();
+        assert_eq!(sc.total_bytes(), 22_000_000_000_000_000);
+        let hours = sc.io_hours(500.0, 1.0);
+        assert!(hours > 10.0, "paper: >10 hours, got {hours:.1}");
+        // A 10x lossy ratio brings it close to one hour.
+        let compressed = sc.io_hours(500.0, 10.0);
+        assert!(compressed < 1.5, "got {compressed:.2}");
+    }
+
+    #[test]
+    fn summit_overhead_claim_reproduces() {
+        // 2.5 TB snapshot every 10 s on 1024 nodes. CPU SZ at ~2 TB/s
+        // aggregate -> >10% overhead; six V100s/node with cuZFP -> <0.3%.
+        let cluster = ClusterSim::summit_1024();
+        let snapshot = 2_500_000_000_000u64;
+        let cpu_aggregate = cluster.cpu_compression_throughput_gbs(2.0); // ~2 GB/s/node
+        let cpu_overhead = cluster.overhead_fraction(snapshot, cpu_aggregate, 10.0);
+        assert!(cpu_overhead > 0.10, "paper: >10%, got {:.1}%", cpu_overhead * 100.0);
+        let gpu_aggregate =
+            cluster.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        let gpu_overhead = cluster.overhead_fraction(snapshot, gpu_aggregate, 10.0);
+        assert!(gpu_overhead < 0.003, "paper: <0.3%, got {:.3}%", gpu_overhead * 100.0);
+        // And the improvement factor is in the paper's "1/40" ballpark.
+        let factor = cpu_overhead / gpu_overhead;
+        assert!(factor > 20.0, "improvement factor {factor:.0}");
+    }
+
+    #[test]
+    fn throughput_scales_with_nodes_and_gpus() {
+        let mut c = ClusterSim::summit_1024();
+        let base = c.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        c.nodes = 2048;
+        let doubled = c.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        assert!((doubled / base - 2.0).abs() < 1e-9);
+        c.nodes = 1024;
+        c.node.gpus_per_node = 3;
+        let halved = c.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        assert!((halved / base - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_time_shrinks_by_the_ratio() {
+        let c = ClusterSim::summit_1024();
+        let raw = c.io_seconds(2_500_000_000_000);
+        assert!((raw - 5.0).abs() < 1e-9, "2.5 TB at 500 GB/s = 5 s");
+    }
+}

@@ -1,0 +1,309 @@
+//! Simulated GPU device: memory accounting, PCIe transfers, kernel
+//! launches, and a phase timeline.
+//!
+//! The device executes *real work* (kernel closures run on the host, e.g.
+//! the actual ZFP/SZ codecs) while a simulated clock charges each phase
+//! according to the hardware model: PCIe time per memcpy, the analytic
+//! kernel cost, and fixed malloc/free latencies. The timeline reproduces
+//! the paper's Fig. 7 breakdowns.
+
+use crate::cost::{kernel_time, FixedCosts, KernelKind};
+use crate::specs::GpuSpec;
+use foresight_util::{Error, Result};
+
+/// PCIe link model; all the paper's GPUs sit on 16-lane PCIe 3.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    /// Effective sustained bandwidth in GB/s (theoretical 16, ~12 real).
+    pub bandwidth_gbs: f64,
+    /// Per-transfer latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Default for PcieLink {
+    fn default() -> Self {
+        Self::gen3_x16()
+    }
+}
+
+impl PcieLink {
+    /// 16-lane PCIe 3.0 (the paper's interconnect).
+    pub fn gen3_x16() -> Self {
+        Self { bandwidth_gbs: 12.0, latency_s: 1e-5 }
+    }
+
+    /// NVLink 2.0-ish (the faster interconnect the paper's outlook cites).
+    pub fn nvlink2() -> Self {
+        Self { bandwidth_gbs: 70.0, latency_s: 5e-6 }
+    }
+
+    /// Transfer time for `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+/// Phase labels for the timeline (paper Fig. 7 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Parameter upload + device allocation.
+    Init,
+    /// Kernel execution.
+    Kernel,
+    /// Host-to-device or device-to-host copy.
+    Memcpy,
+    /// Device deallocation.
+    Free,
+}
+
+impl Phase {
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Kernel => "kernel",
+            Phase::Memcpy => "memcpy",
+            Phase::Free => "free",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Phase category.
+    pub phase: Phase,
+    /// Human-readable label ("h2d", "zfp_compress", ...).
+    pub label: String,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+}
+
+/// Handle to a simulated device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferId(usize);
+
+/// A simulated GPU.
+#[derive(Debug)]
+pub struct Device {
+    /// Hardware spec driving the timing model.
+    pub spec: GpuSpec,
+    /// Host link.
+    pub link: PcieLink,
+    fixed: FixedCosts,
+    buffers: Vec<Option<u64>>, // byte sizes of live allocations
+    allocated: u64,
+    clock: f64,
+    timeline: Vec<Event>,
+}
+
+impl Device {
+    /// Creates a device with the default PCIe 3.0 x16 link.
+    pub fn new(spec: GpuSpec) -> Self {
+        Self {
+            spec,
+            link: PcieLink::default(),
+            fixed: FixedCosts::default(),
+            buffers: Vec::new(),
+            allocated: 0,
+            clock: 0.0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Replaces the host link (e.g. NVLink what-if runs).
+    pub fn with_link(mut self, link: PcieLink) -> Self {
+        self.link = link;
+        self
+    }
+
+    fn record(&mut self, phase: Phase, label: impl Into<String>, seconds: f64) {
+        self.clock += seconds;
+        self.timeline.push(Event { phase, label: label.into(), seconds });
+    }
+
+    /// Allocates `bytes` of device memory (charged as `Init`).
+    pub fn malloc(&mut self, bytes: u64, label: &str) -> Result<BufferId> {
+        if self.allocated + bytes > self.spec.memory_bytes() {
+            return Err(Error::ResourceExhausted(format!(
+                "device OOM: {} + {} exceeds {} ({})",
+                self.allocated,
+                bytes,
+                self.spec.memory_bytes(),
+                self.spec.name
+            )));
+        }
+        self.allocated += bytes;
+        self.buffers.push(Some(bytes));
+        self.record(Phase::Init, format!("malloc:{label}"), self.fixed.init_s);
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Frees a buffer (charged as `Free`); double-free is an error.
+    pub fn free(&mut self, id: BufferId) -> Result<()> {
+        let slot = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or_else(|| Error::invalid("unknown buffer id"))?;
+        let bytes = slot.take().ok_or_else(|| Error::invalid("double free"))?;
+        self.allocated -= bytes;
+        self.record(Phase::Free, "free", self.fixed.free_s);
+        Ok(())
+    }
+
+    /// Charges a host-to-device copy of `bytes`.
+    pub fn h2d(&mut self, bytes: u64) {
+        let t = self.link.transfer_time(bytes);
+        self.record(Phase::Memcpy, "h2d", t);
+    }
+
+    /// Charges a device-to-host copy of `bytes`.
+    pub fn d2h(&mut self, bytes: u64) {
+        let t = self.link.transfer_time(bytes);
+        self.record(Phase::Memcpy, "d2h", t);
+    }
+
+    /// Runs `work` as a kernel of the given kind, charging modeled time.
+    ///
+    /// The closure does the real computation (e.g. invoking the codec);
+    /// its wall time is irrelevant to the simulated clock.
+    pub fn launch<R>(
+        &mut self,
+        kind: KernelKind,
+        n_values: u64,
+        bits_per_value: f64,
+        label: &str,
+        work: impl FnOnce() -> R,
+    ) -> R {
+        let t = kernel_time(&self.spec, kind, n_values, bits_per_value);
+        let r = work();
+        self.record(Phase::Kernel, label, t);
+        r
+    }
+
+    /// Simulated seconds elapsed since device creation.
+    pub fn elapsed(&self) -> f64 {
+        self.clock
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Full event timeline.
+    pub fn timeline(&self) -> &[Event] {
+        &self.timeline
+    }
+
+    /// Total simulated time per phase (the paper's Fig. 7 bars).
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for e in &self.timeline {
+            match e.phase {
+                Phase::Init => b.init += e.seconds,
+                Phase::Kernel => b.kernel += e.seconds,
+                Phase::Memcpy => b.memcpy += e.seconds,
+                Phase::Free => b.free += e.seconds,
+            }
+        }
+        b
+    }
+
+    /// Clears the timeline and clock (memory state is kept).
+    pub fn reset_clock(&mut self) {
+        self.clock = 0.0;
+        self.timeline.clear();
+    }
+}
+
+/// Per-phase totals (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Allocation/parameter upload.
+    pub init: f64,
+    /// Kernel execution.
+    pub kernel: f64,
+    /// PCIe copies.
+    pub memcpy: f64,
+    /// Deallocation.
+    pub free: f64,
+}
+
+impl Breakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.init + self.kernel + self.memcpy + self.free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_transfer_time() {
+        let l = PcieLink::gen3_x16();
+        // 12 GB at 12 GB/s ~ 1s (+latency).
+        let t = l.transfer_time(12_000_000_000);
+        assert!((t - 1.0).abs() < 1e-3);
+        assert!(l.transfer_time(0) > 0.0, "latency floor");
+        assert!(PcieLink::nvlink2().transfer_time(1 << 30) < l.transfer_time(1 << 30));
+    }
+
+    #[test]
+    fn oom_detected() {
+        let mut d = Device::new(GpuSpec::rtx_2080ti()); // 11 GB
+        assert!(d.malloc(10_000_000_000, "a").is_ok());
+        let e = d.malloc(2_000_000_000, "b").unwrap_err();
+        assert!(matches!(e, Error::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn free_releases_memory_and_double_free_errors() {
+        let mut d = Device::new(GpuSpec::tesla_v100());
+        let b = d.malloc(1_000_000, "x").unwrap();
+        assert_eq!(d.allocated_bytes(), 1_000_000);
+        d.free(b).unwrap();
+        assert_eq!(d.allocated_bytes(), 0);
+        assert!(d.free(b).is_err());
+    }
+
+    #[test]
+    fn timeline_accumulates_phases() {
+        let mut d = Device::new(GpuSpec::tesla_v100());
+        let b = d.malloc(4096, "buf").unwrap();
+        d.h2d(4096);
+        let out = d.launch(KernelKind::ZfpCompress, 1024, 4.0, "compress", || 42);
+        assert_eq!(out, 42);
+        d.d2h(512);
+        d.free(b).unwrap();
+        let br = d.breakdown();
+        assert!(br.init > 0.0 && br.kernel > 0.0 && br.memcpy > 0.0 && br.free > 0.0);
+        assert!((br.total() - d.elapsed()).abs() < 1e-12);
+        assert_eq!(d.timeline().len(), 5);
+    }
+
+    #[test]
+    fn memcpy_dominates_for_large_low_rate_transfers() {
+        // The paper's key Fig. 7 observation: data transfer, not the
+        // kernel, is the bottleneck for cuZFP on PCIe.
+        let mut d = Device::new(GpuSpec::tesla_v100());
+        let n = 128 * 1024 * 1024u64; // values
+        let rate = 4.0;
+        let compressed = n * rate as u64 / 8;
+        d.launch(KernelKind::ZfpCompress, n, rate, "c", || ());
+        d.d2h(compressed);
+        let br = d.breakdown();
+        assert!(br.memcpy > br.kernel, "memcpy {} kernel {}", br.memcpy, br.kernel);
+    }
+
+    #[test]
+    fn reset_clock_keeps_memory() {
+        let mut d = Device::new(GpuSpec::tesla_v100());
+        let _b = d.malloc(1024, "x").unwrap();
+        d.reset_clock();
+        assert_eq!(d.elapsed(), 0.0);
+        assert_eq!(d.allocated_bytes(), 1024);
+    }
+}

@@ -1,0 +1,206 @@
+//! GPU and CPU hardware specifications (paper Table I).
+//!
+//! These feed the timing model: kernel throughput scales with memory
+//! bandwidth and FP32 peak, transfer time with the PCIe link. Every GPU in
+//! the paper's Table I is reproduced verbatim.
+
+/// GPU microarchitecture generations appearing in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Kepler (2012-2014).
+    Kepler,
+    /// Pascal (2016).
+    Pascal,
+    /// Volta (2017).
+    Volta,
+    /// Turing (2018).
+    Turing,
+}
+
+/// One GPU model's specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. "Nvidia Tesla V100".
+    pub name: &'static str,
+    /// Release year.
+    pub year: u32,
+    /// Microarchitecture.
+    pub arch: Arch,
+    /// Compute capability (major.minor encoded as e.g. 7.0).
+    pub compute_capability: f32,
+    /// Device memory in GB.
+    pub memory_gb: f64,
+    /// Shader (CUDA core) count.
+    pub shaders: u32,
+    /// Peak FP32 throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub memory_bw_gbs: f64,
+}
+
+impl GpuSpec {
+    /// Nvidia RTX 2080 Ti (Turing, 2018).
+    pub fn rtx_2080ti() -> Self {
+        Self {
+            name: "Nvidia RTX 2080Ti",
+            year: 2018,
+            arch: Arch::Turing,
+            compute_capability: 7.5,
+            memory_gb: 11.0,
+            shaders: 4352,
+            fp32_tflops: 13.0,
+            memory_bw_gbs: 448.0,
+        }
+    }
+
+    /// Nvidia Tesla V100 (Volta, 2017) — the paper's headline GPU.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "Nvidia Tesla V100",
+            year: 2017,
+            arch: Arch::Volta,
+            compute_capability: 7.0,
+            memory_gb: 16.0,
+            shaders: 5120,
+            fp32_tflops: 14.0,
+            memory_bw_gbs: 900.0,
+        }
+    }
+
+    /// Nvidia Titan V (Volta, 2017).
+    pub fn titan_v() -> Self {
+        Self {
+            name: "Nvidia Titan V",
+            year: 2017,
+            arch: Arch::Volta,
+            compute_capability: 7.0,
+            memory_gb: 12.0,
+            shaders: 5120,
+            fp32_tflops: 15.0,
+            memory_bw_gbs: 650.0,
+        }
+    }
+
+    /// Nvidia GTX 1080 Ti (Pascal, 2017).
+    pub fn gtx_1080ti() -> Self {
+        Self {
+            name: "Nvidia GTX 1080Ti",
+            year: 2017,
+            arch: Arch::Pascal,
+            compute_capability: 6.1,
+            memory_gb: 11.0,
+            shaders: 3584,
+            fp32_tflops: 11.0,
+            memory_bw_gbs: 485.0,
+        }
+    }
+
+    /// Nvidia Quadro P6000 (Pascal, 2016).
+    pub fn p6000() -> Self {
+        Self {
+            name: "Nvidia P6000",
+            year: 2016,
+            arch: Arch::Pascal,
+            compute_capability: 6.1,
+            memory_gb: 24.0,
+            shaders: 3840,
+            fp32_tflops: 13.0,
+            memory_bw_gbs: 433.0,
+        }
+    }
+
+    /// Nvidia Tesla P100 (Pascal, 2016).
+    pub fn tesla_p100() -> Self {
+        Self {
+            name: "Nvidia Tesla P100",
+            year: 2016,
+            arch: Arch::Pascal,
+            compute_capability: 6.0,
+            memory_gb: 16.0,
+            shaders: 3584,
+            fp32_tflops: 9.5,
+            memory_bw_gbs: 732.0,
+        }
+    }
+
+    /// Nvidia Tesla K80 (Kepler, 2014); per-die figures of the dual-die
+    /// board, matching how the paper runs single-GPU kernels on it.
+    pub fn tesla_k80() -> Self {
+        Self {
+            name: "Nvidia Tesla K80",
+            year: 2014,
+            arch: Arch::Kepler,
+            compute_capability: 3.7,
+            memory_gb: 12.0,
+            shaders: 2496,
+            fp32_tflops: 4.0,
+            memory_bw_gbs: 240.0,
+        }
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gb * 1e9) as u64
+    }
+}
+
+/// All seven GPUs of Table I, newest first (paper order).
+pub fn table1() -> Vec<GpuSpec> {
+    vec![
+        GpuSpec::rtx_2080ti(),
+        GpuSpec::tesla_v100(),
+        GpuSpec::titan_v(),
+        GpuSpec::gtx_1080ti(),
+        GpuSpec::p6000(),
+        GpuSpec::tesla_p100(),
+        GpuSpec::tesla_k80(),
+    ]
+}
+
+/// The comparison CPU from the paper (PantaRhei cluster).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: u32,
+    /// Sustained all-core clock in GHz.
+    pub ghz: f64,
+}
+
+impl CpuSpec {
+    /// 20-core Intel Xeon Gold 6148 (the paper's CPU baseline).
+    pub fn xeon_gold_6148() -> Self {
+        Self { name: "Intel Xeon Gold 6148", cores: 20, ghz: 2.4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[1].name, "Nvidia Tesla V100");
+        assert_eq!(t[1].shaders, 5120);
+        assert_eq!(t[1].memory_bw_gbs, 900.0);
+        assert_eq!(t[6].arch, Arch::Kepler);
+        // Strictly the paper's ordering: release year non-increasing.
+        for w in t.windows(2) {
+            assert!(w[0].year >= w[1].year);
+        }
+    }
+
+    #[test]
+    fn memory_capacity() {
+        assert_eq!(GpuSpec::tesla_v100().memory_bytes(), 16_000_000_000);
+    }
+
+    #[test]
+    fn cpu_baseline() {
+        let c = CpuSpec::xeon_gold_6148();
+        assert_eq!(c.cores, 20);
+    }
+}

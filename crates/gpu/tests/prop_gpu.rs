@@ -1,0 +1,99 @@
+//! Property tests for the GPU device model: accounting invariants that
+//! must hold for any sequence of operations.
+
+use gpu_sim::{kernel_time, Device, GpuSpec, KernelKind, PcieLink};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory accounting: allocations and frees always balance, OOM never
+    /// corrupts state, and the clock never decreases.
+    #[test]
+    fn memory_accounting_balances(ops in prop::collection::vec((any::<u8>(), 1u64..1u64 << 28), 1..40)) {
+        let mut dev = Device::new(GpuSpec::tesla_v100());
+        let mut live: Vec<gpu_sim::device::BufferId> = Vec::new();
+        let mut expected: u64 = 0;
+        let mut last_clock = 0.0f64;
+        for (op, bytes) in ops {
+            match op % 3 {
+                0 | 1 => {
+                    if let Ok(id) = dev.malloc(bytes, "b") {
+                        live.push(id);
+                        expected += bytes;
+                    }
+                }
+                _ => {
+                    if let Some(id) = live.pop() {
+                        dev.free(id).unwrap();
+                        // We don't track per-buffer sizes here; re-derive.
+                        expected = dev.allocated_bytes();
+                    }
+                }
+            }
+            prop_assert_eq!(dev.allocated_bytes(), expected);
+            prop_assert!(dev.allocated_bytes() <= dev.spec.memory_bytes());
+            prop_assert!(dev.elapsed() >= last_clock);
+            last_clock = dev.elapsed();
+        }
+        // Everything freed -> zero.
+        while let Some(id) = live.pop() {
+            dev.free(id).unwrap();
+        }
+        prop_assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    /// Kernel time is monotone in data volume and in bitrate.
+    #[test]
+    fn kernel_time_monotonicity(
+        n1 in 1u64..1u64 << 26,
+        extra in 1u64..1u64 << 26,
+        rate in 1u32..32,
+    ) {
+        let spec = GpuSpec::tesla_v100();
+        let rate = rate as f64;
+        let t1 = kernel_time(&spec, KernelKind::ZfpCompress, n1, rate);
+        let t2 = kernel_time(&spec, KernelKind::ZfpCompress, n1 + extra, rate);
+        prop_assert!(t2 >= t1, "more data cannot be faster: {t1} vs {t2}");
+        let t3 = kernel_time(&spec, KernelKind::ZfpCompress, n1, rate + 4.0);
+        prop_assert!(t3 >= t1, "higher bitrate cannot be faster");
+    }
+
+    /// Transfer time is additive-ish: t(a+b) <= t(a) + t(b) (one latency
+    /// saved) and strictly increasing in bytes.
+    #[test]
+    fn pcie_transfer_properties(a in 1u64..1u64 << 32, b in 1u64..1u64 << 32) {
+        let link = PcieLink::gen3_x16();
+        let ta = link.transfer_time(a);
+        let tb = link.transfer_time(b);
+        let tab = link.transfer_time(a + b);
+        prop_assert!(tab <= ta + tb + 1e-12);
+        prop_assert!(tab > ta.max(tb));
+    }
+
+    /// Timeline breakdown always sums to the elapsed clock.
+    #[test]
+    fn breakdown_sums_to_clock(ops in prop::collection::vec(any::<u8>(), 1..30)) {
+        let mut dev = Device::new(GpuSpec::tesla_p100());
+        let mut bufs = Vec::new();
+        for op in ops {
+            match op % 4 {
+                0 => {
+                    if let Ok(id) = dev.malloc(1 << 20, "x") {
+                        bufs.push(id);
+                    }
+                }
+                1 => dev.h2d(1 << (op % 24)),
+                2 => dev.d2h(1 << (op % 20)),
+                _ => {
+                    dev.launch(KernelKind::SzCompress, 1 << 16, 4.0, "k", || ());
+                }
+            }
+        }
+        for id in bufs {
+            dev.free(id).unwrap();
+        }
+        let b = dev.breakdown();
+        prop_assert!((b.total() - dev.elapsed()).abs() < 1e-9);
+    }
+}

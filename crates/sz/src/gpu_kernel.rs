@@ -1,0 +1,456 @@
+//! Dual-quantization: the fully parallel prediction scheme of the
+//! *shipping* GPU SZ (cuSZ, Tian et al. 2020).
+//!
+//! The classic SZ loop predicts from *reconstructed* neighbors, which
+//! serializes every block. cuSZ removes the dependency with two
+//! quantizations:
+//!
+//! 1. **Prequantization** — every value is independently quantized to an
+//!    integer lattice: `q_i = round(v_i / (2 eb))`. Reconstruction is
+//!    `v'_i = 2 eb q_i`, so `|v'_i - v_i| <= eb` holds *before* any
+//!    prediction happens.
+//! 2. **Postquantization** — the Lorenzo predictor runs on the integer
+//!    lattice itself: `d_i = q_i - L(q_neighbors)`. Because `q` is known
+//!    up front (it does not depend on reconstruction), every `d_i` is
+//!    computable in parallel — this is exactly the data-parallelism the
+//!    GPU kernel needs.
+//!
+//! The decoder inverts the Lorenzo sum per block (a prefix-sum-like
+//! recurrence, parallel across blocks) and multiplies back. Entropy stage
+//! and container reuse the crate's Huffman/stream machinery.
+
+use crate::block::{self, Block};
+use crate::config::Dims;
+use crate::huffman::Codebook;
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::crc::crc32;
+use foresight_util::{Error, Result};
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"SZDQ";
+/// Quantization-code radius (codes span the open interval around it).
+const RADIUS: i64 = 1 << 15;
+
+/// Per-block dual-quant compression output.
+struct DqBlock {
+    codes: Vec<u32>,
+    outliers: Vec<f32>, // raw values stored verbatim (exact recovery)
+}
+
+/// Largest lattice magnitude kept on the fast path; beyond it the f64
+/// rounding of `v / 2eb` can no longer guarantee the bound, so the value
+/// goes out as a verbatim outlier.
+const Q_MAX: f64 = (1u64 << 50) as f64;
+
+/// Prequantizes one value; `None` routes it to the outlier path.
+///
+/// Besides range checks, the `f32` rounding of the reconstruction is
+/// verified — the lattice point `2 eb q` is an `f64`, and the final cast
+/// can push a borderline value past the bound.
+#[inline]
+fn prequant(v: f32, eb: f64) -> Option<i64> {
+    if !v.is_finite() {
+        return None;
+    }
+    let q = (v as f64 / (2.0 * eb)).round();
+    if q.abs() > Q_MAX {
+        return None;
+    }
+    let recon = (q * 2.0 * eb) as f32;
+    if recon.is_finite() && (recon as f64 - v as f64).abs() <= eb {
+        Some(q as i64)
+    } else {
+        None
+    }
+}
+
+/// The lattice value both encoder and decoder use at an outlier position
+/// (deterministic on both sides; only used to predict neighbors).
+#[inline]
+fn outlier_lattice(v: f32, eb: f64) -> i64 {
+    prequant(v, eb).unwrap_or(0)
+}
+
+/// Lorenzo predictor over the integer lattice with a zero ghost boundary.
+#[inline]
+fn lorenzo_q(q: &[i64], sx: usize, sxy: usize, i: usize, j: usize, k: usize) -> i64 {
+    let at = |di: usize, dj: usize, dk: usize| -> i64 {
+        if i < di || j < dj || k < dk {
+            0
+        } else {
+            q[(i - di) + sx * (j - dj) + sxy * (k - dk)]
+        }
+    };
+    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
+        + at(1, 1, 1)
+}
+
+fn compress_block_dq(data: &[f32], ext: [usize; 3], b: &Block, eb: f64) -> DqBlock {
+    let [sx, sy, sz] = b.size;
+    let cells = b.cells();
+    // Prequantization (independent per value — the parallel step).
+    let mut q = vec![0i64; cells];
+    let mut fast = vec![true; cells];
+    let mut raw = vec![0.0f32; cells];
+    let mut local = 0;
+    for k in 0..sz {
+        for j in 0..sy {
+            let row = (b.origin[0])
+                + ext[0] * ((b.origin[1] + j) + ext[1] * (b.origin[2] + k));
+            for i in 0..sx {
+                let v = data[row + i];
+                raw[local] = v;
+                match prequant(v, eb) {
+                    Some(qv) => q[local] = qv,
+                    None => {
+                        q[local] = outlier_lattice(v, eb);
+                        fast[local] = false;
+                    }
+                }
+                local += 1;
+            }
+        }
+    }
+    // Postquantization: Lorenzo deltas on the lattice.
+    let mut codes = Vec::with_capacity(cells);
+    let mut outliers = Vec::new();
+    let sxy = sx * sy;
+    let mut idx = 0;
+    for k in 0..sz {
+        for j in 0..sy {
+            for i in 0..sx {
+                if !fast[idx] {
+                    codes.push(0);
+                    outliers.push(raw[idx]);
+                    idx += 1;
+                    continue;
+                }
+                let pred = lorenzo_q(&q, sx, sxy, i, j, k);
+                let d = q[idx] - pred;
+                if d.abs() < RADIUS {
+                    codes.push((d + RADIUS) as u32);
+                } else {
+                    codes.push(0);
+                    outliers.push(raw[idx]);
+                }
+                idx += 1;
+            }
+        }
+    }
+    DqBlock { codes, outliers }
+}
+
+fn decompress_block_dq(
+    codes: &[u32],
+    outliers: &[f32],
+    b: &Block,
+    eb: f64,
+    ext: [usize; 3],
+    out: &mut [f32],
+) {
+    let [sx, sy, sz] = b.size;
+    let sxy = sx * sy;
+    let mut q = vec![0i64; b.cells()];
+    let mut verbatim: Vec<Option<f32>> = vec![None; b.cells()];
+    let mut next_outlier = 0;
+    let mut idx = 0;
+    for k in 0..sz {
+        for j in 0..sy {
+            for i in 0..sx {
+                let sym = codes[idx];
+                if sym == 0 {
+                    let v = outliers.get(next_outlier).copied().unwrap_or(0.0);
+                    next_outlier += 1;
+                    verbatim[idx] = Some(v);
+                    // Deterministic lattice value for neighbor prediction,
+                    // identical to the encoder's choice.
+                    q[idx] = outlier_lattice(v, eb);
+                } else {
+                    q[idx] = lorenzo_q(&q, sx, sxy, i, j, k) + (sym as i64 - RADIUS);
+                }
+                idx += 1;
+            }
+        }
+    }
+    idx = 0;
+    for k in 0..sz {
+        for j in 0..sy {
+            let row =
+                (b.origin[0]) + ext[0] * ((b.origin[1] + j) + ext[1] * (b.origin[2] + k));
+            for i in 0..sx {
+                out[row + i] = match verbatim[idx] {
+                    Some(v) => v,
+                    None => (q[idx] as f64 * 2.0 * eb) as f32,
+                };
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Compresses with cuSZ-style dual quantization (ABS bound only).
+pub fn compress_dualquant(
+    data: &[f32],
+    dims: Dims,
+    eb: f64,
+    block_size: usize,
+) -> Result<Vec<u8>> {
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(Error::invalid("error bound must be positive"));
+    }
+    if data.len() != dims.len() {
+        return Err(Error::invalid("data length does not match dims"));
+    }
+    let ext = dims.extents();
+    let blocks = block::partition(dims, block_size.max(2));
+    let outputs: Vec<DqBlock> =
+        blocks.par_iter().map(|b| compress_block_dq(data, ext, b, eb)).collect();
+
+    // Global Huffman over all codes.
+    let hist = {
+        let mut map = std::collections::HashMap::new();
+        for o in &outputs {
+            for &c in &o.codes {
+                *map.entry(c).or_insert(0u64) += 1;
+            }
+        }
+        let mut v: Vec<(u32, u64)> = map.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let book = Codebook::from_frequencies(&hist)?;
+    let streams: Vec<Vec<u8>> = outputs
+        .par_iter()
+        .map(|o| {
+            let mut w = BitWriter::with_capacity(o.codes.len() / 2);
+            for &c in &o.codes {
+                book.encode(c, &mut w).expect("from histogram");
+            }
+            w.into_bytes()
+        })
+        .collect();
+
+    let mut body = Vec::new();
+    for (o, s) in outputs.iter().zip(&streams) {
+        body.extend_from_slice(&(o.outliers.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    }
+    book.serialize(&mut body);
+    for s in &streams {
+        body.extend_from_slice(s);
+    }
+    for o in &outputs {
+        for &v in &o.outliers {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 80);
+    out.extend_from_slice(MAGIC);
+    out.push(dims.ndim());
+    for e in ext {
+        out.extend_from_slice(&(e as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(block_size as u32).to_le_bytes());
+    out.extend_from_slice(&eb.to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decompresses a dual-quant stream.
+pub fn decompress_dualquant(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
+    const HDR: usize = 4 + 1 + 24 + 4 + 8 + 8 + 4 + 8;
+    if stream.len() < HDR || &stream[..4] != MAGIC {
+        return Err(Error::corrupt("not an SZDQ stream"));
+    }
+    let ndim = stream[4];
+    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
+    let nx = rd_u64(5) as usize;
+    let ny = rd_u64(13) as usize;
+    let nz = rd_u64(21) as usize;
+    let dims = match ndim {
+        1 => Dims::D1(nx),
+        2 => Dims::D2(nx, ny),
+        3 => Dims::D3(nx, ny, nz),
+        v => return Err(Error::corrupt(format!("bad ndim {v}"))),
+    };
+    let block_size = u32::from_le_bytes(stream[29..33].try_into().unwrap()) as usize;
+    let eb = f64::from_le_bytes(stream[33..41].try_into().unwrap());
+    if !(eb.is_finite() && eb > 0.0) || block_size < 2 {
+        return Err(Error::corrupt("bad header parameters"));
+    }
+    let nblocks = rd_u64(41) as usize;
+    let crc = u32::from_le_bytes(stream[49..53].try_into().unwrap());
+    let body_len = rd_u64(53) as usize;
+    let body = &stream[HDR..];
+    if body.len() != body_len {
+        return Err(Error::corrupt("body length mismatch"));
+    }
+    if crc32(body) != crc {
+        return Err(Error::corrupt("body CRC mismatch"));
+    }
+    let ext = dims.extents();
+    let blocks = block::partition(dims, block_size);
+    if blocks.len() != nblocks {
+        return Err(Error::corrupt("block count mismatch"));
+    }
+    let meta_len = nblocks * 8;
+    if body.len() < meta_len {
+        return Err(Error::corrupt("truncated meta"));
+    }
+    let mut metas = Vec::with_capacity(nblocks);
+    for bi in 0..nblocks {
+        let o = bi * 8;
+        let n_out = u32::from_le_bytes(body[o..o + 4].try_into().unwrap()) as usize;
+        let s_len = u32::from_le_bytes(body[o + 4..o + 8].try_into().unwrap()) as usize;
+        metas.push((n_out, s_len));
+    }
+    let (book, table_len) = Codebook::deserialize(&body[meta_len..])?;
+    let codes_start = meta_len + table_len;
+    let total_stream: usize = metas.iter().map(|&(_, s)| s).sum();
+    let total_out: usize = metas.iter().map(|&(o, _)| o).sum();
+    if body.len() < codes_start + total_stream + total_out * 4 {
+        return Err(Error::corrupt("truncated payload"));
+    }
+    let outliers_start = codes_start + total_stream;
+
+    let mut out = vec![0.0f32; dims.len()];
+    // Blocks decode into disjoint regions; same SendPtr argument as the
+    // main stream module.
+    #[derive(Clone, Copy)]
+    struct SendPtr(*mut f32);
+    // SAFETY: each task writes only its own block's cells.
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    let ptr = SendPtr(out.as_mut_ptr());
+    let out_len = out.len();
+    let mut code_off = codes_start;
+    let mut out_off = 0usize;
+    let mut offsets = Vec::with_capacity(nblocks);
+    for &(n_out, s_len) in &metas {
+        offsets.push((code_off, out_off));
+        code_off += s_len;
+        out_off += n_out;
+    }
+    blocks
+        .par_iter()
+        .enumerate()
+        .try_for_each(|(bi, b)| -> Result<()> {
+            let (c_off, o_off) = offsets[bi];
+            let (n_out, s_len) = metas[bi];
+            let mut r = BitReader::new(&body[c_off..c_off + s_len]);
+            let mut codes = Vec::with_capacity(b.cells());
+            for _ in 0..b.cells() {
+                codes.push(book.decode(&mut r)?);
+            }
+            if codes.iter().filter(|&&c| c == 0).count() != n_out {
+                return Err(Error::corrupt("outlier count mismatch"));
+            }
+            let ostart = outliers_start + o_off * 4;
+            let outliers: Vec<f32> = body[ostart..ostart + n_out * 4]
+                .chunks(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let p = ptr;
+            // SAFETY: see SendPtr.
+            let slice = unsafe { std::slice::from_raw_parts_mut(p.0, out_len) };
+            decompress_block_dq(&codes, &outliers, b, eb, ext, slice);
+            Ok(())
+        })?;
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.013).sin() * 50.0 + (i as f32 * 0.0007).cos() * 500.0).collect()
+    }
+
+    fn check_bound(orig: &[f32], rec: &[f32], eb: f64) {
+        for (a, b) in orig.iter().zip(rec) {
+            if a.is_finite() {
+                assert!((*a as f64 - *b as f64).abs() <= eb + 1e-9, "{a} vs {b}");
+            } else {
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "non-finite must survive verbatim"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_respects_bound() {
+        let data = field(20_000);
+        for eb in [0.5, 0.01] {
+            let s = compress_dualquant(&data, Dims::D1(20_000), eb, 32).unwrap();
+            let (rec, dims) = decompress_dualquant(&s).unwrap();
+            assert_eq!(dims, Dims::D1(20_000));
+            check_bound(&data, &rec, eb);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d_respects_bound() {
+        let data = field(17 * 13 * 9);
+        let s = compress_dualquant(&data, Dims::D3(17, 13, 9), 0.1, 8).unwrap();
+        let (rec, _) = decompress_dualquant(&s).unwrap();
+        check_bound(&data, &rec, 0.1);
+    }
+
+    #[test]
+    fn compression_is_comparable_to_classic_sz() {
+        // Dual-quant trades a little ratio for parallel prediction; it
+        // must stay within ~1.5x of the classic Lorenzo bitrate.
+        let data = field(32 * 32 * 32);
+        let dims = Dims::D3(32, 32, 32);
+        let dq = compress_dualquant(&data, dims, 0.05, 32).unwrap();
+        let classic = crate::stream::compress(
+            &data,
+            dims,
+            &crate::config::SzConfig {
+                predictor: crate::config::PredictorKind::Lorenzo,
+                ..crate::config::SzConfig::abs(0.05)
+            },
+        )
+        .unwrap();
+        let ratio = dq.len() as f64 / classic.len() as f64;
+        assert!(ratio < 1.5, "dual-quant {} vs classic {} bytes", dq.len(), classic.len());
+        assert!(dq.len() * 2 < data.len() * 4, "should actually compress");
+    }
+
+    #[test]
+    fn non_finite_inputs_are_flagged() {
+        let mut data = field(256);
+        data[7] = f32::NAN;
+        data[100] = f32::INFINITY;
+        let s = compress_dualquant(&data, Dims::D1(256), 0.1, 16).unwrap();
+        let (rec, _) = decompress_dualquant(&s).unwrap();
+        assert!(rec[7].is_nan());
+        assert_eq!(rec[100], f32::INFINITY, "non-finite survives verbatim");
+        check_bound(&data, &rec, 0.1);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        let data = field(1000);
+        let s = compress_dualquant(&data, Dims::D1(1000), 0.1, 32).unwrap();
+        assert!(decompress_dualquant(&s[..20]).is_err());
+        let mut bad = s.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0xff;
+        assert!(decompress_dualquant(&bad).is_err());
+        assert!(decompress_dualquant(b"XXXX").is_err());
+    }
+
+    #[test]
+    fn invalid_args_rejected() {
+        assert!(compress_dualquant(&[1.0], Dims::D1(1), 0.0, 32).is_err());
+        assert!(compress_dualquant(&[1.0], Dims::D1(2), 0.1, 32).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! SZ's third stage entropy-codes the quantization integers; following the
+//! reference implementation we build **one global code table** from the
+//! histogram of all blocks, then encode each block's code sequence
+//! independently (so blocks stay decodable in parallel).
+//!
+//! Codes are canonical: lengths come from the Huffman tree, the actual bit
+//! patterns are reassigned in (length, symbol) order. Only the
+//! (symbol, length) pairs are serialized; both sides rebuild identical
+//! codebooks. Bits are emitted MSB-first into the workspace's LSB-first
+//! bitstream by writing one bit at a time in code order.
+
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::{Error, Result};
+use std::collections::BinaryHeap;
+
+/// Maximum supported code length (paranoia guard; real tables are shorter).
+const MAX_LEN: u8 = 58;
+
+/// A canonical Huffman codebook.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// (symbol, length) sorted by (length, symbol) — the canonical order.
+    entries: Vec<(u32, u8)>,
+    /// Encoder map: symbol -> (code, length); index into a hash-free dense
+    /// vec when symbols are small, fallback binary-search otherwise.
+    enc: Vec<(u64, u8)>,
+    /// Densely indexed up to this symbol value; entries beyond are absent.
+    enc_limit: u32,
+    /// Decoder tables per length: first canonical code and slice range.
+    first_code: [u64; MAX_LEN as usize + 1],
+    offset: [u32; MAX_LEN as usize + 1],
+    count: [u32; MAX_LEN as usize + 1],
+}
+
+impl Codebook {
+    /// Builds a codebook from symbol frequencies (`(symbol, count)` pairs
+    /// with nonzero counts). Returns an empty book for an empty histogram.
+    pub fn from_frequencies(freqs: &[(u32, u64)]) -> Result<Self> {
+        let lengths = code_lengths(freqs)?;
+        Self::from_lengths(lengths)
+    }
+
+    /// Rebuilds a codebook from (symbol, length) pairs.
+    pub fn from_lengths(mut entries: Vec<(u32, u8)>) -> Result<Self> {
+        for &(_, len) in &entries {
+            if len == 0 || len > MAX_LEN {
+                return Err(Error::corrupt(format!("huffman length {len} out of range")));
+            }
+        }
+        entries.sort_unstable_by_key(|&(sym, len)| (len, sym));
+        // Check for duplicate symbols.
+        let mut sorted_syms: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        sorted_syms.sort_unstable();
+        if sorted_syms.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::corrupt("duplicate symbol in huffman table"));
+        }
+        // Assign canonical codes and build per-length decode tables.
+        let mut first_code = [0u64; MAX_LEN as usize + 1];
+        let mut offset = [0u32; MAX_LEN as usize + 1];
+        let mut count = [0u32; MAX_LEN as usize + 1];
+        for &(_, len) in &entries {
+            count[len as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut idx = 0u32;
+        for len in 1..=MAX_LEN as usize {
+            code <<= 1;
+            first_code[len] = code;
+            offset[len] = idx;
+            // Kraft validity: codes of this length must fit.
+            if count[len] as u64 > (1u64 << len) - code {
+                return Err(Error::corrupt("huffman table violates Kraft inequality"));
+            }
+            code += count[len] as u64;
+            idx += count[len];
+        }
+        // A non-empty table must exactly satisfy Kraft (complete code) unless
+        // it's the single-symbol degenerate case.
+        // (We tolerate incompleteness to keep single-symbol tables simple.)
+
+        // Encoder table.
+        let enc_limit = entries.iter().map(|e| e.0).max().map_or(0, |m| m + 1);
+        let mut enc = vec![(0u64, 0u8); enc_limit as usize];
+        let mut next = first_code;
+        for &(sym, len) in &entries {
+            let c = next[len as usize];
+            next[len as usize] += 1;
+            enc[sym as usize] = (c, len);
+        }
+        Ok(Self { entries, enc, enc_limit, first_code, offset, count })
+    }
+
+    /// Number of coded symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the codebook codes no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The canonical (symbol, length) entries.
+    pub fn entries(&self) -> &[(u32, u8)] {
+        &self.entries
+    }
+
+    /// Encodes one symbol.
+    #[inline]
+    pub fn encode(&self, sym: u32, w: &mut BitWriter) -> Result<()> {
+        if sym >= self.enc_limit {
+            return Err(Error::invalid(format!("symbol {sym} not in codebook")));
+        }
+        let (code, len) = self.enc[sym as usize];
+        if len == 0 {
+            return Err(Error::invalid(format!("symbol {sym} not in codebook")));
+        }
+        // Emit MSB-first.
+        for i in (0..len).rev() {
+            w.write_bit((code >> i) & 1 != 0);
+        }
+        Ok(())
+    }
+
+    /// Decodes one symbol.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let mut code = 0u64;
+        for len in 1..=MAX_LEN as usize {
+            code = (code << 1) | r.read_bits(1)?;
+            let c = self.count[len];
+            if c != 0 {
+                let rel = code.wrapping_sub(self.first_code[len]);
+                if rel < c as u64 {
+                    return Ok(self.entries[(self.offset[len] + rel as u32) as usize].0);
+                }
+            }
+        }
+        Err(Error::corrupt("invalid huffman code"))
+    }
+
+    /// Serializes the (symbol, length) table.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for &(sym, len) in &self.entries {
+            out.extend_from_slice(&sym.to_le_bytes());
+            out.push(len);
+        }
+    }
+
+    /// Deserializes a table written by [`Codebook::serialize`];
+    /// returns the codebook and the number of bytes consumed.
+    pub fn deserialize(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < 4 {
+            return Err(Error::corrupt("huffman table truncated"));
+        }
+        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let need = 4 + n * 5;
+        if data.len() < need {
+            return Err(Error::corrupt("huffman table truncated"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 4 + i * 5;
+            let sym = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+            entries.push((sym, data[off + 4]));
+        }
+        Ok((Self::from_lengths(entries)?, need))
+    }
+}
+
+/// Computes Huffman code lengths from a histogram.
+fn code_lengths(freqs: &[(u32, u64)]) -> Result<Vec<(u32, u8)>> {
+    let active: Vec<(u32, u64)> = freqs.iter().copied().filter(|&(_, f)| f > 0).collect();
+    match active.len() {
+        0 => return Ok(Vec::new()),
+        1 => return Ok(vec![(active[0].0, 1)]),
+        _ => {}
+    }
+    // Standard heap-based tree construction over node indices.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: u32,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; tie-break on id for determinism.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let n = active.len();
+    let mut parent = vec![u32::MAX; 2 * n - 1];
+    let mut heap = BinaryHeap::with_capacity(n);
+    for (i, &(_, f)) in active.iter().enumerate() {
+        heap.push(Node { freq: f, id: i as u32 });
+    }
+    let mut next_id = n as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id as usize] = next_id;
+        parent[b.id as usize] = next_id;
+        heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });
+        next_id += 1;
+    }
+    // Depth of each leaf = code length.
+    let mut out = Vec::with_capacity(n);
+    for (i, &(sym, _)) in active.iter().enumerate() {
+        let mut d = 0u8;
+        let mut cur = i as u32;
+        while parent[cur as usize] != u32::MAX {
+            cur = parent[cur as usize];
+            d += 1;
+        }
+        if d == 0 || d > MAX_LEN {
+            return Err(Error::corrupt("degenerate huffman tree"));
+        }
+        out.push((sym, d));
+    }
+    Ok(out)
+}
+
+/// Convenience: builds a histogram of `codes`.
+pub fn histogram(codes: &[u32]) -> Vec<(u32, u64)> {
+    let mut map = std::collections::HashMap::new();
+    for &c in codes {
+        *map.entry(c).or_insert(0u64) += 1;
+    }
+    let mut v: Vec<(u32, u64)> = map.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codes: &[u32]) {
+        let book = Codebook::from_frequencies(&histogram(codes)).unwrap();
+        let mut w = BitWriter::new();
+        for &c in codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &c in codes {
+            assert_eq!(book.decode(&mut r).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(&[1, 2, 2, 3, 3, 3, 3, 7, 7, 1, 2]);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[42; 100]);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        // Strongly skewed: symbol i has frequency ~ 2^(16-i).
+        let mut codes = Vec::new();
+        for sym in 0u32..16 {
+            for _ in 0..(1u32 << (16 - sym)) {
+                codes.push(sym);
+            }
+        }
+        roundtrip(&codes);
+    }
+
+    #[test]
+    fn compresses_skewed_data() {
+        // 90% zeros should code in well under 8 bits/symbol.
+        let codes: Vec<u32> = (0..10_000).map(|i| if i % 10 == 0 { i as u32 % 7 + 1 } else { 0 }).collect();
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bits = w.bit_len();
+        assert!(bits < 2 * codes.len() as u64, "got {} bits", bits);
+    }
+
+    #[test]
+    fn table_serialization_roundtrip() {
+        let codes = [5u32, 5, 5, 9, 9, 1000, 65535, 65535, 65535, 65535];
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut buf = Vec::new();
+        book.serialize(&mut buf);
+        let (book2, consumed) = Codebook::deserialize(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(book.entries(), book2.entries());
+        // Cross encode/decode.
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &c in &codes {
+            assert_eq!(book2.decode(&mut r).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let book = Codebook::from_frequencies(&[(1, 5), (2, 5)]).unwrap();
+        let mut w = BitWriter::new();
+        assert!(book.encode(3, &mut w).is_err());
+        assert!(book.encode(1000, &mut w).is_err());
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        assert!(Codebook::deserialize(&[1, 0, 0]).is_err());
+        // Duplicate symbols.
+        assert!(Codebook::from_lengths(vec![(1, 1), (1, 2)]).is_err());
+        // Kraft violation: three 1-bit codes.
+        assert!(Codebook::from_lengths(vec![(1, 1), (2, 1), (3, 1)]).is_err());
+        // Zero length.
+        assert!(Codebook::from_lengths(vec![(1, 0)]).is_err());
+    }
+
+    #[test]
+    fn empty_codebook() {
+        let book = Codebook::from_frequencies(&[]).unwrap();
+        assert!(book.is_empty());
+        let mut buf = Vec::new();
+        book.serialize(&mut buf);
+        let (book2, _) = Codebook::deserialize(&buf).unwrap();
+        assert!(book2.is_empty());
+    }
+
+    #[test]
+    fn optimality_vs_entropy() {
+        // Average code length must be within 1 bit of the entropy bound.
+        let codes: Vec<u32> = (0..4096u32).map(|i| (i * i % 37) % 11).collect();
+        let hist = histogram(&codes);
+        let total: u64 = hist.iter().map(|&(_, f)| f).sum();
+        let entropy: f64 = hist
+            .iter()
+            .map(|&(_, f)| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let book = Codebook::from_frequencies(&hist).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let avg = w.bit_len() as f64 / codes.len() as f64;
+        assert!(avg >= entropy - 1e-9, "avg {avg} below entropy {entropy}");
+        assert!(avg <= entropy + 1.0, "avg {avg} vs entropy {entropy}");
+    }
+}

@@ -1,0 +1,202 @@
+//! LZSS byte-oriented lossless backend.
+//!
+//! The reference SZ pipeline finishes with a general lossless pass (Zstd).
+//! This stands in for it: a 64 KiB sliding-window LZSS with a hash-chain
+//! matcher. Tokens are a flag bit plus either a literal byte or a
+//! (length, distance) pair; lengths 4..=258 and distances 1..=65535 encode
+//! in 19 bits, so matches shorter than 4 bytes are never emitted.
+
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::{Error, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+/// Limit on hash-chain probes; bounds worst-case compress time.
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data`; output starts with the original length (u64 LE).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && i - cand < WINDOW && probes < MAX_CHAIN {
+                // Quick reject on the byte past the current best.
+                if best_len == 0 || data.get(cand + best_len) == data.get(i + best_len) {
+                    let max = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand];
+                probes += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            w.write_bit(true);
+            w.write_bits((best_len - MIN_MATCH) as u64, 8);
+            w.write_bits(best_dist as u64, 16);
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash4(data, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            w.write_bit(false);
+            w.write_bits(data[i] as u64, 8);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash4(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
+    if stream.len() < 8 {
+        return Err(Error::corrupt("lzss stream shorter than header"));
+    }
+    let n = u64::from_le_bytes(stream[..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut r = BitReader::new(&stream[8..]);
+    while out.len() < n {
+        if r.read_bit()? {
+            let len = r.read_bits(8)? as usize + MIN_MATCH;
+            let dist = r.read_bits(16)? as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(Error::corrupt("lzss match distance out of range"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(r.read_bits(8)? as u8);
+        }
+    }
+    if out.len() != n {
+        return Err(Error::corrupt("lzss output length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"abcd".iter().cycle().take(10_000).copied().collect();
+        let clen = roundtrip(&data);
+        assert!(clen < data.len() / 10, "clen={clen}");
+    }
+
+    #[test]
+    fn runs_of_zeros() {
+        let mut data = vec![0u8; 5000];
+        data[100] = 7;
+        data[4000] = 9;
+        let clen = roundtrip(&data);
+        assert!(clen < 300, "clen={clen}");
+    }
+
+    #[test]
+    fn incompressible_data_still_roundtrips() {
+        // Pseudorandom bytes: expect slight expansion but exact recovery.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let clen = roundtrip(&data);
+        assert!(clen <= data.len() + data.len() / 7 + 16);
+    }
+
+    #[test]
+    fn overlapping_match_semantics() {
+        // "aaaaa..." forces dist=1 matches that overlap the output cursor.
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[1, 2, 3]).is_err());
+        // Claimed length 100 but no payload bits.
+        let mut s = Vec::new();
+        s.extend_from_slice(&100u64.to_le_bytes());
+        assert!(decompress(&s).is_err());
+        // A match referencing before the start of output.
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(0, 8);
+        w.write_bits(5, 16); // dist 5 with empty output
+        let mut s = Vec::new();
+        s.extend_from_slice(&10u64.to_le_bytes());
+        s.extend_from_slice(&w.into_bytes());
+        assert!(decompress(&s).is_err());
+    }
+
+    #[test]
+    fn long_match_cap() {
+        // A run much longer than MAX_MATCH exercises repeated max-length tokens.
+        let data = vec![0xEEu8; MAX_MATCH * 5 + 13];
+        roundtrip(&data);
+    }
+}

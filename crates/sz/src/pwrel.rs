@@ -1,0 +1,157 @@
+//! Point-wise relative error bounds via logarithmic transform.
+//!
+//! GPU-SZ only supports ABS mode; the paper (§IV-B-4, following Liang et
+//! al. 2018) achieves PW_REL by compressing `ln|x|` with an absolute bound.
+//! If `|ln x' - ln x| <= ln(1 + p)` then `|x' - x| <= p * |x|`, so the
+//! transformed bound is `eb_abs = ln(1 + pw_rel)`.
+//!
+//! Signs are preserved in a raw bitmap; exact zeros and non-finite values
+//! are flagged in a second bitmap and stored verbatim so the transform is
+//! bijective on every input.
+
+/// Result of the forward transform.
+#[derive(Debug, Clone)]
+pub struct PwRelTransformed {
+    /// `ln|x|` for regular values; 0.0 placeholder for specials.
+    pub log_data: Vec<f32>,
+    /// Bit `i` set when `x_i < 0` (or negative zero).
+    pub sign_bitmap: Vec<u8>,
+    /// Bit `i` set when `x_i` is zero or non-finite; such values are in
+    /// `specials` in order of appearance.
+    pub special_bitmap: Vec<u8>,
+    /// Verbatim special values.
+    pub specials: Vec<f32>,
+}
+
+#[inline]
+fn get_bit(bitmap: &[u8], i: usize) -> bool {
+    bitmap[i / 8] & (1 << (i % 8)) != 0
+}
+
+#[inline]
+fn set_bit(bitmap: &mut [u8], i: usize) {
+    bitmap[i / 8] |= 1 << (i % 8);
+}
+
+/// The ABS bound on `ln|x|` equivalent to a PW_REL bound of `p`.
+pub fn abs_bound_for(p: f64) -> f64 {
+    (1.0 + p).ln()
+}
+
+/// Forward transform: `x -> ln|x|` with sign/special bookkeeping.
+pub fn forward(data: &[f32]) -> PwRelTransformed {
+    let nbytes = data.len().div_ceil(8);
+    let mut t = PwRelTransformed {
+        log_data: Vec::with_capacity(data.len()),
+        sign_bitmap: vec![0; nbytes],
+        special_bitmap: vec![0; nbytes],
+        specials: Vec::new(),
+    };
+    for (i, &x) in data.iter().enumerate() {
+        if x.is_sign_negative() {
+            set_bit(&mut t.sign_bitmap, i);
+        }
+        if x == 0.0 || !x.is_finite() {
+            set_bit(&mut t.special_bitmap, i);
+            t.specials.push(x);
+            t.log_data.push(0.0);
+        } else {
+            t.log_data.push(x.abs().ln());
+        }
+    }
+    t
+}
+
+/// Inverse transform: reconstructs values from (possibly lossy) `log_data`.
+///
+/// Special positions take their verbatim value; others are
+/// `sign * exp(log)`. Panics only if bitmaps are shorter than the data
+/// (callers construct them with [`forward`] or validate stream lengths).
+pub fn inverse(
+    log_data: &[f32],
+    sign_bitmap: &[u8],
+    special_bitmap: &[u8],
+    specials: &[f32],
+) -> Vec<f32> {
+    let mut next_special = 0usize;
+    log_data
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            if get_bit(special_bitmap, i) {
+                let v = specials.get(next_special).copied().unwrap_or(0.0);
+                next_special += 1;
+                v
+            } else {
+                let mag = (l as f64).exp() as f32;
+                if get_bit(sign_bitmap, i) {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_roundtrip_without_compression() {
+        let data = vec![1.0f32, -2.5, 0.0, -0.0, f32::NAN, f32::INFINITY, 1e-30, -1e30];
+        let t = forward(&data);
+        let back = inverse(&t.log_data, &t.sign_bitmap, &t.special_bitmap, &t.specials);
+        for (a, b) in data.iter().zip(&back) {
+            if a.is_nan() {
+                assert!(b.is_nan());
+            } else if a.is_infinite() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else if *a == 0.0 {
+                assert_eq!(a.to_bits(), b.to_bits(), "zero sign preserved");
+            } else {
+                // f32 stores ln|x|; for |ln x| ~ 69 the representation
+                // error is ~69 * 2^-24 ≈ 4e-6 in log space.
+                let rel = ((a - b) / a).abs();
+                assert!(rel < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn abs_bound_guarantees_pw_rel() {
+        // Perturb ln|x| by up to ln(1+p) and verify the point-wise bound.
+        let p = 0.1f64;
+        let eb = abs_bound_for(p);
+        let data = vec![3.0f32, -77.7, 1e-3, 42.0, -1e5];
+        let t = forward(&data);
+        for noise_sign in [-1.0f64, 1.0] {
+            let noisy: Vec<f32> =
+                t.log_data.iter().map(|&l| (l as f64 + noise_sign * eb) as f32).collect();
+            let back = inverse(&noisy, &t.sign_bitmap, &t.special_bitmap, &t.specials);
+            for (a, b) in data.iter().zip(&back) {
+                let rel = ((a - b) / a).abs() as f64;
+                // f32 rounding leaves a hair above p.
+                assert!(rel <= p * 1.0001, "rel error {rel} exceeds {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn special_bitmap_positions() {
+        let data = vec![0.0f32, 1.0, f32::NAN, 2.0];
+        let t = forward(&data);
+        assert!(get_bit(&t.special_bitmap, 0));
+        assert!(!get_bit(&t.special_bitmap, 1));
+        assert!(get_bit(&t.special_bitmap, 2));
+        assert_eq!(t.specials.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = forward(&[]);
+        assert!(t.log_data.is_empty());
+        assert!(inverse(&t.log_data, &t.sign_bitmap, &t.special_bitmap, &t.specials).is_empty());
+    }
+}

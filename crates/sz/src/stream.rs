@@ -1,0 +1,540 @@
+//! Compressed stream container and the top-level (de)compression drivers.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "SZRS" | version u8 | mode u8 | entropy u8 | ndim u8
+//! dims 3*u64 | block_size u32 | radius u32 | eb_abs f64 | eb_param f64
+//! nblocks u64 | raw_body_len u64 | body_crc u32
+//! body (LZSS-compressed when entropy == HuffmanLzss):
+//!   per-block meta (tag u8 | n_outliers u32 | code_bytes u32 | coeffs 4*f32)
+//!   huffman table | per-block code streams (byte-aligned) | outlier f32s
+//!   [PW_REL only] sign bitmap | special bitmap | n_specials u32 | specials
+//! ```
+//!
+//! Blocks compress and decompress in parallel (rayon); the Huffman table is
+//! global (one histogram over all blocks), matching the reference SZ.
+
+use crate::block::{self, BlockOutput, PredictorTag};
+use crate::config::{Dims, EntropyBackend, ErrorBound, SzConfig};
+use crate::huffman::Codebook;
+use crate::{lossless, pwrel};
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::crc::crc32;
+use foresight_util::stats::summarize;
+use foresight_util::{Error, Result};
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"SZRS";
+const VERSION: u8 = 1;
+const META_BYTES: usize = 1 + 4 + 4 + 16;
+
+/// Compresses `data` with the given configuration.
+pub fn compress(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>> {
+    cfg.validate()?;
+    if data.len() != dims.len() {
+        return Err(Error::invalid(format!(
+            "data length {} does not match dims {:?}",
+            data.len(),
+            dims
+        )));
+    }
+    match cfg.mode {
+        ErrorBound::Abs(eb) => compress_inner(data, dims, cfg, eb, eb, 0, None),
+        ErrorBound::Rel(rel) => {
+            let range = summarize(data).range();
+            let eb = if range > 0.0 && range.is_finite() { rel * range } else { rel };
+            compress_inner(data, dims, cfg, eb, rel, 1, None)
+        }
+        ErrorBound::PwRel(p) => {
+            let t = pwrel::forward(data);
+            let eb = pwrel::abs_bound_for(p);
+            compress_inner(&t.log_data, dims, cfg, eb, p, 2, Some(&t))
+        }
+    }
+}
+
+fn compress_inner(
+    data: &[f32],
+    dims: Dims,
+    cfg: &SzConfig,
+    eb_abs: f64,
+    eb_param: f64,
+    mode_tag: u8,
+    pw: Option<&pwrel::PwRelTransformed>,
+) -> Result<Vec<u8>> {
+    let ext = dims.extents();
+    let blocks = block::partition(dims, cfg.block_size);
+
+    // Pass 1: predict + quantize every block in parallel.
+    let outputs: Vec<BlockOutput> = blocks
+        .par_iter()
+        .map(|b| block::compress_block(data, ext, b, eb_abs, cfg.radius, cfg.predictor))
+        .collect();
+
+    // Global histogram and codebook.
+    let hist = {
+        let mut map = std::collections::HashMap::new();
+        for o in &outputs {
+            for &c in &o.codes {
+                *map.entry(c).or_insert(0u64) += 1;
+            }
+        }
+        let mut v: Vec<(u32, u64)> = map.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let book = Codebook::from_frequencies(&hist)?;
+
+    // Pass 2: entropy-encode each block.
+    let code_streams: Vec<Vec<u8>> = outputs
+        .par_iter()
+        .map(|o| {
+            let mut w = BitWriter::with_capacity(o.codes.len() / 2);
+            for &c in &o.codes {
+                book.encode(c, &mut w).expect("symbol came from the histogram");
+            }
+            w.into_bytes()
+        })
+        .collect();
+
+    // Assemble the body.
+    let mut body = Vec::new();
+    for (o, cs) in outputs.iter().zip(&code_streams) {
+        body.push(o.tag.to_u8());
+        body.extend_from_slice(&(o.outliers.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(cs.len() as u32).to_le_bytes());
+        for c in o.coeffs {
+            body.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    book.serialize(&mut body);
+    for cs in &code_streams {
+        body.extend_from_slice(cs);
+    }
+    for o in &outputs {
+        for &v in &o.outliers {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    if let Some(t) = pw {
+        body.extend_from_slice(&t.sign_bitmap);
+        body.extend_from_slice(&t.special_bitmap);
+        body.extend_from_slice(&(t.specials.len() as u32).to_le_bytes());
+        for &v in &t.specials {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    let raw_len = body.len() as u64;
+    let crc = crc32(&body);
+    let body = match cfg.entropy {
+        EntropyBackend::Huffman => body,
+        EntropyBackend::HuffmanLzss => lossless::compress(&body),
+    };
+
+    // Header.
+    let mut out = Vec::with_capacity(body.len() + 96);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(mode_tag);
+    out.push(match cfg.entropy {
+        EntropyBackend::Huffman => 0,
+        EntropyBackend::HuffmanLzss => 1,
+    });
+    out.push(dims.ndim());
+    for e in ext {
+        out.extend_from_slice(&(e as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(cfg.block_size as u32).to_le_bytes());
+    out.extend_from_slice(&cfg.radius.to_le_bytes());
+    out.extend_from_slice(&eb_abs.to_le_bytes());
+    out.extend_from_slice(&eb_param.to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&raw_len.to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Header fields parsed from a compressed stream.
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// Logical dimensions of the original array.
+    pub dims: Dims,
+    /// Error-bound mode with the user-facing parameter.
+    pub mode: ErrorBound,
+    /// The absolute bound applied to the (possibly log-transformed) data.
+    pub eb_abs: f64,
+    /// Block size used at compression time.
+    pub block_size: usize,
+    /// Quantization radius.
+    pub radius: u32,
+    /// Entropy backend.
+    pub entropy: EntropyBackend,
+    nblocks: u64,
+    raw_len: u64,
+    crc: u32,
+    body_offset: usize,
+}
+
+/// Parses and validates a stream header.
+pub fn info(stream: &[u8]) -> Result<StreamInfo> {
+    const HDR: usize = 4 + 1 + 1 + 1 + 1 + 24 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+    if stream.len() < HDR {
+        return Err(Error::corrupt("stream shorter than header"));
+    }
+    if &stream[..4] != MAGIC {
+        return Err(Error::corrupt("bad magic (not an SZRS stream)"));
+    }
+    if stream[4] != VERSION {
+        return Err(Error::corrupt(format!("unsupported version {}", stream[4])));
+    }
+    let mode_tag = stream[5];
+    let entropy = match stream[6] {
+        0 => EntropyBackend::Huffman,
+        1 => EntropyBackend::HuffmanLzss,
+        v => return Err(Error::corrupt(format!("unknown entropy backend {v}"))),
+    };
+    let ndim = stream[7];
+    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
+    let rd_u32 = |o: usize| u32::from_le_bytes(stream[o..o + 4].try_into().unwrap());
+    let rd_f64 = |o: usize| f64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
+    let nx = rd_u64(8) as usize;
+    let ny = rd_u64(16) as usize;
+    let nz = rd_u64(24) as usize;
+    let dims = match ndim {
+        1 => Dims::D1(nx),
+        2 => Dims::D2(nx, ny),
+        3 => Dims::D3(nx, ny, nz),
+        v => return Err(Error::corrupt(format!("bad ndim {v}"))),
+    };
+    let block_size = rd_u32(32) as usize;
+    let radius = rd_u32(36);
+    if block_size < 2 || radius < 2 {
+        return Err(Error::corrupt("implausible block_size/radius"));
+    }
+    let eb_abs = rd_f64(40);
+    let eb_param = rd_f64(48);
+    if !(eb_abs.is_finite() && eb_abs > 0.0) {
+        return Err(Error::corrupt("bad error bound in header"));
+    }
+    let mode = match mode_tag {
+        0 => ErrorBound::Abs(eb_param),
+        1 => ErrorBound::Rel(eb_param),
+        2 => ErrorBound::PwRel(eb_param),
+        v => return Err(Error::corrupt(format!("bad mode {v}"))),
+    };
+    Ok(StreamInfo {
+        dims,
+        mode,
+        eb_abs,
+        block_size,
+        radius,
+        entropy,
+        nblocks: rd_u64(56),
+        raw_len: rd_u64(64),
+        crc: rd_u32(72),
+        body_offset: HDR,
+    })
+}
+
+/// Pointer wrapper for parallel scatter into disjoint block regions.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+// SAFETY: each parallel task writes only the cells of its own block and
+// blocks partition the array without overlap.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Decompresses a stream, returning the data and its dimensions.
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
+    let inf = info(stream)?;
+    let body_raw = &stream[inf.body_offset..];
+    let body_owned;
+    let body: &[u8] = match inf.entropy {
+        EntropyBackend::Huffman => body_raw,
+        EntropyBackend::HuffmanLzss => {
+            body_owned = lossless::decompress(body_raw)?;
+            &body_owned
+        }
+    };
+    if body.len() as u64 != inf.raw_len {
+        return Err(Error::corrupt(format!(
+            "body length {} does not match header {}",
+            body.len(),
+            inf.raw_len
+        )));
+    }
+    if crc32(body) != inf.crc {
+        return Err(Error::corrupt("body CRC mismatch"));
+    }
+
+    let dims = inf.dims;
+    let ext = dims.extents();
+    let blocks = block::partition(dims, inf.block_size);
+    if blocks.len() as u64 != inf.nblocks {
+        return Err(Error::corrupt("block count mismatch"));
+    }
+
+    // Per-block meta.
+    let meta_len = blocks.len() * META_BYTES;
+    if body.len() < meta_len {
+        return Err(Error::corrupt("truncated block meta"));
+    }
+    struct Meta {
+        tag: PredictorTag,
+        n_out: usize,
+        code_bytes: usize,
+        coeffs: [f32; 4],
+    }
+    let mut metas = Vec::with_capacity(blocks.len());
+    for bi in 0..blocks.len() {
+        let o = bi * META_BYTES;
+        let tag = PredictorTag::from_u8(body[o])
+            .ok_or_else(|| Error::corrupt("bad predictor tag"))?;
+        let n_out = u32::from_le_bytes(body[o + 1..o + 5].try_into().unwrap()) as usize;
+        let code_bytes = u32::from_le_bytes(body[o + 5..o + 9].try_into().unwrap()) as usize;
+        let mut coeffs = [0.0f32; 4];
+        for (c, chunk) in coeffs.iter_mut().zip(body[o + 9..o + 25].chunks(4)) {
+            *c = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        metas.push(Meta { tag, n_out, code_bytes, coeffs });
+    }
+
+    // Huffman table.
+    let (book, table_len) = Codebook::deserialize(&body[meta_len..])?;
+    let codes_start = meta_len + table_len;
+
+    // Slice boundaries for code streams and outliers.
+    let total_code_bytes: usize = metas.iter().map(|m| m.code_bytes).sum();
+    let total_outliers: usize = metas.iter().map(|m| m.n_out).sum();
+    let outliers_start = codes_start + total_code_bytes;
+    let outliers_end = outliers_start + total_outliers * 4;
+    if body.len() < outliers_end {
+        return Err(Error::corrupt("truncated payload"));
+    }
+    let mut code_offsets = Vec::with_capacity(blocks.len());
+    let mut outlier_offsets = Vec::with_capacity(blocks.len());
+    let (mut co, mut oo) = (codes_start, 0usize);
+    for m in &metas {
+        code_offsets.push(co);
+        outlier_offsets.push(oo);
+        co += m.code_bytes;
+        oo += m.n_out;
+    }
+
+    let mut out = vec![0.0f32; dims.len()];
+    let ptr = SendPtr(out.as_mut_ptr());
+    let out_len = out.len();
+    blocks
+        .par_iter()
+        .enumerate()
+        .try_for_each(|(bi, b)| -> Result<()> {
+            let m = &metas[bi];
+            let cs = &body[code_offsets[bi]..code_offsets[bi] + m.code_bytes];
+            let mut r = BitReader::new(cs);
+            let mut codes = Vec::with_capacity(b.cells());
+            for _ in 0..b.cells() {
+                codes.push(book.decode(&mut r)?);
+            }
+            let n_zero = codes.iter().filter(|&&c| c == 0).count();
+            if n_zero != m.n_out {
+                return Err(Error::corrupt("outlier count mismatch"));
+            }
+            let ostart = outliers_start + outlier_offsets[bi] * 4;
+            let outliers: Vec<f32> = body[ostart..ostart + m.n_out * 4]
+                .chunks(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let p = ptr;
+            // SAFETY: blocks are disjoint (see SendPtr) and the slice spans
+            // the whole array.
+            let slice = unsafe { std::slice::from_raw_parts_mut(p.0, out_len) };
+            block::decompress_block(
+                &codes, &outliers, m.tag, m.coeffs, ext, b, inf.eb_abs, inf.radius, slice,
+            );
+            Ok(())
+        })?;
+
+    // PW_REL epilogue: undo the log transform.
+    if let ErrorBound::PwRel(_) = inf.mode {
+        let n = dims.len();
+        let nbytes = n.div_ceil(8);
+        let mut pos = outliers_end;
+        if body.len() < pos + 2 * nbytes + 4 {
+            return Err(Error::corrupt("truncated PW_REL bitmaps"));
+        }
+        let sign = &body[pos..pos + nbytes];
+        pos += nbytes;
+        let special = &body[pos..pos + nbytes];
+        pos += nbytes;
+        let nspec = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if body.len() < pos + nspec * 4 {
+            return Err(Error::corrupt("truncated PW_REL specials"));
+        }
+        let specials: Vec<f32> = body[pos..pos + nspec * 4]
+            .chunks(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        out = pwrel::inverse(&out, sign, special, &specials);
+    }
+
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorKind;
+
+    fn sample_field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                (t * 0.01).sin() * 100.0 + (t * 0.001).cos() * 1000.0
+            })
+            .collect()
+    }
+
+    fn check_bound(orig: &[f32], rec: &[f32], eb: f64) {
+        for (a, b) in orig.iter().zip(rec) {
+            assert!((*a as f64 - *b as f64).abs() <= eb, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn abs_roundtrip_1d() {
+        let data = sample_field(10_000);
+        let cfg = SzConfig::abs(0.5);
+        let stream = compress(&data, Dims::D1(10_000), &cfg).unwrap();
+        let (rec, dims) = decompress(&stream).unwrap();
+        assert_eq!(dims, Dims::D1(10_000));
+        check_bound(&data, &rec, 0.5);
+        assert!(stream.len() < data.len() * 4, "no compression achieved");
+    }
+
+    #[test]
+    fn abs_roundtrip_3d() {
+        let data = sample_field(32 * 32 * 32);
+        let cfg = SzConfig::abs(0.1);
+        let stream = compress(&data, Dims::D3(32, 32, 32), &cfg).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        check_bound(&data, &rec, 0.1);
+    }
+
+    #[test]
+    fn rel_mode_scales_with_range() {
+        let data = sample_field(4096);
+        let range = foresight_util::stats::summarize(&data).range();
+        let cfg = SzConfig::rel(1e-3);
+        let stream = compress(&data, Dims::D1(4096), &cfg).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        check_bound(&data, &rec, 1e-3 * range + 1e-9);
+    }
+
+    #[test]
+    fn pwrel_mode_bounds_relative_error() {
+        let data: Vec<f32> = (0..5000)
+            .map(|i| {
+                let t = i as f32 * 0.01;
+                t.sin() * 10f32.powf((i % 7) as f32 - 3.0) * if i % 3 == 0 { -1.0 } else { 1.0 }
+            })
+            .collect();
+        let p = 0.05;
+        let cfg = SzConfig::pw_rel(p);
+        let stream = compress(&data, Dims::D1(5000), &cfg).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            if *a == 0.0 {
+                assert_eq!(*b, 0.0);
+            } else {
+                let rel = ((a - b) / a).abs();
+                assert!(rel <= p as f32 * 1.001, "{a} vs {b} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn lzss_backend_roundtrips_and_shrinks_smooth_data() {
+        let data = vec![7.25f32; 8192];
+        let mut cfg = SzConfig::abs(1e-4);
+        cfg.entropy = EntropyBackend::HuffmanLzss;
+        let stream = compress(&data, Dims::D1(8192), &cfg).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        check_bound(&data, &rec, 1e-4);
+        assert!(stream.len() < 2048, "len={}", stream.len());
+    }
+
+    #[test]
+    fn all_predictors_roundtrip() {
+        let data = sample_field(17 * 13 * 9);
+        for pred in [PredictorKind::Lorenzo, PredictorKind::Regression, PredictorKind::Adaptive] {
+            let cfg = SzConfig { predictor: pred, ..SzConfig::abs(0.2) };
+            let stream = compress(&data, Dims::D3(17, 13, 9), &cfg).unwrap();
+            let (rec, _) = decompress(&stream).unwrap();
+            check_bound(&data, &rec, 0.2);
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_detected() {
+        let data = sample_field(1024);
+        let stream = compress(&data, Dims::D1(1024), &SzConfig::abs(0.1)).unwrap();
+        // Flip a payload byte: CRC must catch it.
+        let mut bad = stream.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0xff;
+        assert!(decompress(&bad).is_err());
+        // Truncate: must error, not panic.
+        assert!(decompress(&stream[..stream.len() / 2]).is_err());
+        assert!(decompress(&stream[..10]).is_err());
+        // Wrong magic.
+        let mut bad = stream;
+        bad[0] = b'X';
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let stream = compress(&[], Dims::D1(0), &SzConfig::abs(0.1)).unwrap();
+        let (rec, dims) = decompress(&stream).unwrap();
+        assert!(rec.is_empty());
+        assert_eq!(dims, Dims::D1(0));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let data = vec![0.0f32; 10];
+        assert!(compress(&data, Dims::D1(11), &SzConfig::abs(0.1)).is_err());
+    }
+
+    #[test]
+    fn info_reports_header() {
+        let data = sample_field(2048);
+        let cfg = SzConfig::abs(0.25);
+        let stream = compress(&data, Dims::D1(2048), &cfg).unwrap();
+        let inf = info(&stream).unwrap();
+        assert_eq!(inf.dims, Dims::D1(2048));
+        assert_eq!(inf.eb_abs, 0.25);
+        assert_eq!(inf.block_size, cfg.block_size);
+    }
+
+    #[test]
+    fn constant_field_compresses_extremely_well() {
+        let data = vec![42.0f32; 64 * 64 * 64];
+        // Huffman alone floors at ~1 bit/value (ratio 32); the LZSS stage
+        // collapses the constant code stream far further.
+        let stream = compress(&data, Dims::D3(64, 64, 64), &SzConfig::abs(1e-3)).unwrap();
+        let ratio = (data.len() * 4) as f64 / stream.len() as f64;
+        assert!(ratio > 25.0, "huffman-only ratio {ratio}");
+        let mut cfg = SzConfig::abs(1e-3);
+        cfg.entropy = EntropyBackend::HuffmanLzss;
+        let stream = compress(&data, Dims::D3(64, 64, 64), &cfg).unwrap();
+        let ratio = (data.len() * 4) as f64 / stream.len() as f64;
+        assert!(ratio > 200.0, "lzss ratio {ratio}");
+        let (rec, _) = decompress(&stream).unwrap();
+        check_bound(&data, &rec, 1e-3);
+    }
+}

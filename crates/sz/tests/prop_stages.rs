@@ -1,0 +1,74 @@
+//! Property tests for the SZ pipeline's individual stages: Huffman
+//! coding, the LZSS backend, and the dual-quantization kernel.
+
+use lossy_sz::huffman::{histogram, Codebook};
+use lossy_sz::{compress_dualquant, decompress_dualquant, lossless, Dims};
+use foresight_util::bits::{BitReader, BitWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Huffman roundtrips arbitrary symbol streams (bounded alphabet).
+    #[test]
+    fn huffman_roundtrip(codes in prop::collection::vec(0u32..5000, 1..3000)) {
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &c in &codes {
+            prop_assert_eq!(book.decode(&mut r).unwrap(), c);
+        }
+    }
+
+    /// A serialized codebook decodes streams encoded by the original.
+    #[test]
+    fn huffman_table_portability(codes in prop::collection::vec(0u32..300, 1..500)) {
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut table = Vec::new();
+        book.serialize(&mut table);
+        let (book2, _) = Codebook::deserialize(&table).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &c in &codes {
+            prop_assert_eq!(book2.decode(&mut r).unwrap(), c);
+        }
+    }
+
+    /// LZSS roundtrips arbitrary byte streams exactly.
+    #[test]
+    fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let c = lossless::compress(&data);
+        let d = lossless::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// LZSS with repetitive structure compresses; random data expands
+    /// boundedly (flag-bit overhead is 1/8).
+    #[test]
+    fn lzss_expansion_bound(data in prop::collection::vec(any::<u8>(), 1..2000)) {
+        let c = lossless::compress(&data);
+        prop_assert!(c.len() <= 8 + data.len() + data.len() / 8 + 2);
+    }
+
+    /// Dual-quantization honors the ABS bound for arbitrary finite data.
+    #[test]
+    fn dualquant_bound(
+        data in prop::collection::vec(-1e7f32..1e7, 1..2000),
+        eb_exp in -4i32..3,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let s = compress_dualquant(&data, Dims::D1(data.len()), eb, 16).unwrap();
+        let (rec, _) = decompress_dualquant(&s).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb + 1e-9, "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: the SZ compressor's error-bound guarantee must hold for
+//! arbitrary finite inputs, bounds, and configurations.
+
+use lossy_sz::{compress, decompress, Dims, EntropyBackend, ErrorBound, PredictorKind, SzConfig};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1e6f32..1e6f32,
+        -1.0f32..1.0f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+        -1e-6f32..1e-6f32,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ABS mode: every reconstructed value within eb of the original.
+    #[test]
+    fn abs_bound_holds(
+        data in prop::collection::vec(finite_f32(), 1..2000),
+        eb_exp in -6i32..3,
+        pred_sel in 0u8..3,
+        lzss in any::<bool>(),
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let cfg = SzConfig {
+            mode: ErrorBound::Abs(eb),
+            predictor: match pred_sel {
+                0 => PredictorKind::Lorenzo,
+                1 => PredictorKind::Regression,
+                _ => PredictorKind::Adaptive,
+            },
+            block_size: 8,
+            entropy: if lzss { EntropyBackend::HuffmanLzss } else { EntropyBackend::Huffman },
+            radius: 1024,
+        };
+        let n = data.len();
+        let stream = compress(&data, Dims::D1(n), &cfg).unwrap();
+        let (rec, dims) = decompress(&stream).unwrap();
+        prop_assert_eq!(dims, Dims::D1(n));
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb, "{} vs {} (eb {})", a, b, eb);
+        }
+    }
+
+    /// 3-D arrays with awkward (non-multiple-of-block) extents roundtrip.
+    #[test]
+    fn abs_bound_holds_3d(
+        nx in 1usize..12, ny in 1usize..12, nz in 1usize..12,
+        seed in any::<u32>(),
+    ) {
+        let n = nx * ny * nz;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = (i as u32).wrapping_mul(seed | 1) as f32;
+                (t * 1e-5).sin() * 100.0
+            })
+            .collect();
+        let cfg = SzConfig { block_size: 4, ..SzConfig::abs(0.01) };
+        let stream = compress(&data, Dims::D3(nx, ny, nz), &cfg).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= 0.01);
+        }
+    }
+
+    /// PW_REL mode: relative error bounded for arbitrary signed data.
+    #[test]
+    fn pwrel_bound_holds(
+        data in prop::collection::vec(prop_oneof![-1e8f32..1e8f32, Just(0.0f32)], 1..500),
+        p_pct in 1u32..30,
+    ) {
+        let p = p_pct as f64 / 100.0;
+        let stream = compress(&data, Dims::D1(data.len()), &SzConfig::pw_rel(p)).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            } else {
+                let rel = ((*a as f64 - *b as f64) / *a as f64).abs();
+                prop_assert!(rel <= p * 1.001, "{} vs {} rel {}", a, b, rel);
+            }
+        }
+    }
+
+    /// Non-finite values always survive exactly.
+    #[test]
+    fn non_finite_exact(pos in 0usize..100, kind in 0u8..3) {
+        let mut data = vec![1.5f32; 100];
+        data[pos] = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let stream = compress(&data, Dims::D1(100), &SzConfig::abs(0.1)).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        if kind == 0 {
+            prop_assert!(rec[pos].is_nan());
+        } else {
+            prop_assert_eq!(rec[pos].to_bits(), data[pos].to_bits());
+        }
+    }
+
+    /// Truncating a stream anywhere must yield an error, never a panic.
+    #[test]
+    fn truncation_never_panics(cut_frac in 0.0f64..1.0) {
+        let data: Vec<f32> = (0..500).map(|i| (i as f32 * 0.1).cos()).collect();
+        let stream = compress(&data, Dims::D1(500), &SzConfig::abs(0.01)).unwrap();
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        if cut < stream.len() {
+            // Any outcome but a panic is acceptable; a correct result is
+            // impossible since bytes are missing.
+            prop_assert!(decompress(&stream[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Bit-granular stream I/O.
+//!
+//! Both compressors need sub-byte output: SZ's Huffman stage emits
+//! variable-length codes and ZFP's embedded coder emits individual
+//! significance bits. [`BitWriter`] and [`BitReader`] provide an LSB-first
+//! bit stream over a byte buffer: the first bit written is the lowest bit of
+//! the first byte. Up to 64 bits can be moved per call.
+
+use crate::error::{Error, Result};
+
+/// Accumulates bits LSB-first into a byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Partially-filled tail word.
+    acc: u64,
+    /// Number of valid bits in `acc` (0..64).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with capacity for roughly `nbytes` of output.
+    pub fn with_capacity(nbytes: usize) -> Self {
+        Self { buf: Vec::with_capacity(nbytes), acc: 0, nbits: 0 }
+    }
+
+    /// Appends the low `n` bits of `value` (`n <= 64`).
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        self.acc |= value << self.nbits;
+        let free = 64 - self.nbits;
+        if n < free {
+            self.nbits += n;
+        } else {
+            // `acc` is full: flush it and keep the spill-over.
+            let full = self.acc;
+            self.buf.extend_from_slice(&full.to_le_bytes());
+            self.acc = if free == 64 { 0 } else { value >> free };
+            self.nbits = n - free;
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        (self.buf.len() as u64) * 8 + self.nbits as u64
+    }
+
+    /// Pads with zero bits to the next byte boundary and returns the buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let nbytes = self.nbits.div_ceil(8) as usize;
+        let tail = self.acc.to_le_bytes();
+        self.buf.extend_from_slice(&tail[..nbytes]);
+        self.buf
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads the next `n` bits (`n <= 64`), erroring on stream exhaustion.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        if n <= 56 {
+            self.refill();
+            if self.nbits < n {
+                return Err(Error::corrupt("bit stream exhausted"));
+            }
+            let v = self.acc & ((1u64 << n) - 1);
+            self.acc >>= n;
+            self.nbits -= n;
+            Ok(v)
+        } else {
+            // Split large reads: low 32 bits then the rest.
+            let lo = self.read_bits(32)?;
+            let hi = self.read_bits(n - 32)?;
+            Ok(lo | (hi << 32))
+        }
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Number of bits still available.
+    pub fn remaining_bits(&self) -> u64 {
+        self.nbits as u64 + 8 * (self.data.len() - self.pos) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xff, 8);
+        w.write_bits(0, 5);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bits(5).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 9);
+        assert_eq!(w.bit_len(), 10);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_stream_errors() {
+        let bytes = [0xabu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xab);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn masks_high_bits_of_value() {
+        let mut w = BitWriter::new();
+        // Only the low 4 bits of 0xff must land in the stream.
+        w.write_bits(0xff, 4);
+        w.write_bits(0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0f]);
+    }
+
+    #[test]
+    fn zero_bit_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn interleaved_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn word_boundary_crossings() {
+        // Write 13-bit chunks so the accumulator boundary is crossed at
+        // varying offsets.
+        let vals: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) & 0x1fff).collect();
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_bits(v, 13);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.read_bits(13).unwrap(), v);
+        }
+    }
+}

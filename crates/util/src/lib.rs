@@ -1,0 +1,17 @@
+//! Shared low-level utilities for the Foresight reproduction workspace.
+//!
+//! This crate holds the pieces every other crate needs and nothing
+//! domain-specific: an error type, bit-granular stream I/O (used by both
+//! compressor crates), CRC32 checksums (used by the GIO-lite file format),
+//! chunked parallel helpers, wall-clock timers, running statistics, and a
+//! tiny ASCII table/CSV formatter used by the benchmark binaries.
+
+pub mod bits;
+pub mod crc;
+pub mod error;
+pub mod parallel;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use error::{Error, Result};

@@ -1,0 +1,138 @@
+//! Running statistics (Welford) and small numeric summaries.
+//!
+//! The paper reports averages and standard deviations over repeated kernel
+//! timings (Section V-C: 10 warm-up runs, 10 measured runs); [`Running`]
+//! accumulates those without storing samples. `summary` helpers compute the
+//! min/max/range facts Table II reports per field.
+
+/// Welford running mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Min/max/mean summary of a slice of `f32` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value (`+inf` for an empty slice).
+    pub min: f64,
+    /// Largest value (`-inf` for an empty slice).
+    pub max: f64,
+    /// Arithmetic mean (0 for an empty slice).
+    pub mean: f64,
+    /// Number of values.
+    pub count: usize,
+}
+
+impl Summary {
+    /// `max - min`; the value range used for REL error bounds.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Computes a [`Summary`] over `data`.
+pub fn summarize(data: &[f32]) -> Summary {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for &x in data {
+        let x = x as f64;
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+    }
+    Summary {
+        min,
+        max,
+        mean: if data.is_empty() { 0.0 } else { sum / data.len() as f64 },
+        count: data.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        let mut r = Running::new();
+        r.push(42.0);
+        assert_eq!(r.mean(), 42.0);
+        assert_eq!(r.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, -3.0, 2.0]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 0.0).abs() < 1e-12);
+        assert_eq!(s.range(), 5.0);
+    }
+
+    #[test]
+    fn summarize_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.min.is_infinite() && s.max.is_infinite());
+    }
+}

@@ -1,0 +1,152 @@
+//! ASCII table and CSV emitters for the benchmark binaries.
+//!
+//! Every `figN`/`tableN` regenerator prints a human-readable table to stdout
+//! and writes the same rows as CSV so EXPERIMENTS.md (and any plotting tool)
+//! can consume them. This module is deliberately tiny: column alignment and
+//! CSV quoting, nothing more.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// An in-memory table: a header row plus data rows of equal width.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; panics if the width differs from the header.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+-{}-", "-".repeat(*w));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for i in 0..ncols {
+                let _ = write!(out, "| {:w$} ", row[i], w = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing `,`, `"`, newline).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut emit = |row: &[String]| {
+            let line: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&self.header);
+        for row in &self.rows {
+            emit(row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_renders_aligned() {
+        let mut t = Table::new(["field", "psnr"]);
+        t.push_row(["baryon_density", "88.45"]);
+        t.push_row(["vz", "102.3"]);
+        let s = t.to_ascii();
+        assert!(s.contains("| field          | psnr  |"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"he said \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.5), "1.5000");
+        assert!(fmt_f64(2e-6).contains('e'));
+        assert!(fmt_f64(2e7).contains('e'));
+    }
+}

@@ -1,0 +1,94 @@
+//! Wall-clock timing and throughput formatting.
+//!
+//! The throughput experiments (paper Figs. 7–10) need both real measured
+//! times (our CPU backends) and simulated times (the GPU model). [`Timer`]
+//! covers the former; [`throughput_gbs`] converts either into the GB/s units
+//! the paper plots.
+
+use std::time::{Duration, Instant};
+
+/// Simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer {
+    /// Starts a timer.
+    pub fn new() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Seconds elapsed since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed `Duration`.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Timer::new();
+    let r = f();
+    (r, t.elapsed_secs())
+}
+
+/// Converts `(bytes, seconds)` into GB/s (decimal GB, as the paper uses).
+pub fn throughput_gbs(bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / 1e9 / seconds
+}
+
+/// Formats a byte count with binary-ish units for human-readable reports.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KB", "MB", "GB", "TB", "PB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1000.0 && unit < UNITS.len() - 1 {
+        v /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        assert!((throughput_gbs(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert!((throughput_gbs(500_000_000, 0.25) - 2.0).abs() < 1e-12);
+        assert!(throughput_gbs(1, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(1_500), "1.50 KB");
+        assert_eq!(format_bytes(6_600_000_000), "6.60 GB");
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let (sum, secs) = time(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(sum, 4999950000);
+        assert!(secs >= 0.0);
+    }
+}

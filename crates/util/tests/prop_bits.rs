@@ -1,0 +1,69 @@
+//! Property tests for the bitstream and CRC utilities.
+
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::crc::crc32;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any sequence of (value, width) writes reads back identically.
+    #[test]
+    fn bitstream_roundtrip(ops in prop::collection::vec((any::<u64>(), 1u32..=64), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &ops {
+            w.write_bits(v, n);
+        }
+        let total_bits: u64 = ops.iter().map(|&(_, n)| n as u64).sum();
+        prop_assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.clone().into_bytes();
+        prop_assert_eq!(bytes.len() as u64, total_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &ops {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+    }
+
+    /// Reading more bits than written must fail, never wrap or panic.
+    #[test]
+    fn bitstream_overread_errors(nbits in 0u32..100) {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, nbits.min(64));
+        if nbits > 64 {
+            w.write_bits(u64::MAX, nbits - 64);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // Consume the padded stream fully, then one more bit must error.
+        let padded = (nbits as u64).div_ceil(8) * 8;
+        let mut left = padded;
+        while left > 0 {
+            let take = left.min(64) as u32;
+            r.read_bits(take).unwrap();
+            left -= take as u64;
+        }
+        prop_assert!(r.read_bits(1).is_err());
+    }
+
+    /// CRC32 is deterministic and sensitive to order.
+    #[test]
+    fn crc_deterministic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(crc32(&data), crc32(&data));
+        if data.len() >= 2 && data.first() != data.last() {
+            let mut rev = data.clone();
+            rev.reverse();
+            prop_assert_ne!(crc32(&rev), crc32(&data));
+        }
+    }
+
+    /// Concatenation under streaming equals one-shot.
+    #[test]
+    fn crc_streaming(a in prop::collection::vec(any::<u8>(), 0..256),
+                     b in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut h = foresight_util::crc::Crc32::new();
+        h.update(&a);
+        h.update(&b);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        prop_assert_eq!(h.finish(), crc32(&joined));
+    }
+}

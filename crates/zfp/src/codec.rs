@@ -1,0 +1,486 @@
+//! Per-block ZFP codec: fixed-point cast, sequency reorder, and the
+//! embedded bit-plane coder.
+//!
+//! A block is `4^d` values (d = 1, 2, 3). Encoding steps:
+//!
+//! 1. **Common-exponent cast** — find the block's largest magnitude, derive
+//!    exponent `emax` with `max < 2^emax`, and scale every value by
+//!    `2^(30 - emax)` into `i32` fixed point (so `|q| < 2^30`, leaving
+//!    headroom for the transform).
+//! 2. **Decorrelating transform** — [`crate::lift`].
+//! 3. **Sequency reorder** — coefficients sorted by total degree `i+j+k`
+//!    so low-frequency (large) coefficients come first.
+//! 4. **Negabinary** — signed to unsigned, magnitude-ordered bit planes.
+//! 5. **Embedded coding** — planes emitted MSB-first; within a plane, bits
+//!    of already-significant coefficients are sent verbatim and the rest
+//!    run-length coded with unary group tests, stopping when the bit
+//!    budget (`maxbits`) or the precision floor (`maxprec`) is reached.
+//!
+//! The header spends 1 bit on an all-zero flag plus 8 bits of biased
+//! exponent; both count against the budget, exactly as in cuZFP.
+
+use crate::lift;
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::Result;
+use std::sync::OnceLock;
+
+/// Bit planes in an `i32` coefficient.
+pub const INTPREC: u32 = 32;
+/// Header bits: all-zero flag + biased exponent.
+pub const HEADER_BITS: u32 = 9;
+
+/// Values per block for dimensionality `d`.
+#[inline]
+pub fn block_cells(d: u8) -> usize {
+    4usize.pow(d as u32)
+}
+
+/// Sequency permutation: `perm[d][rank] = block-local index`.
+fn perm(d: u8) -> &'static [u16] {
+    static P1: OnceLock<Vec<u16>> = OnceLock::new();
+    static P2: OnceLock<Vec<u16>> = OnceLock::new();
+    static P3: OnceLock<Vec<u16>> = OnceLock::new();
+    let build = |d: u8| -> Vec<u16> {
+        let n = block_cells(d);
+        let mut idx: Vec<u16> = (0..n as u16).collect();
+        let degree = |i: u16| -> (u16, u16) {
+            let i = i as usize;
+            let (x, y, z) = (i % 4, (i / 4) % 4, i / 16);
+            ((x + y + z) as u16, i as u16)
+        };
+        idx.sort_by_key(|&i| degree(i));
+        idx
+    };
+    match d {
+        1 => P1.get_or_init(|| build(1)),
+        2 => P2.get_or_init(|| build(2)),
+        _ => P3.get_or_init(|| build(3)),
+    }
+}
+
+/// Exponent `e` with `|x| < 2^e` (frexp-style); `i32::MIN` for zero input.
+#[inline]
+fn exponent(x: f32) -> i32 {
+    if x == 0.0 {
+        i32::MIN
+    } else {
+        // frexp: x = m * 2^e with 0.5 <= |m| < 1. Computed in f64 so the
+        // power-of-two guards never overflow for extreme f32 inputs.
+        let a = x.abs() as f64;
+        let e = (a.log2().floor() as i32) + 1;
+        if a >= f64_pow2(e) {
+            e + 1
+        } else if a < f64_pow2(e - 1) {
+            e - 1
+        } else {
+            e
+        }
+    }
+}
+
+/// `2^e` in f64 (exact for |e| < 1023; the codec clamps far inside that).
+fn f64_pow2(e: i32) -> f64 {
+    f64::powi(2.0, e)
+}
+
+/// Number of bit planes to keep so truncation error stays below `tol`.
+///
+/// Truncating negabinary planes below `kmin` perturbs a coefficient by at
+/// most `2^(kmin+1)` integer units; the inverse transform amplifies by at
+/// most `2^d`, and an integer unit is worth `2^(emax-30)`. Solving
+/// `2^(kmin+1+d+emax-30) <= tol` for `kmin` gives the plane cut-off.
+fn maxprec_from_emax(emax: i32, tol: f64, d: u8) -> u32 {
+    if tol <= 0.0 || tol.is_nan() || tol.is_infinite() {
+        return INTPREC;
+    }
+    let kmin = (tol.log2().floor() as i32) - emax + 30 - (d as i32 + 1);
+    let kmin = kmin.clamp(0, INTPREC as i32);
+    (INTPREC as i32 - kmin) as u32
+}
+
+/// Encoder-side precision for fixed-accuracy mode, from the block max.
+pub fn maxprec_for_tolerance(vmax: f32, tol: f64, d: u8) -> u32 {
+    if vmax == 0.0 {
+        return INTPREC; // all-zero block: precision is irrelevant
+    }
+    let emax = exponent(vmax).clamp(-127, 128);
+    maxprec_from_emax(emax, tol, d)
+}
+
+/// Decoder-side precision for fixed-accuracy mode: peeks the block header
+/// (`skip` bits into `bytes`) to recover `emax` without consuming the
+/// caller's reader.
+pub fn peek_maxprec_for_accuracy(bytes: &[u8], skip: u32, tol: f64, d: u8) -> Result<u32> {
+    let mut r = BitReader::new(bytes);
+    r.read_bits(skip)?;
+    if !r.read_bit()? {
+        return Ok(INTPREC); // zero block
+    }
+    let emax = r.read_bits(8)? as i32 - 127;
+    Ok(maxprec_from_emax(emax, tol, d))
+}
+
+/// Encodes one block of `4^d` f32 values into `w` under a bit budget.
+///
+/// Returns the number of bits written (always exactly `maxbits` when
+/// `pad_to_maxbits` is set, as fixed-rate mode requires).
+pub fn encode_block(
+    values: &[f32],
+    d: u8,
+    maxbits: u32,
+    maxprec: u32,
+    pad_to_maxbits: bool,
+    w: &mut BitWriter,
+) -> u32 {
+    let n = block_cells(d);
+    debug_assert_eq!(values.len(), n);
+    debug_assert!(maxbits >= HEADER_BITS);
+    let start = w.bit_len();
+
+    // Largest finite magnitude; non-finite inputs are clamped to the f32
+    // max so the cast stays defined (ZFP has the same caveat).
+    let mut vmax = 0.0f32;
+    for &v in values {
+        let a = if v.is_finite() { v.abs() } else { f32::MAX };
+        vmax = vmax.max(a);
+    }
+    if vmax == 0.0 {
+        w.write_bit(false); // all-zero block
+        let mut used = 1;
+        if pad_to_maxbits {
+            while used < maxbits {
+                let chunk = (maxbits - used).min(64);
+                w.write_bits(0, chunk);
+                used += chunk;
+            }
+        }
+        return (w.bit_len() - start) as u32;
+    }
+    // emax in [-127, 128] stored with bias 127 -> [0, 255] in 8 bits.
+    let emax = exponent(vmax).clamp(-127, 128);
+    w.write_bit(true);
+    w.write_bits((emax + 127) as u64, 8);
+
+    // Fixed-point cast with |q| < 2^30, in f64 so the scale never
+    // overflows even for denormal-dominated blocks.
+    let scale = f64_pow2(30 - emax);
+    let mut q = [0i32; 64];
+    for (qi, &v) in q[..n].iter_mut().zip(values) {
+        let x = if v.is_finite() { v } else { v.signum() * f32::MAX };
+        *qi = (x as f64 * scale).clamp(-(1i64 << 30) as f64 + 1.0, (1i64 << 30) as f64 - 1.0)
+            as i32;
+    }
+    lift::fwd_xform(&mut q[..n], d);
+
+    // Reorder + negabinary.
+    let p = perm(d);
+    let mut u = [0u32; 64];
+    for i in 0..n {
+        u[i] = lift::int2uint(q[p[i] as usize]);
+    }
+
+    // Embedded coding.
+    let mut bits = maxbits - HEADER_BITS;
+    let kmin = INTPREC.saturating_sub(maxprec);
+    let mut sig = 0usize; // number of coefficients known significant
+    let mut k = INTPREC;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        // Gather plane k into an n-bit word.
+        let mut x = 0u64;
+        for (i, &ui) in u[..n].iter().enumerate() {
+            x |= (((ui >> k) & 1) as u64) << i;
+        }
+        // Verbatim bits for known-significant coefficients.
+        let m = (sig as u32).min(bits);
+        bits -= m;
+        w.write_bits(x, m);
+        x = if m >= 64 { 0 } else { x >> m };
+        // Unary group tests for the rest.
+        while sig < n && bits > 0 {
+            bits -= 1;
+            let any = x != 0;
+            w.write_bit(any);
+            if !any {
+                break;
+            }
+            while sig < n - 1 && bits > 0 {
+                bits -= 1;
+                let b = x & 1 != 0;
+                w.write_bit(b);
+                if b {
+                    break;
+                }
+                x >>= 1;
+                sig += 1;
+            }
+            x >>= 1;
+            sig += 1;
+        }
+    }
+    let mut used = (w.bit_len() - start) as u32;
+    if pad_to_maxbits {
+        while used < maxbits {
+            let chunk = (maxbits - used).min(64);
+            w.write_bits(0, chunk);
+            used += chunk;
+        }
+    }
+    used
+}
+
+/// Decodes one block; the mirror of [`encode_block`].
+///
+/// Consumes exactly `maxbits` bits when `consume_maxbits` is set (fixed
+/// rate); otherwise consumes only what the encoder emitted for this block.
+pub fn decode_block(
+    r: &mut BitReader<'_>,
+    d: u8,
+    maxbits: u32,
+    maxprec: u32,
+    consume_maxbits: bool,
+    out: &mut [f32],
+) -> Result<u32> {
+    let n = block_cells(d);
+    debug_assert_eq!(out.len(), n);
+    let mut used = 1u32;
+    if !r.read_bit()? {
+        out.fill(0.0);
+        if consume_maxbits {
+            let mut left = maxbits - used;
+            while left > 0 {
+                let chunk = left.min(64);
+                r.read_bits(chunk)?;
+                left -= chunk;
+            }
+            used = maxbits;
+        }
+        return Ok(used);
+    }
+    let emax = r.read_bits(8)? as i32 - 127;
+    used += 8;
+
+    let mut u = [0u32; 64];
+    let mut bits = maxbits - HEADER_BITS;
+    let kmin = INTPREC.saturating_sub(maxprec);
+    let mut sig = 0usize;
+    let mut k = INTPREC;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        let m = (sig as u32).min(bits);
+        bits -= m;
+        let mut x = r.read_bits(m)?;
+        used += m;
+        let mut pos = sig; // next untested coefficient
+        while pos < n && bits > 0 {
+            bits -= 1;
+            used += 1;
+            if !r.read_bit()? {
+                break;
+            }
+            while pos < n - 1 && bits > 0 {
+                bits -= 1;
+                used += 1;
+                if r.read_bit()? {
+                    break;
+                }
+                pos += 1;
+            }
+            x |= 1u64 << pos;
+            pos += 1;
+        }
+        sig = sig.max(pos);
+        // Deposit the plane.
+        let mut i = 0;
+        let mut xx = x;
+        while xx != 0 {
+            u[i] |= ((xx & 1) as u32) << k;
+            xx >>= 1;
+            i += 1;
+        }
+    }
+
+    // Undo negabinary + reorder + transform + cast.
+    let p = perm(d);
+    let mut q = [0i32; 64];
+    for i in 0..n {
+        q[p[i] as usize] = lift::uint2int(u[i]);
+    }
+    lift::inv_xform(&mut q[..n], d);
+    let scale = f64_pow2(emax - 30);
+    for (o, &qi) in out.iter_mut().zip(&q[..n]) {
+        *o = (qi as f64 * scale) as f32;
+    }
+
+    if consume_maxbits {
+        let mut left = maxbits - used;
+        while left > 0 {
+            let chunk = left.min(64);
+            r.read_bits(chunk)?;
+            left -= chunk;
+        }
+        used = maxbits;
+    }
+    Ok(used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f32], d: u8, maxbits: u32) -> Vec<f32> {
+        let mut w = BitWriter::new();
+        let used = encode_block(values, d, maxbits, INTPREC, true, &mut w);
+        assert_eq!(used, maxbits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0.0f32; values.len()];
+        let consumed = decode_block(&mut r, d, maxbits, INTPREC, true, &mut out).unwrap();
+        assert_eq!(consumed, maxbits);
+        out
+    }
+
+    #[test]
+    fn perm_is_a_permutation_sorted_by_degree() {
+        for d in 1..=3u8 {
+            let p = perm(d);
+            let n = block_cells(d);
+            assert_eq!(p.len(), n);
+            let mut seen = vec![false; n];
+            let mut last_deg = 0;
+            for &i in p {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+                let i = i as usize;
+                let deg = i % 4 + (i / 4) % 4 + i / 16;
+                assert!(deg >= last_deg, "degree must be non-decreasing");
+                last_deg = deg;
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_brackets_magnitude() {
+        for &x in &[1.0f32, 0.5, 2.0, 3.7, 1e-20, 1e20, 0.99999, 1.00001] {
+            let e = exponent(x);
+            assert!((x.abs() as f64) < f64_pow2(e), "x={x} e={e}");
+            assert!((x.abs() as f64) >= f64_pow2(e - 1), "x={x} e={e}");
+        }
+        assert_eq!(exponent(0.0), i32::MIN);
+    }
+
+    #[test]
+    fn zero_block_roundtrips() {
+        let v = vec![0.0f32; 64];
+        let out = roundtrip(&v, 3, 64);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn generous_budget_is_near_lossless() {
+        let v: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 100.0).collect();
+        // 32 planes * 64 values + header is a loose upper bound.
+        let out = roundtrip(&v, 3, 9 + 64 * 33 + 64);
+        for (a, b) in v.iter().zip(&out) {
+            let tol = a.abs().max(1.0) * 1e-6;
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_rate() {
+        let v: Vec<f32> = (0..64)
+            .map(|i| {
+                let (x, y, z) = ((i % 4) as f32, ((i / 4) % 4) as f32, (i / 16) as f32);
+                (x * 0.5 + y * 0.3 + z * 0.2).sin() * 1000.0
+            })
+            .collect();
+        let mut prev_err = f64::INFINITY;
+        for rate in [2u32, 4, 8, 16] {
+            let out = roundtrip(&v, 3, rate * 64);
+            let err: f64 =
+                v.iter().zip(&out).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>();
+            assert!(err <= prev_err * 1.5, "rate {rate}: err {err} vs prev {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1.0, "high rate should be accurate, got {prev_err}");
+    }
+
+    #[test]
+    fn d1_and_d2_blocks() {
+        let v4: Vec<f32> = vec![1.0, -2.0, 3.5, 10.0];
+        let out = roundtrip(&v4, 1, 9 + 4 * 33 + 16);
+        for (a, b) in v4.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        let v16: Vec<f32> = (0..16).map(|i| i as f32 * 2.0 - 16.0).collect();
+        let out = roundtrip(&v16, 2, 9 + 16 * 33 + 32);
+        for (a, b) in v16.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_produces_plausible_block() {
+        // 16 bits for 64 values: only the DC scale survives, but decode
+        // must not error and magnitudes must stay in the data's ballpark.
+        let v = vec![100.0f32; 64];
+        let out = roundtrip(&v, 3, 16);
+        for &b in &out {
+            assert!(b.abs() <= 256.0, "decoded {b} from constant-100 block");
+        }
+    }
+
+    #[test]
+    fn maxprec_truncates_planes() {
+        let v: Vec<f32> = (0..64).map(|i| (i as f32).sqrt() * 10.0).collect();
+        let mut w = BitWriter::new();
+        let used_full = encode_block(&v, 3, 1 << 16, INTPREC, false, &mut w);
+        let mut w2 = BitWriter::new();
+        let used_low = encode_block(&v, 3, 1 << 16, 8, false, &mut w2);
+        assert!(used_low < used_full);
+        let bytes = w2.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0.0f32; 64];
+        decode_block(&mut r, 3, 1 << 16, 8, false, &mut out).unwrap();
+        // 8 planes on |v| < 2^7: quantization steps of 2^(7-8+1) = 1,
+        // amplified by up to ~2^3 through the 3-D inverse transform.
+        for (a, b) in v.iter().zip(&out) {
+            assert!((a - b).abs() < 32.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn variable_length_blocks_chain() {
+        // Without padding, consecutive blocks must decode back-to-back.
+        let blocks: Vec<Vec<f32>> = (0..5)
+            .map(|b| (0..64).map(|i| ((b * 64 + i) as f32 * 0.11).cos() * 50.0).collect())
+            .collect();
+        let mut w = BitWriter::new();
+        let mut lens = Vec::new();
+        for b in &blocks {
+            lens.push(encode_block(b, 3, 1 << 16, 16, false, &mut w));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (b, &len) in blocks.iter().zip(&lens) {
+            let mut out = vec![0.0f32; 64];
+            let used = decode_block(&mut r, 3, 1 << 16, 16, false, &mut out).unwrap();
+            assert_eq!(used, len);
+            // 16 planes on |v| <= 64 leaves quantization steps of a few
+            // times 2^(emax-16) ~ 0.004, amplified by the 3-D transform.
+            for (a, o) in b.iter().zip(&out) {
+                assert!((a - o).abs() < 0.1, "{a} vs {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_panic() {
+        let mut v = vec![1.0f32; 64];
+        v[0] = f32::NAN;
+        v[1] = f32::INFINITY;
+        let out = roundtrip(&v, 3, 64 * 8);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,466 @@
+//! ZFP compressed-stream container and parallel drivers.
+//!
+//! Fixed-rate mode (the only mode cuZFP supported at the time of the paper,
+//! §IV-B-1) gives every block exactly `rate * 4^d` bits, so block `i`
+//! starts at bit `i * maxbits` and blocks (de)compress in parallel with no
+//! side table. Fixed-precision and fixed-accuracy modes produce
+//! variable-length blocks; their per-block bit lengths are stored in the
+//! header so decoding stays parallel.
+//!
+//! Partial edge blocks are padded by replicating the nearest interior
+//! sample, which avoids injecting artificial discontinuities.
+
+use crate::codec::{self, HEADER_BITS, INTPREC};
+use crate::config::{Dims3, ZfpConfig, ZfpMode};
+use foresight_util::bits::{BitReader, BitWriter};
+use foresight_util::crc::crc32;
+use foresight_util::{Error, Result};
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"ZFPR";
+const VERSION: u8 = 1;
+
+/// A block's position in the (up to) 3-D block grid.
+#[derive(Debug, Clone, Copy)]
+struct BlockPos {
+    origin: [usize; 3],
+}
+
+fn block_grid(dims: Dims3) -> (Vec<BlockPos>, u8) {
+    let d = dims.ndim();
+    let [nx, ny, nz] = dims.extents();
+    let mut blocks = Vec::new();
+    let step = |n: usize| n.div_ceil(4);
+    for bz in 0..step(nz) {
+        for by in 0..step(ny) {
+            for bx in 0..step(nx) {
+                blocks.push(BlockPos { origin: [bx * 4, by * 4, bz * 4] });
+            }
+        }
+    }
+    (blocks, d)
+}
+
+/// Gathers a `4^d` block, replicating edge samples for partial blocks.
+fn gather(data: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
+    let [nx, ny, nz] = dims.extents();
+    let (ex, ey, ez) = match d {
+        1 => (4usize, 1usize, 1usize),
+        2 => (4, 4, 1),
+        _ => (4, 4, 4),
+    };
+    let mut i = 0;
+    for dz in 0..ez {
+        let z = (pos.origin[2] + dz).min(nz - 1);
+        for dy in 0..ey {
+            let y = (pos.origin[1] + dy).min(ny - 1);
+            let row = nx * (y + ny * z);
+            for dx in 0..ex {
+                let x = (pos.origin[0] + dx).min(nx - 1);
+                out[i] = data[row + x];
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Scatters decoded samples back, skipping replicated padding.
+fn scatter(block: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
+    let [nx, ny, nz] = dims.extents();
+    let (ex, ey, ez) = match d {
+        1 => (4usize, 1usize, 1usize),
+        2 => (4, 4, 1),
+        _ => (4, 4, 4),
+    };
+    let mut i = 0;
+    for dz in 0..ez {
+        let z = pos.origin[2] + dz;
+        for dy in 0..ey {
+            let y = pos.origin[1] + dy;
+            for dx in 0..ex {
+                let x = pos.origin[0] + dx;
+                if x < nx && y < ny && z < nz {
+                    out[x + nx * (y + ny * z)] = block[i];
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Per-mode encoding parameters for one block.
+fn block_params(cfg: &ZfpConfig, d: u8, values: &[f32]) -> (u32, u32, bool) {
+    let cells = codec::block_cells(d) as u32;
+    match cfg.mode {
+        ZfpMode::FixedRate(rate) => {
+            let maxbits = ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1);
+            (maxbits, INTPREC, true)
+        }
+        ZfpMode::FixedPrecision(p) => {
+            (HEADER_BITS + INTPREC * (cells + 2), p.min(INTPREC), false)
+        }
+        ZfpMode::FixedAccuracy(tol) => {
+            let mut vmax = 0.0f32;
+            for &v in values {
+                if v.is_finite() {
+                    vmax = vmax.max(v.abs());
+                }
+            }
+            let maxprec = codec::maxprec_for_tolerance(vmax, tol, d);
+            (HEADER_BITS + INTPREC * (cells + 2), maxprec, false)
+        }
+    }
+}
+
+/// Compresses `data` (layout per [`Dims3`]) with `cfg`.
+pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
+    cfg.validate()?;
+    if data.len() != dims.len() {
+        return Err(Error::invalid(format!(
+            "data length {} does not match dims {:?}",
+            data.len(),
+            dims
+        )));
+    }
+    let (blocks, d) = block_grid(dims);
+    let cells = codec::block_cells(d);
+
+    // Encode every block independently (parallel), then splice bit-exactly.
+    let encoded: Vec<(Vec<u8>, u32)> = blocks
+        .par_iter()
+        .map(|pos| {
+            let mut vals = vec![0.0f32; cells];
+            gather(data, dims, pos, d, &mut vals);
+            let (maxbits, maxprec, pad) = block_params(cfg, d, &vals);
+            let mut w = BitWriter::new();
+            let used = codec::encode_block(&vals, d, maxbits, maxprec, pad, &mut w);
+            (w.into_bytes(), used)
+        })
+        .collect();
+
+    let mut payload = BitWriter::with_capacity(encoded.iter().map(|(b, _)| b.len()).sum());
+    for (bytes, nbits) in &encoded {
+        append_bits(&mut payload, bytes, *nbits as u64);
+    }
+    let payload = payload.into_bytes();
+    let crc = crc32(&payload);
+
+    let mut out = Vec::with_capacity(payload.len() + 64 + encoded.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(cfg.mode.tag());
+    out.push(dims.ndim());
+    out.push(0); // reserved
+    for e in dims.extents() {
+        out.extend_from_slice(&(e as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&cfg.mode.param().to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    if !matches!(cfg.mode, ZfpMode::FixedRate(_)) {
+        for (_, nbits) in &encoded {
+            out.extend_from_slice(&nbits.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Appends the first `nbits` bits of `bytes` to `w`.
+fn append_bits(w: &mut BitWriter, bytes: &[u8], nbits: u64) {
+    let full = (nbits / 8) as usize;
+    for &b in &bytes[..full] {
+        w.write_bits(b as u64, 8);
+    }
+    let rem = (nbits % 8) as u32;
+    if rem > 0 {
+        w.write_bits(bytes[full] as u64, rem);
+    }
+}
+
+/// Parsed stream header.
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// Logical dimensions.
+    pub dims: Dims3,
+    /// Mode with its parameter.
+    pub mode: ZfpMode,
+    nblocks: u64,
+    payload_len: u64,
+    crc: u32,
+    lens_offset: usize,
+}
+
+/// Parses a stream header.
+pub fn info(stream: &[u8]) -> Result<StreamInfo> {
+    const HDR: usize = 4 + 4 + 24 + 8 + 8 + 8 + 4;
+    if stream.len() < HDR {
+        return Err(Error::corrupt("stream shorter than header"));
+    }
+    if &stream[..4] != MAGIC {
+        return Err(Error::corrupt("bad magic (not a ZFPR stream)"));
+    }
+    if stream[4] != VERSION {
+        return Err(Error::corrupt(format!("unsupported version {}", stream[4])));
+    }
+    let mode_tag = stream[5];
+    let ndim = stream[6];
+    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
+    let nx = rd_u64(8) as usize;
+    let ny = rd_u64(16) as usize;
+    let nz = rd_u64(24) as usize;
+    let dims = match ndim {
+        1 => Dims3::D1(nx),
+        2 => Dims3::D2(nx, ny),
+        3 => Dims3::D3(nx, ny, nz),
+        v => return Err(Error::corrupt(format!("bad ndim {v}"))),
+    };
+    let param = f64::from_le_bytes(stream[32..40].try_into().unwrap());
+    let mode = ZfpMode::from_tag(mode_tag, param)
+        .ok_or_else(|| Error::corrupt(format!("bad mode {mode_tag}")))?;
+    Ok(StreamInfo {
+        dims,
+        mode,
+        nblocks: rd_u64(40),
+        payload_len: rd_u64(48),
+        crc: u32::from_le_bytes(stream[56..60].try_into().unwrap()),
+        lens_offset: HDR,
+    })
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
+    let inf = info(stream)?;
+    let dims = inf.dims;
+    let (blocks, d) = block_grid(dims);
+    if blocks.len() as u64 != inf.nblocks {
+        return Err(Error::corrupt("block count mismatch"));
+    }
+    let cells = codec::block_cells(d);
+
+    // Per-block bit offsets.
+    let fixed_rate = matches!(inf.mode, ZfpMode::FixedRate(_));
+    let (bit_offsets, bit_lens, payload_start): (Vec<u64>, Vec<u32>, usize) = if fixed_rate {
+        let maxbits = match inf.mode {
+            ZfpMode::FixedRate(rate) => {
+                ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1)
+            }
+            _ => unreachable!(),
+        };
+        let offs = (0..blocks.len() as u64).map(|i| i * maxbits as u64).collect();
+        (offs, vec![maxbits; blocks.len()], inf.lens_offset)
+    } else {
+        let need = inf.lens_offset + blocks.len() * 4;
+        if stream.len() < need {
+            return Err(Error::corrupt("truncated block length table"));
+        }
+        let mut lens = Vec::with_capacity(blocks.len());
+        for i in 0..blocks.len() {
+            let o = inf.lens_offset + i * 4;
+            lens.push(u32::from_le_bytes(stream[o..o + 4].try_into().unwrap()));
+        }
+        let mut offs = Vec::with_capacity(blocks.len());
+        let mut acc = 0u64;
+        for &l in &lens {
+            offs.push(acc);
+            acc += l as u64;
+        }
+        (offs, lens, need)
+    };
+
+    if stream.len() < payload_start || (stream.len() - payload_start) as u64 != inf.payload_len {
+        return Err(Error::corrupt("payload length mismatch"));
+    }
+    let payload = &stream[payload_start..];
+    if crc32(payload) != inf.crc {
+        return Err(Error::corrupt("payload CRC mismatch"));
+    }
+    let total_bits: u64 = bit_lens.iter().map(|&l| l as u64).sum();
+    if total_bits.div_ceil(8) > inf.payload_len {
+        return Err(Error::corrupt("payload shorter than block bits"));
+    }
+
+    let mut out = vec![0.0f32; dims.len()];
+    // Decode blocks in parallel into local buffers, then scatter serially
+    // (scatter touches interleaved rows, so keep it simple and safe).
+    let decoded: Vec<Result<Vec<f32>>> = blocks
+        .par_iter()
+        .enumerate()
+        .map(|(bi, _)| {
+            let bit_off = bit_offsets[bi];
+            let byte = (bit_off / 8) as usize;
+            let skip = (bit_off % 8) as u32;
+            let mut r = BitReader::new(&payload[byte..]);
+            r.read_bits(skip)?;
+            let mut vals = vec![0.0f32; cells];
+            let (maxbits, maxprec) = match inf.mode {
+                ZfpMode::FixedRate(_) => (bit_lens[bi], INTPREC),
+                ZfpMode::FixedPrecision(p) => (bit_lens[bi], p.min(INTPREC)),
+                // Accuracy mode derives per-block precision from emax; the
+                // encoder stored the exact bit length, so cap by it and let
+                // the codec recompute maxprec from the stream's emax.
+                ZfpMode::FixedAccuracy(tol) => {
+                    let used =
+                        codec::peek_maxprec_for_accuracy(&payload[byte..], skip, tol, d)?;
+                    (bit_lens[bi], used)
+                }
+            };
+            let consumed =
+                codec::decode_block(&mut r, d, maxbits, maxprec, fixed_rate, &mut vals)?;
+            if !fixed_rate && consumed != bit_lens[bi] {
+                return Err(Error::corrupt(format!(
+                    "block {bi} consumed {consumed} bits, expected {}",
+                    bit_lens[bi]
+                )));
+            }
+            Ok(vals)
+        })
+        .collect();
+    for (bi, dec) in decoded.into_iter().enumerate() {
+        scatter(&dec?, dims, &blocks[bi], d, &mut out);
+    }
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_3d(n: usize) -> Vec<f32> {
+        (0..n * n * n)
+            .map(|i| {
+                let x = (i % n) as f32 / n as f32;
+                let y = ((i / n) % n) as f32 / n as f32;
+                let z = (i / (n * n)) as f32 / n as f32;
+                ((x * 6.3).sin() + (y * 4.1).cos() + z * 2.0) * 100.0
+            })
+            .collect()
+    }
+
+    fn psnr(orig: &[f32], rec: &[f32]) -> f64 {
+        let range = {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in orig {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (hi - lo) as f64
+        };
+        let mse: f64 = orig
+            .iter()
+            .zip(rec)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / orig.len() as f64;
+        20.0 * range.log10() - 10.0 * mse.log10()
+    }
+
+    #[test]
+    fn fixed_rate_sizes_are_exact() {
+        let data = smooth_3d(16);
+        for rate in [1.0, 2.0, 4.0, 8.0] {
+            let stream = compress(&data, Dims3::D3(16, 16, 16), &ZfpConfig::rate(rate)).unwrap();
+            let blocks = 64usize; // (16/4)^3
+            let expected_payload = (blocks as u64 * (rate * 64.0) as u64).div_ceil(8);
+            let inf = info(&stream).unwrap();
+            assert_eq!(inf.payload_len, expected_payload, "rate {rate}");
+            let (rec, dims) = decompress(&stream).unwrap();
+            assert_eq!(dims, Dims3::D3(16, 16, 16));
+            assert_eq!(rec.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn quality_improves_with_rate() {
+        let data = smooth_3d(16);
+        let mut last_psnr = 0.0;
+        for rate in [2.0, 4.0, 8.0, 16.0] {
+            let stream = compress(&data, Dims3::D3(16, 16, 16), &ZfpConfig::rate(rate)).unwrap();
+            let (rec, _) = decompress(&stream).unwrap();
+            let p = psnr(&data, &rec);
+            assert!(p > last_psnr, "rate {rate}: psnr {p} <= {last_psnr}");
+            last_psnr = p;
+        }
+        assert!(last_psnr > 80.0, "rate 16 psnr {last_psnr}");
+    }
+
+    #[test]
+    fn non_multiple_of_four_extents() {
+        for dims in [Dims3::D3(13, 7, 5), Dims3::D2(17, 9), Dims3::D1(101)] {
+            let data: Vec<f32> = (0..dims.len()).map(|i| (i as f32 * 0.31).sin() * 42.0).collect();
+            let stream = compress(&data, dims, &ZfpConfig::rate(16.0)).unwrap();
+            let (rec, rdims) = decompress(&stream).unwrap();
+            assert_eq!(rdims, dims);
+            let p = psnr(&data, &rec);
+            assert!(p > 60.0, "{dims:?}: psnr {p}");
+        }
+    }
+
+    #[test]
+    fn fixed_precision_roundtrip() {
+        let data = smooth_3d(8);
+        let stream =
+            compress(&data, Dims3::D3(8, 8, 8), &ZfpConfig::precision(24)).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        assert!(psnr(&data, &rec) > 90.0);
+    }
+
+    #[test]
+    fn fixed_accuracy_bounds_error() {
+        let data = smooth_3d(8);
+        for tol in [1.0f64, 0.1, 0.01] {
+            let stream =
+                compress(&data, Dims3::D3(8, 8, 8), &ZfpConfig::accuracy(tol)).unwrap();
+            let (rec, _) = decompress(&stream).unwrap();
+            for (a, b) in data.iter().zip(&rec) {
+                assert!(
+                    ((a - b) as f64).abs() <= tol,
+                    "tol {tol}: {a} vs {b} diff {}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_field_is_tiny_in_precision_mode() {
+        let data = vec![0.0f32; 4096];
+        let stream = compress(&data, Dims3::D1(4096), &ZfpConfig::precision(32)).unwrap();
+        let (rec, _) = decompress(&stream).unwrap();
+        assert_eq!(rec, data);
+        // 1 bit per 4-value block plus headers.
+        assert!(stream.len() < 4096 + 1024, "len {}", stream.len());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_streams_error() {
+        let data = smooth_3d(8);
+        let stream = compress(&data, Dims3::D3(8, 8, 8), &ZfpConfig::rate(8.0)).unwrap();
+        let mut bad = stream.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0x40;
+        assert!(decompress(&bad).is_err());
+        assert!(decompress(&stream[..stream.len() - 1]).is_err());
+        assert!(decompress(&stream[..16]).is_err());
+        assert!(decompress(b"nope").is_err());
+        let mut bad = stream;
+        bad[0] = b'Q';
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(compress(&[0.0; 5], Dims3::D1(6), &ZfpConfig::rate(8.0)).is_err());
+    }
+
+    #[test]
+    fn compression_ratio_matches_rate() {
+        // Rate r on 32-bit data gives ratio ~ 32/r (plus constant header).
+        let data = smooth_3d(32);
+        let stream = compress(&data, Dims3::D3(32, 32, 32), &ZfpConfig::rate(4.0)).unwrap();
+        let ratio = (data.len() * 4) as f64 / stream.len() as f64;
+        assert!((ratio - 8.0).abs() < 0.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compress a field with both codecs and inspect the metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use foresight::cbench::{run_one, FieldData};
+use foresight::codec::{CodecConfig, Shape};
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+
+fn main() {
+    // A smooth-ish 3-D field, stand-in for any simulation output.
+    let n = 64usize;
+    let data: Vec<f32> = (0..n * n * n)
+        .map(|i| {
+            let x = (i % n) as f32 / n as f32;
+            let y = ((i / n) % n) as f32 / n as f32;
+            let z = (i / (n * n)) as f32 / n as f32;
+            ((x * 6.3).sin() + (y * 4.4).cos() + z * 2.0).exp() * 10.0
+        })
+        .collect();
+    let field = FieldData::new("demo", data, Shape::D3(n, n, n)).unwrap();
+
+    println!("field: {} values ({} KB)\n", field.data.len(), field.data.len() * 4 / 1000);
+    println!(
+        "{:<22} {:>8} {:>9} {:>10} {:>12}",
+        "config", "ratio", "bits/val", "PSNR (dB)", "max |err|"
+    );
+    for cfg in [
+        CodecConfig::Sz(SzConfig::abs(1e-2)),
+        CodecConfig::Sz(SzConfig::abs(1e-4)),
+        CodecConfig::Sz(SzConfig::pw_rel(0.01)),
+        CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+        CodecConfig::Zfp(ZfpConfig::rate(8.0)),
+        CodecConfig::Zfp(ZfpConfig::accuracy(1e-3)),
+    ] {
+        let rec = run_one(&field, &cfg, false).expect("compression failed");
+        println!(
+            "{:<22} {:>7.2}x {:>9.3} {:>10.2} {:>12.3e}",
+            format!("{} {}", rec.compressor.display(), rec.param),
+            rec.ratio,
+            rec.bitrate,
+            rec.distortion.psnr,
+            rec.distortion.max_abs_err,
+        );
+    }
+    println!("\nNote: SZ guarantees the error bound; ZFP fixed-rate guarantees the size.");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the Foresight reproduction workspace.
+//!
+//! This root package exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the functionality
+//! lives in the member crates. [`prelude`] re-exports the pieces most
+//! examples need.
+
+pub mod prelude;

@@ -1,0 +1,11 @@
+//! Convenience re-exports for examples and integration tests.
+
+pub use cosmo_analysis as analysis;
+pub use cosmo_data as data;
+pub use cosmo_fft as fft;
+pub use foresight as framework;
+pub use gpu_sim as gpu;
+pub use lossless_fp as lossless;
+pub use lossy_sz as sz;
+pub use lossy_zfp as zfp;
+pub use nbody_sim as nbody;

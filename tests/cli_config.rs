@@ -1,0 +1,40 @@
+//! Integration: the JSON-config entry points used by `foresight-cli`.
+
+use foresight::runner::run_pipeline;
+use foresight::{ForesightConfig, SlurmSim};
+
+#[test]
+fn config_file_roundtrip_drives_a_full_pipeline() {
+    let out = std::env::temp_dir().join(format!("cli_it_{}", std::process::id()));
+    let json = format!(
+        r#"{{
+        "input": {{ "dataset": "nyx", "n_side": 16, "seed": 3, "steps": 2 }},
+        "compressors": [ {{ "name": "cuzfp", "rates": [8] }} ],
+        "analysis": ["distortion", "power-spectrum"],
+        "output": {{ "dir": "{}", "cinema": true }}
+    }}"#,
+        out.display()
+    );
+    let path = std::env::temp_dir().join(format!("cli_it_{}.json", std::process::id()));
+    std::fs::write(&path, &json).unwrap();
+
+    let cfg = ForesightConfig::from_file(&path).unwrap();
+    let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+    assert_eq!(report.records.len(), 6);
+    assert!(report.artifacts >= 2, "cinema artifacts expected");
+    assert!(out.join("data.csv").exists(), "cinema index written");
+    assert!(out.join("cbench.csv").exists());
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn missing_and_malformed_config_files_error_cleanly() {
+    assert!(ForesightConfig::from_file("/nonexistent/config.json").is_err());
+    let path = std::env::temp_dir().join(format!("cli_bad_{}.json", std::process::id()));
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let err = ForesightConfig::from_file(&path).unwrap_err();
+    assert!(matches!(err, foresight_util::Error::Config(_)));
+    std::fs::remove_file(&path).ok();
+}
