@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use foresight::codec::{compress, decompress, CodecConfig, Shape};
-use lossy_sz::{EntropyBackend, SzConfig};
+use foresight_util::bits::{BitReader, BitWriter};
+use lossy_sz::huffman::{histogram, Codebook};
+use lossy_sz::{Dims, EntropyBackend, PredictorKind, SzConfig};
 use lossy_zfp::ZfpConfig;
 
 fn nyx_like_field(n: usize) -> Vec<f32> {
@@ -74,5 +76,75 @@ fn bench_entropy_backends(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_entropy_backends);
+/// Quantization codes of a Nyx-like field plus the matching codebook and
+/// encoded bitstream — the inputs of the isolated entropy stage.
+fn entropy_inputs(n: usize) -> (Codebook, Vec<u32>, Vec<u8>) {
+    let data = nyx_like_field(n);
+    let dims = Dims::D3(n, n, n);
+    let ext = dims.extents();
+    let mut codes = Vec::new();
+    for b in &lossy_sz::block::partition(dims, 32) {
+        let o = lossy_sz::block::compress_block(&data, ext, b, 1e-3, 32768, PredictorKind::Lorenzo);
+        codes.extend(o.codes);
+    }
+    let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+    let mut w = BitWriter::with_capacity(codes.len());
+    for &c in &codes {
+        book.encode(c, &mut w).unwrap();
+    }
+    let bytes = w.into_bytes();
+    (book, codes, bytes)
+}
+
+fn bench_huffman_entropy(c: &mut Criterion) {
+    let (book, codes, bytes) = entropy_inputs(48);
+    let mut g = c.benchmark_group("sz_huffman");
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.bench_function("encode_packed", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(codes.len());
+            for &s in &codes {
+                book.encode(s, &mut w).unwrap();
+            }
+            w.into_bytes()
+        });
+    });
+    g.bench_function("encode_bitwise", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(codes.len());
+            for &s in &codes {
+                book.encode_bitwise(s, &mut w).unwrap();
+            }
+            w.into_bytes()
+        });
+    });
+    g.bench_function("decode_lut", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let mut r = BitReader::new(&bytes);
+            book.decode_into(&mut r, codes.len(), &mut out).unwrap();
+            out.last().copied()
+        });
+    });
+    g.bench_function("decode_bitwise", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut sum = 0u64;
+            for _ in 0..codes.len() {
+                sum += book.decode_bitwise(&mut r).unwrap() as u64;
+            }
+            sum
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_entropy_backends,
+    bench_huffman_entropy
+);
 criterion_main!(benches);

@@ -9,6 +9,7 @@ use crate::codec::{compress, decompress, CodecConfig, CompressorId, Shape};
 use cosmo_analysis::metrics::{distortion, Distortion};
 use foresight_util::timer::time;
 use foresight_util::{Error, Result};
+use rayon::prelude::*;
 
 /// One named input field.
 #[derive(Debug, Clone)]
@@ -100,17 +101,41 @@ pub fn run_one(field: &FieldData, cfg: &CodecConfig, keep_recon: bool) -> Result
     })
 }
 
-/// Runs the full sweep: every field against every configuration.
+/// Runs the full sweep: every field against every configuration, in
+/// parallel across (field, config) pairs.
+///
+/// The output order is deterministic — fields outer, configs inner, same
+/// as the serial double loop. Every pair is measured even when some fail;
+/// the error names each failing (field, config) pair.
 pub fn run_sweep(
     fields: &[FieldData],
     configs: &[CodecConfig],
     keep_recon: bool,
 ) -> Result<Vec<CBenchRecord>> {
-    let mut out = Vec::with_capacity(fields.len() * configs.len());
-    for f in fields {
-        for c in configs {
-            out.push(run_one(f, c, keep_recon)?);
+    let pairs: Vec<(&FieldData, &CodecConfig)> =
+        fields.iter().flat_map(|f| configs.iter().map(move |c| (f, c))).collect();
+    let results: Vec<Result<CBenchRecord>> =
+        pairs.par_iter().map(|(f, c)| run_one(f, c, keep_recon)).collect();
+    let mut out = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for ((f, c), r) in pairs.iter().zip(results) {
+        match r {
+            Ok(rec) => out.push(rec),
+            Err(e) => failures.push(format!(
+                "{} x {} {}: {e}",
+                f.name,
+                c.id().display(),
+                c.param_label()
+            )),
         }
+    }
+    if !failures.is_empty() {
+        return Err(Error::invalid(format!(
+            "{} of {} sweep records failed: [{}]",
+            failures.len(),
+            pairs.len(),
+            failures.join("; ")
+        )));
     }
     Ok(out)
 }
@@ -172,6 +197,37 @@ mod tests {
         // Fixed-rate 4 gives ~8x ratio.
         let r4 = records.iter().find(|r| r.param == "rate=4").unwrap();
         assert!((r4.ratio - 8.0).abs() < 1.0, "ratio {}", r4.ratio);
+    }
+
+    #[test]
+    fn sweep_order_matches_serial_double_loop() {
+        let fields = vec![smooth_field("a"), smooth_field("b")];
+        let configs = vec![
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+            CodecConfig::Zfp(ZfpConfig::rate(8.0)),
+        ];
+        let records = run_sweep(&fields, &configs, false).unwrap();
+        let order: Vec<(String, String)> =
+            records.iter().map(|r| (r.field.clone(), r.param.clone())).collect();
+        let expected: Vec<(String, String)> = ["a", "b"]
+            .iter()
+            .flat_map(|f| ["rate=4", "rate=8"].iter().map(|p| (f.to_string(), p.to_string())))
+            .collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn sweep_reports_failing_pairs_by_name() {
+        let fields = vec![smooth_field("good_field")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            // Invalid bound: compression of this pair must fail.
+            CodecConfig::Sz(SzConfig::abs(-1.0)),
+        ];
+        let err = run_sweep(&fields, &configs, false).unwrap_err().to_string();
+        assert!(err.contains("good_field"), "error names the field: {err}");
+        assert!(err.contains("abs=-1"), "error names the config: {err}");
+        assert!(err.contains("1 of 2"), "error counts failures: {err}");
     }
 
     #[test]

@@ -8,10 +8,9 @@
 use foresight_util::{Error, Result};
 use lossy_sz::{Dims as SzDims, SzConfig};
 use lossy_zfp::{Dims3 as ZfpDims, ZfpConfig};
-use serde::{Deserialize, Serialize};
 
 /// Array shape shared across codecs (x fastest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
     /// 1-D array.
     D1(usize),
@@ -54,8 +53,7 @@ impl Shape {
 }
 
 /// Which compressor to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "kebab-case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompressorId {
     /// The SZ-style prediction-based compressor (paper: "GPU-SZ").
     GpuSz,

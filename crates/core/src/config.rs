@@ -2,8 +2,8 @@
 //!
 //! The real Foresight is driven by "a simple JSON file" (paper §IV-A);
 //! this module mirrors that: dataset selection, compressor sweeps,
-//! analysis stages, and output location, deserialized with serde and
-//! validated before a run.
+//! analysis stages, and output location, parsed with the workspace's
+//! own JSON module and validated before a run.
 //!
 //! ```json
 //! {
@@ -16,13 +16,52 @@
 //! ```
 
 use crate::codec::CodecConfig;
+use foresight_util::json::Value;
 use foresight_util::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Config(msg.into())
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value> {
+    obj.get(key).ok_or_else(|| bad(format!("missing field '{key}'")))
+}
+
+fn str_field<'a>(obj: &'a Value, key: &str) -> Result<&'a str> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("field '{key}' must be a string")))
+}
+
+fn f64_field(obj: &Value, key: &str, default: f64) -> Result<f64> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| bad(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn usize_field(obj: &Value, key: &str, default: usize) -> Result<usize> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
+fn f64_list(obj: &Value, key: &str) -> Result<Vec<f64>> {
+    field(obj, key)?
+        .as_array()
+        .ok_or_else(|| bad(format!("field '{key}' must be an array")))?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| bad(format!("'{key}' entries must be numbers"))))
+        .collect()
+}
+
 /// Which synthetic dataset to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// HACC-like particle snapshot (six 1-D arrays).
     Hacc,
@@ -30,38 +69,69 @@ pub enum DatasetKind {
     Nyx,
 }
 
+impl DatasetKind {
+    fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "hacc" => Ok(DatasetKind::Hacc),
+            "nyx" => Ok(DatasetKind::Nyx),
+            other => Err(bad(format!("unknown dataset '{other}' (expected hacc|nyx)"))),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Hacc => "hacc",
+            DatasetKind::Nyx => "nyx",
+        }
+    }
+}
+
 /// Input dataset parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InputConfig {
     /// Dataset family.
     pub dataset: DatasetKind,
-    /// Grid/particle-lattice side.
-    #[serde(default = "default_n_side")]
+    /// Grid/particle-lattice side (default 64).
     pub n_side: usize,
-    /// RNG seed for the synthetic universe.
-    #[serde(default)]
+    /// RNG seed for the synthetic universe (default 0).
     pub seed: u64,
-    /// PM steps (clustering strength).
-    #[serde(default = "default_steps")]
+    /// PM steps (clustering strength, default 10).
     pub steps: usize,
-    /// Box side length.
-    #[serde(default = "default_box")]
+    /// Box side length (default 256.0).
     pub box_size: f64,
 }
 
-fn default_n_side() -> usize {
-    64
-}
-fn default_steps() -> usize {
-    10
-}
-fn default_box() -> f64 {
-    256.0
+impl InputConfig {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'input' must be an object"));
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => s.as_u64().ok_or_else(|| bad("field 'seed' must be a non-negative integer"))?,
+        };
+        Ok(InputConfig {
+            dataset: DatasetKind::from_name(str_field(v, "dataset")?)?,
+            n_side: usize_field(v, "n_side", 64)?,
+            seed,
+            steps: usize_field(v, "steps", 10)?,
+            box_size: f64_field(v, "box_size", 256.0)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dataset".into(), Value::String(self.dataset.name().into())),
+            ("n_side".into(), Value::Number(self.n_side as f64)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("steps".into(), Value::Number(self.steps as f64)),
+            ("box_size".into(), Value::Number(self.box_size)),
+        ])
+    }
 }
 
 /// One compressor sweep entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "name", rename_all = "kebab-case")]
+#[derive(Debug, Clone)]
 pub enum CompressorSweep {
     /// GPU-SZ with a list of error bounds.
     GpuSz {
@@ -70,7 +140,6 @@ pub enum CompressorSweep {
         /// Bounds to sweep.
         bounds: Vec<f64>,
         /// Optional block-size override.
-        #[serde(default)]
         block_size: Option<usize>,
     },
     /// cuZFP with a list of fixed rates.
@@ -80,9 +149,58 @@ pub enum CompressorSweep {
     },
 }
 
+impl CompressorSweep {
+    fn from_value(v: &Value) -> Result<Self> {
+        match str_field(v, "name")? {
+            "gpu-sz" => {
+                let block_size = match v.get("block_size") {
+                    None | Some(Value::Null) => None,
+                    Some(bs) => Some(
+                        bs.as_u64()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| bad("field 'block_size' must be an integer"))?,
+                    ),
+                };
+                Ok(CompressorSweep::GpuSz {
+                    mode: SzModeKind::from_name(str_field(v, "mode")?)?,
+                    bounds: f64_list(v, "bounds")?,
+                    block_size,
+                })
+            }
+            "cuzfp" => Ok(CompressorSweep::Cuzfp { rates: f64_list(v, "rates")? }),
+            other => Err(bad(format!("unknown compressor '{other}' (expected gpu-sz|cuzfp)"))),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            CompressorSweep::GpuSz { mode, bounds, block_size } => {
+                let mut fields = vec![
+                    ("name".into(), Value::String("gpu-sz".into())),
+                    ("mode".into(), Value::String(mode.name().into())),
+                    (
+                        "bounds".into(),
+                        Value::Array(bounds.iter().map(|&b| Value::Number(b)).collect()),
+                    ),
+                ];
+                if let Some(bs) = block_size {
+                    fields.push(("block_size".into(), Value::Number(*bs as f64)));
+                }
+                Value::Object(fields)
+            }
+            CompressorSweep::Cuzfp { rates } => Value::Object(vec![
+                ("name".into(), Value::String("cuzfp".into())),
+                (
+                    "rates".into(),
+                    Value::Array(rates.iter().map(|&r| Value::Number(r)).collect()),
+                ),
+            ]),
+        }
+    }
+}
+
 /// SZ error-bound mode names used in configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SzModeKind {
     /// Absolute bound.
     Abs,
@@ -92,9 +210,27 @@ pub enum SzModeKind {
     PwRel,
 }
 
+impl SzModeKind {
+    fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "abs" => Ok(SzModeKind::Abs),
+            "rel" => Ok(SzModeKind::Rel),
+            "pw_rel" => Ok(SzModeKind::PwRel),
+            other => Err(bad(format!("unknown sz mode '{other}' (expected abs|rel|pw_rel)"))),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            SzModeKind::Abs => "abs",
+            SzModeKind::Rel => "rel",
+            SzModeKind::PwRel => "pw_rel",
+        }
+    }
+}
+
 /// Analysis stages to run after compression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "kebab-case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisKind {
     /// PSNR/MSE/MRE and rate-distortion.
     Distortion,
@@ -106,18 +242,61 @@ pub enum AnalysisKind {
     Throughput,
 }
 
+impl AnalysisKind {
+    fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "distortion" => Ok(AnalysisKind::Distortion),
+            "power-spectrum" => Ok(AnalysisKind::PowerSpectrum),
+            "halo-finder" => Ok(AnalysisKind::HaloFinder),
+            "throughput" => Ok(AnalysisKind::Throughput),
+            other => Err(bad(format!(
+                "unknown analysis '{other}' \
+                 (expected distortion|power-spectrum|halo-finder|throughput)"
+            ))),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnalysisKind::Distortion => "distortion",
+            AnalysisKind::PowerSpectrum => "power-spectrum",
+            AnalysisKind::HaloFinder => "halo-finder",
+            AnalysisKind::Throughput => "throughput",
+        }
+    }
+}
+
 /// Output location and options.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OutputConfig {
     /// Directory for CSVs and the Cinema database.
     pub dir: PathBuf,
-    /// Whether to emit a Cinema-style database.
-    #[serde(default)]
+    /// Whether to emit a Cinema-style database (default false).
     pub cinema: bool,
 }
 
+impl OutputConfig {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'output' must be an object"));
+        }
+        let cinema = match v.get("cinema") {
+            None => false,
+            Some(c) => c.as_bool().ok_or_else(|| bad("field 'cinema' must be a boolean"))?,
+        };
+        Ok(OutputConfig { dir: PathBuf::from(str_field(v, "dir")?), cinema })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dir".into(), Value::String(self.dir.to_string_lossy().into_owned())),
+            ("cinema".into(), Value::Bool(self.cinema)),
+        ])
+    }
+}
+
 /// A full pipeline configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ForesightConfig {
     /// Dataset to generate.
     pub input: InputConfig,
@@ -132,10 +311,57 @@ pub struct ForesightConfig {
 impl ForesightConfig {
     /// Parses and validates a JSON document.
     pub fn from_json(json: &str) -> Result<Self> {
-        let cfg: ForesightConfig =
-            serde_json::from_str(json).map_err(|e| Error::Config(e.to_string()))?;
+        let doc = Value::parse(json)?;
+        if doc.as_object().is_none() {
+            return Err(bad("config root must be an object"));
+        }
+        let compressors = field(&doc, "compressors")?
+            .as_array()
+            .ok_or_else(|| bad("'compressors' must be an array"))?
+            .iter()
+            .map(CompressorSweep::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        let analysis = field(&doc, "analysis")?
+            .as_array()
+            .ok_or_else(|| bad("'analysis' must be an array"))?
+            .iter()
+            .map(|v| {
+                AnalysisKind::from_name(
+                    v.as_str().ok_or_else(|| bad("'analysis' entries must be strings"))?,
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let cfg = ForesightConfig {
+            input: InputConfig::from_value(field(&doc, "input")?)?,
+            compressors,
+            analysis,
+            output: OutputConfig::from_value(field(&doc, "output")?)?,
+        };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Serializes back to a compact JSON document that [`Self::from_json`]
+    /// accepts.
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            ("input".into(), self.input.to_value()),
+            (
+                "compressors".into(),
+                Value::Array(self.compressors.iter().map(CompressorSweep::to_value).collect()),
+            ),
+            (
+                "analysis".into(),
+                Value::Array(
+                    self.analysis
+                        .iter()
+                        .map(|a| Value::String(a.name().into()))
+                        .collect(),
+                ),
+            ),
+            ("output".into(), self.output.to_value()),
+        ])
+        .to_json()
     }
 
     /// Reads a config file.
@@ -276,10 +502,22 @@ mod tests {
     }
 
     #[test]
+    fn unknown_enum_names_rejected() {
+        let bad = SAMPLE.replace("\"nyx\"", "\"enzo\"");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+        let bad = SAMPLE.replace("\"abs\"", "\"absolute\"");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+        let bad = SAMPLE.replace("\"distortion\"", "\"spectrum\"");
+        assert!(ForesightConfig::from_json(&bad).is_err());
+    }
+
+    #[test]
     fn roundtrips_through_serde() {
         let cfg = ForesightConfig::from_json(SAMPLE).unwrap();
-        let json = serde_json::to_string(&cfg).unwrap();
+        let json = cfg.to_json();
         let cfg2 = ForesightConfig::from_json(&json).unwrap();
         assert_eq!(cfg2.codec_configs().len(), 4);
+        assert_eq!(cfg2.input.seed, 42);
+        assert_eq!(cfg2.analysis, cfg.analysis);
     }
 }

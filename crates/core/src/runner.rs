@@ -201,20 +201,30 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         let lines = lines.clone();
         wf.add(
             Job::new("throughput", 2, move || {
+                use rayon::prelude::*;
                 let f = fields.lock();
-                let mut dev = Device::new(GpuSpec::tesla_v100());
-                let mut out = Vec::new();
-                for cfg in configs.iter() {
-                    let Some(field) = f.first() else { continue };
-                    let (_, rep) = gpu_compress(&mut dev, cfg, &field.data, field.shape)?;
-                    out.push(format!(
-                        "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
-                        cfg.id().display(),
-                        cfg.param_label(),
-                        rep.kernel_throughput_gbs,
-                        rep.overall_throughput_gbs
-                    ));
-                }
+                let Some(field) = f.first() else {
+                    return Ok("0 throughput rows".into());
+                };
+                // Configs are independent measurements; give each its own
+                // simulated device (the timing model is per-device state)
+                // and keep the output in config order.
+                let out = configs
+                    .par_iter()
+                    .map(|cfg| -> Result<String> {
+                        let mut dev = Device::new(GpuSpec::tesla_v100());
+                        let (_, rep) = gpu_compress(&mut dev, cfg, &field.data, field.shape)?;
+                        Ok(format!(
+                            "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
+                            cfg.id().display(),
+                            cfg.param_label(),
+                            rep.kernel_throughput_gbs,
+                            rep.overall_throughput_gbs
+                        ))
+                    })
+                    .collect::<Vec<Result<String>>>()
+                    .into_iter()
+                    .collect::<Result<Vec<String>>>()?;
                 let n = out.len();
                 lines.lock().extend(out);
                 Ok(format!("{n} throughput rows"))

@@ -206,17 +206,31 @@ pub fn compress_dualquant(
     let outputs: Vec<DqBlock> =
         blocks.par_iter().map(|b| compress_block_dq(data, ext, b, eb)).collect();
 
-    // Global Huffman over all codes.
+    // Global Huffman over all codes: parallel fold/reduce into dense
+    // per-chunk tables (codes live in [0, 2*RADIUS); 0 = outlier).
     let hist = {
-        let mut map = std::collections::HashMap::new();
-        for o in &outputs {
-            for &c in &o.codes {
-                *map.entry(c).or_insert(0u64) += 1;
-            }
-        }
-        let mut v: Vec<(u32, u64)> = map.into_iter().collect();
-        v.sort_unstable();
-        v
+        let dense_len = 2 * RADIUS as usize;
+        let new_acc = || vec![0u64; dense_len];
+        let dense = outputs
+            .par_iter()
+            .fold(new_acc, |mut acc: Vec<u64>, o| {
+                for &c in &o.codes {
+                    acc[c as usize] += 1;
+                }
+                acc
+            })
+            .reduce(new_acc, |mut a: Vec<u64>, b: Vec<u64>| {
+                for (d, s) in a.iter_mut().zip(&b) {
+                    *d += s;
+                }
+                a
+            });
+        dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f))
+            .collect::<Vec<_>>()
     };
     let book = Codebook::from_frequencies(&hist)?;
     let streams: Vec<Vec<u8>> = outputs
@@ -342,10 +356,8 @@ pub fn decompress_dualquant(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
             let (c_off, o_off) = offsets[bi];
             let (n_out, s_len) = metas[bi];
             let mut r = BitReader::new(&body[c_off..c_off + s_len]);
-            let mut codes = Vec::with_capacity(b.cells());
-            for _ in 0..b.cells() {
-                codes.push(book.decode(&mut r)?);
-            }
+            let mut codes = Vec::new();
+            book.decode_into(&mut r, b.cells(), &mut codes)?;
             if codes.iter().filter(|&&c| c == 0).count() != n_out {
                 return Err(Error::corrupt("outlier count mismatch"));
             }

@@ -8,8 +8,15 @@
 //! Codes are canonical: lengths come from the Huffman tree, the actual bit
 //! patterns are reassigned in (length, symbol) order. Only the
 //! (symbol, length) pairs are serialized; both sides rebuild identical
-//! codebooks. Bits are emitted MSB-first into the workspace's LSB-first
-//! bitstream by writing one bit at a time in code order.
+//! codebooks.
+//!
+//! The bit-level convention is MSB-first code emission into the
+//! workspace's LSB-first bitstream. The encoder precomputes each code in
+//! bit-reversed form so a whole symbol goes out in one
+//! [`BitWriter::write_bits`] call, and the decoder resolves most symbols
+//! with a single [`DECODE_LUT_BITS`]-bit table lookup (the coarse-grained
+//! codebook scheme GPU Huffman implementations use), escaping to a
+//! bit-at-a-time walk only for rare codes longer than the window.
 
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::{Error, Result};
@@ -18,16 +25,48 @@ use std::collections::BinaryHeap;
 /// Maximum supported code length (paranoia guard; real tables are shorter).
 const MAX_LEN: u8 = 58;
 
+/// Width of the decode lookup window: codes at most this long (the common
+/// case by construction — high-frequency symbols get short codes) decode
+/// with one table access.
+const DECODE_LUT_BITS: u32 = 12;
+
+/// Symbols below this value get a direct-indexed encoder slot; rarer,
+/// larger symbols fall back to binary search so a single huge outlier
+/// symbol cannot blow up the table allocation.
+const ENC_DENSE_LIMIT: u32 = 1 << 16;
+
+/// Maximum symbols resolved per decode-table probe.
+const LUT_PACK: usize = 8;
+
+/// One decode-window table slot: up to [`LUT_PACK`] complete codes
+/// resolved from the next [`DECODE_LUT_BITS`] stream bits.
+#[derive(Debug, Clone, Copy, Default)]
+struct LutEntry {
+    /// Decoded symbols; slots past `nsyms` are zero.
+    syms: [u32; LUT_PACK],
+    /// Complete codes in the window prefix: 0 escapes to the long-code
+    /// walk, 1..=LUT_PACK decode directly.
+    nsyms: u8,
+    /// Total bits consumed by all `nsyms` symbols.
+    bits: u8,
+    /// Bits consumed by the first symbol alone.
+    len1: u8,
+}
+
 /// A canonical Huffman codebook.
 #[derive(Debug, Clone)]
 pub struct Codebook {
     /// (symbol, length) sorted by (length, symbol) — the canonical order.
     entries: Vec<(u32, u8)>,
-    /// Encoder map: symbol -> (code, length); index into a hash-free dense
-    /// vec when symbols are small, fallback binary-search otherwise.
+    /// Dense encoder map for symbols `< ENC_DENSE_LIMIT`:
+    /// symbol -> (bit-reversed code, length); length 0 marks absent.
     enc: Vec<(u64, u8)>,
-    /// Densely indexed up to this symbol value; entries beyond are absent.
-    enc_limit: u32,
+    /// Sparse encoder entries `(symbol, bit-reversed code, length)` for
+    /// symbols `>= ENC_DENSE_LIMIT`, sorted by symbol.
+    enc_sparse: Vec<(u32, u64, u8)>,
+    /// Decode window table indexed by the next `DECODE_LUT_BITS` stream
+    /// bits, resolving one or two symbols per probe.
+    lut: Vec<LutEntry>,
     /// Decoder tables per length: first canonical code and slice range.
     first_code: [u64; MAX_LEN as usize + 1],
     offset: [u32; MAX_LEN as usize + 1],
@@ -80,16 +119,64 @@ impl Codebook {
         // it's the single-symbol degenerate case.
         // (We tolerate incompleteness to keep single-symbol tables simple.)
 
-        // Encoder table.
-        let enc_limit = entries.iter().map(|e| e.0).max().map_or(0, |m| m + 1);
-        let mut enc = vec![(0u64, 0u8); enc_limit as usize];
+        // Encoder and decoder fast-path tables. Codes are stored
+        // bit-reversed: the old path emitted MSB-first one bit at a time
+        // into the LSB-first stream, so the packed equivalent is the
+        // reversed code written in a single call.
+        let dense_len = entries
+            .iter()
+            .map(|e| e.0)
+            .filter(|&s| s < ENC_DENSE_LIMIT)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut enc = vec![(0u64, 0u8); dense_len as usize];
+        let mut enc_sparse = Vec::new();
+        let mut singles = vec![(0u32, 0u8); 1usize << DECODE_LUT_BITS];
         let mut next = first_code;
         for &(sym, len) in &entries {
             let c = next[len as usize];
             next[len as usize] += 1;
-            enc[sym as usize] = (c, len);
+            let rev = c.reverse_bits() >> (64 - len as u32);
+            if sym < ENC_DENSE_LIMIT {
+                enc[sym as usize] = (rev, len);
+            } else {
+                enc_sparse.push((sym, rev, len));
+            }
+            if (len as u32) <= DECODE_LUT_BITS {
+                // Every window whose low `len` bits equal this (reversed)
+                // code decodes to this symbol.
+                let step = 1usize << len;
+                let mut idx = rev as usize;
+                while idx < singles.len() {
+                    singles[idx] = (sym, len);
+                    idx += step;
+                }
+            }
         }
-        Ok(Self { entries, enc, enc_limit, first_code, offset, count })
+        enc_sparse.sort_unstable_by_key(|e| e.0);
+        // Pack as many complete codes as fit into each window slot — short
+        // codes dominate skewed quantization histograms, so most probes
+        // then resolve several symbols at once.
+        let mut lut = vec![LutEntry::default(); singles.len()];
+        for w in 0..singles.len() {
+            if singles[w].1 == 0 {
+                continue; // escape: code longer than the window
+            }
+            let mut e = LutEntry { len1: singles[w].1, ..LutEntry::default() };
+            let mut cur = w;
+            while (e.nsyms as usize) < LUT_PACK {
+                let (s, l) = singles[cur];
+                if l == 0 || (e.bits + l) as u32 > DECODE_LUT_BITS {
+                    break;
+                }
+                e.syms[e.nsyms as usize] = s;
+                e.nsyms += 1;
+                e.bits += l;
+                cur >>= l;
+            }
+            lut[w] = e;
+        }
+        Ok(Self { entries, enc, enc_sparse, lut, first_code, offset, count })
     }
 
     /// Number of coded symbols.
@@ -107,26 +194,154 @@ impl Codebook {
         &self.entries
     }
 
-    /// Encodes one symbol.
+    /// Looks up the (bit-reversed code, length) pair for a symbol.
+    #[inline]
+    fn lookup(&self, sym: u32) -> Result<(u64, u8)> {
+        if (sym as usize) < self.enc.len() {
+            let e = self.enc[sym as usize];
+            if e.1 != 0 {
+                return Ok(e);
+            }
+        } else if sym >= ENC_DENSE_LIMIT {
+            if let Ok(i) = self.enc_sparse.binary_search_by_key(&sym, |e| e.0) {
+                let (_, rev, len) = self.enc_sparse[i];
+                return Ok((rev, len));
+            }
+        }
+        Err(Error::invalid(format!("symbol {sym} not in codebook")))
+    }
+
+    /// Encodes one symbol with a single multi-bit write.
     #[inline]
     pub fn encode(&self, sym: u32, w: &mut BitWriter) -> Result<()> {
-        if sym >= self.enc_limit {
-            return Err(Error::invalid(format!("symbol {sym} not in codebook")));
-        }
-        let (code, len) = self.enc[sym as usize];
-        if len == 0 {
-            return Err(Error::invalid(format!("symbol {sym} not in codebook")));
-        }
-        // Emit MSB-first.
+        let (rev, len) = self.lookup(sym)?;
+        w.write_bits(rev, len as u32);
+        Ok(())
+    }
+
+    /// Reference encoder: emits the canonical code MSB-first, one bit at a
+    /// time — the original implementation, kept as the oracle for
+    /// bit-identity tests and before/after throughput measurements.
+    #[doc(hidden)]
+    #[inline]
+    pub fn encode_bitwise(&self, sym: u32, w: &mut BitWriter) -> Result<()> {
+        let (rev, len) = self.lookup(sym)?;
+        let code = rev.reverse_bits() >> (64 - len as u32);
         for i in (0..len).rev() {
             w.write_bit((code >> i) & 1 != 0);
         }
         Ok(())
     }
 
-    /// Decodes one symbol.
+    /// Decodes one symbol, resolving codes up to [`DECODE_LUT_BITS`] long
+    /// (the overwhelming majority) with a single table lookup. Longer
+    /// codes are resolved from the same peeked window by walking the
+    /// per-length tables in registers — still a single `consume` per
+    /// symbol, never a per-bit stream read.
     #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        let e = &self.lut[r.peek_bits(DECODE_LUT_BITS) as usize];
+        if e.nsyms != 0 {
+            // Zero-padded peek bits past the end of the stream cannot
+            // fabricate a symbol: consume() still errors if fewer than
+            // `len1` real bits remain.
+            r.consume(e.len1 as u32)?;
+            return Ok(e.syms[0]);
+        }
+        self.decode_escape(r)
+    }
+
+    /// Decodes exactly `n` symbols into `out`, resolving up to
+    /// [`LUT_PACK`] symbols per table probe. This is the bulk path
+    /// `decompress` uses; equivalent to calling [`Codebook::decode`]
+    /// `n` times.
+    pub fn decode_into(&self, r: &mut BitReader<'_>, n: usize, out: &mut Vec<u32>) -> Result<()> {
+        // Scratch tail: every probe stores all LUT_PACK slots
+        // unconditionally and advances the cursor by the real count, so
+        // over-stored slots are rewritten by the next probe or truncated.
+        let start = out.len();
+        out.resize(start + n + (LUT_PACK - 1), 0);
+        // Work on a local copy of the reader so its accumulator state stays
+        // in registers across the loop (the caller's &mut would pin it in
+        // memory); written back on every exit path.
+        let mut lr = r.clone();
+        let s = &mut out[start..];
+        let mut i = 0usize;
+        let res = loop {
+            if i + LUT_PACK > n {
+                break Ok(());
+            }
+            let e = &self.lut[lr.peek_bits(DECODE_LUT_BITS) as usize];
+            if e.nsyms == 0 {
+                match self.decode_escape(&mut lr) {
+                    Ok(sym) => s[i] = sym,
+                    Err(err) => break Err(err),
+                }
+                i += 1;
+                continue;
+            }
+            if let Err(err) = lr.consume(e.bits as u32) {
+                break Err(err);
+            }
+            s[i..i + LUT_PACK].copy_from_slice(&e.syms);
+            i += e.nsyms as usize;
+        };
+        if let Err(err) = res {
+            *r = lr;
+            out.truncate(start + i.min(n));
+            return Err(err);
+        }
+        // Tail: fewer than LUT_PACK symbols remain; decode one at a time so
+        // a multi-symbol probe cannot consume bits past the n-th code.
+        while i < n {
+            match self.decode(&mut lr) {
+                Ok(sym) => s[i] = sym,
+                Err(err) => {
+                    *r = lr;
+                    out.truncate(start + i);
+                    return Err(err);
+                }
+            }
+            i += 1;
+        }
+        *r = lr;
+        out.truncate(start + n);
+        Ok(())
+    }
+
+    /// Resolves a code longer than the LUT window: peeks a full-width
+    /// window, rebuilds the MSB-first code value for its first
+    /// DECODE_LUT_BITS bits, then extends one bit at a time in registers —
+    /// still a single `consume`, never a per-bit stream read.
+    #[cold]
+    fn decode_escape(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        const PEEK: u32 = 56;
+        let window = r.peek_bits(PEEK);
+        let mut code =
+            (window & ((1 << DECODE_LUT_BITS) - 1)).reverse_bits() >> (64 - DECODE_LUT_BITS);
+        for len in (DECODE_LUT_BITS + 1)..=PEEK.min(MAX_LEN as u32) {
+            code = (code << 1) | ((window >> (len - 1)) & 1);
+            let c = self.count[len as usize];
+            if c != 0 {
+                let rel = code.wrapping_sub(self.first_code[len as usize]);
+                if rel < c as u64 {
+                    r.consume(len)?;
+                    return Ok(self.entries[(self.offset[len as usize] + rel as u32) as usize].0);
+                }
+            }
+        }
+        // Codes longer than the peek window (56 < len <= MAX_LEN) are
+        // pathological; the reader is unconsumed, so the per-bit reference
+        // walk still decodes them (or reports corruption/exhaustion).
+        self.decode_bitwise(r)
+    }
+
+    /// Reference decoder: walks the per-length tables one bit at a time.
+    /// Runtime escape path for codes longer than the lookup window, and
+    /// the oracle for equivalence tests and throughput baselines.
+    #[doc(hidden)]
+    #[inline]
+    pub fn decode_bitwise(&self, r: &mut BitReader<'_>) -> Result<u32> {
         let mut code = 0u64;
         for len in 1..=MAX_LEN as usize {
             code = (code << 1) | r.read_bits(1)?;
@@ -344,6 +559,126 @@ mod tests {
         book.serialize(&mut buf);
         let (book2, _) = Codebook::deserialize(&buf).unwrap();
         assert!(book2.is_empty());
+    }
+
+    #[test]
+    fn sparse_symbols_use_binary_search_path() {
+        // Symbols beyond the dense encoder cap (2^16) exercise the sorted
+        // sparse fallback; mix in small symbols so both paths run.
+        let codes = [
+            3u32, 3, 3, 3, 70_000, 70_000, 1_000_000, 3, 70_000, u32::MAX - 1, 3,
+        ];
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &c in &codes {
+            assert_eq!(book.decode(&mut r).unwrap(), c);
+        }
+        // Absent symbols on both sides of the cap still error.
+        let mut w = BitWriter::new();
+        assert!(book.encode(4, &mut w).is_err());
+        assert!(book.encode(70_001, &mut w).is_err());
+        assert!(book.encode(u32::MAX, &mut w).is_err());
+    }
+
+    #[test]
+    fn fast_encode_bit_identical_to_bitwise() {
+        let codes: Vec<u32> = (0..4096u32).map(|i| (i * i % 97) % 31).collect();
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut fast).unwrap();
+            book.encode_bitwise(c, &mut slow).unwrap();
+        }
+        assert_eq!(fast.into_bytes(), slow.into_bytes());
+    }
+
+    #[test]
+    fn long_codes_take_escape_path() {
+        // Frequency ~2^(20-i) forces code lengths past DECODE_LUT_BITS for
+        // the rare symbols, so decode must mix LUT hits and escapes.
+        let mut codes = Vec::new();
+        for sym in 0u32..20 {
+            for _ in 0..(1u32 << (20 - sym)) {
+                codes.push(sym);
+            }
+        }
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let max_len = book.entries().iter().map(|e| e.1).max().unwrap();
+        assert!(
+            max_len as u32 > DECODE_LUT_BITS,
+            "distribution too flat to exercise the escape path (max len {max_len})"
+        );
+        // Interleave so escapes occur at varying bit offsets.
+        let sample: Vec<u32> = (0..4096).map(|i| codes[(i * 2654435761usize) % codes.len()]).collect();
+        let mut w = BitWriter::new();
+        for &c in &sample {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut fast = BitReader::new(&bytes);
+        let mut slow = BitReader::new(&bytes);
+        for &c in &sample {
+            assert_eq!(book.decode(&mut fast).unwrap(), c);
+            assert_eq!(book.decode_bitwise(&mut slow).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn bulk_decode_matches_per_symbol_decode() {
+        // Mix of very short (pair-packed), mid, and >LUT-window codes, with
+        // odd counts so decode_into exercises the rem==1 tail guard.
+        let mut codes = Vec::new();
+        for sym in 0u32..18 {
+            for _ in 0..(1u32 << (18 - sym)) {
+                codes.push(sym);
+            }
+        }
+        for take in [1usize, 2, 3, 101, 4096] {
+            let sample: Vec<u32> =
+                (0..take).map(|i| codes[(i * 2654435761usize) % codes.len()]).collect();
+            let book = Codebook::from_frequencies(&histogram(&sample)).unwrap();
+            let mut w = BitWriter::new();
+            for &c in &sample {
+                book.encode(c, &mut w).unwrap();
+            }
+            let bytes = w.into_bytes();
+            let mut bulk = Vec::new();
+            book.decode_into(&mut BitReader::new(&bytes), sample.len(), &mut bulk).unwrap();
+            assert_eq!(bulk, sample, "bulk decode mismatch at n={take}");
+            let mut r = BitReader::new(&bytes);
+            for &c in &sample {
+                assert_eq!(book.decode(&mut r).unwrap(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_cannot_fabricate_symbols() {
+        let codes: Vec<u32> = (0..512u32).map(|i| i % 7).collect();
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let mut w = BitWriter::new();
+        for &c in &codes {
+            book.encode(c, &mut w).unwrap();
+        }
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        // Decode all symbols, then confirm the reader refuses to produce
+        // more from padding alone once real bits run out.
+        let mut r = BitReader::new(&bytes);
+        for &c in &codes {
+            assert_eq!(book.decode(&mut r).unwrap(), c);
+        }
+        let leftover = bytes.len() as u64 * 8 - bits;
+        let shortest = book.entries().iter().map(|e| e.1 as u64).min().unwrap();
+        if leftover < shortest {
+            assert!(book.decode(&mut r).is_err());
+        }
     }
 
     #[test]

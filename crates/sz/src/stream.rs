@@ -72,16 +72,47 @@ fn compress_inner(
         .map(|b| block::compress_block(data, ext, b, eb_abs, cfg.radius, cfg.predictor))
         .collect();
 
-    // Global histogram and codebook.
+    // Global histogram and codebook: fold/reduce over per-chunk dense
+    // tables. Quantization emits symbols in [0, 2*radius) (0 = outlier),
+    // so a flat count array replaces hashing on the hot path; anything
+    // outside that range (impossible today, cheap to tolerate) spills to
+    // a sparse overflow map.
     let hist = {
-        let mut map = std::collections::HashMap::new();
-        for o in &outputs {
-            for &c in &o.codes {
-                *map.entry(c).or_insert(0u64) += 1;
-            }
-        }
-        let mut v: Vec<(u32, u64)> = map.into_iter().collect();
-        v.sort_unstable();
+        type Acc = (Vec<u64>, std::collections::HashMap<u32, u64>);
+        let dense_len = 2 * cfg.radius as usize;
+        let new_acc = || (vec![0u64; dense_len], std::collections::HashMap::new());
+        let (dense, sparse) = outputs
+            .par_iter()
+            .fold(new_acc, |mut acc: Acc, o| {
+                for &c in &o.codes {
+                    if (c as usize) < dense_len {
+                        acc.0[c as usize] += 1;
+                    } else {
+                        *acc.1.entry(c).or_insert(0) += 1;
+                    }
+                }
+                acc
+            })
+            .reduce(new_acc, |mut a: Acc, b: Acc| {
+                for (d, s) in a.0.iter_mut().zip(&b.0) {
+                    *d += s;
+                }
+                for (k, v) in b.1 {
+                    *a.1.entry(k).or_insert(0) += v;
+                }
+                a
+            });
+        let mut v: Vec<(u32, u64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f))
+            .collect();
+        // Overflow symbols are all >= dense_len, so appending them sorted
+        // keeps the histogram in ascending symbol order.
+        let mut extra: Vec<(u32, u64)> = sparse.into_iter().collect();
+        extra.sort_unstable();
+        v.extend(extra);
         v
     };
     let book = Codebook::from_frequencies(&hist)?;
@@ -334,10 +365,8 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
             let m = &metas[bi];
             let cs = &body[code_offsets[bi]..code_offsets[bi] + m.code_bytes];
             let mut r = BitReader::new(cs);
-            let mut codes = Vec::with_capacity(b.cells());
-            for _ in 0..b.cells() {
-                codes.push(book.decode(&mut r)?);
-            }
+            let mut codes = Vec::new();
+            book.decode_into(&mut r, b.cells(), &mut codes)?;
             let n_zero = codes.iter().filter(|&&c| c == 0).count();
             if n_zero != m.n_out {
                 return Err(Error::corrupt("outlier count mismatch"));

@@ -42,6 +42,50 @@ proptest! {
         }
     }
 
+    /// The packed multi-bit encoder emits bit-identical streams to the
+    /// original bit-at-a-time oracle, and both the LUT decoder and the
+    /// bulk multi-symbol decoder reproduce what the oracle decodes.
+    #[test]
+    fn fast_entropy_paths_match_bitwise_oracle(
+        codes in prop::collection::vec(0u32..5000, 1..3000),
+    ) {
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let (mut fast, mut oracle) = (BitWriter::new(), BitWriter::new());
+        for &c in &codes {
+            book.encode(c, &mut fast).unwrap();
+            book.encode_bitwise(c, &mut oracle).unwrap();
+        }
+        let bytes = fast.into_bytes();
+        prop_assert_eq!(&bytes, &oracle.into_bytes(), "encoders must be bit-identical");
+        let mut bulk = Vec::new();
+        book.decode_into(&mut BitReader::new(&bytes), codes.len(), &mut bulk).unwrap();
+        prop_assert_eq!(&bulk, &codes);
+        let (mut lut_r, mut oracle_r) = (BitReader::new(&bytes), BitReader::new(&bytes));
+        for &c in &codes {
+            prop_assert_eq!(book.decode(&mut lut_r).unwrap(), c);
+            prop_assert_eq!(book.decode_bitwise(&mut oracle_r).unwrap(), c);
+        }
+    }
+
+    /// Same oracle agreement on narrow, heavily repeated alphabets, where
+    /// codes are short enough that every LUT probe packs several symbols.
+    #[test]
+    fn fast_entropy_paths_match_oracle_short_codes(
+        codes in prop::collection::vec(0u32..6, 1..4000),
+    ) {
+        let book = Codebook::from_frequencies(&histogram(&codes)).unwrap();
+        let (mut fast, mut oracle) = (BitWriter::new(), BitWriter::new());
+        for &c in &codes {
+            book.encode(c, &mut fast).unwrap();
+            book.encode_bitwise(c, &mut oracle).unwrap();
+        }
+        let bytes = fast.into_bytes();
+        prop_assert_eq!(&bytes, &oracle.into_bytes(), "encoders must be bit-identical");
+        let mut bulk = Vec::new();
+        book.decode_into(&mut BitReader::new(&bytes), codes.len(), &mut bulk).unwrap();
+        prop_assert_eq!(&bulk, &codes);
+    }
+
     /// LZSS roundtrips arbitrary byte streams exactly.
     #[test]
     fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..5000)) {

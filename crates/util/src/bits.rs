@@ -88,10 +88,23 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.data.len() {
-            self.acc |= (self.data[self.pos] as u64) << self.nbits;
-            self.pos += 1;
-            self.nbits += 8;
+        if self.nbits > 56 {
+            return;
+        }
+        if self.pos + 8 <= self.data.len() {
+            // Fast path: one unaligned little-endian word load, inserting as
+            // many whole bytes as the accumulator has room for (1..=8).
+            let w = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            let take = (64 - self.nbits) >> 3;
+            self.acc |= (w & (u64::MAX >> (64 - 8 * take))) << self.nbits;
+            self.pos += take as usize;
+            self.nbits += 8 * take;
+        } else {
+            while self.nbits <= 56 && self.pos < self.data.len() {
+                self.acc |= (self.data[self.pos] as u64) << self.nbits;
+                self.pos += 1;
+                self.nbits += 8;
+            }
         }
     }
 
@@ -103,9 +116,11 @@ impl<'a> BitReader<'a> {
             return Ok(0);
         }
         if n <= 56 {
-            self.refill();
             if self.nbits < n {
-                return Err(Error::corrupt("bit stream exhausted"));
+                self.refill();
+                if self.nbits < n {
+                    return Err(Error::corrupt("bit stream exhausted"));
+                }
             }
             let v = self.acc & ((1u64 << n) - 1);
             self.acc >>= n;
@@ -123,6 +138,38 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool> {
         Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Returns the next `n` bits (`n <= 56`) without consuming them.
+    ///
+    /// Unlike [`BitReader::read_bits`] this never fails: bits past the end
+    /// of the stream read as zero. Callers that act on the peeked value must
+    /// [`BitReader::consume`] only as many bits as the stream still holds.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 56);
+        if n == 0 {
+            return 0;
+        }
+        if self.nbits < n {
+            self.refill();
+        }
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    /// Discards `n` bits (`n <= 56`), erroring on stream exhaustion.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        debug_assert!(n <= 56);
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(Error::corrupt("bit stream exhausted"));
+            }
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(())
     }
 
     /// Number of bits still available.
@@ -198,6 +245,45 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         for &b in &pattern {
             assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101_0110_1011, 12);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(12), 0b1101_0110_1011);
+        assert_eq!(r.peek_bits(12), 0b1101_0110_1011);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.peek_bits(8), 0b1101_0110);
+    }
+
+    #[test]
+    fn peek_zero_pads_past_end_but_consume_errors() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        // Only 8 real bits exist; the peek window beyond them reads zero.
+        assert_eq!(r.peek_bits(12), 0x0ff);
+        assert!(r.consume(9).is_err());
+        assert!(r.consume(8).is_ok());
+        assert_eq!(r.peek_bits(12), 0);
+        assert!(r.consume(1).is_err());
+    }
+
+    #[test]
+    fn peek_consume_tracks_read_bits() {
+        let vals: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) & 0x1fff).collect();
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_bits(v, 13);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.peek_bits(13), v);
+            r.consume(13).unwrap();
         }
     }
 

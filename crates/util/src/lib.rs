@@ -9,6 +9,7 @@
 pub mod bits;
 pub mod crc;
 pub mod error;
+pub mod json;
 pub mod parallel;
 pub mod stats;
 pub mod table;

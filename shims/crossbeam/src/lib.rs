@@ -1,0 +1,95 @@
+//! Vendored stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; it is
+//! implemented on `std::thread::scope`, keeping crossbeam's signatures:
+//! the scope closure receives a `&Scope`, `spawn` passes the scope to the
+//! worker closure, and panics surface as `Err` results rather than
+//! unwinding through `scope()`.
+
+pub mod thread {
+    //! Scoped threads (crossbeam-utils compatible subset).
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result type mirroring `crossbeam::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure and to spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker; a panic becomes `Err(payload)`.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// Unlike `std::thread::scope`, a panic in `f` (or in a worker that
+    /// was never joined) is caught and returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join() {
+            let data = [1, 2, 3];
+            let sum = super::scope(|s| {
+                let h = s.spawn(|_| data.iter().sum::<i32>());
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(sum, 6);
+        }
+
+        #[test]
+        fn worker_panic_reported_at_join() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| -> i32 { panic!("boom") });
+                h.join()
+            })
+            .unwrap();
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let out = super::scope(|s| {
+                let h = s.spawn(|s2| {
+                    let inner = s2.spawn(|_| 21);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Vendored stand-in for the `proptest` crate (offline build).
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the `proptest!` macro, integer/float range strategies, `any::<T>()`,
+//! `prop::collection::vec`, tuples, `Just`, `prop_oneof!`, `prop_map`,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Each test runs `cases` deterministic random cases (seeded from the
+//! test's module path and case index, so failures reproduce across
+//! runs). Failing cases are reported with their index; there is **no
+//! shrinking** — the failing inputs are printed as-is via the panic
+//! message of the `prop_assert*` macros.
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic case RNG.
+
+    /// Per-test configuration (`ProptestConfig` in real proptest).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 stream for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test identity and case index.
+        pub fn for_case(test_id: &str, case: u32) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            test_id.hash(&mut h);
+            case.hash(&mut h);
+            Self { state: h.finish() | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an associated type from the case RNG.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            MapStrategy { base: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe strategy view backing [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct MapStrategy<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds from at least one alternative.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F) }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range strategy for primitives.
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            Self { _marker: std::marker::PhantomData }
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy::default()
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 != 0
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyStrategy<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy::default()
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`proptest::arbitrary::any`).
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive maximum.
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` paths used by `proptest::prelude` consumers.
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs `cases` deterministic cases of one property (macro plumbing).
+pub fn run_cases(test_id: &str, cases: u32, mut case_fn: impl FnMut(&mut test_runner::TestRng)) {
+    for case in 0..cases {
+        let mut rng = test_runner::TestRng::for_case(test_id, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case_fn(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("proptest: {test_id} failed at case {case}/{cases} (deterministic seed; no shrinking)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |rng| {
+                    let ($($arg,)*) = ($($crate::strategy::Strategy::new_value(&($strat), rng),)*);
+                    $body
+                },
+            );
+        }
+    )*};
+}
+
+/// Case-failing assertion (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Case-failing equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Case-failing inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in -50i32..50, b in 1u32..=16, f in -2.0f64..2.0) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..=16).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        /// Vec sizes respect the size range; tuples destructure.
+        #[test]
+        fn vec_and_tuples(v in prop::collection::vec((any::<u8>(), 1u32..5), 2..10), (x, y) in (0u8..4, Just(7i32))) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            for &(_, w) in &v {
+                prop_assert!((1..5).contains(&w));
+            }
+            prop_assert!(x < 4);
+            prop_assert_eq!(y, 7);
+        }
+
+        /// prop_map and prop_oneof compose.
+        #[test]
+        fn map_and_oneof(v in prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 10)) {
+            prop_assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..1000, 5..20);
+        let mut r1 = crate::test_runner::TestRng::for_case("t", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}

@@ -1,0 +1,186 @@
+//! Vendored stand-in for the `rand` crate (offline build).
+//!
+//! Provides the thin slice of the rand 0.8 API this workspace uses:
+//! `StdRng::seed_from_u64` and `Rng::gen::<T>()` / `gen_range`. The
+//! generator is xoshiro256++ seeded through splitmix64 — statistically
+//! solid for synthetic-data generation, though its exact output stream
+//! differs from upstream rand's StdRng (ChaCha12). All consumers in this
+//! workspace treat the stream as an arbitrary reproducible source, so
+//! only determinism per seed matters.
+
+/// Distribution support: types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value from the generator's raw 64-bit stream.
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() >> 63 != 0
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64_stream(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Construction from small seeds (rand's `SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value-producing methods available on every generator.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::from_u64_stream(&mut f)
+    }
+
+    /// Uniform integer in `[low, high)` (u64 half-open range).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Named generator types.
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Small fast generator; same engine as [`StdRng`] in the shim.
+    pub type SmallRng = StdRng;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range hit");
+    }
+
+    #[test]
+    fn bool_and_u32_draw() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if rng.gen::<bool>() {
+                trues += 1;
+            }
+        }
+        assert!((300..700).contains(&trues));
+        let _: u32 = rng.gen();
+    }
+}

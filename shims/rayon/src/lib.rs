@@ -1,0 +1,551 @@
+//! Vendored stand-in for the `rayon` crate (offline build).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of rayon's API it actually uses. Parallelism is
+//! real: terminal operations split their input into per-worker chunks and
+//! run them on `std::thread::scope` threads, preserving input order.
+//!
+//! Differences from real rayon, by design:
+//! - no work stealing: each terminal op splits statically into
+//!   `current_num_threads()` contiguous chunks;
+//! - adapters (`map`, `enumerate`, `fold`) evaluate stage-by-stage: the
+//!   closure of each stage runs in parallel, the (cheap) materialization
+//!   between stages is sequential;
+//! - `ThreadPool::install` only overrides the worker count for the
+//!   calling thread's scope rather than moving work onto pool threads.
+//!
+//! Semantics relied upon by this workspace — order preservation,
+//! `try_for_each` error propagation, `fold`/`reduce` chunked
+//! accumulation — match rayon.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lazily-initialized default worker count (hardware parallelism).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of worker threads terminal operations will use.
+pub fn current_num_threads() -> usize {
+    let ov = THREAD_OVERRIDE.with(|c| c.get());
+    if ov > 0 {
+        return ov;
+    }
+    let d = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if d > 0 {
+        return d;
+    }
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for bounded pools.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type mirroring rayon's (the shim never constructs it).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bounded "pool": a scoped worker-count override.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count in effect.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads.max(1)));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        match out {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
+}
+
+/// Splits `v` into at most `parts` contiguous chunks of near-equal size.
+fn split_vec<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = v.len();
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Split from the back so each split_off is O(moved part).
+    let mut sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < rem)).collect();
+    while let Some(sz) = sizes.pop() {
+        if sizes.is_empty() {
+            out.push(v);
+            break;
+        }
+        let at = v.len() - sz;
+        out.push(v.split_off(at));
+    }
+    out.reverse();
+    out
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+fn pmap<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_vec(items, threads);
+    let mut slots: Vec<Option<Vec<R>>> = chunks.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, chunk) in slots.iter_mut().zip(chunks) {
+            s.spawn(move || *slot = Some(chunk.into_iter().map(f).collect()));
+        }
+    });
+    slots.into_iter().flat_map(|v| v.expect("worker finished")).collect()
+}
+
+/// Folds each chunk with its own accumulator, in parallel.
+fn pfold<I: Send, A: Send>(
+    items: Vec<I>,
+    identity: &(impl Fn() -> A + Sync),
+    fold: &(impl Fn(A, I) -> A + Sync),
+) -> Vec<A> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return vec![items.into_iter().fold(identity(), fold)];
+    }
+    let chunks = split_vec(items, threads);
+    let mut slots: Vec<Option<A>> = chunks.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, chunk) in slots.iter_mut().zip(chunks) {
+            s.spawn(move || *slot = Some(chunk.into_iter().fold(identity(), fold)));
+        }
+    });
+    slots.into_iter().map(|v| v.expect("worker finished")).collect()
+}
+
+/// The parallel-iterator trait: adapters compose lazily, terminal
+/// operations evaluate on worker threads.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by this iterator.
+    type Item: Send;
+
+    /// Evaluates the chain, returning all items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// Runs `f` on every item; returns the first error in input order.
+    fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(Self::Item) -> Result<(), E> + Sync + Send,
+    {
+        self.map(f).drive().into_iter().collect()
+    }
+
+    /// Like `try_for_each`, with one `init()` value per worker chunk.
+    fn try_for_each_init<T, INIT, E, F>(self, init: INIT, f: F) -> Result<(), E>
+    where
+        T: Send,
+        E: Send,
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) -> Result<(), E> + Sync + Send,
+    {
+        let outs = pfold(self.drive(), &|| (init(), Ok(())), &|(mut st, acc): (T, Result<(), E>),
+                                                              item| {
+            let acc = match acc {
+                Ok(()) => f(&mut st, item),
+                e => e,
+            };
+            (st, acc)
+        });
+        outs.into_iter().try_for_each(|(_, r)| r)
+    }
+
+    /// Chunk-local fold: produces one accumulator per worker chunk.
+    fn fold<A, ID, F>(self, identity: ID, fold: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        Fold { base: self, identity, fold }
+    }
+
+    /// Reduces all items pairwise (used after [`ParallelIterator::fold`]).
+    fn reduce<ID, F>(self, identity: ID, reduce: F) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive().into_iter().fold(identity(), reduce)
+    }
+
+    /// Collects all items, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Base iterator over owned items.
+pub struct IntoParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Base iterator over shared references into a slice.
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn drive(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Parallel iterator over immutable sub-slices.
+pub struct ParChunks<'a, T: Sync> {
+    items: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn drive(self) -> Vec<&'a [T]> {
+        self.items.chunks(self.chunk).collect()
+    }
+}
+
+/// Parallel iterator over mutable sub-slices.
+pub struct ParChunksMut<'a, T: Send> {
+    items: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn drive(self) -> Vec<&'a mut [T]> {
+        self.items.chunks_mut(self.chunk).collect()
+    }
+}
+
+/// Lazy map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        pmap(self.base.drive(), &self.f)
+    }
+}
+
+/// Lazy enumerate adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn drive(self) -> Vec<(usize, B::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
+
+/// Lazy chunked-fold adapter (items are per-chunk accumulators).
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold: F,
+}
+
+impl<B, A, ID, F> ParallelIterator for Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, B::Item) -> A + Sync + Send,
+{
+    type Item = A;
+    fn drive(self) -> Vec<A> {
+        pfold(self.base.drive(), &self.identity, &self.fold)
+    }
+}
+
+/// Conversion into a parallel iterator (owned items).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoParIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = IntoParIter<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Iter = IntoParIter<u32>;
+    type Item = u32;
+    fn into_par_iter(self) -> IntoParIter<u32> {
+        IntoParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter` on slice-likes (matches rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks`/`par_chunks_mut` on slices (rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Immutable chunks of `chunk` items (last may be shorter).
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunks { items: self, chunk }
+    }
+}
+
+/// Mutable chunk splitting (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutable chunks of `chunk` items (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut { items: self, chunk }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[256], 65536);
+        let owned: Vec<String> =
+            vec!["a".to_string(), "b".to_string()].into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn enumerate_matches_sequential() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn try_for_each_propagates_first_error() {
+        let v: Vec<usize> = (0..100).collect();
+        let r: Result<(), usize> =
+            v.par_iter().try_for_each(|&x| if x >= 40 { Err(x) } else { Ok(()) });
+        assert_eq!(r, Err(40));
+        let ok: Result<(), usize> = v.par_iter().try_for_each(|_| Ok(()));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjointly() {
+        let mut v = vec![0u32; 100];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], (99 / 7) as u32);
+    }
+
+    #[test]
+    fn try_for_each_init_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let v: Vec<usize> = (0..500).collect();
+        let count = AtomicUsize::new(0);
+        let r: Result<(), ()> = v.par_iter().try_for_each_init(
+            || 0usize,
+            |state, _| {
+                *state += 1;
+                count.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        );
+        assert!(r.is_ok());
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn split_vec_is_contiguous_and_balanced() {
+        for len in [0usize, 1, 5, 97, 100] {
+            for parts in [1usize, 2, 7, 64] {
+                let v: Vec<usize> = (0..len).collect();
+                let chunks = split_vec(v, parts);
+                let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+                if len > 0 {
+                    let min = chunks.iter().map(|c| c.len()).min().unwrap();
+                    let max = chunks.iter().map(|c| c.len()).max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}
