@@ -4,6 +4,10 @@
 //! ```text
 //! foresight-cli path/to/config.json
 //! ```
+//!
+//! Exit codes: 0 on success, 1 on load/pipeline errors, 2 on usage
+//! errors, 3 when the pipeline ran but one or more jobs failed or were
+//! skipped (the per-job summary is printed to stderr).
 
 use foresight::runner::run_pipeline;
 use foresight::{ForesightConfig, SlurmSim};
@@ -23,20 +27,34 @@ fn main() {
         }
     };
     println!(
-        "foresight: dataset={:?} n_side={} | {} codec configs | analyses {:?}",
+        "foresight: dataset={:?} n_side={} | {} codec configs | analyses {:?}{}",
         cfg.input.dataset,
         cfg.input.n_side,
         cfg.codec_configs().len(),
-        cfg.analysis
+        cfg.analysis,
+        match &cfg.chaos {
+            Some(ch) => format!(" | chaos seed={}", ch.seed),
+            None => String::new(),
+        }
     );
     match run_pipeline(&cfg, &SlurmSim::default()) {
         Ok(report) => {
             println!("\n== PAT workflow ==");
             for j in &report.workflow.jobs {
                 println!(
-                    "wave {} | {:<12} | {:>7.2}s | {}",
-                    j.wave, j.name, j.wall_seconds, j.output
+                    "wave {} | {:<12} | {:<16} | {:>7.2}s | {}",
+                    j.wave,
+                    j.name,
+                    j.status.label(),
+                    j.wall_seconds,
+                    j.output
                 );
+            }
+            if !report.resilience.is_empty() {
+                println!("\n== resilience ==");
+                for line in &report.resilience {
+                    println!("{line}");
+                }
             }
             for line in &report.best_fit_lines {
                 println!("{line}");
@@ -47,6 +65,11 @@ fn main() {
                     report.artifacts,
                     cfg.output.dir.display()
                 );
+            }
+            if !report.workflow.all_ok() {
+                eprintln!("\n== job failures ==");
+                eprint!("{}", report.workflow.failure_summary());
+                std::process::exit(3);
             }
         }
         Err(e) => {

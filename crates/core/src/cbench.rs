@@ -6,9 +6,11 @@
 //! CBench produces for the downstream analysis and visualization stages.
 
 use crate::codec::{compress, decompress, CodecConfig, CompressorId, Shape};
+use crate::gpu_backend::{gpu_compress, gpu_decompress};
 use cosmo_analysis::metrics::{distortion, Distortion};
 use foresight_util::timer::time;
 use foresight_util::{Error, Result};
+use gpu_sim::{Device, FaultPlan, FaultRates, GpuSpec};
 use rayon::prelude::*;
 
 /// One named input field.
@@ -36,6 +38,31 @@ impl FieldData {
     }
 }
 
+/// Which execution path produced a CBench record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Plain CPU codec run (the non-chaos default).
+    Cpu,
+    /// Simulated GPU run, clean on the first attempt.
+    Gpu,
+    /// Simulated GPU run that succeeded after this many faulted attempts.
+    GpuRetried(u32),
+    /// GPU attempts exhausted; the CPU codec path produced the record.
+    CpuFallback,
+}
+
+impl ExecPath {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ExecPath::Cpu => "cpu".into(),
+            ExecPath::Gpu => "gpu".into(),
+            ExecPath::GpuRetried(n) => format!("gpu(retried x{n})"),
+            ExecPath::CpuFallback => "cpu-fallback".into(),
+        }
+    }
+}
+
 /// One CBench measurement row.
 #[derive(Debug, Clone)]
 pub struct CBenchRecord {
@@ -59,6 +86,13 @@ pub struct CBenchRecord {
     pub compress_seconds: f64,
     /// Wall-clock decompression seconds.
     pub decompress_seconds: f64,
+    /// How this record was produced (CPU, GPU, GPU after retries, or
+    /// CPU fallback after the GPU path gave up).
+    pub exec: ExecPath,
+    /// Simulated device seconds (compress + decompress breakdown totals)
+    /// for GPU-path records; `None` on pure CPU paths. Deterministic for
+    /// a given fault seed, unlike the wall-clock fields.
+    pub sim_seconds: Option<f64>,
     /// Reconstructed field, kept when requested for post-analysis.
     pub reconstructed: Option<Vec<f32>>,
 }
@@ -97,8 +131,83 @@ pub fn run_one(field: &FieldData, cfg: &CodecConfig, keep_recon: bool) -> Result
         distortion: dist,
         compress_seconds: c_secs,
         decompress_seconds: d_secs,
+        exec: ExecPath::Cpu,
+        sim_seconds: None,
         reconstructed: if keep_recon { Some(recon) } else { None },
     })
+}
+
+/// One GPU roundtrip attempt: compress on device, download (chaos may
+/// flip bits en route), upload, decompress, measure.
+fn gpu_roundtrip(
+    field: &FieldData,
+    cfg: &CodecConfig,
+    keep_recon: bool,
+    device: &mut Device,
+) -> Result<CBenchRecord> {
+    let (out, c_secs) = time(|| gpu_compress(device, cfg, &field.data, field.shape));
+    let (stream, crep) = out?;
+    let (out, d_secs) =
+        time(|| gpu_decompress(device, cfg.id(), &stream, field.data.len() as u64));
+    let (recon, drep) = out?;
+    if recon.len() != field.data.len() {
+        return Err(Error::corrupt("reconstructed length mismatch"));
+    }
+    let dist = distortion(&field.data, &recon);
+    let original_bytes = field.data.len() * 4;
+    Ok(CBenchRecord {
+        field: field.name.clone(),
+        compressor: cfg.id(),
+        param: cfg.param_label(),
+        compressed_bytes: stream.len(),
+        original_bytes,
+        ratio: original_bytes as f64 / stream.len().max(1) as f64,
+        bitrate: stream.len() as f64 * 8.0 / field.data.len().max(1) as f64,
+        distortion: dist,
+        compress_seconds: c_secs,
+        decompress_seconds: d_secs,
+        exec: ExecPath::Gpu,
+        sim_seconds: Some(crep.breakdown.total() + drep.breakdown.total()),
+        reconstructed: if keep_recon { Some(recon) } else { None },
+    })
+}
+
+/// Runs one (field, config) measurement on the simulated GPU with
+/// graceful degradation.
+///
+/// Device faults (exhausted transfer/kernel/allocation retries) and
+/// stream corruption (an ECC bit flip caught by the codec CRC) restart
+/// the whole roundtrip, up to `op_retries` times; after that the CPU
+/// codec path produces the record, marked [`ExecPath::CpuFallback`].
+/// Genuine configuration/codec errors are returned unchanged — retrying
+/// cannot fix them.
+pub fn run_one_gpu(
+    field: &FieldData,
+    cfg: &CodecConfig,
+    keep_recon: bool,
+    device: &mut Device,
+    op_retries: u32,
+) -> Result<CBenchRecord> {
+    let mut faulted = 0u32;
+    loop {
+        match gpu_roundtrip(field, cfg, keep_recon, device) {
+            Ok(mut rec) => {
+                if faulted > 0 {
+                    rec.exec = ExecPath::GpuRetried(faulted);
+                }
+                return Ok(rec);
+            }
+            Err(e) if e.is_device_fault() || matches!(e, Error::Corrupt(_)) => {
+                faulted += 1;
+                if faulted > op_retries {
+                    let mut rec = run_one(field, cfg, keep_recon)?;
+                    rec.exec = ExecPath::CpuFallback;
+                    return Ok(rec);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Runs the full sweep: every field against every configuration, in
@@ -138,6 +247,103 @@ pub fn run_sweep(
         )));
     }
     Ok(out)
+}
+
+/// Chaos-mode sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master fault seed; every (field, config) pair forks its own
+    /// deterministic child plan keyed by a stable label.
+    pub seed: u64,
+    /// Injection rates shared by every pair.
+    pub rates: FaultRates,
+    /// Per-device-operation retry budget (transfers, launches, allocs).
+    pub device_retries: u32,
+    /// Whole-roundtrip retries before falling back to the CPU path.
+    pub op_retries: u32,
+    /// GPU model every pair runs on.
+    pub gpu: GpuSpec,
+}
+
+impl ChaosConfig {
+    /// A V100-backed chaos config with the given seed and rates.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        Self { seed, rates, device_retries: 3, op_retries: 2, gpu: GpuSpec::tesla_v100() }
+    }
+}
+
+/// A (field, config) pair that failed persistently and was excluded from
+/// the sweep results.
+#[derive(Debug, Clone)]
+pub struct QuarantinedPair {
+    /// Field name.
+    pub field: String,
+    /// Compressor of the failing config.
+    pub compressor: CompressorId,
+    /// Parameter label of the failing config.
+    pub param: String,
+    /// The terminal error.
+    pub error: String,
+}
+
+/// Outcome of a chaos sweep: the records that survived plus the pairs
+/// that were quarantined.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepReport {
+    /// Successful records, in deterministic fields-outer/configs-inner
+    /// order (quarantined pairs leave gaps, not reordering).
+    pub records: Vec<CBenchRecord>,
+    /// Persistently failing pairs, same deterministic order.
+    pub quarantined: Vec<QuarantinedPair>,
+}
+
+impl ChaosSweepReport {
+    /// Records that fell back to the CPU path.
+    pub fn fallbacks(&self) -> usize {
+        self.records.iter().filter(|r| r.exec == ExecPath::CpuFallback).count()
+    }
+}
+
+/// Runs the full sweep through the simulated GPU under fault injection.
+///
+/// Unlike [`run_sweep`], persistent failures do not fail the sweep: each
+/// failing pair is quarantined with its error and the remaining records
+/// are returned. Each pair forks the master fault plan by a stable
+/// `field/codec param` label, so results are bit-identical for a given
+/// seed regardless of rayon's scheduling.
+pub fn run_sweep_chaos(
+    fields: &[FieldData],
+    configs: &[CodecConfig],
+    keep_recon: bool,
+    chaos: &ChaosConfig,
+) -> Result<ChaosSweepReport> {
+    chaos.rates.validate()?;
+    let parent = FaultPlan::new(chaos.seed, chaos.rates).with_max_retries(chaos.device_retries);
+    let pairs: Vec<(&FieldData, &CodecConfig)> =
+        fields.iter().flat_map(|f| configs.iter().map(move |c| (f, c))).collect();
+    let results: Vec<Result<CBenchRecord>> = pairs
+        .par_iter()
+        .map(|(f, c)| {
+            let label = format!("{}/{} {}", f.name, c.id().display(), c.param_label());
+            let mut device =
+                Device::new(chaos.gpu.clone()).with_fault_plan(parent.fork(&label));
+            run_one_gpu(f, c, keep_recon, &mut device, chaos.op_retries)
+        })
+        .collect();
+    let mut records = Vec::new();
+    let mut quarantined = Vec::new();
+    for ((f, c), r) in pairs.iter().zip(results) {
+        match r {
+            Ok(rec) => records.push(rec),
+            Err(e) => quarantined.push(QuarantinedPair {
+                field: f.name.clone(),
+                compressor: c.id(),
+                param: c.param_label(),
+                error: e.to_string(),
+            }),
+        }
+    }
+    Ok(ChaosSweepReport { records, quarantined })
 }
 
 /// Dataset-level compression ratio for one chosen config per field
@@ -243,5 +449,86 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         assert!(FieldData::new("x", vec![0.0; 10], Shape::D1(11)).is_err());
+    }
+
+    #[test]
+    fn quiet_chaos_sweep_matches_cpu_sweep_bytes() {
+        let fields = vec![smooth_field("a"), smooth_field("b")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+        ];
+        let cpu = run_sweep(&fields, &configs, false).unwrap();
+        let chaos = ChaosConfig::new(42, FaultRates::default());
+        let report = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.fallbacks(), 0);
+        assert_eq!(report.records.len(), cpu.len());
+        for (g, c) in report.records.iter().zip(&cpu) {
+            assert_eq!(g.exec, ExecPath::Gpu, "no faults -> clean GPU path");
+            assert_eq!(g.compressed_bytes, c.compressed_bytes, "same codec, same bytes");
+            assert_eq!((g.field.as_str(), g.param.as_str()), (c.field.as_str(), c.param.as_str()));
+            assert!(g.sim_seconds.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_is_deterministic_and_degrades_gracefully() {
+        let fields = vec![smooth_field("a"), smooth_field("b"), smooth_field("c")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+        ];
+        let rates = FaultRates {
+            transfer: 0.6,
+            bit_flip: 0.5,
+            kernel: 0.4,
+            oom: 0.2,
+            ..Default::default()
+        };
+        let mut chaos = ChaosConfig::new(7, rates);
+        chaos.device_retries = 1;
+        chaos.op_retries = 1;
+        let run = || run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+        let a = run();
+        // Nothing quarantined: every pair lands via GPU retries or CPU
+        // fallback (the codec configs themselves are valid).
+        assert!(a.quarantined.is_empty());
+        assert_eq!(a.records.len(), 6);
+        assert!(
+            a.records.iter().any(|r| r.exec != ExecPath::Gpu),
+            "these rates must perturb at least one pair"
+        );
+        // Bit-for-bit determinism of the simulated outcome.
+        let b = run();
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.exec, y.exec);
+            assert_eq!(x.compressed_bytes, y.compressed_bytes);
+            assert_eq!(x.sim_seconds, y.sim_seconds);
+            assert_eq!(x.ratio, y.ratio);
+        }
+    }
+
+    #[test]
+    fn invalid_pair_is_quarantined_with_partial_results() {
+        let fields = vec![smooth_field("good_field")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Sz(SzConfig::abs(-1.0)), // invalid: retries cannot help
+        ];
+        let chaos = ChaosConfig::new(3, FaultRates::default());
+        let report = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+        assert_eq!(report.records.len(), 1, "the good pair survives");
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.field, "good_field");
+        assert!(q.param.contains("abs=-1"));
+        assert!(!q.error.is_empty());
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        let chaos = ChaosConfig::new(1, FaultRates { transfer: 2.0, ..Default::default() });
+        assert!(run_sweep_chaos(&[], &[], false, &chaos).is_err());
     }
 }

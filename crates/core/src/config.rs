@@ -11,13 +11,21 @@
 //!   "compressors": [ { "name": "gpu-sz", "mode": "abs", "bounds": [0.1, 0.2] },
 //!                    { "name": "cuzfp", "rates": [2, 4, 8] } ],
 //!   "analysis":    [ "distortion", "power-spectrum" ],
-//!   "output":      { "dir": "out", "cinema": true }
+//!   "output":      { "dir": "out", "cinema": true },
+//!   "chaos":       { "seed": 7, "transfer": 0.05, "node": 0.1 }
 //! }
 //! ```
+//!
+//! The optional `chaos` section turns on seeded fault injection: the
+//! sweep runs through the simulated GPU with the given failure rates and
+//! the PAT workflow retries jobs under node-level faults (see
+//! [`ChaosSettings`]).
 
+use crate::cbench::ChaosConfig;
 use crate::codec::CodecConfig;
 use foresight_util::json::Value;
 use foresight_util::{Error, Result};
+use gpu_sim::FaultRates;
 use std::path::PathBuf;
 
 fn bad(msg: impl Into<String>) -> Error {
@@ -295,6 +303,99 @@ impl OutputConfig {
     }
 }
 
+/// Optional fault-injection ("chaos") settings for a pipeline run.
+///
+/// When present, CBench runs through the simulated GPU with the given
+/// fault rates (quarantining persistently failing pairs) and the PAT
+/// workflow executes with per-job retries under node-level faults. All
+/// injection is seeded, so a run is reproducible bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct ChaosSettings {
+    /// Master fault seed (default 0).
+    pub seed: u64,
+    /// Per-transfer PCIe failure probability (default 0).
+    pub transfer: f64,
+    /// Per-download silent bit-flip probability (default 0).
+    pub bit_flip: f64,
+    /// Per-launch kernel-fault probability (default 0).
+    pub kernel: f64,
+    /// Per-allocation spurious-OOM probability (default 0).
+    pub oom: f64,
+    /// Per-wave node-failure probability (default 0).
+    pub node: f64,
+    /// Per-device-operation retry budget (default 3).
+    pub device_retries: u32,
+    /// Whole-GPU-roundtrip retries before CPU fallback (default 2).
+    pub op_retries: u32,
+    /// Per-job workflow retries (default 2).
+    pub job_retries: u32,
+}
+
+impl ChaosSettings {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'chaos' must be an object"));
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => {
+                s.as_u64().ok_or_else(|| bad("field 'seed' must be a non-negative integer"))?
+            }
+        };
+        Ok(ChaosSettings {
+            seed,
+            transfer: f64_field(v, "transfer", 0.0)?,
+            bit_flip: f64_field(v, "bit_flip", 0.0)?,
+            kernel: f64_field(v, "kernel", 0.0)?,
+            oom: f64_field(v, "oom", 0.0)?,
+            node: f64_field(v, "node", 0.0)?,
+            device_retries: usize_field(v, "device_retries", 3)? as u32,
+            op_retries: usize_field(v, "op_retries", 2)? as u32,
+            job_retries: usize_field(v, "job_retries", 2)? as u32,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("transfer".into(), Value::Number(self.transfer)),
+            ("bit_flip".into(), Value::Number(self.bit_flip)),
+            ("kernel".into(), Value::Number(self.kernel)),
+            ("oom".into(), Value::Number(self.oom)),
+            ("node".into(), Value::Number(self.node)),
+            ("device_retries".into(), Value::Number(self.device_retries as f64)),
+            ("op_retries".into(), Value::Number(self.op_retries as f64)),
+            ("job_retries".into(), Value::Number(self.job_retries as f64)),
+        ])
+    }
+
+    /// The device-level fault rates.
+    pub fn fault_rates(&self) -> FaultRates {
+        FaultRates {
+            transfer: self.transfer,
+            bit_flip: self.bit_flip,
+            kernel: self.kernel,
+            oom: self.oom,
+            node: self.node,
+        }
+    }
+
+    /// The CBench chaos-sweep configuration these settings describe.
+    pub fn to_chaos_config(&self) -> ChaosConfig {
+        ChaosConfig {
+            device_retries: self.device_retries,
+            op_retries: self.op_retries,
+            ..ChaosConfig::new(self.seed, self.fault_rates())
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.fault_rates()
+            .validate()
+            .map_err(|e| Error::Config(format!("chaos rates: {e}")))
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -306,6 +407,8 @@ pub struct ForesightConfig {
     pub analysis: Vec<AnalysisKind>,
     /// Output options.
     pub output: OutputConfig,
+    /// Optional fault-injection settings (absent means a quiet run).
+    pub chaos: Option<ChaosSettings>,
 }
 
 impl ForesightConfig {
@@ -331,11 +434,16 @@ impl ForesightConfig {
                 )
             })
             .collect::<Result<Vec<_>>>()?;
+        let chaos = match doc.get("chaos") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(ChaosSettings::from_value(v)?),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
             analysis,
             output: OutputConfig::from_value(field(&doc, "output")?)?,
+            chaos,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -344,7 +452,7 @@ impl ForesightConfig {
     /// Serializes back to a compact JSON document that [`Self::from_json`]
     /// accepts.
     pub fn to_json(&self) -> String {
-        Value::Object(vec![
+        let mut fields = vec![
             ("input".into(), self.input.to_value()),
             (
                 "compressors".into(),
@@ -360,8 +468,11 @@ impl ForesightConfig {
                 ),
             ),
             ("output".into(), self.output.to_value()),
-        ])
-        .to_json()
+        ];
+        if let Some(chaos) = &self.chaos {
+            fields.push(("chaos".into(), chaos.to_value()));
+        }
+        Value::Object(fields).to_json()
     }
 
     /// Reads a config file.
@@ -401,6 +512,9 @@ impl ForesightConfig {
                     }
                 }
             }
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
         }
         Ok(())
     }
@@ -509,6 +623,40 @@ mod tests {
         assert!(ForesightConfig::from_json(&bad).is_err());
         let bad = SAMPLE.replace("\"distortion\"", "\"spectrum\"");
         assert!(ForesightConfig::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn chaos_section_parses_with_defaults() {
+        let json = SAMPLE.replace(
+            "\"output\": { \"dir\": \"out\", \"cinema\": true }",
+            "\"output\": { \"dir\": \"out\", \"cinema\": true },\n        \
+             \"chaos\": { \"seed\": 7, \"transfer\": 0.1, \"node\": 0.2, \"job_retries\": 4 }",
+        );
+        let cfg = ForesightConfig::from_json(&json).unwrap();
+        let chaos = cfg.chaos.as_ref().unwrap();
+        assert_eq!(chaos.seed, 7);
+        assert_eq!(chaos.transfer, 0.1);
+        assert_eq!(chaos.bit_flip, 0.0);
+        assert_eq!(chaos.device_retries, 3);
+        assert_eq!(chaos.job_retries, 4);
+        let cc = chaos.to_chaos_config();
+        assert_eq!(cc.seed, 7);
+        assert_eq!(cc.rates.node, 0.2);
+        // Roundtrip keeps the section.
+        let cfg2 = ForesightConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg2.chaos.as_ref().unwrap().job_retries, 4);
+        // Absent section stays absent.
+        assert!(ForesightConfig::from_json(SAMPLE).unwrap().chaos.is_none());
+    }
+
+    #[test]
+    fn chaos_rates_out_of_range_rejected() {
+        let json = SAMPLE.replace(
+            "\"output\": { \"dir\": \"out\", \"cinema\": true }",
+            "\"output\": { \"dir\": \"out\", \"cinema\": true },\n        \
+             \"chaos\": { \"transfer\": 1.5 }",
+        );
+        assert!(ForesightConfig::from_json(&json).is_err());
     }
 
     #[test]

@@ -28,6 +28,10 @@ fn planned_bits(cfg: &CodecConfig) -> Option<f64> {
 }
 
 /// Compresses on the simulated GPU; returns the stream and timing report.
+///
+/// The compressed stream crosses the simulated link for real: in chaos
+/// mode the download may silently flip a bit (ECC escape), which only the
+/// stream's own CRC can catch — at decompression time.
 pub fn gpu_compress(
     device: &mut Device,
     cfg: &CodecConfig,
@@ -38,7 +42,7 @@ pub fn gpu_compress(
     let n = data.len() as u64;
     // For error-bounded codecs the achieved rate is only known after the
     // fact; run the codec first, then charge the model with actual bits.
-    match planned_bits(cfg) {
+    let (mut stream, report) = match planned_bits(cfg) {
         Some(bits) => {
             let (stream, report) =
                 run_compression(device, ck, n, bits, cfg.id().display(), || {
@@ -46,22 +50,26 @@ pub fn gpu_compress(
                     let len = s.as_ref().map(|v| v.len() as u64).unwrap_or(0);
                     (s, len)
                 })?;
-            Ok((stream?, report))
+            (stream?, report)
         }
         None => {
             let stream = compress(data, shape, cfg)?;
             let bits = stream.len() as f64 * 8.0 / n.max(1) as f64;
             let slen = stream.len() as u64;
-            let (stream, report) =
-                run_compression(device, ck, n, bits, cfg.id().display(), move || {
-                    (stream, slen)
-                })?;
-            Ok((stream, report))
+            run_compression(device, ck, n, bits, cfg.id().display(), move || {
+                (stream, slen)
+            })?
         }
-    }
+    };
+    device.inject_ecc(&mut stream);
+    Ok((stream, report))
 }
 
 /// Decompresses on the simulated GPU; returns data and timing report.
+///
+/// The upload leg may silently corrupt the stream in chaos mode; the
+/// codec's CRC check then surfaces it as [`Error::Corrupt`], which
+/// resilient callers treat like a transient device fault.
 pub fn gpu_decompress(
     device: &mut Device,
     id: CompressorId,
@@ -69,13 +77,15 @@ pub fn gpu_decompress(
     n_values: u64,
 ) -> Result<(Vec<f32>, GpuRunReport)> {
     let (_, dk) = kinds(id);
+    let mut uploaded = stream.to_vec();
+    device.inject_ecc(&mut uploaded);
     let (out, report) = run_decompression(
         device,
         dk,
         n_values,
-        stream.len() as u64,
+        uploaded.len() as u64,
         id.display(),
-        || decompress(stream),
+        || decompress(&uploaded),
     )?;
     let (data, _) = out?;
     Ok((data, report))

@@ -39,10 +39,13 @@ pub mod pat;
 pub mod runner;
 pub mod viz;
 
-pub use cbench::{run_one, run_sweep, CBenchRecord, FieldData};
+pub use cbench::{
+    run_one, run_one_gpu, run_sweep, run_sweep_chaos, CBenchRecord, ChaosConfig,
+    ChaosSweepReport, ExecPath, FieldData, QuarantinedPair,
+};
 pub use cinema::{ascii_chart, CinemaDb};
 pub use codec::{CodecConfig, CompressorId, Shape};
-pub use config::{AnalysisKind, DatasetKind, ForesightConfig};
+pub use config::{AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig};
 pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
-pub use pat::{Job, JobResult, SlurmSim, Workflow, WorkflowReport};
+pub use pat::{Job, JobResult, JobStatus, RetryPolicy, SlurmSim, Workflow, WorkflowReport};
 pub use runner::{run_pipeline, PipelineReport};

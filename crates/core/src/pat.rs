@@ -8,10 +8,25 @@
 //! pool, scheduled in dependency-respecting waves that never exceed the
 //! cluster's core budget, while an sbatch-style script of the schedule is
 //! produced for inspection.
+//!
+//! # Resilience
+//!
+//! Production SLURM campaigns lose jobs and nodes routinely, so PAT-rs
+//! treats failure as data rather than a reason to abort:
+//!
+//! - each job gets a retry budget with capped exponential backoff (the
+//!   backoff is *recorded* on the simulated clock, never slept);
+//! - jobs can carry a wall-clock timeout, enforced post-hoc per attempt;
+//! - a job that exhausts its retries is marked [`JobStatus::Failed`] and
+//!   its transitive dependents are [`JobStatus::Skipped`] — the rest of
+//!   the DAG keeps running and the report carries every outcome;
+//! - a [`FaultPlan`](gpu_sim::FaultPlan) can inject per-wave node losses
+//!   that shrink the schedulable core budget mid-run.
 
 use foresight_util::{Error, Result};
+use gpu_sim::{FaultKind, FaultPlan};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A unit of work with SLURM-like resource requirements.
@@ -20,24 +35,43 @@ pub struct Job {
     pub name: String,
     /// Names of jobs that must complete first.
     pub deps: Vec<String>,
-    /// Cores requested.
+    /// Cores requested (validated nonzero at run time).
     pub cores: usize,
-    func: Box<dyn FnOnce() -> Result<String> + Send>,
+    /// Per-attempt wall-clock timeout in seconds, if any.
+    pub timeout_seconds: Option<f64>,
+    func: Box<dyn Fn() -> Result<String> + Send + Sync>,
 }
 
 impl Job {
     /// Creates a job from a closure returning a short result summary.
+    ///
+    /// The closure may be invoked more than once when the workflow's
+    /// retry policy grants retries, so it must be idempotent.
     pub fn new(
         name: impl Into<String>,
         cores: usize,
-        func: impl FnOnce() -> Result<String> + Send + 'static,
+        func: impl Fn() -> Result<String> + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), deps: Vec::new(), cores: cores.max(1), func: Box::new(func) }
+        Self {
+            name: name.into(),
+            deps: Vec::new(),
+            cores,
+            timeout_seconds: None,
+            func: Box::new(func),
+        }
     }
 
     /// Adds a dependency on another job by name.
     pub fn after(mut self, dep: impl Into<String>) -> Self {
         self.deps.push(dep.into());
+        self
+    }
+
+    /// Sets a per-attempt wall-clock timeout. An attempt that runs longer
+    /// is treated as a failure (checked post-hoc; the closure is not
+    /// interrupted) and consumes a retry.
+    pub fn with_timeout(mut self, seconds: f64) -> Self {
+        self.timeout_seconds = Some(seconds);
         self
     }
 }
@@ -48,6 +82,7 @@ impl std::fmt::Debug for Job {
             .field("name", &self.name)
             .field("deps", &self.deps)
             .field("cores", &self.cores)
+            .field("timeout_seconds", &self.timeout_seconds)
             .finish()
     }
 }
@@ -76,34 +111,146 @@ impl SlurmSim {
     }
 }
 
-/// Result of one executed job.
+/// How one job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded after this many retries.
+    Retried(u32),
+    /// Every attempt failed (or timed out); retries exhausted.
+    Failed,
+    /// Never ran: a (transitive) dependency failed or was skipped.
+    Skipped,
+}
+
+impl JobStatus {
+    /// True for `Ok` and `Retried(_)`.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, JobStatus::Ok | JobStatus::Retried(_))
+    }
+
+    /// Short label for scripts and CLI tables.
+    pub fn label(&self) -> String {
+        match self {
+            JobStatus::Ok => "ok".into(),
+            JobStatus::Retried(n) => format!("ok(retried x{n})"),
+            JobStatus::Failed => "FAILED".into(),
+            JobStatus::Skipped => "skipped".into(),
+        }
+    }
+}
+
+/// Retry policy applied to every job in a workflow run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries granted after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in (simulated) seconds.
+    pub backoff_base_s: f64,
+    /// Cap on any single backoff interval.
+    pub backoff_cap_s: f64,
+}
+
+impl Default for RetryPolicy {
+    /// No retries: a failing job fails on its first attempt. This is the
+    /// zero-surprise default for existing callers.
+    fn default() -> Self {
+        Self { max_retries: 0, backoff_base_s: 1.0, backoff_cap_s: 60.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy granting `n` retries with the default backoff curve.
+    pub fn retries(n: u32) -> Self {
+        Self { max_retries: n, ..Default::default() }
+    }
+
+    /// Backoff charged before retry number `retry` (1-based): capped
+    /// exponential, `base * 2^(retry-1)` up to the cap.
+    pub fn backoff_seconds(&self, retry: u32) -> f64 {
+        let exp = self.backoff_base_s * 2f64.powi(retry.saturating_sub(1).min(62) as i32);
+        exp.min(self.backoff_cap_s)
+    }
+}
+
+/// Result of one executed (or skipped) job.
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// Job name.
     pub name: String,
-    /// Summary string the job returned.
+    /// Summary string the job returned, or the last error message for
+    /// failed jobs, or the containment reason for skipped jobs.
     pub output: String,
-    /// Wall-clock seconds of the closure.
+    /// Wall-clock seconds across all attempts of the closure.
     pub wall_seconds: f64,
-    /// Scheduling wave index (0-based).
+    /// Scheduling wave index (0-based; the wave of the verdict for
+    /// skipped jobs).
     pub wave: usize,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Attempts actually executed (0 for skipped jobs).
+    pub attempts: u32,
+    /// Simulated backoff seconds charged between attempts.
+    pub backoff_seconds: f64,
 }
 
 /// Result of a full workflow run.
 #[derive(Debug, Clone)]
 pub struct WorkflowReport {
-    /// Per-job results in completion order.
+    /// Per-job results in completion order (skipped jobs included).
     pub jobs: Vec<JobResult>,
     /// Number of scheduling waves used.
     pub waves: usize,
-    /// The generated sbatch-style submission script.
+    /// The generated sbatch-style submission script, annotated post-run
+    /// with one `# status:` comment per job.
     pub script: String,
+    /// Nodes lost to injected faults during the run.
+    pub node_failures: u32,
+    /// Nodes still alive at the end of the run.
+    pub alive_nodes: usize,
 }
 
 impl WorkflowReport {
     /// Looks up a job's result by name.
     pub fn job(&self, name: &str) -> Option<&JobResult> {
         self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// True when every job succeeded (possibly after retries).
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.status.succeeded())
+    }
+
+    /// Jobs that failed outright.
+    pub fn failed(&self) -> Vec<&JobResult> {
+        self.jobs.iter().filter(|j| j.status == JobStatus::Failed).collect()
+    }
+
+    /// Jobs skipped by failure containment.
+    pub fn skipped(&self) -> Vec<&JobResult> {
+        self.jobs.iter().filter(|j| j.status == JobStatus::Skipped).collect()
+    }
+
+    /// One-line-per-problem summary of failures and skips (empty string
+    /// when everything succeeded).
+    pub fn failure_summary(&self) -> String {
+        let mut s = String::new();
+        for j in &self.jobs {
+            match j.status {
+                JobStatus::Failed => {
+                    s.push_str(&format!(
+                        "  FAILED  {} ({} attempts): {}\n",
+                        j.name, j.attempts, j.output
+                    ));
+                }
+                JobStatus::Skipped => {
+                    s.push_str(&format!("  skipped {}: {}\n", j.name, j.output));
+                }
+                _ => {}
+            }
+        }
+        s
     }
 }
 
@@ -122,7 +269,7 @@ impl Workflow {
     /// Adds a job; names must be unique.
     pub fn add(&mut self, job: Job) -> Result<()> {
         if self.jobs.iter().any(|j| j.name == job.name) {
-            return Err(Error::Workflow(format!("duplicate job name '{}'", job.name)));
+            return Err(Error::invalid(format!("duplicate job name '{}'", job.name)));
         }
         self.jobs.push(job);
         Ok(())
@@ -138,27 +285,74 @@ impl Workflow {
         self.jobs.is_empty()
     }
 
-    /// Validates names/dependencies and renders the sbatch-style script.
-    fn script(&self, cluster: &SlurmSim) -> Result<String> {
+    /// Validates the DAG (unique names are enforced at [`Self::add`]):
+    /// every dependency exists, every job wants at least one core and no
+    /// more than the cluster has, and the graph is acyclic. Each error
+    /// names the offending job.
+    fn validate(&self, cluster: &SlurmSim) -> Result<()> {
         let names: HashSet<&str> = self.jobs.iter().map(|j| j.name.as_str()).collect();
-        let mut s = String::from("#!/bin/bash\n# generated by PAT-rs\n");
         for j in &self.jobs {
-            for d in &j.deps {
-                if !names.contains(d.as_str()) {
-                    return Err(Error::Workflow(format!(
-                        "job '{}' depends on unknown job '{}'",
-                        j.name, d
-                    )));
-                }
+            if j.cores == 0 {
+                return Err(Error::invalid(format!(
+                    "job '{}' requests zero cores",
+                    j.name
+                )));
             }
             if j.cores > cluster.total_cores() {
-                return Err(Error::Workflow(format!(
+                return Err(Error::invalid(format!(
                     "job '{}' requests {} cores, cluster has {}",
                     j.name,
                     j.cores,
                     cluster.total_cores()
                 )));
             }
+            for d in &j.deps {
+                if !names.contains(d.as_str()) {
+                    return Err(Error::invalid(format!(
+                        "job '{}' depends on unknown job '{}'",
+                        j.name, d
+                    )));
+                }
+            }
+        }
+        // Kahn's algorithm: whatever cannot be ordered is on a cycle.
+        let mut indeg: HashMap<&str, usize> =
+            self.jobs.iter().map(|j| (j.name.as_str(), j.deps.len())).collect();
+        let mut queue: Vec<&str> = indeg
+            .iter()
+            .filter_map(|(n, d)| (*d == 0).then_some(*n))
+            .collect();
+        queue.sort_unstable();
+        let mut ordered = 0usize;
+        while let Some(n) = queue.pop() {
+            ordered += 1;
+            for j in &self.jobs {
+                if j.deps.iter().any(|d| d == n) {
+                    let e = indeg.get_mut(j.name.as_str()).expect("known job");
+                    *e -= 1;
+                    if *e == 0 {
+                        queue.push(j.name.as_str());
+                    }
+                }
+            }
+        }
+        if ordered < self.jobs.len() {
+            let mut stuck: Vec<&str> = indeg
+                .iter()
+                .filter_map(|(n, d)| (*d > 0).then_some(*n))
+                .collect();
+            stuck.sort_unstable();
+            return Err(Error::invalid(format!(
+                "dependency cycle among jobs {stuck:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Renders the sbatch-style script (before execution).
+    fn script(&self) -> String {
+        let mut s = String::from("#!/bin/bash\n# generated by PAT-rs\n");
+        for j in &self.jobs {
             let dep = if j.deps.is_empty() {
                 String::new()
             } else {
@@ -169,78 +363,212 @@ impl Workflow {
                 j.name, j.cores, dep, j.name
             ));
         }
-        Ok(s)
+        s
     }
 
-    /// Executes the DAG on the simulated cluster.
+    /// Executes the DAG on the simulated cluster with default (no-retry)
+    /// policy and no fault injection.
+    pub fn run(self, cluster: &SlurmSim) -> Result<WorkflowReport> {
+        self.run_chaos(cluster, RetryPolicy::default(), None)
+    }
+
+    /// Executes the DAG with an explicit retry policy and optional fault
+    /// injection.
     ///
     /// Jobs run in dependency-respecting waves; within a wave, jobs run
     /// concurrently but their summed core request never exceeds the
-    /// cluster's capacity (overflow spills to the next wave). Cycles and
-    /// unknown dependencies are reported as errors.
-    pub fn run(self, cluster: &SlurmSim) -> Result<WorkflowReport> {
-        let script = self.script(cluster)?;
+    /// *currently alive* core budget (overflow spills to the next wave).
+    /// A failing job is retried per `retry` (backoff recorded, not
+    /// slept); once exhausted it is marked `Failed` and every transitive
+    /// dependent is `Skipped`. When `faults` is given, each wave may lose
+    /// a node ([`FaultKind::Node`]), shrinking capacity for the rest of
+    /// the run; a job that can no longer fit fails with containment.
+    ///
+    /// Validation problems (unknown dep, cycle, zero/oversized cores) are
+    /// the only `Err` outcomes; execution failures land in the report.
+    pub fn run_chaos(
+        self,
+        cluster: &SlurmSim,
+        retry: RetryPolicy,
+        mut faults: Option<FaultPlan>,
+    ) -> Result<WorkflowReport> {
+        self.validate(cluster)?;
+        let mut script = self.script();
         let mut pending: Vec<Job> = self.jobs;
         let done: Arc<Mutex<Vec<JobResult>>> = Arc::new(Mutex::new(Vec::new()));
         let mut completed: HashSet<String> = HashSet::new();
+        let mut dead: HashSet<String> = HashSet::new(); // failed or skipped
         let mut wave = 0usize;
+        let mut alive_nodes = cluster.nodes;
+        let mut node_failures = 0u32;
         while !pending.is_empty() {
+            // Chaos: this wave may lose a node (capacity floor: 1 node —
+            // a fully dead cluster would already be a site outage, not a
+            // scheduling question).
+            if let Some(plan) = faults.as_mut() {
+                if alive_nodes > 1 && plan.trip(FaultKind::Node) {
+                    alive_nodes -= 1;
+                    node_failures += 1;
+                }
+            }
+            let capacity = alive_nodes * cluster.cores_per_node;
+            // Containment: a job with a failed/skipped (transitive)
+            // dependency never runs.
+            let mut progressed = false;
+            let (poisoned, rest): (Vec<Job>, Vec<Job>) = pending
+                .into_iter()
+                .partition(|j| j.deps.iter().any(|d| dead.contains(d)));
+            for j in poisoned {
+                let cause = j
+                    .deps
+                    .iter()
+                    .find(|d| dead.contains(*d))
+                    .cloned()
+                    .unwrap_or_default();
+                dead.insert(j.name.clone());
+                done.lock().push(JobResult {
+                    name: j.name,
+                    output: format!("dependency '{cause}' did not succeed"),
+                    wall_seconds: 0.0,
+                    wave,
+                    status: JobStatus::Skipped,
+                    attempts: 0,
+                    backoff_seconds: 0.0,
+                });
+                progressed = true;
+            }
             // Ready = all deps completed.
-            let (ready, rest): (Vec<Job>, Vec<Job>) = pending
+            let (ready, rest): (Vec<Job>, Vec<Job>) = rest
                 .into_iter()
                 .partition(|j| j.deps.iter().all(|d| completed.contains(d)));
             if ready.is_empty() {
-                let names: Vec<String> = rest.iter().map(|j| j.name.clone()).collect();
+                pending = rest;
+                if progressed {
+                    // Skips may have unblocked (poisoned) successors.
+                    continue;
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                // Unreachable after validation (cycles are rejected), but
+                // never spin silently.
+                let names: Vec<String> = pending.iter().map(|j| j.name.clone()).collect();
                 return Err(Error::Workflow(format!(
-                    "dependency cycle or unsatisfiable deps among {names:?}"
+                    "scheduler stuck; unsatisfiable deps among {names:?}"
                 )));
+            }
+            // A shrunken cluster may no longer fit a job at all: contain.
+            let (unfit, ready): (Vec<Job>, Vec<Job>) =
+                ready.into_iter().partition(|j| j.cores > capacity);
+            for j in unfit {
+                dead.insert(j.name.clone());
+                done.lock().push(JobResult {
+                    name: j.name.clone(),
+                    output: format!(
+                        "needs {} cores but only {capacity} remain after {node_failures} node failure(s)",
+                        j.cores
+                    ),
+                    wall_seconds: 0.0,
+                    wave,
+                    status: JobStatus::Failed,
+                    attempts: 0,
+                    backoff_seconds: 0.0,
+                });
+            }
+            if ready.is_empty() {
+                pending = rest;
+                wave += 1;
+                continue;
             }
             // Respect the core budget: take ready jobs in order until full.
             let mut batch = Vec::new();
             let mut deferred = rest;
             let mut used = 0usize;
             for j in ready {
-                if used + j.cores <= cluster.total_cores() || batch.is_empty() {
+                if used + j.cores <= capacity || batch.is_empty() {
                     used += j.cores;
                     batch.push(j);
                 } else {
                     deferred.push(j);
                 }
             }
-            // Run the batch concurrently (crossbeam scoped threads).
-            let results: Vec<(String, Result<String>, f64)> =
+            // Run the batch concurrently (crossbeam scoped threads); each
+            // thread owns its job's full retry loop.
+            let results: Vec<(String, Result<String>, f64, u32, f64)> =
                 crossbeam::thread::scope(|scope| {
                     let handles: Vec<_> = batch
                         .into_iter()
                         .map(|j| {
                             scope.spawn(move |_| {
-                                let t = foresight_util::timer::Timer::new();
-                                let out = (j.func)();
-                                (j.name, out, t.elapsed_secs())
+                                let mut total_wall = 0.0f64;
+                                let mut backoff = 0.0f64;
+                                let mut attempts = 0u32;
+                                let out = loop {
+                                    attempts += 1;
+                                    let t = foresight_util::timer::Timer::new();
+                                    let mut out = (j.func)();
+                                    let secs = t.elapsed_secs();
+                                    total_wall += secs;
+                                    if let Some(limit) = j.timeout_seconds {
+                                        if out.is_ok() && secs > limit {
+                                            out = Err(Error::Workflow(format!(
+                                                "attempt exceeded {limit} s timeout ({secs:.3} s)"
+                                            )));
+                                        }
+                                    }
+                                    match out {
+                                        Ok(v) => break Ok(v),
+                                        Err(e) if attempts <= retry.max_retries => {
+                                            backoff += retry.backoff_seconds(attempts);
+                                            let _ = e; // retried; only the last error is reported
+                                        }
+                                        Err(e) => break Err(e),
+                                    }
+                                };
+                                (j.name, out, total_wall, attempts, backoff)
                             })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().expect("job panicked")).collect()
                 })
                 .expect("scope panicked");
-            for (name, out, secs) in results {
-                let output = out.map_err(|e| {
-                    Error::Workflow(format!("job '{name}' failed: {e}"))
-                })?;
-                completed.insert(name.clone());
-                done.lock().push(JobResult { name, output, wall_seconds: secs, wave });
+            for (name, out, secs, attempts, backoff) in results {
+                let (status, output) = match out {
+                    Ok(v) if attempts == 1 => (JobStatus::Ok, v),
+                    Ok(v) => (JobStatus::Retried(attempts - 1), v),
+                    Err(e) => (JobStatus::Failed, e.to_string()),
+                };
+                if status.succeeded() {
+                    completed.insert(name.clone());
+                } else {
+                    dead.insert(name.clone());
+                }
+                done.lock().push(JobResult {
+                    name,
+                    output,
+                    wall_seconds: secs,
+                    wave,
+                    status,
+                    attempts,
+                    backoff_seconds: backoff,
+                });
             }
             pending = deferred;
             wave += 1;
         }
         let jobs = Arc::try_unwrap(done).expect("no outstanding refs").into_inner();
-        Ok(WorkflowReport { jobs, waves: wave, script })
+        script.push_str("# --- run statuses ---\n");
+        for j in &jobs {
+            script.push_str(&format!("# status: {} = {}\n", j.name, j.status.label()));
+        }
+        Ok(WorkflowReport { jobs, waves: wave, script, node_failures, alive_nodes })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::FaultRates;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -271,7 +599,10 @@ mod tests {
         assert_eq!(&*order.lock(), &["cbench", "analyze", "plot"]);
         assert_eq!(report.waves, 3);
         assert!(report.script.contains("--dependency=afterok:cbench"));
+        assert!(report.script.contains("# status: plot = ok"));
         assert!(report.job("plot").is_some());
+        assert!(report.all_ok());
+        assert_eq!(report.node_failures, 0);
     }
 
     #[test]
@@ -309,35 +640,202 @@ mod tests {
         wf.add(Job::new("b", 1, || Ok("".into())).after("a")).unwrap();
         let err = wf.run(&SlurmSim::default()).unwrap_err();
         assert!(err.to_string().contains("cycle"));
+        assert!(err.to_string().contains('a') && err.to_string().contains('b'));
     }
 
     #[test]
     fn unknown_dependency_rejected() {
         let mut wf = Workflow::new();
         wf.add(Job::new("a", 1, || Ok("".into())).after("ghost")).unwrap();
-        assert!(wf.run(&SlurmSim::default()).is_err());
+        let err = wf.run(&SlurmSim::default()).unwrap_err();
+        assert!(err.to_string().contains("'a'") && err.to_string().contains("'ghost'"));
     }
 
     #[test]
     fn duplicate_names_rejected() {
         let mut wf = Workflow::new();
         wf.add(Job::new("a", 1, || Ok("".into()))).unwrap();
-        assert!(wf.add(Job::new("a", 1, || Ok("".into()))).is_err());
+        let err = wf.add(Job::new("a", 1, || Ok("".into()))).unwrap_err();
+        assert!(err.to_string().contains("duplicate") && err.to_string().contains("'a'"));
     }
 
     #[test]
-    fn failing_job_propagates() {
+    fn zero_core_job_rejected() {
         let mut wf = Workflow::new();
-        wf.add(Job::new("bad", 1, || Err(Error::invalid("boom")))).unwrap();
+        wf.add(Job::new("lazy", 0, || Ok("".into()))).unwrap();
         let err = wf.run(&SlurmSim::default()).unwrap_err();
-        assert!(err.to_string().contains("bad"));
-        assert!(err.to_string().contains("boom"));
+        assert!(err.to_string().contains("'lazy'") && err.to_string().contains("zero cores"));
     }
 
     #[test]
     fn oversized_job_rejected() {
         let mut wf = Workflow::new();
         wf.add(Job::new("huge", 10_000, || Ok("".into()))).unwrap();
-        assert!(wf.run(&SlurmSim::default()).is_err());
+        let err = wf.run(&SlurmSim::default()).unwrap_err();
+        assert!(err.to_string().contains("'huge'"));
+    }
+
+    #[test]
+    fn failing_job_is_contained_and_dependents_skip() {
+        let ran = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut wf = Workflow::new();
+        wf.add(Job::new("bad", 1, || Err(Error::invalid("boom")))).unwrap();
+        let r1 = ran.clone();
+        wf.add(Job::new("child", 1, move || {
+            r1.lock().push("child");
+            Ok("".into())
+        })
+        .after("bad"))
+            .unwrap();
+        let r2 = ran.clone();
+        wf.add(Job::new("grandchild", 1, move || {
+            r2.lock().push("grandchild");
+            Ok("".into())
+        })
+        .after("child"))
+            .unwrap();
+        let r3 = ran.clone();
+        wf.add(Job::new("bystander", 1, move || {
+            r3.lock().push("bystander");
+            Ok("".into())
+        }))
+        .unwrap();
+        let report = wf.run(&SlurmSim::default()).unwrap();
+        // The failure is contained: the unrelated job still ran.
+        assert_eq!(&*ran.lock(), &["bystander"]);
+        assert_eq!(report.job("bad").unwrap().status, JobStatus::Failed);
+        assert!(report.job("bad").unwrap().output.contains("boom"));
+        assert_eq!(report.job("child").unwrap().status, JobStatus::Skipped);
+        assert_eq!(report.job("grandchild").unwrap().status, JobStatus::Skipped);
+        assert_eq!(report.job("bystander").unwrap().status, JobStatus::Ok);
+        assert!(!report.all_ok());
+        assert_eq!(report.failed().len(), 1);
+        assert_eq!(report.skipped().len(), 2);
+        let summary = report.failure_summary();
+        assert!(summary.contains("FAILED  bad"));
+        assert!(summary.contains("skipped child"));
+        assert!(report.script.contains("# status: bad = FAILED"));
+        assert!(report.script.contains("# status: child = skipped"));
+    }
+
+    #[test]
+    fn flaky_job_succeeds_with_retries_and_charges_backoff() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = tries.clone();
+        let mut wf = Workflow::new();
+        wf.add(Job::new("flaky", 1, move || {
+            if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(Error::invalid("transient"))
+            } else {
+                Ok("third time lucky".into())
+            }
+        }))
+        .unwrap();
+        let policy = RetryPolicy { max_retries: 3, backoff_base_s: 1.0, backoff_cap_s: 60.0 };
+        let report = wf.run_chaos(&SlurmSim::default(), policy, None).unwrap();
+        let j = report.job("flaky").unwrap();
+        assert_eq!(j.status, JobStatus::Retried(2));
+        assert_eq!(j.attempts, 3);
+        assert_eq!(j.output, "third time lucky");
+        // Backoff 1 + 2 seconds, recorded but never slept.
+        assert!((j.backoff_seconds - 3.0).abs() < 1e-12);
+        assert!(j.wall_seconds < 1.0, "backoff must not be slept");
+        assert!(report.all_ok());
+        assert!(report.script.contains("# status: flaky = ok(retried x2)"));
+    }
+
+    #[test]
+    fn retries_exhaust_into_failure() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = tries.clone();
+        let mut wf = Workflow::new();
+        wf.add(Job::new("doomed", 1, move || {
+            t.fetch_add(1, Ordering::SeqCst);
+            Err(Error::invalid("always"))
+        }))
+        .unwrap();
+        let report = wf
+            .run_chaos(&SlurmSim::default(), RetryPolicy::retries(2), None)
+            .unwrap();
+        let j = report.job("doomed").unwrap();
+        assert_eq!(j.status, JobStatus::Failed);
+        assert_eq!(j.attempts, 3, "initial + 2 retries");
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy { max_retries: 10, backoff_base_s: 1.0, backoff_cap_s: 8.0 };
+        assert_eq!(p.backoff_seconds(1), 1.0);
+        assert_eq!(p.backoff_seconds(2), 2.0);
+        assert_eq!(p.backoff_seconds(3), 4.0);
+        assert_eq!(p.backoff_seconds(4), 8.0);
+        assert_eq!(p.backoff_seconds(9), 8.0, "cap holds");
+    }
+
+    #[test]
+    fn timeout_fails_a_slow_job_post_hoc() {
+        let mut wf = Workflow::new();
+        wf.add(
+            Job::new("slow", 1, || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Ok("too late".into())
+            })
+            .with_timeout(0.001),
+        )
+        .unwrap();
+        let report = wf.run(&SlurmSim::default()).unwrap();
+        let j = report.job("slow").unwrap();
+        assert_eq!(j.status, JobStatus::Failed);
+        assert!(j.output.contains("timeout"), "{}", j.output);
+    }
+
+    #[test]
+    fn node_failures_shrink_capacity_deterministically() {
+        let build = || {
+            let mut wf = Workflow::new();
+            // Chain long enough to give node faults waves to land in.
+            for i in 0..8 {
+                let job = Job::new(format!("j{i}"), 20, || Ok("ok".into()));
+                let job = if i > 0 { job.after(format!("j{}", i - 1)) } else { job };
+                wf.add(job).unwrap();
+            }
+            wf
+        };
+        let cluster = SlurmSim { nodes: 4, cores_per_node: 20 };
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed, FaultRates { node: 0.9, ..Default::default() });
+            build()
+                .run_chaos(&cluster, RetryPolicy::default(), Some(plan))
+                .unwrap()
+        };
+        let a = run(7);
+        assert!(a.node_failures > 0, "90% node rate over 8 waves must fire");
+        assert!(a.alive_nodes >= 1);
+        assert_eq!(a.alive_nodes, cluster.nodes - a.node_failures as usize);
+        // 20-core jobs still fit the single-node floor: all succeed.
+        assert!(a.all_ok());
+        // Determinism: the same seed replays the same failures.
+        let b = run(7);
+        assert_eq!(a.node_failures, b.node_failures);
+        assert_eq!(a.waves, b.waves);
+    }
+
+    #[test]
+    fn job_too_wide_for_degraded_cluster_fails_with_containment() {
+        // First wave loses a node (rate 1.0 with >1 alive), leaving 20
+        // cores; the 40-core job can never run and its dependent skips.
+        let cluster = SlurmSim { nodes: 2, cores_per_node: 20 };
+        let mut wf = Workflow::new();
+        wf.add(Job::new("wide", 40, || Ok("".into()))).unwrap();
+        wf.add(Job::new("after-wide", 1, || Ok("".into())).after("wide")).unwrap();
+        wf.add(Job::new("narrow", 1, || Ok("".into()))).unwrap();
+        let plan = FaultPlan::new(1, FaultRates { node: 1.0, ..Default::default() });
+        let report = wf.run_chaos(&cluster, RetryPolicy::default(), Some(plan)).unwrap();
+        assert_eq!(report.node_failures, 1, "floor: never below one node");
+        assert_eq!(report.job("wide").unwrap().status, JobStatus::Failed);
+        assert!(report.job("wide").unwrap().output.contains("node failure"));
+        assert_eq!(report.job("after-wide").unwrap().status, JobStatus::Skipped);
+        assert_eq!(report.job("narrow").unwrap().status, JobStatus::Ok);
     }
 }

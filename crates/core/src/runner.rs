@@ -4,13 +4,13 @@
 //! This is the library behind the `foresight-cli` binary and the
 //! `foresight_pipeline` example; tests drive it directly.
 
-use crate::cbench::{run_sweep, CBenchRecord, FieldData};
+use crate::cbench::{run_sweep, run_sweep_chaos, CBenchRecord, ExecPath, FieldData};
 use crate::cinema::CinemaDb;
 use crate::codec::Shape;
 use crate::config::{AnalysisKind, DatasetKind, ForesightConfig};
 use crate::gpu_backend::gpu_compress;
 use crate::optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, Candidate};
-use crate::pat::{Job, SlurmSim, Workflow, WorkflowReport};
+use crate::pat::{Job, RetryPolicy, SlurmSim, Workflow, WorkflowReport};
 use crate::CompressorId;
 use cosmo_analysis::{
     friends_of_friends, halo_count_ratio, linking_length_for, pk_ratio, power_spectrum_f32,
@@ -18,7 +18,7 @@ use cosmo_analysis::{
 use cosmo_fft::Grid3;
 use foresight_util::table::{fmt_f64, Table};
 use foresight_util::{Error, Result};
-use gpu_sim::{Device, GpuSpec};
+use gpu_sim::{Device, FaultPlan, GpuSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -35,6 +35,9 @@ pub struct PipelineReport {
     pub workflow: WorkflowReport,
     /// Artifacts written (paths relative to the output dir).
     pub artifacts: usize,
+    /// Resilience events (quarantined pairs, fallback counts) from a
+    /// chaos-enabled run; empty on quiet runs.
+    pub resilience: Vec<String>,
 }
 
 /// Runs the configured pipeline on the (simulated) cluster.
@@ -45,6 +48,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     let analyses = cfg.analysis.clone();
     let outdir = cfg.output.dir.clone();
     let want_cinema = cfg.output.cinema;
+    let chaos = cfg.chaos.clone();
 
     let fields: Arc<Mutex<Vec<FieldData>>> = Arc::new(Mutex::new(Vec::new()));
     let hacc_coords: Arc<Mutex<Option<[Vec<f32>; 3]>>> = Arc::new(Mutex::new(None));
@@ -52,6 +56,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     let candidates: Arc<Mutex<Vec<Candidate>>> = Arc::new(Mutex::new(Vec::new()));
     let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let artifacts: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let resilience: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut wf = Workflow::new();
     // Stage 1: dataset generation.
@@ -90,19 +95,60 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
             Ok(format!("{n} fields"))
         }))?;
     }
-    // Stage 2: CBench.
+    // Stage 2: CBench — through the chaos-mode GPU when configured.
     {
         let fields = fields.clone();
         let records = records.clone();
         let configs = configs.clone();
         let keep = !analyses.is_empty();
+        let chaos = chaos.clone();
+        let resilience = resilience.clone();
         wf.add(
             Job::new("cbench", 8, move || {
                 let f = fields.lock();
-                let recs = run_sweep(&f, &configs, keep)?;
-                let n = recs.len();
-                *records.lock() = recs;
-                Ok(format!("{n} records"))
+                match &chaos {
+                    None => {
+                        let recs = run_sweep(&f, &configs, keep)?;
+                        let n = recs.len();
+                        *records.lock() = recs;
+                        Ok(format!("{n} records"))
+                    }
+                    Some(ch) => {
+                        let rep = run_sweep_chaos(&f, &configs, keep, &ch.to_chaos_config())?;
+                        let fallbacks = rep.fallbacks();
+                        let retried = rep
+                            .records
+                            .iter()
+                            .filter(|r| matches!(r.exec, ExecPath::GpuRetried(_)))
+                            .count();
+                        let mut res = resilience.lock();
+                        // The closure may rerun under the workflow's retry
+                        // policy; rebuild instead of appending.
+                        res.clear();
+                        if retried + fallbacks > 0 {
+                            res.push(format!(
+                                "{retried} pairs recovered by GPU retry, \
+                                 {fallbacks} fell back to CPU"
+                            ));
+                        }
+                        for q in &rep.quarantined {
+                            res.push(format!(
+                                "quarantined {} {} {}: {}",
+                                q.field,
+                                q.compressor.display(),
+                                q.param,
+                                q.error
+                            ));
+                        }
+                        let n = rep.records.len();
+                        let nq = rep.quarantined.len();
+                        *records.lock() = rep.records;
+                        Ok(format!(
+                            "{n} records ({retried} gpu-retried, {fallbacks} cpu-fallback, \
+                             {nq} quarantined)"
+                        ))
+                    }
+                }
             })
             .after("generate"),
         )?;
@@ -289,7 +335,14 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         )?;
     }
 
-    let workflow = wf.run(cluster)?;
+    let workflow = match &chaos {
+        None => wf.run(cluster)?,
+        Some(ch) => wf.run_chaos(
+            cluster,
+            RetryPolicy::retries(ch.job_retries),
+            Some(FaultPlan::new(ch.seed, ch.fault_rates()).fork("workflow")),
+        )?,
+    };
     // `records` was drained by the analysis stage; re-expose through the
     // candidates for callers.
     let final_candidates = std::mem::take(&mut *candidates.lock());
@@ -297,12 +350,20 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         final_candidates.iter().map(|c| c.record.clone()).collect();
     let final_lines = std::mem::take(&mut *lines.lock());
     let final_artifacts = *artifacts.lock();
+    let mut final_resilience = std::mem::take(&mut *resilience.lock());
+    if workflow.node_failures > 0 {
+        final_resilience.push(format!(
+            "{} node failure(s); {} node(s) alive at the end",
+            workflow.node_failures, workflow.alive_nodes
+        ));
+    }
     Ok(PipelineReport {
         records: final_records,
         candidates: final_candidates,
         best_fit_lines: final_lines,
         workflow,
         artifacts: final_artifacts,
+        resilience: final_resilience,
     })
 }
 
@@ -355,6 +416,73 @@ mod tests {
         assert!(!pos.is_empty());
         assert!(pos.iter().all(|c| c.halo_deviation.is_some()));
         std::fs::remove_dir_all(&cfg.output.dir).ok();
+    }
+
+    #[test]
+    fn chaos_pipeline_runs_and_is_deterministic() {
+        let mut cfg = base_config("nyx", "\"distortion\"");
+        cfg.output.cinema = false;
+        cfg.chaos = Some(crate::config::ChaosSettings {
+            seed: 13,
+            transfer: 0.4,
+            bit_flip: 0.3,
+            kernel: 0.3,
+            oom: 0.1,
+            node: 0.2,
+            device_retries: 1,
+            op_retries: 1,
+            job_retries: 3,
+        });
+        let summarize = |rep: &PipelineReport| -> Vec<String> {
+            let mut s: Vec<String> = rep
+                .records
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{} {} {} {} {:?} {:?}",
+                        r.field, r.param, r.compressed_bytes, r.ratio, r.exec, r.sim_seconds
+                    )
+                })
+                .collect();
+            s.extend(rep.resilience.iter().cloned());
+            s.extend(rep.workflow.jobs.iter().map(|j| format!("{} {}", j.name, j.status.label())));
+            s
+        };
+        let a = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        let b = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert_eq!(summarize(&a), summarize(&b), "same-seed chaos runs diverged");
+        // With these rates something must have exercised the fallback or
+        // retry machinery, and the run still completed.
+        assert!(!a.resilience.is_empty(), "no resilience events recorded");
+        assert!(a.workflow.job("cbench").is_some());
+    }
+
+    #[test]
+    fn quiet_chaos_matches_plain_run_records() {
+        let mut cfg = base_config("nyx", "\"distortion\"");
+        cfg.output.cinema = false;
+        let plain = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        cfg.chaos = Some(crate::config::ChaosSettings {
+            seed: 99,
+            transfer: 0.0,
+            bit_flip: 0.0,
+            kernel: 0.0,
+            oom: 0.0,
+            node: 0.0,
+            device_retries: 3,
+            op_retries: 2,
+            job_retries: 2,
+        });
+        let quiet = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        let bytes = |rep: &PipelineReport| -> Vec<(String, usize)> {
+            rep.records
+                .iter()
+                .map(|r| (format!("{}/{}", r.field, r.param), r.compressed_bytes))
+                .collect()
+        };
+        assert_eq!(bytes(&plain), bytes(&quiet));
+        assert!(quiet.resilience.is_empty());
+        assert!(quiet.workflow.all_ok());
     }
 
     #[test]

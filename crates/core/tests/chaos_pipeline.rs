@@ -1,0 +1,210 @@
+//! End-to-end chaos test: the full CBench-sweep-inside-a-PAT-workflow
+//! pipeline running under seeded fault injection.
+//!
+//! The run must complete with every (field, config) pair accounted for
+//! (record or quarantine, no silent drops), must visibly exercise the
+//! GPU-retry and CPU-fallback paths, and — the core resilience guarantee —
+//! must be bit-identical across two runs with the same seed, despite
+//! rayon's nondeterministic scheduling.
+
+use foresight::cbench::{run_sweep_chaos, ChaosConfig, ChaosSweepReport, ExecPath, FieldData};
+use foresight::codec::{CodecConfig, Shape};
+use foresight::pat::{Job, JobStatus, RetryPolicy, SlurmSim, Workflow};
+use gpu_sim::{FaultPlan, FaultRates};
+use std::sync::{Arc, Mutex};
+
+type SweepLog = Arc<Mutex<Vec<(String, Vec<String>)>>>;
+
+fn fields() -> Vec<FieldData> {
+    let mk = |name: &str, scale: f32, n: usize| {
+        let data: Vec<f32> =
+            (0..n * n * n).map(|i| ((i as f32) * 0.013).sin() * scale + scale).collect();
+        FieldData::new(name, data, Shape::D3(n, n, n)).unwrap()
+    };
+    vec![mk("xx", 50.0, 12), mk("vx", 400.0, 12)]
+}
+
+fn configs() -> Vec<CodecConfig> {
+    vec![
+        CodecConfig::Sz(lossy_sz::SzConfig::abs(1e-2)),
+        CodecConfig::Zfp(lossy_zfp::ZfpConfig::rate(8.0)),
+    ]
+}
+
+fn stormy_rates() -> FaultRates {
+    FaultRates {
+        transfer: 0.5,
+        bit_flip: 0.4,
+        kernel: 0.4,
+        oom: 0.2,
+        node: 0.0,
+    }
+}
+
+/// Summarizes a sweep report into a comparable, wall-clock-free form.
+fn fingerprint(report: &ChaosSweepReport) -> Vec<String> {
+    let mut lines: Vec<String> = report
+        .records
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} {} bytes={} ratio={:.6} exec={:?} sim={:?}",
+                r.field,
+                r.compressor.display(),
+                r.param,
+                r.compressed_bytes,
+                r.ratio,
+                r.exec,
+                r.sim_seconds
+            )
+        })
+        .collect();
+    lines.extend(
+        report
+            .quarantined
+            .iter()
+            .map(|q| format!("Q {} {} {}: {}", q.field, q.compressor.display(), q.param, q.error)),
+    );
+    lines
+}
+
+#[test]
+fn chaos_sweep_completes_and_replays_bit_identically() {
+    let fields = fields();
+    let configs = configs();
+    let chaos = ChaosConfig { device_retries: 1, op_retries: 1, ..ChaosConfig::new(42, stormy_rates()) };
+
+    let a = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+    let b = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+
+    // Every pair is accounted for: a record or a quarantine entry.
+    assert_eq!(a.records.len() + a.quarantined.len(), fields.len() * configs.len());
+    // Under these rates with tight retry budgets, at least one pair must
+    // have hit the resilience machinery (retried on-GPU or fell back).
+    let degraded = a
+        .records
+        .iter()
+        .filter(|r| !matches!(r.exec, ExecPath::Gpu))
+        .count();
+    assert!(degraded > 0, "no pair exercised retry/fallback: {:#?}", fingerprint(&a));
+    // Same seed, same everything — bit-identical replay.
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seeds_give_different_fault_histories() {
+    let fields = fields();
+    let configs = configs();
+    let a = run_sweep_chaos(
+        &fields,
+        &configs,
+        false,
+        &ChaosConfig { device_retries: 1, op_retries: 1, ..ChaosConfig::new(1, stormy_rates()) },
+    )
+    .unwrap();
+    let b = run_sweep_chaos(
+        &fields,
+        &configs,
+        false,
+        &ChaosConfig { device_retries: 1, op_retries: 1, ..ChaosConfig::new(2, stormy_rates()) },
+    )
+    .unwrap();
+    // Execution paths (and hence sim timelines) should differ between
+    // seeds; compressed results may coincide when both end on the same
+    // path, so compare the exec/sim portion only.
+    let execs = |r: &ChaosSweepReport| -> Vec<String> {
+        r.records.iter().map(|x| format!("{:?}/{:?}", x.exec, x.sim_seconds)).collect()
+    };
+    assert_ne!(execs(&a), execs(&b), "distinct seeds produced identical fault histories");
+}
+
+/// The full pipeline: a PAT workflow whose jobs run chaos sweeps, itself
+/// executed under node-level fault injection with retries.
+#[test]
+fn workflow_of_chaos_sweeps_is_deterministic_end_to_end() {
+    let run = |seed: u64| -> (Vec<String>, Vec<String>, usize) {
+        let fields = fields();
+        let configs = configs();
+        let sweeps: SweepLog = Arc::new(Mutex::new(Vec::new()));
+
+        let mut wf = Workflow::new();
+        for (ci, cfg) in configs.iter().enumerate() {
+            let name = format!("sweep-{ci}");
+            let fields = fields.clone();
+            let cfg = cfg.clone();
+            let sweeps = Arc::clone(&sweeps);
+            let job_name = name.clone();
+            wf.add(Job::new(&name, 8, move || {
+                let chaos = ChaosConfig {
+                    device_retries: 1,
+                    op_retries: 1,
+                    ..ChaosConfig::new(seed ^ ci as u64, stormy_rates())
+                };
+                let rep = run_sweep_chaos(&fields, std::slice::from_ref(&cfg), false, &chaos)?;
+                sweeps.lock().unwrap().push((job_name.clone(), fingerprint(&rep)));
+                Ok(format!("{} records", rep.records.len()))
+            }))
+            .unwrap();
+        }
+        wf.add(
+            Job::new("report", 1, || Ok("summarized".into()))
+                .after("sweep-0")
+                .after("sweep-1"),
+        )
+        .unwrap();
+
+        let cluster = SlurmSim { nodes: 3, cores_per_node: 16 };
+        let faults = FaultPlan::new(
+            seed,
+            FaultRates { node: 0.3, ..FaultRates::default() },
+        );
+        let report = wf
+            .run_chaos(&cluster, RetryPolicy::retries(2), Some(faults))
+            .unwrap();
+
+        let statuses: Vec<String> = report
+            .jobs
+            .iter()
+            .map(|j| format!("{} {} wave={} attempts={}", j.name, j.status.label(), j.wave, j.attempts))
+            .collect();
+        let mut sweep_lines: Vec<(String, Vec<String>)> =
+            Arc::try_unwrap(sweeps).unwrap().into_inner().unwrap();
+        sweep_lines.sort_by(|a, b| a.0.cmp(&b.0));
+        let flat: Vec<String> =
+            sweep_lines.into_iter().flat_map(|(_, lines)| lines).collect();
+        (statuses, flat, report.alive_nodes)
+    };
+
+    let (st1, sw1, alive1) = run(7);
+    let (st2, sw2, alive2) = run(7);
+    assert_eq!(st1, st2, "job statuses differ between same-seed runs");
+    assert_eq!(sw1, sw2, "sweep results differ between same-seed runs");
+    assert_eq!(alive1, alive2);
+    assert!(alive1 >= 1);
+    // The terminal job either ran or was legitimately contained.
+    let last = &st1[st1.len() - 1];
+    assert!(last.starts_with("report"), "unexpected ordering: {st1:?}");
+}
+
+/// All-zero rates and no plan: the chaos path must match the plain GPU
+/// path bit-for-bit and report no faults at all.
+#[test]
+fn quiet_chaos_pipeline_reports_no_resilience_events() {
+    let fields = fields();
+    let configs = configs();
+    let chaos = ChaosConfig::new(9, FaultRates::default());
+    let rep = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+    assert!(rep.quarantined.is_empty());
+    assert_eq!(rep.fallbacks(), 0);
+    assert!(rep.records.iter().all(|r| r.exec == ExecPath::Gpu));
+
+    let cluster = SlurmSim::default();
+    let mut wf = Workflow::new();
+    wf.add(Job::new("only", 2, || Ok("done".into()))).unwrap();
+    let report = wf
+        .run_chaos(&cluster, RetryPolicy::retries(3), Some(FaultPlan::quiet(9)))
+        .unwrap();
+    assert!(report.all_ok());
+    assert_eq!(report.node_failures, 0);
+    assert_eq!(report.jobs[0].status, JobStatus::Ok);
+}

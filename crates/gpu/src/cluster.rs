@@ -105,6 +105,17 @@ impl ClusterSim {
     ) -> f64 {
         self.compression_seconds(snapshot_bytes, aggregate_gbs) / timestep_seconds
     }
+
+    /// The cluster after losing `failed_nodes` nodes (fault-injection
+    /// projection): same node spec and filesystem, reduced capacity.
+    /// Losing every node leaves a single survivor so the throughput math
+    /// stays finite — a fully dead cluster is a workflow error, not a
+    /// throughput question.
+    pub fn degraded(&self, failed_nodes: usize) -> ClusterSim {
+        let mut c = self.clone();
+        c.nodes = self.nodes.saturating_sub(failed_nodes).max(1);
+        c
+    }
 }
 
 /// The introduction's storage scenario in one struct.
@@ -179,6 +190,23 @@ mod tests {
         c.node.gpus_per_node = 3;
         let halved = c.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
         assert!((halved / base - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_cluster_loses_proportional_throughput() {
+        let c = ClusterSim::summit_1024();
+        let base = c.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        let half = c.degraded(512).gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0);
+        assert!((half / base - 0.5).abs() < 1e-9);
+        // Losing everything still leaves one node's worth of throughput.
+        let floor = c.degraded(5000);
+        assert_eq!(floor.nodes, 1);
+        assert!(floor.gpu_compression_throughput_gbs(KernelKind::ZfpCompress, 4.0) > 0.0);
+        // Degradation raises the overhead fraction.
+        let snapshot = 2_500_000_000_000u64;
+        let base_ov = c.overhead_fraction(snapshot, base, 10.0);
+        let deg_ov = c.degraded(512).overhead_fraction(snapshot, half, 10.0);
+        assert!(deg_ov > base_ov);
     }
 
     #[test]

@@ -6,8 +6,20 @@
 //! according to the hardware model: PCIe time per memcpy, the analytic
 //! kernel cost, and fixed malloc/free latencies. The timeline reproduces
 //! the paper's Fig. 7 breakdowns.
+//!
+//! # Fault injection
+//!
+//! Attaching a [`FaultPlan`] puts the device in chaos mode: transfers,
+//! kernel launches, and allocations may transiently fail. Each failed
+//! attempt charges its full modeled time to the [`Phase::Fault`] lane of
+//! the timeline (the wasted work plus replay is what recovery costs on a
+//! real machine), then the operation retries up to the plan's
+//! `max_retries`. An operation that exhausts its budget returns
+//! [`Error::DeviceFault`]. Without a plan — or with all rates zero — the
+//! device is bit- and clock-identical to the fault-free model.
 
 use crate::cost::{kernel_time, FixedCosts, KernelKind};
+use crate::fault::{FaultCounts, FaultKind, FaultPlan};
 use crate::specs::GpuSpec;
 use foresight_util::{Error, Result};
 
@@ -43,7 +55,7 @@ impl PcieLink {
     }
 }
 
-/// Phase labels for the timeline (paper Fig. 7 legend).
+/// Phase labels for the timeline (paper Fig. 7 legend, plus recovery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Parameter upload + device allocation.
@@ -54,6 +66,8 @@ pub enum Phase {
     Memcpy,
     /// Device deallocation.
     Free,
+    /// Time lost to injected faults: wasted attempts being replayed.
+    Fault,
 }
 
 impl Phase {
@@ -64,6 +78,7 @@ impl Phase {
             Phase::Kernel => "kernel",
             Phase::Memcpy => "memcpy",
             Phase::Free => "free",
+            Phase::Fault => "fault",
         }
     }
 }
@@ -91,6 +106,7 @@ pub struct Device {
     /// Host link.
     pub link: PcieLink,
     fixed: FixedCosts,
+    faults: Option<FaultPlan>,
     buffers: Vec<Option<u64>>, // byte sizes of live allocations
     allocated: u64,
     clock: f64,
@@ -104,6 +120,7 @@ impl Device {
             spec,
             link: PcieLink::default(),
             fixed: FixedCosts::default(),
+            faults: None,
             buffers: Vec::new(),
             allocated: 0,
             clock: 0.0,
@@ -117,12 +134,47 @@ impl Device {
         self
     }
 
+    /// Attaches a fault-injection plan (chaos mode).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Faults injected on this device so far (zero without a plan).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.as_ref().map(|p| p.counts()).unwrap_or_default()
+    }
+
     fn record(&mut self, phase: Phase, label: impl Into<String>, seconds: f64) {
         self.clock += seconds;
         self.timeline.push(Event { phase, label: label.into(), seconds });
     }
 
+    /// Runs one fault-gated attempt loop for an operation whose each
+    /// failed attempt wastes `attempt_cost` seconds. Returns the number
+    /// of wasted attempts, or the fault error once the retry budget is
+    /// exhausted.
+    fn attempt(&mut self, kind: FaultKind, attempt_cost: f64, label: &str) -> Result<u32> {
+        let Some(plan) = self.faults.as_mut() else { return Ok(0) };
+        let budget = plan.max_retries;
+        let mut wasted = 0u32;
+        while self.faults.as_mut().expect("plan attached").trip(kind) {
+            wasted += 1;
+            self.record(Phase::Fault, format!("{label}!{}", kind.name()), attempt_cost);
+            if wasted > budget {
+                return Err(Error::device_fault(format!(
+                    "{label}: injected {} fault persisted through {budget} retries",
+                    kind.name()
+                )));
+            }
+        }
+        Ok(wasted)
+    }
+
     /// Allocates `bytes` of device memory (charged as `Init`).
+    ///
+    /// Chaos mode may inject transient allocation failures; each wasted
+    /// attempt costs the fixed init latency.
     pub fn malloc(&mut self, bytes: u64, label: &str) -> Result<BufferId> {
         if self.allocated + bytes > self.spec.memory_bytes() {
             return Err(Error::ResourceExhausted(format!(
@@ -133,6 +185,7 @@ impl Device {
                 self.spec.name
             )));
         }
+        self.attempt(FaultKind::Oom, self.fixed.init_s, "malloc")?;
         self.allocated += bytes;
         self.buffers.push(Some(bytes));
         self.record(Phase::Init, format!("malloc:{label}"), self.fixed.init_s);
@@ -151,22 +204,59 @@ impl Device {
         Ok(())
     }
 
-    /// Charges a host-to-device copy of `bytes`.
-    pub fn h2d(&mut self, bytes: u64) {
+    fn transfer(&mut self, bytes: u64, label: &str) -> Result<()> {
         let t = self.link.transfer_time(bytes);
-        self.record(Phase::Memcpy, "h2d", t);
+        self.attempt(FaultKind::Transfer, t, label)?;
+        self.record(Phase::Memcpy, label, t);
+        Ok(())
+    }
+
+    /// Charges a host-to-device copy of `bytes`; retries injected
+    /// transfer faults, charging each wasted attempt.
+    pub fn h2d(&mut self, bytes: u64) -> Result<()> {
+        self.transfer(bytes, "h2d")
     }
 
     /// Charges a device-to-host copy of `bytes`.
-    pub fn d2h(&mut self, bytes: u64) {
-        let t = self.link.transfer_time(bytes);
-        self.record(Phase::Memcpy, "d2h", t);
+    pub fn d2h(&mut self, bytes: u64) -> Result<()> {
+        self.transfer(bytes, "d2h")
+    }
+
+    /// Device-to-host copy of real payload bytes.
+    ///
+    /// On top of [`Self::d2h`]'s retriable transfer faults, chaos mode
+    /// may inject a *silent* ECC bit flip into the delivered bytes — the
+    /// link reports success and only downstream integrity checks (stream
+    /// CRCs) can detect the corruption.
+    pub fn d2h_data(&mut self, data: &mut [u8]) -> Result<()> {
+        self.d2h(data.len() as u64)?;
+        self.inject_ecc(data);
+        Ok(())
+    }
+
+    /// Applies the silent ECC bit-flip draw to `data` without charging
+    /// any transfer time — for callers that charge the transfer leg
+    /// separately (e.g. the pipeline helpers) but still move real
+    /// payload bytes across the simulated link.
+    pub fn inject_ecc(&mut self, data: &mut [u8]) {
+        if data.is_empty() {
+            return;
+        }
+        if let Some(plan) = self.faults.as_mut() {
+            if plan.trip(FaultKind::BitFlip) {
+                let bit = plan.pick(data.len() * 8);
+                data[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
     }
 
     /// Runs `work` as a kernel of the given kind, charging modeled time.
     ///
     /// The closure does the real computation (e.g. invoking the codec);
-    /// its wall time is irrelevant to the simulated clock.
+    /// its wall time is irrelevant to the simulated clock. Chaos mode may
+    /// abort launch attempts: each aborted attempt wastes the full
+    /// modeled kernel time (the work is lost and replayed), and `work`
+    /// itself runs exactly once, on the attempt that succeeds.
     pub fn launch<R>(
         &mut self,
         kind: KernelKind,
@@ -174,11 +264,12 @@ impl Device {
         bits_per_value: f64,
         label: &str,
         work: impl FnOnce() -> R,
-    ) -> R {
+    ) -> Result<R> {
         let t = kernel_time(&self.spec, kind, n_values, bits_per_value);
+        self.attempt(FaultKind::Kernel, t, label)?;
         let r = work();
         self.record(Phase::Kernel, label, t);
-        r
+        Ok(r)
     }
 
     /// Simulated seconds elapsed since device creation.
@@ -205,6 +296,7 @@ impl Device {
                 Phase::Kernel => b.kernel += e.seconds,
                 Phase::Memcpy => b.memcpy += e.seconds,
                 Phase::Free => b.free += e.seconds,
+                Phase::Fault => b.fault += e.seconds,
             }
         }
         b
@@ -228,18 +320,21 @@ pub struct Breakdown {
     pub memcpy: f64,
     /// Deallocation.
     pub free: f64,
+    /// Recovery cost: wasted attempts from injected faults.
+    pub fault: f64,
 }
 
 impl Breakdown {
     /// Sum of all phases.
     pub fn total(&self) -> f64 {
-        self.init + self.kernel + self.memcpy + self.free
+        self.init + self.kernel + self.memcpy + self.free + self.fault
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRates;
 
     #[test]
     fn pcie_transfer_time() {
@@ -273,13 +368,16 @@ mod tests {
     fn timeline_accumulates_phases() {
         let mut d = Device::new(GpuSpec::tesla_v100());
         let b = d.malloc(4096, "buf").unwrap();
-        d.h2d(4096);
-        let out = d.launch(KernelKind::ZfpCompress, 1024, 4.0, "compress", || 42);
+        d.h2d(4096).unwrap();
+        let out = d
+            .launch(KernelKind::ZfpCompress, 1024, 4.0, "compress", || 42)
+            .unwrap();
         assert_eq!(out, 42);
-        d.d2h(512);
+        d.d2h(512).unwrap();
         d.free(b).unwrap();
         let br = d.breakdown();
         assert!(br.init > 0.0 && br.kernel > 0.0 && br.memcpy > 0.0 && br.free > 0.0);
+        assert_eq!(br.fault, 0.0, "no plan, no fault time");
         assert!((br.total() - d.elapsed()).abs() < 1e-12);
         assert_eq!(d.timeline().len(), 5);
     }
@@ -292,8 +390,8 @@ mod tests {
         let n = 128 * 1024 * 1024u64; // values
         let rate = 4.0;
         let compressed = n * rate as u64 / 8;
-        d.launch(KernelKind::ZfpCompress, n, rate, "c", || ());
-        d.d2h(compressed);
+        d.launch(KernelKind::ZfpCompress, n, rate, "c", || ()).unwrap();
+        d.d2h(compressed).unwrap();
         let br = d.breakdown();
         assert!(br.memcpy > br.kernel, "memcpy {} kernel {}", br.memcpy, br.kernel);
     }
@@ -305,5 +403,111 @@ mod tests {
         d.reset_clock();
         assert_eq!(d.elapsed(), 0.0);
         assert_eq!(d.allocated_bytes(), 1024);
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_no_plan() {
+        let script = |d: &mut Device| {
+            let b = d.malloc(1 << 20, "x").unwrap();
+            d.h2d(1 << 20).unwrap();
+            d.launch(KernelKind::SzCompress, 1 << 18, 4.0, "k", || ()).unwrap();
+            let mut bytes = vec![0xABu8; 4096];
+            d.d2h_data(&mut bytes).unwrap();
+            d.free(b).unwrap();
+            (d.elapsed(), d.timeline().len(), bytes)
+        };
+        let mut plain = Device::new(GpuSpec::tesla_v100());
+        let mut quiet =
+            Device::new(GpuSpec::tesla_v100()).with_fault_plan(FaultPlan::quiet(123));
+        let (ta, na, da) = script(&mut plain);
+        let (tb, nb, db) = script(&mut quiet);
+        assert_eq!(ta, tb);
+        assert_eq!(na, nb);
+        assert_eq!(da, db, "quiet plan must not corrupt data");
+        assert_eq!(quiet.fault_counts().total(), 0);
+    }
+
+    #[test]
+    fn transfer_faults_charge_recovery_time_and_eventually_error() {
+        let rates = FaultRates { transfer: 1.0, ..Default::default() };
+        let mut d = Device::new(GpuSpec::tesla_v100())
+            .with_fault_plan(FaultPlan::new(9, rates).with_max_retries(2));
+        let e = d.h2d(1 << 20).unwrap_err();
+        assert!(e.is_device_fault(), "{e}");
+        let br = d.breakdown();
+        assert!(br.fault > 0.0, "wasted attempts must be charged");
+        assert_eq!(br.memcpy, 0.0, "the transfer never completed");
+        assert_eq!(d.fault_counts().transfer, 3, "initial + 2 retries");
+    }
+
+    #[test]
+    fn moderate_fault_rate_recovers_with_visible_cost() {
+        let rates = FaultRates { transfer: 0.4, kernel: 0.4, ..Default::default() };
+        let mut d = Device::new(GpuSpec::tesla_v100())
+            .with_fault_plan(FaultPlan::new(1234, rates).with_max_retries(8));
+        let mut completed = 0;
+        for _ in 0..50 {
+            if d.h2d(1 << 22).is_ok() {
+                completed += 1;
+            }
+            if d.launch(KernelKind::ZfpCompress, 1 << 16, 4.0, "k", || ()).is_ok() {
+                completed += 1;
+            }
+        }
+        assert!(completed >= 95, "40% faults with 8 retries almost always recover");
+        let br = d.breakdown();
+        assert!(br.fault > 0.0);
+        assert!(d.fault_counts().total() > 10);
+        assert!((br.total() - d.elapsed()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let rates = FaultRates { bit_flip: 1.0, ..Default::default() };
+        let mut d =
+            Device::new(GpuSpec::tesla_v100()).with_fault_plan(FaultPlan::new(5, rates));
+        let original = vec![0u8; 512];
+        let mut data = original.clone();
+        d.d2h_data(&mut data).unwrap();
+        let flipped: u32 = original
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flips per injected ECC event");
+        assert_eq!(d.fault_counts().bit_flip, 1);
+    }
+
+    #[test]
+    fn injected_oom_is_transient_under_retry_budget() {
+        // 50% OOM rate with a generous budget: allocations succeed, and
+        // the accounting stays exact.
+        let rates = FaultRates { oom: 0.5, ..Default::default() };
+        let mut d = Device::new(GpuSpec::tesla_v100())
+            .with_fault_plan(FaultPlan::new(77, rates).with_max_retries(20));
+        let mut ids = Vec::new();
+        for _ in 0..20 {
+            ids.push(d.malloc(1 << 10, "buf").unwrap());
+        }
+        assert_eq!(d.allocated_bytes(), 20 << 10);
+        for id in ids {
+            d.free(id).unwrap();
+        }
+        assert_eq!(d.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let rates = FaultRates { transfer: 0.3, kernel: 0.2, ..Default::default() };
+        let run = || {
+            let mut d = Device::new(GpuSpec::tesla_v100())
+                .with_fault_plan(FaultPlan::new(42, rates).with_max_retries(10));
+            for i in 0..30u64 {
+                let _ = d.h2d(1 << (10 + i % 8));
+                let _ = d.launch(KernelKind::SzCompress, 1 << 14, 4.0, "k", || ());
+            }
+            (d.elapsed(), d.fault_counts())
+        };
+        assert_eq!(run(), run());
     }
 }

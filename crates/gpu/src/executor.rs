@@ -12,6 +12,7 @@
 
 use crate::cost::KernelKind;
 use crate::device::Device;
+use foresight_util::Result;
 use rayon::prelude::*;
 
 /// Launch geometry and cost inputs for a block grid.
@@ -45,20 +46,22 @@ fn concurrency(device: &Device) -> usize {
 ///
 /// Work really runs (in parallel); the device clock advances by the
 /// modeled kernel time of the whole grid, wave-quantized. Outputs come
-/// back in block order.
+/// back in block order. In chaos mode the launch can abort like any
+/// other kernel; each wasted attempt is charged to the fault lane and
+/// the grid work itself runs exactly once, on the surviving attempt.
 pub fn launch_grid<R: Send>(
     device: &mut Device,
     kind: KernelKind,
     grid: BlockGrid,
     label: &str,
     work: impl Fn(usize) -> R + Sync,
-) -> (Vec<R>, LaunchReport) {
+) -> Result<(Vec<R>, LaunchReport)> {
     let concurrent = concurrency(device);
     let waves = grid.blocks.div_ceil(concurrent).max(1);
     let total_values = grid.values_per_block * grid.blocks as u64;
     let results: Vec<R> = device.launch(kind, total_values, grid.bits_per_value, label, || {
         (0..grid.blocks).into_par_iter().map(&work).collect()
-    });
+    })?;
     let report = LaunchReport {
         waves,
         concurrent_blocks: concurrent,
@@ -68,7 +71,7 @@ pub fn launch_grid<R: Send>(
             .map(|e| e.seconds)
             .unwrap_or_default(),
     };
-    (results, report)
+    Ok((results, report))
 }
 
 #[cfg(test)]
@@ -85,7 +88,8 @@ mod tests {
         let (out, report) = launch_grid(&mut dev, KernelKind::ZfpCompress, grid, "t", |b| {
             counter.fetch_add(1, Ordering::Relaxed);
             b * 2
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 500);
         assert_eq!(out.len(), 500);
         for (i, v) in out.iter().enumerate() {
@@ -104,7 +108,7 @@ mod tests {
             values_per_block: 64,
             bits_per_value: 4.0,
         };
-        let (_, report) = launch_grid(&mut dev, KernelKind::ZfpCompress, grid, "t", |_| ());
+        let (_, report) = launch_grid(&mut dev, KernelKind::ZfpCompress, grid, "t", |_| ()).unwrap();
         assert_eq!(report.waves, 4);
     }
 
@@ -123,7 +127,8 @@ mod tests {
                 let vals: Vec<f32> = data[b * 4..(b + 1) * 4].to_vec();
                 lossy_zfp::codec::encode_block(&vals, 1, 32, 32, true, &mut w);
                 w.into_bytes()
-            });
+            })
+            .unwrap();
         assert_eq!(encoded.len(), blocks);
         assert!(encoded.iter().all(|e| e.len() == 4), "32 bits per block");
         assert!(report.simulated_seconds > 0.0);

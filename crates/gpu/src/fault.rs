@@ -1,0 +1,331 @@
+//! Deterministic, seeded fault injection for the simulated stack.
+//!
+//! In-situ compression on Summit-class machines (paper §V) runs in an
+//! environment where transient PCIe errors, ECC events, kernel aborts,
+//! allocation failures, and whole-node loss are routine. The seed repo's
+//! device model was fail-fast; this module supplies the *chaos mode*: a
+//! [`FaultPlan`] holds per-kind injection rates and a seeded PRNG, and
+//! every fallible operation in [`Device`](crate::Device) (and the PAT
+//! scheduler upstream) asks the plan whether this attempt fails.
+//!
+//! Determinism guarantee: all draws come from one splitmix64 stream per
+//! plan, advanced once per queried decision, so a given seed + call
+//! sequence always injects the same faults. Components that run
+//! concurrently (e.g. CBench sweep pairs) must not share a plan; they
+//! [`fork`](FaultPlan::fork) a child keyed by a stable label, which keeps
+//! the injected-fault pattern independent of thread scheduling.
+
+/// Categories of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A PCIe transfer that must be retried (detected, e.g. CRC/ACK).
+    Transfer,
+    /// A silent ECC bit flip in transferred data (escapes the link layer;
+    /// only downstream integrity checks can catch it).
+    BitFlip,
+    /// A kernel launch that aborts (e.g. an illegal-address trap).
+    Kernel,
+    /// A transient device allocation failure.
+    Oom,
+    /// Loss of a whole node in a cluster-level schedule.
+    Node,
+}
+
+impl FaultKind {
+    /// Short label used in timelines and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Transfer => "transfer",
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::Kernel => "kernel",
+            FaultKind::Oom => "oom",
+            FaultKind::Node => "node",
+        }
+    }
+}
+
+/// Per-kind injection probabilities, each in `[0, 1]`.
+///
+/// The default is all-zero: a plan with default rates never injects and
+/// never perturbs timing, so the zero-fault path is bit-identical to a
+/// run without any plan at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultRates {
+    /// Probability a transfer attempt fails (detected, retriable).
+    pub transfer: f64,
+    /// Probability a completed transfer silently flips one bit.
+    pub bit_flip: f64,
+    /// Probability a kernel launch attempt aborts.
+    pub kernel: f64,
+    /// Probability a device allocation attempt transiently fails.
+    pub oom: f64,
+    /// Probability a scheduling wave loses one node.
+    pub node: f64,
+}
+
+impl FaultRates {
+    /// Validates that every rate is a probability.
+    pub fn validate(&self) -> foresight_util::Result<()> {
+        for (name, r) in [
+            ("transfer", self.transfer),
+            ("bit_flip", self.bit_flip),
+            ("kernel", self.kernel),
+            ("oom", self.oom),
+            ("node", self.node),
+        ] {
+            if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+                return Err(foresight_util::Error::invalid(format!(
+                    "fault rate '{name}' must be in [0, 1], got {r}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when no fault can ever be injected.
+    pub fn all_zero(&self) -> bool {
+        self.transfer == 0.0
+            && self.bit_flip == 0.0
+            && self.kernel == 0.0
+            && self.oom == 0.0
+            && self.node == 0.0
+    }
+}
+
+/// Counters of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Detected transfer failures injected.
+    pub transfer: u32,
+    /// Silent bit flips injected.
+    pub bit_flip: u32,
+    /// Kernel aborts injected.
+    pub kernel: u32,
+    /// Transient OOMs injected.
+    pub oom: u32,
+    /// Node losses injected.
+    pub node: u32,
+}
+
+impl FaultCounts {
+    /// Total faults of every kind.
+    pub fn total(&self) -> u32 {
+        self.transfer + self.bit_flip + self.kernel + self.oom + self.node
+    }
+}
+
+/// A seeded fault-injection plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    state: u64,
+    rates: FaultRates,
+    /// Retries a device grants per operation before giving up.
+    pub max_retries: u32,
+    counts: FaultCounts,
+}
+
+/// splitmix64: tiny, full-period, and statistically fine for fault draws.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a label, for deriving stable child seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Creates a plan from a seed and injection rates.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        Self { seed, state: seed, rates, max_retries: 3, counts: FaultCounts::default() }
+    }
+
+    /// A plan that never injects anything (the zero-cost default).
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(seed, FaultRates::default())
+    }
+
+    /// Sets the per-operation retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// The seed this plan (not any fork) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Faults injected so far by this plan instance.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Derives an independent child plan keyed by `label`.
+    ///
+    /// Forking reads only the parent's seed, never its PRNG state, so the
+    /// child stream depends on `(seed, label)` alone — concurrent workers
+    /// that fork by stable labels inject deterministically regardless of
+    /// scheduling order.
+    pub fn fork(&self, label: &str) -> FaultPlan {
+        let child_seed = self.seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        FaultPlan::new(child_seed, self.rates).with_max_retries(self.max_retries)
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Transfer => self.rates.transfer,
+            FaultKind::BitFlip => self.rates.bit_flip,
+            FaultKind::Kernel => self.rates.kernel,
+            FaultKind::Oom => self.rates.oom,
+            FaultKind::Node => self.rates.node,
+        }
+    }
+
+    /// Draws one decision: does this attempt suffer a `kind` fault?
+    ///
+    /// A zero rate short-circuits without advancing the PRNG, which keeps
+    /// partially-enabled plans deterministic per enabled kind and makes
+    /// the all-zero plan literally free.
+    pub fn trip(&mut self, kind: FaultKind) -> bool {
+        let rate = self.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        let draw = (splitmix64(&mut self.state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let hit = draw < rate;
+        if hit {
+            match kind {
+                FaultKind::Transfer => self.counts.transfer += 1,
+                FaultKind::BitFlip => self.counts.bit_flip += 1,
+                FaultKind::Kernel => self.counts.kernel += 1,
+                FaultKind::Oom => self.counts.oom += 1,
+                FaultKind::Node => self.counts.node += 1,
+            }
+        }
+        hit
+    }
+
+    /// Uniform index in `[0, n)` for choosing fault targets (bit
+    /// positions, victim nodes). `n` must be nonzero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (splitmix64(&mut self.state) % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let rates = FaultRates { transfer: 0.3, kernel: 0.2, ..Default::default() };
+        let mut a = FaultPlan::new(42, rates);
+        let mut b = FaultPlan::new(42, rates);
+        for _ in 0..1000 {
+            assert_eq!(a.trip(FaultKind::Transfer), b.trip(FaultKind::Transfer));
+            assert_eq!(a.trip(FaultKind::Kernel), b.trip(FaultKind::Kernel));
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().total() > 0, "30%/20% over 1000 draws must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let rates = FaultRates { transfer: 0.5, ..Default::default() };
+        let mut a = FaultPlan::new(1, rates);
+        let mut b = FaultPlan::new(2, rates);
+        let va: Vec<bool> = (0..64).map(|_| a.trip(FaultKind::Transfer)).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.trip(FaultKind::Transfer)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_rate_never_trips_and_never_advances() {
+        let mut p = FaultPlan::quiet(7);
+        for _ in 0..100 {
+            assert!(!p.trip(FaultKind::Transfer));
+            assert!(!p.trip(FaultKind::Oom));
+        }
+        assert_eq!(p.counts().total(), 0);
+        // State untouched: a later enabled draw matches a fresh plan.
+        let fresh = FaultPlan::quiet(7);
+        assert_eq!(p.state, fresh.state);
+    }
+
+    #[test]
+    fn rate_one_always_trips() {
+        let mut p = FaultPlan::new(3, FaultRates { oom: 1.0, ..Default::default() });
+        for _ in 0..20 {
+            assert!(p.trip(FaultKind::Oom));
+        }
+        assert_eq!(p.counts().oom, 20);
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let mut p = FaultPlan::new(99, FaultRates { transfer: 0.1, ..Default::default() });
+        let n = 20_000;
+        let hits = (0..n).filter(|_| p.trip(FaultKind::Transfer)).count();
+        let obs = hits as f64 / n as f64;
+        assert!((obs - 0.1).abs() < 0.01, "observed {obs}");
+    }
+
+    #[test]
+    fn forks_are_label_stable_and_independent_of_parent_state() {
+        let rates = FaultRates { kernel: 0.4, ..Default::default() };
+        let mut parent = FaultPlan::new(5, rates);
+        let mut c1 = parent.fork("field_a/rate=4");
+        // Burn parent draws; a later fork with the same label must match.
+        for _ in 0..50 {
+            parent.trip(FaultKind::Kernel);
+        }
+        let mut c2 = parent.fork("field_a/rate=4");
+        for _ in 0..200 {
+            assert_eq!(c1.trip(FaultKind::Kernel), c2.trip(FaultKind::Kernel));
+        }
+        // Different labels give different streams.
+        let mut other = parent.fork("field_b/rate=4");
+        let s1: Vec<bool> = (0..64).map(|_| c1.trip(FaultKind::Kernel)).collect();
+        let s2: Vec<bool> = (0..64).map(|_| other.trip(FaultKind::Kernel)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn rates_validate() {
+        assert!(FaultRates::default().validate().is_ok());
+        assert!(FaultRates { transfer: 1.0, ..Default::default() }.validate().is_ok());
+        assert!(FaultRates { transfer: -0.1, ..Default::default() }.validate().is_err());
+        assert!(FaultRates { node: 1.5, ..Default::default() }.validate().is_err());
+        assert!(FaultRates { kernel: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(FaultRates::default().all_zero());
+        assert!(!FaultRates { oom: 0.1, ..Default::default() }.all_zero());
+    }
+
+    #[test]
+    fn pick_is_in_range_and_deterministic() {
+        let mut a = FaultPlan::new(11, FaultRates::default());
+        let mut b = FaultPlan::new(11, FaultRates::default());
+        for n in 1..40usize {
+            let va = a.pick(n);
+            assert_eq!(va, b.pick(n));
+            assert!(va < n);
+        }
+    }
+}

@@ -55,8 +55,8 @@ pub fn run_compression<R>(
     let out_cap = (n_values as f64 * bits_per_value / 8.0).ceil() as u64 + 4096;
     let buf = device.malloc(out_cap, label)?;
     let (result, compressed_bytes) =
-        device.launch(kind, n_values, bits_per_value, label, work);
-    device.d2h(compressed_bytes);
+        device.launch(kind, n_values, bits_per_value, label, work)?;
+    device.d2h(compressed_bytes)?;
     device.free(buf)?;
     let breakdown = device.breakdown();
     let unc = n_values * 4;
@@ -85,8 +85,8 @@ pub fn run_decompression<R>(
     let bits_per_value =
         if n_values == 0 { 0.0 } else { compressed_bytes as f64 * 8.0 / n_values as f64 };
     let out_buf = device.malloc(n_values * 4, label)?;
-    device.h2d(compressed_bytes);
-    let result = device.launch(kind, n_values, bits_per_value, label, work);
+    device.h2d(compressed_bytes)?;
+    let result = device.launch(kind, n_values, bits_per_value, label, work)?;
     device.free(out_buf)?;
     let breakdown = device.breakdown();
     let unc = n_values * 4;

@@ -1,7 +1,7 @@
 //! Property tests for the GPU device model: accounting invariants that
 //! must hold for any sequence of operations.
 
-use gpu_sim::{kernel_time, Device, GpuSpec, KernelKind, PcieLink};
+use gpu_sim::{kernel_time, Device, FaultPlan, FaultRates, GpuSpec, KernelKind, PcieLink};
 use proptest::prelude::*;
 
 proptest! {
@@ -83,10 +83,10 @@ proptest! {
                         bufs.push(id);
                     }
                 }
-                1 => dev.h2d(1 << (op % 24)),
-                2 => dev.d2h(1 << (op % 20)),
+                1 => dev.h2d(1 << (op % 24)).unwrap(),
+                2 => dev.d2h(1 << (op % 20)).unwrap(),
                 _ => {
-                    dev.launch(KernelKind::SzCompress, 1 << 16, 4.0, "k", || ());
+                    dev.launch(KernelKind::SzCompress, 1 << 16, 4.0, "k", || ()).unwrap();
                 }
             }
         }
@@ -95,5 +95,62 @@ proptest! {
         }
         let b = dev.breakdown();
         prop_assert!((b.total() - dev.elapsed()).abs() < 1e-9);
+    }
+
+    /// Under any fault rates and any op sequence, the accounting
+    /// invariants survive: breakdown sums to the clock, fault time only
+    /// appears when faults were counted, and the same seed replays the
+    /// same timeline.
+    #[test]
+    fn chaos_preserves_accounting_invariants(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.9,
+        ops in prop::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let run = |ops: &[u8]| {
+            let rates = FaultRates {
+                transfer: rate,
+                kernel: rate / 2.0,
+                oom: rate / 4.0,
+                bit_flip: rate / 4.0,
+                ..Default::default()
+            };
+            let mut dev = Device::new(GpuSpec::tesla_v100())
+                .with_fault_plan(FaultPlan::new(seed, rates).with_max_retries(4));
+            let mut bufs = Vec::new();
+            for &op in ops {
+                match op % 4 {
+                    0 => {
+                        if let Ok(id) = dev.malloc(1 << 16, "x") {
+                            bufs.push(id);
+                        }
+                    }
+                    1 => { let _ = dev.h2d(1 << (op % 20)); }
+                    2 => {
+                        let mut data = vec![op; 256];
+                        let _ = dev.d2h_data(&mut data);
+                    }
+                    _ => {
+                        let _ = dev.launch(KernelKind::SzCompress, 1 << 14, 4.0, "k", || ());
+                    }
+                }
+            }
+            for id in bufs {
+                dev.free(id).unwrap();
+            }
+            (dev.elapsed(), dev.breakdown(), dev.fault_counts())
+        };
+        let (clock, b, counts) = run(&ops);
+        prop_assert!((b.total() - clock).abs() < 1e-9);
+        if counts.total() == 0 {
+            prop_assert_eq!(b.fault, 0.0);
+        }
+        if b.fault > 0.0 {
+            prop_assert!(counts.total() > 0);
+        }
+        let (clock2, b2, counts2) = run(&ops);
+        prop_assert_eq!(clock, clock2, "same seed must replay identically");
+        prop_assert_eq!(b, b2);
+        prop_assert_eq!(counts, counts2);
     }
 }

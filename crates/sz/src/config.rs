@@ -33,6 +33,16 @@ impl Dims {
         self.len() == 0
     }
 
+    /// Total number of values, or `None` on arithmetic overflow — for
+    /// dims that come from an untrusted stream header.
+    pub fn checked_len(&self) -> Option<usize> {
+        match *self {
+            Dims::D1(n) => Some(n),
+            Dims::D2(nx, ny) => nx.checked_mul(ny),
+            Dims::D3(nx, ny, nz) => nx.checked_mul(ny)?.checked_mul(nz),
+        }
+    }
+
     /// Number of dimensions (1, 2, or 3).
     pub fn ndim(&self) -> u8 {
         match self {

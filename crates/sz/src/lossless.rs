@@ -91,8 +91,17 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
     if stream.len() < 8 {
         return Err(Error::corrupt("lzss stream shorter than header"));
     }
-    let n = u64::from_le_bytes(stream[..8].try_into().unwrap()) as usize;
-    let mut out = Vec::with_capacity(n);
+    let n64 = u64::from_le_bytes(stream[..8].try_into().unwrap());
+    // LZSS expands at most ~(MIN_MATCH + 255)x per encoded token, so a
+    // genuine stream of this input size cannot exceed this many bytes;
+    // an untrusted header claiming more is corrupt, and either way the
+    // up-front reservation stays bounded by the input we actually hold.
+    let max_out = (stream.len() as u64).saturating_mul(8 * 300);
+    if n64 > max_out {
+        return Err(Error::corrupt("lzss header claims implausible output size"));
+    }
+    let n = n64 as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
     let mut r = BitReader::new(&stream[8..]);
     while out.len() < n {
         if r.read_bit()? {

@@ -5,7 +5,7 @@
 //! ```text
 //! magic "SZRS" | version u8 | mode u8 | entropy u8 | ndim u8
 //! dims 3*u64 | block_size u32 | radius u32 | eb_abs f64 | eb_param f64
-//! nblocks u64 | raw_body_len u64 | body_crc u32
+//! nblocks u64 | raw_body_len u64 | body_crc u32 | header_crc u32
 //! body (LZSS-compressed when entropy == HuffmanLzss):
 //!   per-block meta (tag u8 | n_outliers u32 | code_bytes u32 | coeffs 4*f32)
 //!   huffman table | per-block code streams (byte-aligned) | outlier f32s
@@ -22,12 +22,18 @@ use crate::{lossless, pwrel};
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::crc::crc32;
 use foresight_util::stats::summarize;
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"SZRS";
-const VERSION: u8 = 1;
+/// Version 2 added the trailing header CRC.
+const VERSION: u8 = 2;
 const META_BYTES: usize = 1 + 4 + 4 + 16;
+/// Header bytes covered by the header CRC (everything before it).
+const HDR_CRC_AT: usize = 4 + 1 + 1 + 1 + 1 + 24 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+const HDR: usize = HDR_CRC_AT + 4;
+/// Largest per-axis extent accepted from a header (2^40 values).
+const MAX_EXTENT: u64 = 1 << 40;
 
 /// Compresses `data` with the given configuration.
 pub fn compress(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>> {
@@ -184,6 +190,11 @@ fn compress_inner(
     out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
     out.extend_from_slice(&raw_len.to_le_bytes());
     out.extend_from_slice(&crc.to_le_bytes());
+    // Header CRC: without it a bit flip in, say, the error bound would
+    // decode to plausible-but-wrong data; with it any header mutation is
+    // a hard `Corrupt` error.
+    let hcrc = crc32(&out);
+    out.extend_from_slice(&hcrc.to_le_bytes());
     out.extend_from_slice(&body);
     Ok(out)
 }
@@ -210,43 +221,42 @@ pub struct StreamInfo {
 }
 
 /// Parses and validates a stream header.
+///
+/// Every read is bounds-checked ([`ByteReader`]) and the whole header is
+/// CRC-protected, so truncated or mutated input can only produce
+/// [`Error::Corrupt`] — never a panic and never a huge allocation driven
+/// by attacker-controlled fields.
 pub fn info(stream: &[u8]) -> Result<StreamInfo> {
-    const HDR: usize = 4 + 1 + 1 + 1 + 1 + 24 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
-    if stream.len() < HDR {
-        return Err(Error::corrupt("stream shorter than header"));
+    let mut r = ByteReader::new(stream);
+    r.expect_magic(MAGIC, "an SZRS stream")?;
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(Error::corrupt(format!("unsupported version {version}")));
     }
-    if &stream[..4] != MAGIC {
-        return Err(Error::corrupt("bad magic (not an SZRS stream)"));
-    }
-    if stream[4] != VERSION {
-        return Err(Error::corrupt(format!("unsupported version {}", stream[4])));
-    }
-    let mode_tag = stream[5];
-    let entropy = match stream[6] {
+    let mode_tag = r.u8()?;
+    let entropy = match r.u8()? {
         0 => EntropyBackend::Huffman,
         1 => EntropyBackend::HuffmanLzss,
         v => return Err(Error::corrupt(format!("unknown entropy backend {v}"))),
     };
-    let ndim = stream[7];
-    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
-    let rd_u32 = |o: usize| u32::from_le_bytes(stream[o..o + 4].try_into().unwrap());
-    let rd_f64 = |o: usize| f64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
-    let nx = rd_u64(8) as usize;
-    let ny = rd_u64(16) as usize;
-    let nz = rd_u64(24) as usize;
+    let ndim = r.u8()?;
+    let nx = r.u64_le_capped(MAX_EXTENT, "x extent")?;
+    let ny = r.u64_le_capped(MAX_EXTENT, "y extent")?;
+    let nz = r.u64_le_capped(MAX_EXTENT, "z extent")?;
     let dims = match ndim {
         1 => Dims::D1(nx),
         2 => Dims::D2(nx, ny),
         3 => Dims::D3(nx, ny, nz),
         v => return Err(Error::corrupt(format!("bad ndim {v}"))),
     };
-    let block_size = rd_u32(32) as usize;
-    let radius = rd_u32(36);
+    dims.checked_len().ok_or_else(|| Error::corrupt("dims product overflows"))?;
+    let block_size = r.u32_le()? as usize;
+    let radius = r.u32_le()?;
     if block_size < 2 || radius < 2 {
         return Err(Error::corrupt("implausible block_size/radius"));
     }
-    let eb_abs = rd_f64(40);
-    let eb_param = rd_f64(48);
+    let eb_abs = r.f64_le()?;
+    let eb_param = r.f64_le()?;
     if !(eb_abs.is_finite() && eb_abs > 0.0) {
         return Err(Error::corrupt("bad error bound in header"));
     }
@@ -256,6 +266,14 @@ pub fn info(stream: &[u8]) -> Result<StreamInfo> {
         2 => ErrorBound::PwRel(eb_param),
         v => return Err(Error::corrupt(format!("bad mode {v}"))),
     };
+    let nblocks = r.u64_le()?;
+    let raw_len = r.u64_le()?;
+    let crc = r.u32_le()?;
+    debug_assert_eq!(r.pos(), HDR_CRC_AT);
+    let hcrc = r.u32_le()?;
+    if crc32(&stream[..HDR_CRC_AT]) != hcrc {
+        return Err(Error::corrupt("header CRC mismatch"));
+    }
     Ok(StreamInfo {
         dims,
         mode,
@@ -263,9 +281,9 @@ pub fn info(stream: &[u8]) -> Result<StreamInfo> {
         block_size,
         radius,
         entropy,
-        nblocks: rd_u64(56),
-        raw_len: rd_u64(64),
-        crc: rd_u32(72),
+        nblocks,
+        raw_len,
+        crc,
         body_offset: HDR,
     })
 }
@@ -303,16 +321,40 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
 
     let dims = inf.dims;
     let ext = dims.extents();
-    let blocks = block::partition(dims, inf.block_size);
-    if blocks.len() as u64 != inf.nblocks {
+    let n_values =
+        dims.checked_len().ok_or_else(|| Error::corrupt("dims product overflows"))?;
+    // Arithmetic cross-checks BEFORE any dims-driven allocation: the
+    // block count implied by dims must match the header's, and the meta
+    // region it implies must fit the body we actually hold. Only then is
+    // it safe to materialize the block list.
+    let (bx, by, bz): (u128, u128, u128) = match dims {
+        Dims::D1(_) => ((inf.block_size as u128).pow(3), 1, 1),
+        Dims::D2(..) => (inf.block_size as u128, inf.block_size as u128, 1),
+        Dims::D3(..) => (
+            inf.block_size as u128,
+            inf.block_size as u128,
+            inf.block_size as u128,
+        ),
+    };
+    let expected_blocks = (ext[0] as u128).div_ceil(bx)
+        * (ext[1] as u128).div_ceil(by)
+        * (ext[2] as u128).div_ceil(bz);
+    if expected_blocks != inf.nblocks as u128 {
         return Err(Error::corrupt("block count mismatch"));
     }
+    if inf
+        .nblocks
+        .checked_mul(META_BYTES as u64)
+        .map(|m| m > body.len() as u64)
+        .unwrap_or(true)
+    {
+        return Err(Error::corrupt("truncated block meta"));
+    }
+    let blocks = block::partition(dims, inf.block_size);
+    debug_assert_eq!(blocks.len() as u128, expected_blocks);
 
     // Per-block meta.
     let meta_len = blocks.len() * META_BYTES;
-    if body.len() < meta_len {
-        return Err(Error::corrupt("truncated block meta"));
-    }
     struct Meta {
         tag: PredictorTag,
         n_out: usize,
@@ -320,15 +362,15 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
         coeffs: [f32; 4],
     }
     let mut metas = Vec::with_capacity(blocks.len());
-    for bi in 0..blocks.len() {
-        let o = bi * META_BYTES;
-        let tag = PredictorTag::from_u8(body[o])
+    let mut mr = ByteReader::new(&body[..meta_len]);
+    for _ in 0..blocks.len() {
+        let tag = PredictorTag::from_u8(mr.u8()?)
             .ok_or_else(|| Error::corrupt("bad predictor tag"))?;
-        let n_out = u32::from_le_bytes(body[o + 1..o + 5].try_into().unwrap()) as usize;
-        let code_bytes = u32::from_le_bytes(body[o + 5..o + 9].try_into().unwrap()) as usize;
+        let n_out = mr.u32_le()? as usize;
+        let code_bytes = mr.u32_le()? as usize;
         let mut coeffs = [0.0f32; 4];
-        for (c, chunk) in coeffs.iter_mut().zip(body[o + 9..o + 25].chunks(4)) {
-            *c = f32::from_le_bytes(chunk.try_into().unwrap());
+        for c in coeffs.iter_mut() {
+            *c = mr.f32_le()?;
         }
         metas.push(Meta { tag, n_out, code_bytes, coeffs });
     }
@@ -337,14 +379,22 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     let (book, table_len) = Codebook::deserialize(&body[meta_len..])?;
     let codes_start = meta_len + table_len;
 
-    // Slice boundaries for code streams and outliers.
-    let total_code_bytes: usize = metas.iter().map(|m| m.code_bytes).sum();
-    let total_outliers: usize = metas.iter().map(|m| m.n_out).sum();
-    let outliers_start = codes_start + total_code_bytes;
-    let outliers_end = outliers_start + total_outliers * 4;
-    if body.len() < outliers_end {
+    // Slice boundaries for code streams and outliers; sum in u64 so a
+    // forged meta table cannot overflow the offsets.
+    let total_code_bytes: u64 = metas.iter().map(|m| m.code_bytes as u64).sum();
+    let total_outliers: u64 = metas.iter().map(|m| m.n_out as u64).sum();
+    let outliers_start_64 = codes_start as u64 + total_code_bytes;
+    let outliers_end_64 = outliers_start_64 + total_outliers * 4;
+    if outliers_end_64 > body.len() as u64 {
         return Err(Error::corrupt("truncated payload"));
     }
+    // Huffman spends at least one bit per value, so a body with
+    // `total_code_bytes` of codes can decode at most 8x that many
+    // values — reject before allocating the output array.
+    if n_values as u64 > total_code_bytes.saturating_mul(8) && n_values > 0 {
+        return Err(Error::corrupt("dims imply more values than the code streams hold"));
+    }
+    let outliers_start = outliers_start_64 as usize;
     let mut code_offsets = Vec::with_capacity(blocks.len());
     let mut outlier_offsets = Vec::with_capacity(blocks.len());
     let (mut co, mut oo) = (codes_start, 0usize);
@@ -355,7 +405,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
         oo += m.n_out;
     }
 
-    let mut out = vec![0.0f32; dims.len()];
+    let mut out = vec![0.0f32; n_values];
     let ptr = SendPtr(out.as_mut_ptr());
     let out_len = out.len();
     blocks
@@ -386,26 +436,21 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
             Ok(())
         })?;
 
-    // PW_REL epilogue: undo the log transform.
+    // PW_REL epilogue: undo the log transform (bounds-checked reads).
     if let ErrorBound::PwRel(_) = inf.mode {
-        let n = dims.len();
-        let nbytes = n.div_ceil(8);
-        let mut pos = outliers_end;
-        if body.len() < pos + 2 * nbytes + 4 {
-            return Err(Error::corrupt("truncated PW_REL bitmaps"));
-        }
-        let sign = &body[pos..pos + nbytes];
-        pos += nbytes;
-        let special = &body[pos..pos + nbytes];
-        pos += nbytes;
-        let nspec = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if body.len() < pos + nspec * 4 {
-            return Err(Error::corrupt("truncated PW_REL specials"));
-        }
-        let specials: Vec<f32> = body[pos..pos + nspec * 4]
+        let nbytes = n_values.div_ceil(8);
+        let mut er = ByteReader::new(&body[outliers_end_64 as usize..]);
+        let sign = er.take(nbytes)?;
+        let special = er.take(nbytes)?;
+        let nspec = er.u32_le()? as usize;
+        let spec_bytes = er.take(
+            nspec
+                .checked_mul(4)
+                .ok_or_else(|| Error::corrupt("PW_REL special count overflows"))?,
+        )?;
+        let specials: Vec<f32> = spec_bytes
             .chunks(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
             .collect();
         out = pwrel::inverse(&out, sign, special, &specials);
     }

@@ -1,0 +1,102 @@
+//! Mutation fuzzing of the SZ stream decoder.
+//!
+//! Start from valid streams, then truncate, bit-flip, splice, and rewrite
+//! windows of bytes. The decoder must never panic, never allocate
+//! unboundedly, and must fail closed: the header and body are both
+//! CRC-protected, so every mutation that changes any byte must surface as
+//! `Err`, never as silently wrong output.
+
+use lossy_sz::{compress, decompress, Dims, EntropyBackend, SzConfig};
+use proptest::prelude::*;
+
+/// A modest valid corpus covering both entropy backends and all bound modes.
+fn make_stream(variant: u8, seed: u32) -> Vec<u8> {
+    let n = 512 + (seed as usize % 256);
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i as u32).wrapping_mul(seed | 1) as f32 * 1e-7).sin() * 40.0 + 2.0)
+        .collect();
+    let (dims, data) = match variant % 3 {
+        0 => (Dims::D1(n), data),
+        1 => (Dims::D2(16, 16), data[..256].to_vec()),
+        _ => (Dims::D3(8, 8, 8), data[..512].to_vec()),
+    };
+    let mut cfg = match variant % 4 {
+        0 => SzConfig::abs(1e-2),
+        1 => SzConfig::rel(1e-3),
+        2 => SzConfig::pw_rel(1e-2),
+        _ => SzConfig::abs(1e-4),
+    };
+    if variant % 2 == 1 {
+        cfg.entropy = EntropyBackend::HuffmanLzss;
+    }
+    cfg.block_size = 8;
+    compress(&data, dims, &cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any strict prefix of a valid stream must be rejected.
+    #[test]
+    fn truncation_always_errors(variant in 0u8..12, seed in any::<u32>(), cut_sel in any::<u32>()) {
+        let stream = make_stream(variant, seed);
+        let cut = cut_sel as usize % stream.len();
+        prop_assert!(decompress(&stream[..cut]).is_err());
+    }
+
+    /// Every single-bit flip lands in a CRC-covered region, so decoding
+    /// must error — never panic, never return altered data as valid.
+    #[test]
+    fn bit_flip_always_errors(variant in 0u8..12, seed in any::<u32>(), flip_sel in any::<u32>()) {
+        let stream = make_stream(variant, seed);
+        let mut bad = stream.clone();
+        let bit = flip_sel as usize % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decompress(&bad).is_err(), "flip at bit {} accepted", bit);
+    }
+
+    /// Overwriting a window with arbitrary bytes must not panic; if the
+    /// window had any effect the CRCs reject it.
+    #[test]
+    fn window_rewrite_never_panics(
+        variant in 0u8..12,
+        seed in any::<u32>(),
+        start_sel in any::<u32>(),
+        junk in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let stream = make_stream(variant, seed);
+        let mut bad = stream.clone();
+        let start = start_sel as usize % bad.len();
+        let end = (start + junk.len()).min(bad.len());
+        bad[start..end].copy_from_slice(&junk[..end - start]);
+        if bad == stream {
+            prop_assert!(decompress(&bad).is_ok());
+        } else {
+            prop_assert!(decompress(&bad).is_err());
+        }
+    }
+
+    /// Splicing the header of one valid stream onto the body of another
+    /// (and arbitrary cut-and-join points) must fail closed.
+    #[test]
+    fn splice_never_panics(
+        va in 0u8..12, vb in 0u8..12,
+        sa in any::<u32>(), sb in any::<u32>(),
+        cut_sel in any::<u32>(),
+    ) {
+        let a = make_stream(va, sa);
+        let b = make_stream(vb, sb);
+        let cut = cut_sel as usize % a.len();
+        let mut spliced = a[..cut].to_vec();
+        spliced.extend_from_slice(&b[cut.min(b.len())..]);
+        if spliced != a && spliced != b {
+            prop_assert!(decompress(&spliced).is_err());
+        }
+    }
+
+    /// Raw garbage of any size must be rejected without panicking.
+    #[test]
+    fn garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(decompress(&junk).is_err());
+    }
+}

@@ -29,6 +29,9 @@ pub enum Error {
     Config(String),
     /// A workflow/scheduler error (cyclic dependencies, unknown job ids...).
     Workflow(String),
+    /// A (simulated) device fault: failed transfer, kernel abort, or a
+    /// transient allocation failure that exhausted its retry budget.
+    DeviceFault(String),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +44,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Config(msg) => write!(f, "config error: {msg}"),
             Error::Workflow(msg) => write!(f, "workflow error: {msg}"),
+            Error::DeviceFault(msg) => write!(f, "device fault: {msg}"),
         }
     }
 }
@@ -74,6 +78,17 @@ impl Error {
     /// Shorthand constructor for [`Error::Format`].
     pub fn format(msg: impl Into<String>) -> Self {
         Error::Format(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::DeviceFault`].
+    pub fn device_fault(msg: impl Into<String>) -> Self {
+        Error::DeviceFault(msg.into())
+    }
+
+    /// True for transient device-level failures that a caller may retry
+    /// or route to a CPU fallback path.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(self, Error::DeviceFault(_))
     }
 }
 

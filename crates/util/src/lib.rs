@@ -7,6 +7,7 @@
 //! tiny ASCII table/CSV formatter used by the benchmark binaries.
 
 pub mod bits;
+pub mod bytes;
 pub mod crc;
 pub mod error;
 pub mod json;
@@ -15,4 +16,5 @@ pub mod stats;
 pub mod table;
 pub mod timer;
 
+pub use bytes::ByteReader;
 pub use error::{Error, Result};

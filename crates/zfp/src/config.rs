@@ -30,6 +30,16 @@ impl Dims3 {
         self.len() == 0
     }
 
+    /// Total number of values, or `None` on arithmetic overflow — for
+    /// dims that come from an untrusted stream header.
+    pub fn checked_len(&self) -> Option<usize> {
+        match *self {
+            Dims3::D1(n) => Some(n),
+            Dims3::D2(nx, ny) => nx.checked_mul(ny),
+            Dims3::D3(nx, ny, nz) => nx.checked_mul(ny)?.checked_mul(nz),
+        }
+    }
+
     /// Number of dimensions.
     pub fn ndim(&self) -> u8 {
         match self {

@@ -14,11 +14,16 @@ use crate::codec::{self, HEADER_BITS, INTPREC};
 use crate::config::{Dims3, ZfpConfig, ZfpMode};
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::crc::crc32;
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"ZFPR";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Byte offset of the trailing header CRC; the CRC covers `[0, HDR_CRC_AT)`.
+const HDR_CRC_AT: usize = 4 + 1 + 1 + 1 + 1 + 24 + 8 + 8 + 8 + 4;
+const HDR: usize = HDR_CRC_AT + 4;
+/// Upper bound on any single extent read from an untrusted header.
+const MAX_EXTENT: u64 = 1 << 40;
 
 /// A block's position in the (up to) 3-D block grid.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +163,8 @@ pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
     out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc.to_le_bytes());
+    let hcrc = crc32(&out);
+    out.extend_from_slice(&hcrc.to_le_bytes());
     if !matches!(cfg.mode, ZfpMode::FixedRate(_)) {
         for (_, nbits) in &encoded {
             out.extend_from_slice(&nbits.to_le_bytes());
@@ -193,68 +200,100 @@ pub struct StreamInfo {
 }
 
 /// Parses a stream header.
+///
+/// Every read is bounds-checked ([`ByteReader`]) and the whole header is
+/// protected by a trailing CRC, so a truncated or bit-flipped header
+/// surfaces as [`Error::Corrupt`] instead of a panic or a huge allocation.
 pub fn info(stream: &[u8]) -> Result<StreamInfo> {
-    const HDR: usize = 4 + 4 + 24 + 8 + 8 + 8 + 4;
-    if stream.len() < HDR {
-        return Err(Error::corrupt("stream shorter than header"));
+    let mut r = ByteReader::new(stream);
+    r.expect_magic(MAGIC, "ZFPR stream")?;
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(Error::corrupt(format!("unsupported version {version}")));
     }
-    if &stream[..4] != MAGIC {
-        return Err(Error::corrupt("bad magic (not a ZFPR stream)"));
-    }
-    if stream[4] != VERSION {
-        return Err(Error::corrupt(format!("unsupported version {}", stream[4])));
-    }
-    let mode_tag = stream[5];
-    let ndim = stream[6];
-    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
-    let nx = rd_u64(8) as usize;
-    let ny = rd_u64(16) as usize;
-    let nz = rd_u64(24) as usize;
+    let mode_tag = r.u8()?;
+    let ndim = r.u8()?;
+    r.u8()?; // reserved
+    let nx = r.u64_le_capped(MAX_EXTENT, "x extent")?;
+    let ny = r.u64_le_capped(MAX_EXTENT, "y extent")?;
+    let nz = r.u64_le_capped(MAX_EXTENT, "z extent")?;
     let dims = match ndim {
         1 => Dims3::D1(nx),
         2 => Dims3::D2(nx, ny),
         3 => Dims3::D3(nx, ny, nz),
         v => return Err(Error::corrupt(format!("bad ndim {v}"))),
     };
-    let param = f64::from_le_bytes(stream[32..40].try_into().unwrap());
+    if dims.checked_len().is_none() {
+        return Err(Error::corrupt("dims product overflows"));
+    }
+    let param = r.f64_le()?;
     let mode = ZfpMode::from_tag(mode_tag, param)
         .ok_or_else(|| Error::corrupt(format!("bad mode {mode_tag}")))?;
-    Ok(StreamInfo {
-        dims,
-        mode,
-        nblocks: rd_u64(40),
-        payload_len: rd_u64(48),
-        crc: u32::from_le_bytes(stream[56..60].try_into().unwrap()),
-        lens_offset: HDR,
-    })
+    if (ZfpConfig { mode }).validate().is_err() {
+        return Err(Error::corrupt(format!("bad mode parameter {param}")));
+    }
+    let nblocks = r.u64_le()?;
+    let payload_len = r.u64_le()?;
+    let crc = r.u32_le()?;
+    debug_assert_eq!(r.pos(), HDR_CRC_AT);
+    let hcrc = r.u32_le()?;
+    if crc32(&stream[..HDR_CRC_AT]) != hcrc {
+        return Err(Error::corrupt("header CRC mismatch"));
+    }
+    Ok(StreamInfo { dims, mode, nblocks, payload_len, crc, lens_offset: HDR })
+}
+
+/// Bits per block in fixed-rate mode; must match `block_params`.
+fn fixed_rate_maxbits(mode: &ZfpMode, cells: usize) -> u32 {
+    match mode {
+        ZfpMode::FixedRate(rate) => {
+            ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1)
+        }
+        _ => unreachable!("fixed_rate_maxbits called for variable-rate mode"),
+    }
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
     let inf = info(stream)?;
     let dims = inf.dims;
-    let (blocks, d) = block_grid(dims);
-    if blocks.len() as u64 != inf.nblocks {
-        return Err(Error::corrupt("block count mismatch"));
-    }
+    let d = dims.ndim();
     let cells = codec::block_cells(d);
 
-    // Per-block bit offsets.
+    // Check the claimed block count arithmetically BEFORE materializing the
+    // block grid or the length table, so a forged header cannot force a
+    // huge allocation. The formula mirrors `block_grid`'s nesting.
+    let expected_blocks: u128 =
+        dims.extents().iter().map(|&n| (n as u128).div_ceil(4)).product();
+    if expected_blocks != inf.nblocks as u128 {
+        return Err(Error::corrupt("block count mismatch"));
+    }
     let fixed_rate = matches!(inf.mode, ZfpMode::FixedRate(_));
-    let (bit_offsets, bit_lens, payload_start): (Vec<u64>, Vec<u32>, usize) = if fixed_rate {
-        let maxbits = match inf.mode {
-            ZfpMode::FixedRate(rate) => {
-                ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1)
-            }
-            _ => unreachable!(),
-        };
-        let offs = (0..blocks.len() as u64).map(|i| i * maxbits as u64).collect();
-        (offs, vec![maxbits; blocks.len()], inf.lens_offset)
-    } else {
-        let need = inf.lens_offset + blocks.len() * 4;
-        if stream.len() < need {
-            return Err(Error::corrupt("truncated block length table"));
+    // Total stream length must match header + length table + payload
+    // exactly; this bounds nblocks by the bytes we actually hold.
+    let lens_bytes: u128 = if fixed_rate { 0 } else { inf.nblocks as u128 * 4 };
+    let payload_start_wide = inf.lens_offset as u128 + lens_bytes;
+    if payload_start_wide + inf.payload_len as u128 != stream.len() as u128 {
+        return Err(Error::corrupt("payload length mismatch"));
+    }
+    let payload_start = payload_start_wide as usize;
+    if fixed_rate {
+        let maxbits = fixed_rate_maxbits(&inf.mode, cells);
+        let total_bits = inf.nblocks as u128 * maxbits as u128;
+        if total_bits.div_ceil(8) > inf.payload_len as u128 {
+            return Err(Error::corrupt("payload shorter than block bits"));
         }
+    }
+
+    let (blocks, _) = block_grid(dims);
+    debug_assert_eq!(blocks.len() as u128, expected_blocks);
+
+    // Per-block bit offsets.
+    let (bit_offsets, bit_lens): (Vec<u64>, Vec<u32>) = if fixed_rate {
+        let maxbits = fixed_rate_maxbits(&inf.mode, cells);
+        let offs = (0..blocks.len() as u64).map(|i| i * maxbits as u64).collect();
+        (offs, vec![maxbits; blocks.len()])
+    } else {
         let mut lens = Vec::with_capacity(blocks.len());
         for i in 0..blocks.len() {
             let o = inf.lens_offset + i * 4;
@@ -266,12 +305,9 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
             offs.push(acc);
             acc += l as u64;
         }
-        (offs, lens, need)
+        (offs, lens)
     };
 
-    if stream.len() < payload_start || (stream.len() - payload_start) as u64 != inf.payload_len {
-        return Err(Error::corrupt("payload length mismatch"));
-    }
     let payload = &stream[payload_start..];
     if crc32(payload) != inf.crc {
         return Err(Error::corrupt("payload CRC mismatch"));
@@ -281,7 +317,10 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
         return Err(Error::corrupt("payload shorter than block bits"));
     }
 
-    let mut out = vec![0.0f32; dims.len()];
+    let n_values = dims
+        .checked_len()
+        .ok_or_else(|| Error::corrupt("dims product overflows"))?;
+    let mut out = vec![0.0f32; n_values];
     // Decode blocks in parallel into local buffers, then scatter serially
     // (scatter touches interleaved rows, so keep it simple and safe).
     let decoded: Vec<Result<Vec<f32>>> = blocks

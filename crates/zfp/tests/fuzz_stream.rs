@@ -1,0 +1,107 @@
+//! Mutation fuzzing of the ZFP stream decoder.
+//!
+//! Start from valid streams, then truncate, bit-flip, splice, and rewrite
+//! windows of bytes. The decoder must never panic and must fail closed.
+//! Fixed-rate streams are fully CRC-covered (header CRC + payload CRC), so
+//! every mutation errors. Variable-rate streams carry an uncovered
+//! per-block length table; mutations there must still decode safely — an
+//! `Ok` result must at least have the right shape.
+
+use lossy_zfp::{compress, decompress, Dims3, ZfpConfig};
+use proptest::prelude::*;
+
+fn make_stream(variant: u8, seed: u32) -> (Vec<u8>, usize) {
+    let dims = match variant % 3 {
+        0 => Dims3::D1(300 + (seed as usize % 64)),
+        1 => Dims3::D2(13, 17),
+        _ => Dims3::D3(8, 8, 8),
+    };
+    let data: Vec<f32> = (0..dims.len())
+        .map(|i| ((i as u32).wrapping_mul(seed | 1) as f32 * 1e-7).sin() * 40.0)
+        .collect();
+    let cfg = match variant % 4 {
+        0 => ZfpConfig::rate(6.0),
+        1 => ZfpConfig::rate(14.0),
+        2 => ZfpConfig::precision(20),
+        _ => ZfpConfig::accuracy(1e-2),
+    };
+    (compress(&data, dims, &cfg).unwrap(), dims.len())
+}
+
+fn is_fixed_rate(variant: u8) -> bool {
+    variant % 4 < 2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any strict prefix of a valid stream must be rejected (the header
+    /// records exact table and payload lengths).
+    #[test]
+    fn truncation_always_errors(variant in 0u8..12, seed in any::<u32>(), cut_sel in any::<u32>()) {
+        let (stream, _) = make_stream(variant, seed);
+        let cut = cut_sel as usize % stream.len();
+        prop_assert!(decompress(&stream[..cut]).is_err());
+    }
+
+    /// Bit flips: fixed-rate streams must always error; variable-rate
+    /// streams must never panic, and an accepted decode keeps its shape.
+    #[test]
+    fn bit_flip_fails_closed(variant in 0u8..12, seed in any::<u32>(), flip_sel in any::<u32>()) {
+        let (stream, n) = make_stream(variant, seed);
+        let mut bad = stream.clone();
+        let bit = flip_sel as usize % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        match decompress(&bad) {
+            Err(_) => {}
+            Ok((rec, _)) => {
+                prop_assert!(
+                    !is_fixed_rate(variant),
+                    "fixed-rate flip at bit {} accepted", bit
+                );
+                prop_assert_eq!(rec.len(), n);
+            }
+        }
+    }
+
+    /// Overwriting a window with arbitrary bytes must not panic.
+    #[test]
+    fn window_rewrite_never_panics(
+        variant in 0u8..12,
+        seed in any::<u32>(),
+        start_sel in any::<u32>(),
+        junk in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (stream, n) = make_stream(variant, seed);
+        let mut bad = stream.clone();
+        let start = start_sel as usize % bad.len();
+        let end = (start + junk.len()).min(bad.len());
+        bad[start..end].copy_from_slice(&junk[..end - start]);
+        if let Ok((rec, _)) = decompress(&bad) {
+            prop_assert_eq!(rec.len(), n);
+        }
+    }
+
+    /// Cut-and-join of two valid streams must fail closed.
+    #[test]
+    fn splice_never_panics(
+        va in 0u8..12, vb in 0u8..12,
+        sa in any::<u32>(), sb in any::<u32>(),
+        cut_sel in any::<u32>(),
+    ) {
+        let (a, na) = make_stream(va, sa);
+        let (b, nb) = make_stream(vb, sb);
+        let cut = cut_sel as usize % a.len();
+        let mut spliced = a[..cut].to_vec();
+        spliced.extend_from_slice(&b[cut.min(b.len())..]);
+        if let Ok((rec, _)) = decompress(&spliced) {
+            prop_assert!(rec.len() == na || rec.len() == nb);
+        }
+    }
+
+    /// Raw garbage of any size must be rejected without panicking.
+    #[test]
+    fn garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(decompress(&junk).is_err());
+    }
+}

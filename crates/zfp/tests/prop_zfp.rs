@@ -27,8 +27,8 @@ proptest! {
         let blocks = nx.div_ceil(4) * ny.div_ceil(4) * nz.div_ceil(4);
         let maxbits = ((rate * 64.0).round() as u64).max(10);
         let payload = (blocks as u64 * maxbits).div_ceil(8);
-        // Header is 60 bytes.
-        prop_assert_eq!(stream.len() as u64, 60 + payload);
+        // Header is 64 bytes (60 of fields plus a trailing header CRC).
+        prop_assert_eq!(stream.len() as u64, 64 + payload);
     }
 
     /// High-rate reconstruction error is tiny relative to the data scale.
