@@ -2,27 +2,134 @@
 //! configuration file, as the original tool does.
 //!
 //! ```text
-//! foresight-cli path/to/config.json
+//! foresight-cli [--trace <path>] [--metrics-out <path>] [--quiet] <config.json>
+//! foresight-cli report <telemetry.json>
 //! ```
 //!
-//! Exit codes: 0 on success, 1 on load/pipeline errors, 2 on usage
-//! errors, 3 when the pipeline ran but one or more jobs failed or were
-//! skipped (the per-job summary is printed to stderr).
+//! `--trace` enables the telemetry collector and writes a Chrome
+//! trace-event file (load it in Perfetto / `chrome://tracing`) plus a
+//! collapsed-stack flamegraph next to it (`.folded`); the pipeline also
+//! writes `<output.dir>/telemetry/telemetry.json`. `--metrics-out` writes
+//! the metrics registries as JSON. `--quiet` suppresses the per-record
+//! table. `report` pretty-prints a previously written `telemetry.json`
+//! as per-phase (Fig. 7) and per-stage tables.
+//!
+//! Exit codes:
+//! - 0 — success;
+//! - 1 — config/telemetry file could not be loaded, the pipeline aborted
+//!   with an error, or an output file could not be written;
+//! - 2 — usage error (missing/unknown argument);
+//! - 3 — the pipeline ran to completion but one or more jobs failed or
+//!   were skipped (per-job summary on stderr).
 
 use foresight::runner::run_pipeline;
+use foresight::trace;
 use foresight::{ForesightConfig, SlurmSim};
+use foresight_util::json::Value;
+use foresight_util::table::{fmt_f64, Table};
+use foresight_util::telemetry::{self, ChromeTraceOptions};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>";
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    eprintln!("see README.md for the configuration schema");
+    std::process::exit(2);
+}
+
+fn report_main(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: '{path}' is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    for section in [
+        trace::render_phase_table(&doc),
+        trace::render_stage_table(&doc),
+        trace::render_metrics_table(&doc),
+    ] {
+        if !section.is_empty() {
+            println!("{section}");
+        }
+    }
+    if let Some(lines) = doc.get("resilience").and_then(Value::as_array) {
+        if !lines.is_empty() {
+            println!("== resilience ==");
+            for l in lines {
+                if let Some(s) = l.as_str() {
+                    println!("{s}");
+                }
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
+struct Cli {
+    config: String,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut config = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "report" if config.is_none() => {
+                let Some(path) = args.next() else { usage_exit() };
+                report_main(&path);
+            }
+            "--trace" => {
+                let Some(p) = args.next() else { usage_exit() };
+                trace_out = Some(PathBuf::from(p));
+            }
+            "--metrics-out" => {
+                let Some(p) = args.next() else { usage_exit() };
+                metrics_out = Some(PathBuf::from(p));
+            }
+            "--quiet" | "-q" => quiet = true,
+            s if s.starts_with('-') => usage_exit(),
+            _ if config.is_some() => usage_exit(),
+            _ => config = Some(arg),
+        }
+    }
+    let Some(config) = config else { usage_exit() };
+    Cli { config, trace_out, metrics_out, quiet }
+}
+
+fn write_or_die(path: &Path, what: &str, write: impl FnOnce() -> foresight_util::Result<()>) {
+    if let Err(e) = write() {
+        eprintln!("error: cannot write {what} '{}': {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("{what}: {}", path.display());
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: foresight-cli <config.json>");
-        eprintln!("see README.md for the configuration schema");
-        std::process::exit(2);
-    };
-    let cfg = match ForesightConfig::from_file(&path) {
+    let cli = parse_args();
+    let want_telemetry = cli.trace_out.is_some() || cli.metrics_out.is_some();
+    if want_telemetry {
+        telemetry::enable();
+    }
+    let cfg = match ForesightConfig::from_file(&cli.config) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot load '{path}': {e}");
+            eprintln!("error: cannot load '{}': {e}", cli.config);
             std::process::exit(1);
         }
     };
@@ -50,6 +157,22 @@ fn main() {
                     j.output
                 );
             }
+            if !cli.quiet && !report.records.is_empty() {
+                let mut table =
+                    Table::new(["field", "compressor", "param", "ratio", "bitrate", "psnr_db"]);
+                for r in &report.records {
+                    table.push_row([
+                        r.field.clone(),
+                        r.compressor.display().to_string(),
+                        r.param.clone(),
+                        fmt_f64(r.ratio),
+                        fmt_f64(r.bitrate),
+                        fmt_f64(r.distortion.psnr),
+                    ]);
+                }
+                println!("\n== records ==");
+                print!("{}", table.to_ascii());
+            }
             if !report.resilience.is_empty() {
                 println!("\n== resilience ==");
                 for line in &report.resilience {
@@ -64,6 +187,35 @@ fn main() {
                     "{} artifacts in {}",
                     report.artifacts,
                     cfg.output.dir.display()
+                );
+            }
+            if want_telemetry {
+                let snap = telemetry::snapshot();
+                if let Some(path) = &cli.trace_out {
+                    write_or_die(path, "chrome trace", || {
+                        trace::write_chrome_trace(path, &snap, ChromeTraceOptions::default())
+                    });
+                    let folded = path.with_extension("folded");
+                    write_or_die(&folded, "flamegraph", || {
+                        trace::write_flamegraph(&folded, &snap)
+                    });
+                }
+                if let Some(path) = &cli.metrics_out {
+                    let doc = Value::Object(vec![
+                        ("global".into(), snap.metrics.to_json()),
+                        ("run".into(), report.metrics.to_json()),
+                    ]);
+                    write_or_die(path, "metrics", || {
+                        if let Some(dir) = path.parent() {
+                            std::fs::create_dir_all(dir)?;
+                        }
+                        std::fs::write(path, doc.to_json())?;
+                        Ok(())
+                    });
+                }
+                println!(
+                    "telemetry report: {}",
+                    cfg.output.dir.join("telemetry").join("telemetry.json").display()
                 );
             }
             if !report.workflow.all_ok() {

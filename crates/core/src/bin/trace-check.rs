@@ -1,0 +1,153 @@
+//! Validates a Chrome trace-event JSON file produced by `--trace`.
+//!
+//! ```text
+//! trace-check <trace.json>
+//! ```
+//!
+//! Checks the subset of the trace-event format our exporter emits — the
+//! same subset Perfetto needs to load the file: a `traceEvents` array
+//! whose entries are `ph:"M"` metadata or `ph:"X"` complete events with
+//! numeric `pid`/`tid`/`ts`/`dur`, and a `process_name`/`thread_name`
+//! pair registered for every (pid, tid) that carries slices. CI runs this
+//! against a real pipeline trace so exporter regressions fail the build.
+//!
+//! Exit codes: 0 valid, 1 invalid or unreadable, 2 usage.
+
+use foresight_util::json::Value;
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace-check <trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Value::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: '{path}' is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check(&doc) {
+        Ok(summary) => println!("{path}: OK — {summary}"),
+        Err(errors) => {
+            for e in errors.iter().take(10) {
+                eprintln!("error: {e}");
+            }
+            if errors.len() > 10 {
+                eprintln!("... and {} more", errors.len() - 10);
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn num(ev: &Value, key: &str) -> Option<f64> {
+    ev.get(key).and_then(Value::as_f64)
+}
+
+fn check(doc: &Value) -> Result<String, Vec<String>> {
+    let mut errors = Vec::new();
+    // Both trace-event container formats are accepted: the bare JSON
+    // array our exporter writes, and the `{"traceEvents": [...]}` object.
+    let events = match doc {
+        Value::Array(events) => events,
+        _ => match doc.get("traceEvents").and_then(Value::as_array) {
+            Some(events) => events,
+            None => {
+                return Err(vec![
+                    "neither a top-level event array nor a 'traceEvents' object".into(),
+                ])
+            }
+        },
+    };
+    let mut named_pids = BTreeSet::new();
+    let mut named_tracks = BTreeSet::new();
+    let mut slice_count = 0usize;
+    let mut meta_count = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
+            errors.push(format!("event {i}: missing 'ph'"));
+            continue;
+        };
+        let pid = num(ev, "pid");
+        let name = ev.get("name").and_then(Value::as_str);
+        if pid.is_none() {
+            errors.push(format!("event {i}: missing numeric 'pid'"));
+        }
+        if name.is_none() {
+            errors.push(format!("event {i}: missing string 'name'"));
+        }
+        match ph {
+            "M" => {
+                meta_count += 1;
+                let arg_ok = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .is_some();
+                if !arg_ok {
+                    errors.push(format!("event {i}: metadata without args.name"));
+                }
+                match (name, pid) {
+                    (Some("process_name"), Some(p)) => {
+                        named_pids.insert(p as i64);
+                    }
+                    (Some("thread_name"), Some(p)) => {
+                        if let Some(t) = num(ev, "tid") {
+                            named_tracks.insert((p as i64, t as i64));
+                        } else {
+                            errors.push(format!("event {i}: thread_name without 'tid'"));
+                        }
+                    }
+                    (Some(other), _) => {
+                        errors.push(format!("event {i}: unknown metadata '{other}'"));
+                    }
+                    _ => {}
+                }
+            }
+            "X" => {
+                slice_count += 1;
+                for key in ["tid", "ts", "dur"] {
+                    match num(ev, key) {
+                        Some(v) if key != "tid" && v < 0.0 => {
+                            errors.push(format!("event {i}: negative '{key}'"));
+                        }
+                        Some(_) => {}
+                        None => errors.push(format!("event {i}: missing numeric '{key}'")),
+                    }
+                }
+                if let (Some(p), Some(t)) = (pid, num(ev, "tid")) {
+                    if !named_pids.contains(&(p as i64)) {
+                        errors.push(format!("event {i}: pid {p} has no process_name"));
+                    }
+                    if !named_tracks.contains(&(p as i64, t as i64)) {
+                        errors.push(format!("event {i}: tid {t} has no thread_name"));
+                    }
+                }
+            }
+            other => errors.push(format!("event {i}: unsupported ph '{other}'")),
+        }
+    }
+    if slice_count == 0 {
+        errors.push("trace has no ph:\"X\" slices".into());
+    }
+    if errors.is_empty() {
+        Ok(format!(
+            "{} events ({meta_count} metadata, {slice_count} slices, {} processes, {} tracks)",
+            events.len(),
+            named_pids.len(),
+            named_tracks.len()
+        ))
+    } else {
+        Err(errors)
+    }
+}

@@ -8,8 +8,8 @@
 use crate::codec::{compress, decompress, CodecConfig, CompressorId, Shape};
 use crate::gpu_backend::{gpu_compress, gpu_decompress};
 use cosmo_analysis::metrics::{distortion, Distortion};
-use foresight_util::timer::time;
-use foresight_util::{Error, Result};
+use foresight_util::timer::timed;
+use foresight_util::{telemetry, Error, Result};
 use gpu_sim::{Device, FaultPlan, FaultRates, GpuSpec};
 use rayon::prelude::*;
 
@@ -109,18 +109,34 @@ impl CBenchRecord {
     }
 }
 
+/// Publishes a finished record's metrics: the per-(field,config) ratio
+/// gauge (idempotent under PAT job reruns) and the deterministic
+/// simulated-seconds histogram. No-op when telemetry is off.
+fn record_metrics(rec: &CBenchRecord) {
+    if !telemetry::is_enabled() {
+        return;
+    }
+    telemetry::gauge(
+        &format!("cbench.ratio.{}/{} {}", rec.field, rec.compressor.display(), rec.param),
+        rec.ratio,
+    );
+    if let Some(s) = rec.sim_seconds {
+        telemetry::observe("cbench.sim_seconds", s);
+    }
+}
+
 /// Runs one (field, config) measurement.
 pub fn run_one(field: &FieldData, cfg: &CodecConfig, keep_recon: bool) -> Result<CBenchRecord> {
-    let (stream, c_secs) = time(|| compress(&field.data, field.shape, cfg));
+    let (stream, c_secs) = timed("cbench.compress", || compress(&field.data, field.shape, cfg));
     let stream = stream?;
-    let (out, d_secs) = time(|| decompress(&stream));
+    let (out, d_secs) = timed("cbench.decompress", || decompress(&stream));
     let (recon, shape) = out?;
     if shape.len() != field.shape.len() {
         return Err(Error::corrupt("reconstructed shape mismatch"));
     }
     let dist = distortion(&field.data, &recon);
     let original_bytes = field.data.len() * 4;
-    Ok(CBenchRecord {
+    let rec = CBenchRecord {
         field: field.name.clone(),
         compressor: cfg.id(),
         param: cfg.param_label(),
@@ -134,7 +150,9 @@ pub fn run_one(field: &FieldData, cfg: &CodecConfig, keep_recon: bool) -> Result
         exec: ExecPath::Cpu,
         sim_seconds: None,
         reconstructed: if keep_recon { Some(recon) } else { None },
-    })
+    };
+    record_metrics(&rec);
+    Ok(rec)
 }
 
 /// One GPU roundtrip attempt: compress on device, download (chaos may
@@ -145,17 +163,20 @@ fn gpu_roundtrip(
     keep_recon: bool,
     device: &mut Device,
 ) -> Result<CBenchRecord> {
-    let (out, c_secs) = time(|| gpu_compress(device, cfg, &field.data, field.shape));
+    let (out, c_secs) = timed("cbench.gpu_compress", || {
+        gpu_compress(device, cfg, &field.data, field.shape)
+    });
     let (stream, crep) = out?;
-    let (out, d_secs) =
-        time(|| gpu_decompress(device, cfg.id(), &stream, field.data.len() as u64));
+    let (out, d_secs) = timed("cbench.gpu_decompress", || {
+        gpu_decompress(device, cfg.id(), &stream, field.data.len() as u64)
+    });
     let (recon, drep) = out?;
     if recon.len() != field.data.len() {
         return Err(Error::corrupt("reconstructed length mismatch"));
     }
     let dist = distortion(&field.data, &recon);
     let original_bytes = field.data.len() * 4;
-    Ok(CBenchRecord {
+    let rec = CBenchRecord {
         field: field.name.clone(),
         compressor: cfg.id(),
         param: cfg.param_label(),
@@ -169,7 +190,9 @@ fn gpu_roundtrip(
         exec: ExecPath::Gpu,
         sim_seconds: Some(crep.breakdown.total() + drep.breakdown.total()),
         reconstructed: if keep_recon { Some(recon) } else { None },
-    })
+    };
+    record_metrics(&rec);
+    Ok(rec)
 }
 
 /// Runs one (field, config) measurement on the simulated GPU with
@@ -199,7 +222,9 @@ pub fn run_one_gpu(
             }
             Err(e) if e.is_device_fault() || matches!(e, Error::Corrupt(_)) => {
                 faulted += 1;
+                telemetry::counter("cbench.gpu.roundtrip_retries", 1);
                 if faulted > op_retries {
+                    telemetry::counter("cbench.fallbacks", 1);
                     let mut rec = run_one(field, cfg, keep_recon)?;
                     rec.exec = ExecPath::CpuFallback;
                     return Ok(rec);
@@ -221,10 +246,21 @@ pub fn run_sweep(
     configs: &[CodecConfig],
     keep_recon: bool,
 ) -> Result<Vec<CBenchRecord>> {
+    let sweep = telemetry::span("cbench.sweep");
+    let sweep_id = sweep.id();
     let pairs: Vec<(&FieldData, &CodecConfig)> =
         fields.iter().flat_map(|f| configs.iter().map(move |c| (f, c))).collect();
-    let results: Vec<Result<CBenchRecord>> =
-        pairs.par_iter().map(|(f, c)| run_one(f, c, keep_recon)).collect();
+    let results: Vec<Result<CBenchRecord>> = pairs
+        .par_iter()
+        .map(|(f, c)| {
+            // Rayon workers don't see the sweep span's thread-local
+            // stack; parent each pair explicitly.
+            let mut s = telemetry::span_with_parent("cbench.pair", sweep_id);
+            s.set_attr("field", f.name.clone());
+            s.set_attr("config", format!("{} {}", c.id().display(), c.param_label()));
+            run_one(f, c, keep_recon)
+        })
+        .collect();
     let mut out = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
     for ((f, c), r) in pairs.iter().zip(results) {
@@ -318,6 +354,8 @@ pub fn run_sweep_chaos(
     chaos: &ChaosConfig,
 ) -> Result<ChaosSweepReport> {
     chaos.rates.validate()?;
+    let sweep = telemetry::span("cbench.sweep_chaos");
+    let sweep_id = sweep.id();
     let parent = FaultPlan::new(chaos.seed, chaos.rates).with_max_retries(chaos.device_retries);
     let pairs: Vec<(&FieldData, &CodecConfig)> =
         fields.iter().flat_map(|f| configs.iter().map(move |c| (f, c))).collect();
@@ -325,8 +363,13 @@ pub fn run_sweep_chaos(
         .par_iter()
         .map(|(f, c)| {
             let label = format!("{}/{} {}", f.name, c.id().display(), c.param_label());
-            let mut device =
-                Device::new(chaos.gpu.clone()).with_fault_plan(parent.fork(&label));
+            let mut s = telemetry::span_with_parent("cbench.pair", sweep_id);
+            s.set_attr("pair", label.clone());
+            // The pair label doubles as the telemetry process name, so
+            // each pair's device gets its own deterministic trace track.
+            let mut device = Device::new(chaos.gpu.clone())
+                .with_label(&label)
+                .with_fault_plan(parent.fork(&label));
             run_one_gpu(f, c, keep_recon, &mut device, chaos.op_retries)
         })
         .collect();

@@ -12,8 +12,10 @@
 //!   ASCII plots.
 //!
 //! Supporting modules: the unified codec layer ([`codec`]), JSON pipeline
-//! configuration ([`config`]), the GPU execution backend ([`gpu_backend`])
-//! and the paper's best-fit configuration guideline ([`optimizer`]).
+//! configuration ([`config`]), the GPU execution backend ([`gpu_backend`]),
+//! the paper's best-fit configuration guideline ([`optimizer`]) and the
+//! telemetry reporting layer ([`trace`]) that turns collected spans and
+//! metrics into Chrome traces, flamegraphs and `telemetry.json`.
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub mod gpu_backend;
 pub mod optimizer;
 pub mod pat;
 pub mod runner;
+pub mod trace;
 pub mod viz;
 
 pub use cbench::{

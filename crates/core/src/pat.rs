@@ -23,7 +23,7 @@
 //! - a [`FaultPlan`](gpu_sim::FaultPlan) can inject per-wave node losses
 //!   that shrink the schedulable core budget mid-run.
 
-use foresight_util::{Error, Result};
+use foresight_util::{telemetry, Error, Result};
 use gpu_sim::{FaultKind, FaultPlan};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -393,6 +393,9 @@ impl Workflow {
         mut faults: Option<FaultPlan>,
     ) -> Result<WorkflowReport> {
         self.validate(cluster)?;
+        let mut wf_span = telemetry::span("pat.workflow");
+        wf_span.set_attr("jobs", self.jobs.len().to_string());
+        let wf_id = wf_span.id();
         let mut script = self.script();
         let mut pending: Vec<Job> = self.jobs;
         let done: Arc<Mutex<Vec<JobResult>>> = Arc::new(Mutex::new(Vec::new()));
@@ -425,6 +428,13 @@ impl Workflow {
                     .find(|d| dead.contains(*d))
                     .cloned()
                     .unwrap_or_default();
+                if telemetry::is_enabled() {
+                    let mut s =
+                        telemetry::span_with_parent(format!("pat.job.{}", j.name), wf_id);
+                    s.set_attr("status", "skipped");
+                    s.set_attr("wave", wave.to_string());
+                    s.set_attr("cause", cause.clone());
+                }
                 dead.insert(j.name.clone());
                 done.lock().push(JobResult {
                     name: j.name,
@@ -461,6 +471,13 @@ impl Workflow {
             let (unfit, ready): (Vec<Job>, Vec<Job>) =
                 ready.into_iter().partition(|j| j.cores > capacity);
             for j in unfit {
+                if telemetry::is_enabled() {
+                    let mut s =
+                        telemetry::span_with_parent(format!("pat.job.{}", j.name), wf_id);
+                    s.set_attr("status", "FAILED");
+                    s.set_attr("wave", wave.to_string());
+                    s.set_attr("cause", "cluster too small after node failures");
+                }
                 dead.insert(j.name.clone());
                 done.lock().push(JobResult {
                     name: j.name.clone(),
@@ -499,7 +516,14 @@ impl Workflow {
                     let handles: Vec<_> = batch
                         .into_iter()
                         .map(|j| {
+                            // Job threads don't inherit the workflow span
+                            // via thread-locals; parent explicitly.
                             scope.spawn(move |_| {
+                                let mut jspan = telemetry::span_with_parent(
+                                    format!("pat.job.{}", j.name),
+                                    wf_id,
+                                );
+                                jspan.set_attr("wave", wave.to_string());
                                 let mut total_wall = 0.0f64;
                                 let mut backoff = 0.0f64;
                                 let mut attempts = 0u32;
@@ -519,12 +543,21 @@ impl Workflow {
                                     match out {
                                         Ok(v) => break Ok(v),
                                         Err(e) if attempts <= retry.max_retries => {
+                                            telemetry::counter("pat.job.retries", 1);
                                             backoff += retry.backoff_seconds(attempts);
                                             let _ = e; // retried; only the last error is reported
                                         }
                                         Err(e) => break Err(e),
                                     }
                                 };
+                                let status = match &out {
+                                    Ok(_) if attempts == 1 => JobStatus::Ok,
+                                    Ok(_) => JobStatus::Retried(attempts - 1),
+                                    Err(_) => JobStatus::Failed,
+                                };
+                                jspan.set_attr("status", status.label());
+                                jspan.set_attr("attempts", attempts.to_string());
+                                jspan.set_attr("backoff_s", format!("{backoff}"));
                                 (j.name, out, total_wall, attempts, backoff)
                             })
                         })
@@ -556,6 +589,9 @@ impl Workflow {
             pending = deferred;
             wave += 1;
         }
+        wf_span.set_attr("waves", wave.to_string());
+        wf_span.set_attr("node_failures", node_failures.to_string());
+        drop(wf_span);
         let jobs = Arc::try_unwrap(done).expect("no outstanding refs").into_inner();
         script.push_str("# --- run statuses ---\n");
         for j in &jobs {

@@ -4,7 +4,9 @@
 //! This is the library behind the `foresight-cli` binary and the
 //! `foresight_pipeline` example; tests drive it directly.
 
-use crate::cbench::{run_sweep, run_sweep_chaos, CBenchRecord, ExecPath, FieldData};
+use crate::cbench::{
+    run_sweep, run_sweep_chaos, CBenchRecord, ExecPath, FieldData, QuarantinedPair,
+};
 use crate::cinema::CinemaDb;
 use crate::codec::Shape;
 use crate::config::{AnalysisKind, DatasetKind, ForesightConfig};
@@ -17,6 +19,7 @@ use cosmo_analysis::{
 };
 use cosmo_fft::Grid3;
 use foresight_util::table::{fmt_f64, Table};
+use foresight_util::telemetry::{self, MetricsRegistry, MetricsSnapshot};
 use foresight_util::{Error, Result};
 use gpu_sim::{Device, FaultPlan, GpuSpec};
 use parking_lot::Mutex;
@@ -36,13 +39,29 @@ pub struct PipelineReport {
     /// Artifacts written (paths relative to the output dir).
     pub artifacts: usize,
     /// Resilience events (quarantined pairs, fallback counts) from a
-    /// chaos-enabled run; empty on quiet runs.
+    /// chaos-enabled run; empty on quiet runs. Rendered from [`Self::metrics`]
+    /// and [`Self::quarantined`] by [`crate::trace::resilience_lines`], so
+    /// this text can never disagree with the machine-readable report.
     pub resilience: Vec<String>,
+    /// Per-run metrics registry snapshot (always collected, even with the
+    /// global telemetry collector off): resilience gauges, plus anything
+    /// stages recorded.
+    pub metrics: MetricsSnapshot,
+    /// Pairs quarantined by the chaos sweep, structurally (not as
+    /// pre-rendered strings); empty on quiet runs.
+    pub quarantined: Vec<QuarantinedPair>,
 }
 
 /// Runs the configured pipeline on the (simulated) cluster.
+///
+/// When the global telemetry collector is enabled the run is wrapped in a
+/// `runner.run_pipeline` span and a machine-readable
+/// `<output.dir>/telemetry/telemetry.json` report is written; with
+/// telemetry off, no telemetry file is produced and outputs are identical
+/// to a pre-telemetry build.
 pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<PipelineReport> {
     cfg.validate()?;
+    let run_span = telemetry::span("runner.run_pipeline");
     let configs = cfg.codec_configs();
     let input = cfg.input.clone();
     let analyses = cfg.analysis.clone();
@@ -56,7 +75,12 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     let candidates: Arc<Mutex<Vec<Candidate>>> = Arc::new(Mutex::new(Vec::new()));
     let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let artifacts: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
-    let resilience: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    // Per-run registry: always on, independent of the global collector.
+    // Jobs record resilience facts here as idempotent gauges (job closures
+    // may rerun under the workflow retry policy; a gauge set twice stays
+    // correct where a counter would double).
+    let run_metrics = Arc::new(MetricsRegistry::new());
+    let quarantined: Arc<Mutex<Vec<QuarantinedPair>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut wf = Workflow::new();
     // Stage 1: dataset generation.
@@ -102,7 +126,8 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         let configs = configs.clone();
         let keep = !analyses.is_empty();
         let chaos = chaos.clone();
-        let resilience = resilience.clone();
+        let run_metrics = run_metrics.clone();
+        let quarantined = quarantined.clone();
         wf.add(
             Job::new("cbench", 8, move || {
                 let f = fields.lock();
@@ -121,27 +146,16 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
                             .iter()
                             .filter(|r| matches!(r.exec, ExecPath::GpuRetried(_)))
                             .count();
-                        let mut res = resilience.lock();
-                        // The closure may rerun under the workflow's retry
-                        // policy; rebuild instead of appending.
-                        res.clear();
-                        if retried + fallbacks > 0 {
-                            res.push(format!(
-                                "{retried} pairs recovered by GPU retry, \
-                                 {fallbacks} fell back to CPU"
-                            ));
-                        }
-                        for q in &rep.quarantined {
-                            res.push(format!(
-                                "quarantined {} {} {}: {}",
-                                q.field,
-                                q.compressor.display(),
-                                q.param,
-                                q.error
-                            ));
-                        }
+                        // Gauges (set, not add) and a wholesale replace:
+                        // the closure may rerun under the workflow's retry
+                        // policy, so every record here must be idempotent.
+                        run_metrics.gauge("resilience.gpu_retried_pairs", retried as f64);
+                        run_metrics.gauge("resilience.cpu_fallbacks", fallbacks as f64);
+                        run_metrics
+                            .gauge("resilience.quarantined_pairs", rep.quarantined.len() as f64);
                         let n = rep.records.len();
                         let nq = rep.quarantined.len();
+                        *quarantined.lock() = rep.quarantined;
                         *records.lock() = rep.records;
                         Ok(format!(
                             "{n} records ({retried} gpu-retried, {fallbacks} cpu-fallback, \
@@ -258,7 +272,11 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
                 let out = configs
                     .par_iter()
                     .map(|cfg| -> Result<String> {
-                        let mut dev = Device::new(GpuSpec::tesla_v100());
+                        let mut dev = Device::new(GpuSpec::tesla_v100()).with_label(format!(
+                            "throughput/{} {}",
+                            cfg.id().display(),
+                            cfg.param_label()
+                        ));
                         let (_, rep) = gpu_compress(&mut dev, cfg, &field.data, field.shape)?;
                         Ok(format!(
                             "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
@@ -350,21 +368,31 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         final_candidates.iter().map(|c| c.record.clone()).collect();
     let final_lines = std::mem::take(&mut *lines.lock());
     let final_artifacts = *artifacts.lock();
-    let mut final_resilience = std::mem::take(&mut *resilience.lock());
+    let final_quarantined = std::mem::take(&mut *quarantined.lock());
     if workflow.node_failures > 0 {
-        final_resilience.push(format!(
-            "{} node failure(s); {} node(s) alive at the end",
-            workflow.node_failures, workflow.alive_nodes
-        ));
+        run_metrics.gauge("resilience.node_failures", workflow.node_failures as f64);
+        run_metrics.gauge("resilience.alive_nodes", workflow.alive_nodes as f64);
     }
-    Ok(PipelineReport {
+    let metrics = run_metrics.snapshot();
+    let report = PipelineReport {
         records: final_records,
         candidates: final_candidates,
         best_fit_lines: final_lines,
         workflow,
         artifacts: final_artifacts,
-        resilience: final_resilience,
-    })
+        resilience: crate::trace::resilience_lines(&metrics, &final_quarantined),
+        metrics,
+        quarantined: final_quarantined,
+    };
+    if telemetry::is_enabled() {
+        // Close the run span so it appears in the snapshot, then write the
+        // machine-readable report next to the other run outputs.
+        drop(run_span);
+        let snap = telemetry::snapshot();
+        let path = cfg.output.dir.join("telemetry").join("telemetry.json");
+        crate::trace::write_telemetry_json(&path, &report, &snap)?;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,420 @@
+//! Pipeline-level telemetry reporting: the `telemetry.json` run report,
+//! Chrome-trace/flamegraph file writers, and the text renderings the CLI
+//! `report` subcommand prints (the paper's Fig. 7 bars as ASCII).
+//!
+//! The collection layer lives in [`foresight_util::telemetry`]; this
+//! module turns a [`TelemetrySnapshot`] plus a [`PipelineReport`] into
+//! artifacts. Two invariants matter:
+//!
+//! - **Phase totals are exact.** [`device_phase_totals`] replays each
+//!   simulated device's slices in recording order, performing the same
+//!   `f64` additions `Device::phase_totals()` performed, so the JSON
+//!   report and the device agree bit-for-bit (guarded by a test in
+//!   `tests/telemetry_pipeline.rs`).
+//! - **One source of truth for resilience.** [`resilience_lines`] renders
+//!   the chaos summary from the run's metrics registry; the CLI text and
+//!   `telemetry.json` both call it, so they cannot disagree.
+
+use crate::cbench::QuarantinedPair;
+use crate::runner::PipelineReport;
+use foresight_util::json::Value;
+use foresight_util::table::Table;
+use foresight_util::telemetry::{
+    chrome_trace, flamegraph, ChromeTraceOptions, MetricsSnapshot, TelemetrySnapshot,
+};
+use foresight_util::Result;
+use gpu_sim::PhaseTotals;
+use std::path::Path;
+
+/// Renders the resilience summary from the run's metrics registry.
+///
+/// The line formats match what `runner` historically printed; deriving
+/// them (rather than accumulating strings inside retry-prone job
+/// closures) makes the CLI text and `telemetry.json` share one source.
+pub fn resilience_lines(
+    metrics: &MetricsSnapshot,
+    quarantined: &[QuarantinedPair],
+) -> Vec<String> {
+    let g = |name: &str| metrics.gauge(name).unwrap_or(0.0).round() as u64;
+    let mut out = Vec::new();
+    let retried = g("resilience.gpu_retried_pairs");
+    let fallbacks = g("resilience.cpu_fallbacks");
+    if retried + fallbacks > 0 {
+        out.push(format!(
+            "{retried} pairs recovered by GPU retry, {fallbacks} fell back to CPU"
+        ));
+    }
+    for q in quarantined {
+        out.push(format!(
+            "quarantined {} {} {}: {}",
+            q.field,
+            q.compressor.display(),
+            q.param,
+            q.error
+        ));
+    }
+    let node_failures = g("resilience.node_failures");
+    if node_failures > 0 {
+        out.push(format!(
+            "{node_failures} node failure(s); {} node(s) alive at the end",
+            g("resilience.alive_nodes")
+        ));
+    }
+    out
+}
+
+fn add_track(totals: &mut PhaseTotals, track: &str, seconds: f64) {
+    match track {
+        "init" => totals.init += seconds,
+        "kernel" => totals.kernel += seconds,
+        // The trace splits memcpy into the paper's H2D/D2H lanes; the
+        // Breakdown keeps them combined.
+        "h2d" | "d2h" => totals.memcpy += seconds,
+        "free" => totals.free += seconds,
+        "fault" => totals.fault += seconds,
+        _ => {}
+    }
+}
+
+/// Per-device phase totals reconstructed from sim slices, sorted by
+/// process name.
+///
+/// Within one process the slices appear in the global buffer in recording
+/// order, so summing them performs the identical `f64` additions the
+/// device's own accumulator performed — the result equals that device's
+/// `phase_totals()` exactly, not approximately.
+pub fn device_phase_totals(snap: &TelemetrySnapshot) -> Vec<(String, PhaseTotals)> {
+    let mut names: Vec<&str> = snap.slices.iter().map(|s| s.process.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let mut t = PhaseTotals::default();
+            for s in snap.slices.iter().filter(|s| s.process == name) {
+                add_track(&mut t, &s.track, s.sim_dur_s);
+            }
+            (name.to_string(), t)
+        })
+        .collect()
+}
+
+/// Sum of [`device_phase_totals`] across devices (sorted process order,
+/// so the reduction is deterministic).
+pub fn overall_phase_totals(snap: &TelemetrySnapshot) -> PhaseTotals {
+    let mut all = PhaseTotals::default();
+    for (_, t) in device_phase_totals(snap) {
+        all.init += t.init;
+        all.kernel += t.kernel;
+        all.memcpy += t.memcpy;
+        all.free += t.free;
+        all.fault += t.fault;
+    }
+    all
+}
+
+fn phase_totals_json(t: &PhaseTotals) -> Value {
+    Value::Object(
+        t.phases()
+            .iter()
+            .map(|(name, secs)| (name.to_string(), Value::Number(*secs)))
+            .chain([("total".to_string(), Value::Number(t.total()))])
+            .collect(),
+    )
+}
+
+/// Wall-clock span statistics aggregated by span name, sorted by name:
+/// `(name, count, total_seconds)`.
+pub fn stage_stats(snap: &TelemetrySnapshot) -> Vec<(String, u64, f64)> {
+    let mut by_name: std::collections::BTreeMap<&str, (u64, f64)> = Default::default();
+    for s in &snap.spans {
+        let e = by_name.entry(s.name.as_str()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.wall_dur_us / 1e6;
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total))| (name.to_string(), count, total))
+        .collect()
+}
+
+/// Builds the machine-readable `telemetry.json` document for a finished
+/// pipeline run.
+pub fn telemetry_json(report: &PipelineReport, snap: &TelemetrySnapshot) -> Value {
+    let per_process = Value::Object(
+        device_phase_totals(snap)
+            .iter()
+            .map(|(name, t)| (name.clone(), phase_totals_json(t)))
+            .collect(),
+    );
+    let stages = Value::Object(
+        stage_stats(snap)
+            .into_iter()
+            .map(|(name, count, total)| {
+                (
+                    name,
+                    Value::Object(vec![
+                        ("count".into(), Value::Number(count as f64)),
+                        ("wall_seconds".into(), Value::Number(total)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let jobs = Value::Array(
+        report
+            .workflow
+            .jobs
+            .iter()
+            .map(|j| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(j.name.clone())),
+                    ("wave".into(), Value::Number(j.wave as f64)),
+                    ("status".into(), Value::String(j.status.label())),
+                    ("attempts".into(), Value::Number(j.attempts as f64)),
+                    ("wall_seconds".into(), Value::Number(j.wall_seconds)),
+                    ("backoff_seconds".into(), Value::Number(j.backoff_seconds)),
+                ])
+            })
+            .collect(),
+    );
+    let records = Value::Array(
+        report
+            .records
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("field".into(), Value::String(r.field.clone())),
+                    ("compressor".into(), Value::String(r.compressor.display().to_string())),
+                    ("param".into(), Value::String(r.param.clone())),
+                    ("ratio".into(), Value::Number(r.ratio)),
+                    ("bitrate".into(), Value::Number(r.bitrate)),
+                    ("psnr_db".into(), Value::Number(r.distortion.psnr)),
+                    ("exec".into(), Value::String(r.exec.label())),
+                    (
+                        "sim_seconds".into(),
+                        r.sim_seconds.map(Value::Number).unwrap_or(Value::Null),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Value::Object(vec![
+        ("phase_totals".into(), phase_totals_json(&overall_phase_totals(snap))),
+        ("phase_totals_per_process".into(), per_process),
+        ("stages".into(), stages),
+        ("metrics".into(), snap.metrics.to_json()),
+        ("run_metrics".into(), report.metrics.to_json()),
+        (
+            "resilience".into(),
+            Value::Array(
+                resilience_lines(&report.metrics, &report.quarantined)
+                    .into_iter()
+                    .map(Value::String)
+                    .collect(),
+            ),
+        ),
+        ("jobs".into(), jobs),
+        ("records".into(), records),
+    ])
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, contents)?;
+    Ok(())
+}
+
+/// Writes a snapshot as Chrome trace-event JSON (Perfetto-loadable).
+pub fn write_chrome_trace(
+    path: &Path,
+    snap: &TelemetrySnapshot,
+    opts: ChromeTraceOptions,
+) -> Result<()> {
+    write_file(path, &chrome_trace(snap, opts).to_json())
+}
+
+/// Writes a snapshot as collapsed-stack flamegraph text.
+pub fn write_flamegraph(path: &Path, snap: &TelemetrySnapshot) -> Result<()> {
+    write_file(path, &flamegraph(snap))
+}
+
+/// Writes the `telemetry.json` run report.
+pub fn write_telemetry_json(
+    path: &Path,
+    report: &PipelineReport,
+    snap: &TelemetrySnapshot,
+) -> Result<()> {
+    write_file(path, &telemetry_json(report, snap).to_json())
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    let n = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+/// Renders the per-phase table (the paper's Fig. 7 bars as text) from a
+/// parsed `telemetry.json`. Returns an empty string when the document has
+/// no phase data.
+pub fn render_phase_table(doc: &Value) -> String {
+    let Some(per_proc) = doc.get("phase_totals_per_process").and_then(Value::as_object)
+    else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let overall_total = doc
+        .get("phase_totals")
+        .and_then(|t| t.get("total"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let mut table = Table::new(["process", "phase", "sim_seconds", "share"]);
+    for (proc_name, totals) in per_proc {
+        let Some(fields) = totals.as_object() else { continue };
+        for (phase, secs) in fields {
+            if phase == "total" {
+                continue;
+            }
+            let secs = secs.as_f64().unwrap_or(0.0);
+            if secs == 0.0 {
+                continue;
+            }
+            let frac = if overall_total > 0.0 { secs / overall_total } else { 0.0 };
+            table.push_row([
+                proc_name.clone(),
+                phase.clone(),
+                format!("{secs:.6}"),
+                bar(frac, 40),
+            ]);
+        }
+    }
+    if table.is_empty() {
+        return String::new();
+    }
+    out.push_str("== simulated phase breakdown (Fig. 7) ==\n");
+    out.push_str(&table.to_ascii());
+    if let Some(totals) = doc.get("phase_totals").and_then(Value::as_object) {
+        let parts: Vec<String> = totals
+            .iter()
+            .map(|(k, v)| format!("{k} {:.6}s", v.as_f64().unwrap_or(0.0)))
+            .collect();
+        out.push_str(&format!("overall: {}\n", parts.join(" | ")));
+    }
+    out
+}
+
+/// Renders the per-stage wall-clock table from a parsed `telemetry.json`.
+pub fn render_stage_table(doc: &Value) -> String {
+    let Some(stages) = doc.get("stages").and_then(Value::as_object) else {
+        return String::new();
+    };
+    if stages.is_empty() {
+        return String::new();
+    }
+    let mut table = Table::new(["stage", "count", "wall_seconds"]);
+    for (name, s) in stages {
+        table.push_row([
+            name.clone(),
+            format!("{}", s.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64),
+            format!(
+                "{:.6}",
+                s.get("wall_seconds").and_then(Value::as_f64).unwrap_or(0.0)
+            ),
+        ]);
+    }
+    format!("== wall-clock stages ==\n{}", table.to_ascii())
+}
+
+/// Renders the metrics glossary section (counters and histogram
+/// summaries) from a parsed `telemetry.json`.
+pub fn render_metrics_table(doc: &Value) -> String {
+    let Some(metrics) = doc.get("metrics") else { return String::new() };
+    let mut out = String::new();
+    if let Some(counters) = metrics.get("counters").and_then(Value::as_object) {
+        if !counters.is_empty() {
+            let mut t = Table::new(["counter", "value"]);
+            for (k, v) in counters {
+                t.push_row([k.clone(), format!("{}", v.as_f64().unwrap_or(0.0) as u64)]);
+            }
+            out.push_str("== counters ==\n");
+            out.push_str(&t.to_ascii());
+        }
+    }
+    if let Some(hists) = metrics.get("histograms").and_then(Value::as_object) {
+        if !hists.is_empty() {
+            let mut t = Table::new(["histogram", "count", "p50", "p95", "p99", "max"]);
+            for (k, h) in hists {
+                let f = |key: &str| h.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+                t.push_row([
+                    k.clone(),
+                    format!("{}", f("count") as u64),
+                    format!("{:.3e}", f("p50")),
+                    format!("{:.3e}", f("p95")),
+                    format!("{:.3e}", f("p99")),
+                    format!("{:.3e}", f("max")),
+                ]);
+            }
+            out.push_str("== histograms ==\n");
+            out.push_str(&t.to_ascii());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbench::QuarantinedPair;
+    use crate::codec::CompressorId;
+    use foresight_util::telemetry::MetricsRegistry;
+
+    #[test]
+    fn resilience_lines_render_from_gauges() {
+        let reg = MetricsRegistry::new();
+        assert!(resilience_lines(&reg.snapshot(), &[]).is_empty(), "quiet run: no lines");
+        reg.gauge("resilience.gpu_retried_pairs", 3.0);
+        reg.gauge("resilience.cpu_fallbacks", 1.0);
+        reg.gauge("resilience.node_failures", 2.0);
+        reg.gauge("resilience.alive_nodes", 2.0);
+        let q = vec![QuarantinedPair {
+            field: "vx".into(),
+            compressor: CompressorId::GpuSz,
+            param: "abs=0.1".into(),
+            error: "boom".into(),
+        }];
+        let lines = resilience_lines(&reg.snapshot(), &q);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "3 pairs recovered by GPU retry, 1 fell back to CPU");
+        assert!(lines[1].starts_with("quarantined vx"));
+        assert!(lines[1].contains("boom"));
+        assert_eq!(lines[2], "2 node failure(s); 2 node(s) alive at the end");
+    }
+
+    #[test]
+    fn phase_tables_render_from_json() {
+        let doc = Value::parse(
+            r#"{
+              "phase_totals": {"init":0.1,"kernel":0.5,"memcpy":0.4,"free":0.0,"fault":0.0,"total":1.0},
+              "phase_totals_per_process": {
+                "dev0": {"init":0.1,"kernel":0.5,"memcpy":0.4,"free":0.0,"fault":0.0,"total":1.0}
+              },
+              "stages": {"sz.quantize": {"count": 2, "wall_seconds": 0.25}},
+              "metrics": {"counters": {"huffman.escape_hits": 7}, "gauges": {}, "histograms": {}}
+            }"#,
+        )
+        .unwrap();
+        let phase = render_phase_table(&doc);
+        assert!(phase.contains("kernel"), "{phase}");
+        assert!(phase.contains("####"), "bars rendered: {phase}");
+        assert!(phase.contains("overall:"), "{phase}");
+        let stage = render_stage_table(&doc);
+        assert!(stage.contains("sz.quantize"), "{stage}");
+        let metrics = render_metrics_table(&doc);
+        assert!(metrics.contains("huffman.escape_hits"), "{metrics}");
+        // Empty document renders nothing rather than erroring.
+        let empty = Value::parse("{}").unwrap();
+        assert!(render_phase_table(&empty).is_empty());
+        assert!(render_stage_table(&empty).is_empty());
+    }
+}

@@ -21,7 +21,7 @@
 use crate::cost::{kernel_time, FixedCosts, KernelKind};
 use crate::fault::{FaultCounts, FaultKind, FaultPlan};
 use crate::specs::GpuSpec;
-use foresight_util::{Error, Result};
+use foresight_util::{telemetry, Error, Result};
 
 /// PCIe link model; all the paper's GPUs sit on 16-lane PCIe 3.0.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,12 +110,16 @@ pub struct Device {
     buffers: Vec<Option<u64>>, // byte sizes of live allocations
     allocated: u64,
     clock: f64,
+    epoch: f64,
     timeline: Vec<Event>,
+    totals: Breakdown,
+    label: String,
 }
 
 impl Device {
     /// Creates a device with the default PCIe 3.0 x16 link.
     pub fn new(spec: GpuSpec) -> Self {
+        let label = spec.name.to_string();
         Self {
             spec,
             link: PcieLink::default(),
@@ -124,7 +128,10 @@ impl Device {
             buffers: Vec::new(),
             allocated: 0,
             clock: 0.0,
+            epoch: 0.0,
             timeline: Vec::new(),
+            totals: Breakdown::default(),
+            label,
         }
     }
 
@@ -132,6 +139,20 @@ impl Device {
     pub fn with_link(mut self, link: PcieLink) -> Self {
         self.link = link;
         self
+    }
+
+    /// Names this device instance for telemetry: its sim slices appear
+    /// under a Chrome-trace process with this name. Defaults to the spec
+    /// name; give concurrent devices distinct labels so their timelines
+    /// land on separate tracks.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The telemetry process name for this device.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Attaches a fault-injection plan (chaos mode).
@@ -146,8 +167,21 @@ impl Device {
     }
 
     fn record(&mut self, phase: Phase, label: impl Into<String>, seconds: f64) {
+        let label = label.into();
+        let start = self.epoch + self.clock;
         self.clock += seconds;
-        self.timeline.push(Event { phase, label: label.into(), seconds });
+        self.totals.add(phase, seconds);
+        if telemetry::is_enabled() {
+            // Memcpy splits into the paper's H2D/D2H lanes by label; the
+            // fault lane keeps the composite "op!kind" label.
+            let track = match phase {
+                Phase::Memcpy if label.starts_with("d2h") => "d2h",
+                Phase::Memcpy => "h2d",
+                p => p.name(),
+            };
+            telemetry::sim_slice(&self.label, track, &label, start, seconds);
+        }
+        self.timeline.push(Event { phase, label, seconds });
     }
 
     /// Runs one fault-gated attempt loop for an operation whose each
@@ -160,6 +194,10 @@ impl Device {
         let mut wasted = 0u32;
         while self.faults.as_mut().expect("plan attached").trip(kind) {
             wasted += 1;
+            telemetry::counter("gpu.fault.retries", 1);
+            if telemetry::is_enabled() {
+                telemetry::counter(&format!("gpu.fault.{}", kind.name()), 1);
+            }
             self.record(Phase::Fault, format!("{label}!{}", kind.name()), attempt_cost);
             if wasted > budget {
                 return Err(Error::device_fault(format!(
@@ -207,6 +245,11 @@ impl Device {
     fn transfer(&mut self, bytes: u64, label: &str) -> Result<()> {
         let t = self.link.transfer_time(bytes);
         self.attempt(FaultKind::Transfer, t, label)?;
+        if telemetry::is_enabled() {
+            let dir = if label.starts_with("d2h") { "d2h" } else { "h2d" };
+            telemetry::counter(&format!("pcie.{dir}.bytes"), bytes);
+            telemetry::observe("pcie.transfer.sim_seconds", t);
+        }
         self.record(Phase::Memcpy, label, t);
         Ok(())
     }
@@ -287,23 +330,34 @@ impl Device {
         &self.timeline
     }
 
-    /// Total simulated time per phase (the paper's Fig. 7 bars).
+    /// Total simulated time per phase (the paper's Fig. 7 bars) since
+    /// the last [`Self::reset_clock`].
     pub fn breakdown(&self) -> Breakdown {
         let mut b = Breakdown::default();
         for e in &self.timeline {
-            match e.phase {
-                Phase::Init => b.init += e.seconds,
-                Phase::Kernel => b.kernel += e.seconds,
-                Phase::Memcpy => b.memcpy += e.seconds,
-                Phase::Free => b.free += e.seconds,
-                Phase::Fault => b.fault += e.seconds,
-            }
+            b.add(e.phase, e.seconds);
         }
         b
     }
 
-    /// Clears the timeline and clock (memory state is kept).
+    /// Cumulative per-phase totals over the device's whole lifetime —
+    /// unlike [`Self::breakdown`], these survive [`Self::reset_clock`].
+    /// The telemetry exporters aggregate sim slices to exactly these
+    /// numbers.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.totals
+    }
+
+    /// Simulated seconds since device creation, across clock resets.
+    pub fn total_elapsed(&self) -> f64 {
+        self.epoch + self.clock
+    }
+
+    /// Clears the timeline and clock (memory state is kept). Lifetime
+    /// accounting — [`Self::phase_totals`], [`Self::total_elapsed`], and
+    /// telemetry slice placement — carries on across the reset.
     pub fn reset_clock(&mut self) {
+        self.epoch += self.clock;
         self.clock = 0.0;
         self.timeline.clear();
     }
@@ -324,10 +378,34 @@ pub struct Breakdown {
     pub fault: f64,
 }
 
+/// Lifetime per-phase totals, as returned by [`Device::phase_totals`].
+pub type PhaseTotals = Breakdown;
+
 impl Breakdown {
     /// Sum of all phases.
     pub fn total(&self) -> f64 {
         self.init + self.kernel + self.memcpy + self.free + self.fault
+    }
+
+    fn add(&mut self, phase: Phase, seconds: f64) {
+        match phase {
+            Phase::Init => self.init += seconds,
+            Phase::Kernel => self.kernel += seconds,
+            Phase::Memcpy => self.memcpy += seconds,
+            Phase::Free => self.free += seconds,
+            Phase::Fault => self.fault += seconds,
+        }
+    }
+
+    /// `(name, seconds)` pairs in the paper's legend order.
+    pub fn phases(&self) -> [(&'static str, f64); 5] {
+        [
+            ("init", self.init),
+            ("kernel", self.kernel),
+            ("memcpy", self.memcpy),
+            ("free", self.free),
+            ("fault", self.fault),
+        ]
     }
 }
 
@@ -403,6 +481,30 @@ mod tests {
         d.reset_clock();
         assert_eq!(d.elapsed(), 0.0);
         assert_eq!(d.allocated_bytes(), 1024);
+    }
+
+    #[test]
+    fn phase_totals_accumulate_across_clock_resets() {
+        let mut d = Device::new(GpuSpec::tesla_v100()).with_label("dev");
+        assert_eq!(d.label(), "dev");
+        let b = d.malloc(4096, "buf").unwrap();
+        d.h2d(4096).unwrap();
+        let first = d.breakdown();
+        d.reset_clock();
+        d.launch(KernelKind::SzCompress, 1024, 4.0, "k", || ()).unwrap();
+        d.free(b).unwrap();
+        let second = d.breakdown();
+        let totals = d.phase_totals();
+        assert!((totals.total() - (first.total() + second.total())).abs() < 1e-12);
+        assert_eq!(totals.init, first.init);
+        assert_eq!(totals.memcpy, first.memcpy);
+        assert_eq!(totals.kernel, second.kernel);
+        assert_eq!(totals.free, second.free);
+        assert!((d.total_elapsed() - totals.total()).abs() < 1e-12);
+        assert_eq!(d.elapsed(), second.total(), "windowed clock resets");
+        let phases = totals.phases();
+        let sum: f64 = phases.iter().map(|(_, s)| s).sum();
+        assert!((sum - totals.total()).abs() < 1e-12);
     }
 
     #[test]

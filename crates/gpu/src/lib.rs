@@ -42,6 +42,6 @@ pub use cluster::{ClusterSim, NodeSpec, SnapshotScenario};
 pub use cost::{kernel_throughput_gbs, kernel_time, FixedCosts, KernelKind};
 pub use executor::{launch_grid, BlockGrid, LaunchReport};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
-pub use device::{Breakdown, Device, Event, PcieLink, Phase};
+pub use device::{Breakdown, Device, Event, PcieLink, Phase, PhaseTotals};
 pub use pipeline::{baseline_transfer_seconds, run_compression, run_decompression, GpuRunReport};
 pub use specs::{table1, Arch, CpuSpec, GpuSpec};

@@ -315,6 +315,7 @@ impl Codebook {
     /// still a single `consume`, never a per-bit stream read.
     #[cold]
     fn decode_escape(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        foresight_util::telemetry::counter("huffman.escape_hits", 1);
         const PEEK: u32 = 56;
         let window = r.peek_bits(PEEK);
         let mut code =

@@ -22,7 +22,7 @@ use crate::{lossless, pwrel};
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::crc::crc32;
 use foresight_util::stats::summarize;
-use foresight_util::{ByteReader, Error, Result};
+use foresight_util::{telemetry, ByteReader, Error, Result};
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"SZRS";
@@ -73,16 +73,19 @@ fn compress_inner(
     let blocks = block::partition(dims, cfg.block_size);
 
     // Pass 1: predict + quantize every block in parallel.
+    let quantize = telemetry::span("sz.quantize");
     let outputs: Vec<BlockOutput> = blocks
         .par_iter()
         .map(|b| block::compress_block(data, ext, b, eb_abs, cfg.radius, cfg.predictor))
         .collect();
+    drop(quantize);
 
     // Global histogram and codebook: fold/reduce over per-chunk dense
     // tables. Quantization emits symbols in [0, 2*radius) (0 = outlier),
     // so a flat count array replaces hashing on the hot path; anything
     // outside that range (impossible today, cheap to tolerate) spills to
     // a sparse overflow map.
+    let histogram = telemetry::span("sz.histogram");
     let hist = {
         type Acc = (Vec<u64>, std::collections::HashMap<u32, u64>);
         let dense_len = 2 * cfg.radius as usize;
@@ -122,8 +125,10 @@ fn compress_inner(
         v
     };
     let book = Codebook::from_frequencies(&hist)?;
+    drop(histogram);
 
     // Pass 2: entropy-encode each block.
+    let encode = telemetry::span("sz.huffman_encode");
     let code_streams: Vec<Vec<u8>> = outputs
         .par_iter()
         .map(|o| {
@@ -134,6 +139,7 @@ fn compress_inner(
             w.into_bytes()
         })
         .collect();
+    drop(encode);
 
     // Assemble the body.
     let mut body = Vec::new();
@@ -167,7 +173,10 @@ fn compress_inner(
     let crc = crc32(&body);
     let body = match cfg.entropy {
         EntropyBackend::Huffman => body,
-        EntropyBackend::HuffmanLzss => lossless::compress(&body),
+        EntropyBackend::HuffmanLzss => {
+            let _lzss = telemetry::span("sz.lzss");
+            lossless::compress(&body)
+        }
     };
 
     // Header.
@@ -304,6 +313,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     let body: &[u8] = match inf.entropy {
         EntropyBackend::Huffman => body_raw,
         EntropyBackend::HuffmanLzss => {
+            let _lzss = telemetry::span("sz.lzss_decode");
             body_owned = lossless::decompress(body_raw)?;
             &body_owned
         }
@@ -408,6 +418,9 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     let mut out = vec![0.0f32; n_values];
     let ptr = SendPtr(out.as_mut_ptr());
     let out_len = out.len();
+    // One span covers entropy decode + dequantize: the two are fused in
+    // the per-block loop, matching the reference SZ decoder's structure.
+    let decode = telemetry::span("sz.huffman_decode");
     blocks
         .par_iter()
         .enumerate()
@@ -435,6 +448,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
             );
             Ok(())
         })?;
+    drop(decode);
 
     // PW_REL epilogue: undo the log transform (bounds-checked reads).
     if let ErrorBound::PwRel(_) = inf.mode {

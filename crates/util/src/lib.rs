@@ -3,8 +3,9 @@
 //! This crate holds the pieces every other crate needs and nothing
 //! domain-specific: an error type, bit-granular stream I/O (used by both
 //! compressor crates), CRC32 checksums (used by the GIO-lite file format),
-//! chunked parallel helpers, wall-clock timers, running statistics, and a
-//! tiny ASCII table/CSV formatter used by the benchmark binaries.
+//! chunked parallel helpers, wall-clock timers, running statistics, a
+//! tiny ASCII table/CSV formatter used by the benchmark binaries, and the
+//! telemetry layer (spans, metrics, Chrome-trace/flamegraph export).
 
 pub mod bits;
 pub mod bytes;
@@ -14,6 +15,7 @@ pub mod json;
 pub mod parallel;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 pub mod timer;
 
 pub use bytes::ByteReader;

@@ -4,7 +4,16 @@
 //! times (our CPU backends) and simulated times (the GPU model). [`Timer`]
 //! covers the former; [`throughput_gbs`] converts either into the GB/s units
 //! the paper plots.
+//!
+//! Timing is unified on the telemetry clock: [`timed`] (re-exported from
+//! [`crate::telemetry`]) is the instrumented form of [`time`] — identical
+//! wall-clock measurement, but the interval is also recorded as a named
+//! span the trace exporters can see. `gpu_sim`'s simulated-clock
+//! `PhaseTotals` and CBench's `sim_seconds` flow into the same collector
+//! as sim slices, so no stage reports time through a struct the exporters
+//! cannot reach.
 
+pub use crate::telemetry::timed;
 use std::time::{Duration, Instant};
 
 /// Simple wall-clock stopwatch.

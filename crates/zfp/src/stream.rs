@@ -14,7 +14,7 @@ use crate::codec::{self, HEADER_BITS, INTPREC};
 use crate::config::{Dims3, ZfpConfig, ZfpMode};
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::crc::crc32;
-use foresight_util::{ByteReader, Error, Result};
+use foresight_util::{telemetry, ByteReader, Error, Result};
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"ZFPR";
@@ -131,6 +131,7 @@ pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
     let cells = codec::block_cells(d);
 
     // Encode every block independently (parallel), then splice bit-exactly.
+    let encode = telemetry::span("zfp.encode");
     let encoded: Vec<(Vec<u8>, u32)> = blocks
         .par_iter()
         .map(|pos| {
@@ -142,6 +143,7 @@ pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
             (w.into_bytes(), used)
         })
         .collect();
+    drop(encode);
 
     let mut payload = BitWriter::with_capacity(encoded.iter().map(|(b, _)| b.len()).sum());
     for (bytes, nbits) in &encoded {
@@ -323,6 +325,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
     let mut out = vec![0.0f32; n_values];
     // Decode blocks in parallel into local buffers, then scatter serially
     // (scatter touches interleaved rows, so keep it simple and safe).
+    let decode = telemetry::span("zfp.decode");
     let decoded: Vec<Result<Vec<f32>>> = blocks
         .par_iter()
         .enumerate()
@@ -359,6 +362,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
     for (bi, dec) in decoded.into_iter().enumerate() {
         scatter(&dec?, dims, &blocks[bi], d, &mut out);
     }
+    drop(decode);
     Ok((out, dims))
 }
 
