@@ -21,6 +21,8 @@
 //! assert!(d.psnr > 40.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod correlation;
 pub mod errordist;
 pub mod fof;

@@ -16,8 +16,8 @@ use foresight_bench::{nyx_fields, Cli};
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::table::{fmt_f64, Table};
 use lossy_sz::huffman::{histogram, Codebook};
+use foresight_util::timer::time;
 use lossy_sz::{block, Dims, PredictorKind};
-use std::time::Instant;
 
 const REPS: usize = 3;
 /// Value-range-relative error bound, the paper's cuSZ operating point
@@ -28,9 +28,8 @@ const EB_REL: f64 = 1e-3;
 fn best_secs<R>(mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
-        let t = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(t.elapsed().as_secs_f64());
+        let (_, secs) = time(|| std::hint::black_box(f()));
+        best = best.min(secs);
     }
     best
 }

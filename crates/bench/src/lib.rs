@@ -5,6 +5,8 @@
 //! paper's exact per-field compression policies — plus a tiny CLI parser
 //! and an output-directory convention (`results/<exhibit>/`).
 
+#![forbid(unsafe_code)]
+
 use cosmo_data::{generate_hacc, generate_nyx, HaccSnapshot, NyxSnapshot, SynthOptions};
 use foresight::cbench::FieldData;
 use foresight::codec::Shape;

@@ -2,7 +2,7 @@
 //! configuration file, as the original tool does.
 //!
 //! ```text
-//! foresight-cli [--trace <path>] [--metrics-out <path>] [--quiet] <config.json>
+//! foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>
 //! foresight-cli report <telemetry.json>
 //! ```
 //!
@@ -10,7 +10,10 @@
 //! trace-event file (load it in Perfetto / `chrome://tracing`) plus a
 //! collapsed-stack flamegraph next to it (`.folded`); the pipeline also
 //! writes `<output.dir>/telemetry/telemetry.json`. `--metrics-out` writes
-//! the metrics registries as JSON. `--quiet` suppresses the per-record
+//! the metrics registries as JSON. `--memcheck` / `--racecheck` attach the
+//! device sanitizer to every simulated-GPU run (equivalent to the config's
+//! `sanitize` section; flags and section merge with OR) and print any
+//! findings under `== sanitizer ==`. `--quiet` suppresses the per-record
 //! table. `report` pretty-prints a previously written `telemetry.json`
 //! as per-phase (Fig. 7) and per-stage tables.
 //!
@@ -20,7 +23,8 @@
 //!   with an error, or an output file could not be written;
 //! - 2 — usage error (missing/unknown argument);
 //! - 3 — the pipeline ran to completion but one or more jobs failed or
-//!   were skipped (per-job summary on stderr).
+//!   were skipped (per-job summary on stderr);
+//! - 4 — all jobs succeeded but the device sanitizer reported findings.
 
 use foresight::runner::run_pipeline;
 use foresight::trace;
@@ -30,7 +34,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -62,12 +66,14 @@ fn report_main(path: &str) -> ! {
             println!("{section}");
         }
     }
-    if let Some(lines) = doc.get("resilience").and_then(Value::as_array) {
-        if !lines.is_empty() {
-            println!("== resilience ==");
-            for l in lines {
-                if let Some(s) = l.as_str() {
-                    println!("{s}");
+    for (key, header) in [("resilience", "== resilience =="), ("sanitizer", "== sanitizer ==")] {
+        if let Some(lines) = doc.get(key).and_then(Value::as_array) {
+            if !lines.is_empty() {
+                println!("{header}");
+                for l in lines {
+                    if let Some(s) = l.as_str() {
+                        println!("{s}");
+                    }
                 }
             }
         }
@@ -80,6 +86,8 @@ struct Cli {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     quiet: bool,
+    memcheck: bool,
+    racecheck: bool,
 }
 
 fn parse_args() -> Cli {
@@ -88,6 +96,8 @@ fn parse_args() -> Cli {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut quiet = false;
+    let mut memcheck = false;
+    let mut racecheck = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "report" if config.is_none() => {
@@ -102,6 +112,8 @@ fn parse_args() -> Cli {
                 let Some(p) = args.next() else { usage_exit() };
                 metrics_out = Some(PathBuf::from(p));
             }
+            "--memcheck" => memcheck = true,
+            "--racecheck" => racecheck = true,
             "--quiet" | "-q" => quiet = true,
             s if s.starts_with('-') => usage_exit(),
             _ if config.is_some() => usage_exit(),
@@ -109,7 +121,7 @@ fn parse_args() -> Cli {
         }
     }
     let Some(config) = config else { usage_exit() };
-    Cli { config, trace_out, metrics_out, quiet }
+    Cli { config, trace_out, metrics_out, quiet, memcheck, racecheck }
 }
 
 fn write_or_die(path: &Path, what: &str, write: impl FnOnce() -> foresight_util::Result<()>) {
@@ -126,21 +138,43 @@ fn main() {
     if want_telemetry {
         telemetry::enable();
     }
-    let cfg = match ForesightConfig::from_file(&cli.config) {
+    let mut cfg = match ForesightConfig::from_file(&cli.config) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: cannot load '{}': {e}", cli.config);
             std::process::exit(1);
         }
     };
+    if cli.memcheck || cli.racecheck {
+        // Flags merge with the config's sanitize section by OR, so
+        // `--racecheck` can widen a memcheck-only config and vice versa.
+        let base = cfg
+            .sanitize
+            .unwrap_or(foresight::SanitizeSettings { memcheck: false, racecheck: false });
+        cfg.sanitize = Some(foresight::SanitizeSettings {
+            memcheck: base.memcheck || cli.memcheck,
+            racecheck: base.racecheck || cli.racecheck,
+        });
+    }
     println!(
-        "foresight: dataset={:?} n_side={} | {} codec configs | analyses {:?}{}",
+        "foresight: dataset={:?} n_side={} | {} codec configs | analyses {:?}{}{}",
         cfg.input.dataset,
         cfg.input.n_side,
         cfg.codec_configs().len(),
         cfg.analysis,
         match &cfg.chaos {
             Some(ch) => format!(" | chaos seed={}", ch.seed),
+            None => String::new(),
+        },
+        match &cfg.sanitize {
+            Some(s) => format!(
+                " | sanitize={}",
+                match (s.memcheck, s.racecheck) {
+                    (true, true) => "memcheck+racecheck",
+                    (true, false) => "memcheck",
+                    _ => "racecheck",
+                }
+            ),
             None => String::new(),
         }
     );
@@ -177,6 +211,16 @@ fn main() {
                 println!("\n== resilience ==");
                 for line in &report.resilience {
                     println!("{line}");
+                }
+            }
+            if cfg.sanitize.is_some() {
+                println!("\n== sanitizer ==");
+                if report.sanitizer.is_empty() {
+                    println!("clean: no memcheck or racecheck findings");
+                } else {
+                    for line in &report.sanitizer {
+                        println!("{line}");
+                    }
                 }
             }
             for line in &report.best_fit_lines {
@@ -222,6 +266,13 @@ fn main() {
                 eprintln!("\n== job failures ==");
                 eprint!("{}", report.workflow.failure_summary());
                 std::process::exit(3);
+            }
+            if !report.sanitizer.is_empty() {
+                eprintln!(
+                    "\n{} sanitizer finding(s); see the == sanitizer == section",
+                    report.sanitizer.len()
+                );
+                std::process::exit(4);
             }
         }
         Err(e) => {

@@ -10,7 +10,7 @@ use crate::gpu_backend::{gpu_compress, gpu_decompress};
 use cosmo_analysis::metrics::{distortion, Distortion};
 use foresight_util::timer::timed;
 use foresight_util::{telemetry, Error, Result};
-use gpu_sim::{Device, FaultPlan, FaultRates, GpuSpec};
+use gpu_sim::{Device, FaultPlan, FaultRates, GpuSpec, SanitizerConfig};
 use rayon::prelude::*;
 
 /// One named input field.
@@ -299,12 +299,29 @@ pub struct ChaosConfig {
     pub op_retries: u32,
     /// GPU model every pair runs on.
     pub gpu: GpuSpec,
+    /// Optional device sanitizer attached to every pair's device. The
+    /// codecs then run on their traced launch paths; findings land in
+    /// [`ChaosSweepReport::sanitizer`].
+    pub sanitize: Option<SanitizerConfig>,
 }
 
 impl ChaosConfig {
     /// A V100-backed chaos config with the given seed and rates.
     pub fn new(seed: u64, rates: FaultRates) -> Self {
-        Self { seed, rates, device_retries: 3, op_retries: 2, gpu: GpuSpec::tesla_v100() }
+        Self {
+            seed,
+            rates,
+            device_retries: 3,
+            op_retries: 2,
+            gpu: GpuSpec::tesla_v100(),
+            sanitize: None,
+        }
+    }
+
+    /// Attaches a sanitizer to every pair's device.
+    pub fn with_sanitizer(mut self, cfg: SanitizerConfig) -> Self {
+        self.sanitize = Some(cfg);
+        self
     }
 }
 
@@ -331,6 +348,10 @@ pub struct ChaosSweepReport {
     pub records: Vec<CBenchRecord>,
     /// Persistently failing pairs, same deterministic order.
     pub quarantined: Vec<QuarantinedPair>,
+    /// Sanitizer findings across all pairs, each prefixed with the pair
+    /// label. Empty when no sanitizer was attached — or when every traced
+    /// kernel ran clean.
+    pub sanitizer: Vec<String>,
 }
 
 impl ChaosSweepReport {
@@ -359,7 +380,7 @@ pub fn run_sweep_chaos(
     let parent = FaultPlan::new(chaos.seed, chaos.rates).with_max_retries(chaos.device_retries);
     let pairs: Vec<(&FieldData, &CodecConfig)> =
         fields.iter().flat_map(|f| configs.iter().map(move |c| (f, c))).collect();
-    let results: Vec<Result<CBenchRecord>> = pairs
+    let results: Vec<(Result<CBenchRecord>, Vec<String>)> = pairs
         .par_iter()
         .map(|(f, c)| {
             let label = format!("{}/{} {}", f.name, c.id().display(), c.param_label());
@@ -370,12 +391,35 @@ pub fn run_sweep_chaos(
             let mut device = Device::new(chaos.gpu.clone())
                 .with_label(&label)
                 .with_fault_plan(parent.fork(&label));
-            run_one_gpu(f, c, keep_recon, &mut device, chaos.op_retries)
+            if let Some(cfg) = chaos.sanitize {
+                device = device.with_sanitizer(cfg);
+            }
+            let result = run_one_gpu(f, c, keep_recon, &mut device, chaos.op_retries);
+            let mut findings = Vec::new();
+            if chaos.sanitize.is_some() {
+                if let Some(rep) = device.sanitizer_report() {
+                    findings.extend(rep.lines().into_iter().map(|l| format!("{label}: {l}")));
+                }
+                // Belt-and-suspenders leak assertion independent of the
+                // memcheck shadow heap: after a pair finishes (success,
+                // fallback, or quarantine) the device must hold nothing.
+                if device.allocated_bytes() != 0 {
+                    for (buf, bytes) in device.leak_report() {
+                        findings.push(format!(
+                            "{label}: sanitizer: leak: '{buf}' still holds {bytes} bytes \
+                             after the pair completed"
+                        ));
+                    }
+                }
+            }
+            (result, findings)
         })
         .collect();
     let mut records = Vec::new();
     let mut quarantined = Vec::new();
-    for ((f, c), r) in pairs.iter().zip(results) {
+    let mut sanitizer = Vec::new();
+    for ((f, c), (r, findings)) in pairs.iter().zip(results) {
+        sanitizer.extend(findings);
         match r {
             Ok(rec) => records.push(rec),
             Err(e) => quarantined.push(QuarantinedPair {
@@ -386,7 +430,10 @@ pub fn run_sweep_chaos(
             }),
         }
     }
-    Ok(ChaosSweepReport { records, quarantined })
+    if !sanitizer.is_empty() {
+        telemetry::counter("cbench.sanitizer_findings", sanitizer.len() as u64);
+    }
+    Ok(ChaosSweepReport { records, quarantined, sanitizer })
 }
 
 /// Dataset-level compression ratio for one chosen config per field
@@ -550,6 +597,65 @@ mod tests {
             assert_eq!(x.sim_seconds, y.sim_seconds);
             assert_eq!(x.ratio, y.ratio);
         }
+    }
+
+    #[test]
+    fn sanitized_sweep_is_clean_and_byte_identical() {
+        let fields = vec![smooth_field("a")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Sz(SzConfig::pw_rel(0.01)),
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+            CodecConfig::Zfp(ZfpConfig::precision(20)),
+        ];
+        let plain = run_sweep(&fields, &configs, false).unwrap();
+        let chaos = ChaosConfig::new(0, FaultRates::default())
+            .with_sanitizer(SanitizerConfig::full());
+        let report = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+        assert_eq!(report.sanitizer, Vec::<String>::new(), "shipped kernels run clean");
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.records.len(), plain.len());
+        for (t, p) in report.records.iter().zip(&plain) {
+            // The traced launch path must not perturb the emitted stream.
+            assert_eq!(t.compressed_bytes, p.compressed_bytes, "{} {}", t.field, t.param);
+            assert_eq!(t.ratio, p.ratio);
+            assert_eq!(t.exec, ExecPath::Gpu);
+        }
+    }
+
+    #[test]
+    fn sanitized_chaos_sweep_stays_leak_free_across_fault_paths() {
+        // Quarantine/fallback/retry paths all unwind device memory; the
+        // sanitizer must see zero leaks even when every fault fires.
+        let fields = vec![smooth_field("a"), smooth_field("b")];
+        let configs = vec![
+            CodecConfig::Sz(SzConfig::abs(0.5)),
+            CodecConfig::Sz(SzConfig::abs(-1.0)), // invalid: quarantined
+            CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+        ];
+        let rates = FaultRates {
+            transfer: 0.5,
+            bit_flip: 0.4,
+            kernel: 0.4,
+            oom: 0.2,
+            ..Default::default()
+        };
+        let mut chaos = ChaosConfig::new(9, rates).with_sanitizer(SanitizerConfig::full());
+        chaos.device_retries = 1;
+        chaos.op_retries = 1;
+        let report = run_sweep_chaos(&fields, &configs, false, &chaos).unwrap();
+        assert_eq!(report.quarantined.len(), 2, "the invalid bound fails for both fields");
+        assert_eq!(report.records.len(), 4);
+        assert!(
+            report.sanitizer.iter().all(|l| !l.contains("leak")),
+            "fault unwinding must release every buffer: {:?}",
+            report.sanitizer
+        );
+        assert!(
+            report.sanitizer.is_empty(),
+            "no findings of any kind expected: {:?}",
+            report.sanitizer
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl Shape {
         self.len() == 0
     }
 
-    fn to_sz(self) -> SzDims {
+    pub(crate) fn to_sz(self) -> SzDims {
         match self {
             Shape::D1(n) => SzDims::D1(n),
             Shape::D2(a, b) => SzDims::D2(a, b),
@@ -43,7 +43,7 @@ impl Shape {
         }
     }
 
-    fn to_zfp(self) -> ZfpDims {
+    pub(crate) fn to_zfp(self) -> ZfpDims {
         match self {
             Shape::D1(n) => ZfpDims::D1(n),
             Shape::D2(a, b) => ZfpDims::D2(a, b),

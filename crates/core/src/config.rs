@@ -12,20 +12,22 @@
 //!                    { "name": "cuzfp", "rates": [2, 4, 8] } ],
 //!   "analysis":    [ "distortion", "power-spectrum" ],
 //!   "output":      { "dir": "out", "cinema": true },
-//!   "chaos":       { "seed": 7, "transfer": 0.05, "node": 0.1 }
+//!   "chaos":       { "seed": 7, "transfer": 0.05, "node": 0.1 },
+//!   "sanitize":    { "memcheck": true, "racecheck": true }
 //! }
 //! ```
 //!
 //! The optional `chaos` section turns on seeded fault injection: the
 //! sweep runs through the simulated GPU with the given failure rates and
 //! the PAT workflow retries jobs under node-level faults (see
-//! [`ChaosSettings`]).
+//! [`ChaosSettings`]). The optional `sanitize` section attaches the
+//! device sanitizer to every GPU run (see [`SanitizeSettings`]).
 
 use crate::cbench::ChaosConfig;
 use crate::codec::CodecConfig;
 use foresight_util::json::Value;
 use foresight_util::{Error, Result};
-use gpu_sim::FaultRates;
+use gpu_sim::{FaultRates, SanitizerConfig};
 use std::path::PathBuf;
 
 fn bad(msg: impl Into<String>) -> Error {
@@ -56,6 +58,13 @@ fn usize_field(obj: &Value, key: &str, default: usize) -> Result<usize> {
             .as_u64()
             .map(|n| n as usize)
             .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
+fn bool_field(obj: &Value, key: &str, default: bool) -> Result<bool> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| bad(format!("field '{key}' must be a boolean"))),
     }
 }
 
@@ -396,6 +405,57 @@ impl ChaosSettings {
     }
 }
 
+/// Optional device-sanitizer ("sanitize") settings for a pipeline run.
+///
+/// When present, the sweep runs through the simulated GPU with a
+/// sanitizer attached: codec kernels execute on the traced launch path,
+/// memcheck shadows every device allocation, and racecheck intersects
+/// per-block access ranges. Findings surface in the pipeline report (and
+/// fail the CLI with a dedicated exit code). Both checks default to on;
+/// disable one with `"memcheck": false` / `"racecheck": false`.
+#[derive(Debug, Clone, Copy)]
+pub struct SanitizeSettings {
+    /// Shadow-heap checks: bounds, uninitialized reads, double-free,
+    /// use-after-free, leaks (default true).
+    pub memcheck: bool,
+    /// Cross-block race detection on traced launches (default true).
+    pub racecheck: bool,
+}
+
+impl SanitizeSettings {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'sanitize' must be an object"));
+        }
+        Ok(SanitizeSettings {
+            memcheck: bool_field(v, "memcheck", true)?,
+            racecheck: bool_field(v, "racecheck", true)?,
+        })
+    }
+
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("memcheck".into(), Value::Bool(self.memcheck)),
+            ("racecheck".into(), Value::Bool(self.racecheck)),
+        ])
+    }
+
+    /// The device-level checker configuration.
+    pub fn to_sanitizer_config(self) -> SanitizerConfig {
+        SanitizerConfig { memcheck: self.memcheck, racecheck: self.racecheck }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !self.memcheck && !self.racecheck {
+            return Err(Error::Config(
+                "'sanitize' enables neither memcheck nor racecheck; drop the section instead"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -409,6 +469,8 @@ pub struct ForesightConfig {
     pub output: OutputConfig,
     /// Optional fault-injection settings (absent means a quiet run).
     pub chaos: Option<ChaosSettings>,
+    /// Optional device-sanitizer settings (absent means untraced runs).
+    pub sanitize: Option<SanitizeSettings>,
 }
 
 impl ForesightConfig {
@@ -438,12 +500,17 @@ impl ForesightConfig {
             None | Some(Value::Null) => None,
             Some(v) => Some(ChaosSettings::from_value(v)?),
         };
+        let sanitize = match doc.get("sanitize") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(SanitizeSettings::from_value(v)?),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
             analysis,
             output: OutputConfig::from_value(field(&doc, "output")?)?,
             chaos,
+            sanitize,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -471,6 +538,9 @@ impl ForesightConfig {
         ];
         if let Some(chaos) = &self.chaos {
             fields.push(("chaos".into(), chaos.to_value()));
+        }
+        if let Some(sanitize) = &self.sanitize {
+            fields.push(("sanitize".into(), sanitize.to_value()));
         }
         Value::Object(fields).to_json()
     }
@@ -515,6 +585,9 @@ impl ForesightConfig {
         }
         if let Some(chaos) = &self.chaos {
             chaos.validate()?;
+        }
+        if let Some(sanitize) = &self.sanitize {
+            sanitize.validate()?;
         }
         Ok(())
     }
@@ -647,6 +720,32 @@ mod tests {
         assert_eq!(cfg2.chaos.as_ref().unwrap().job_retries, 4);
         // Absent section stays absent.
         assert!(ForesightConfig::from_json(SAMPLE).unwrap().chaos.is_none());
+    }
+
+    #[test]
+    fn sanitize_section_parses_roundtrips_and_validates() {
+        let json = SAMPLE.replace(
+            "\"output\": { \"dir\": \"out\", \"cinema\": true }",
+            "\"output\": { \"dir\": \"out\", \"cinema\": true },\n        \
+             \"sanitize\": { \"racecheck\": false }",
+        );
+        let cfg = ForesightConfig::from_json(&json).unwrap();
+        let san = cfg.sanitize.as_ref().unwrap();
+        assert!(san.memcheck, "memcheck defaults on");
+        assert!(!san.racecheck);
+        let sc = san.to_sanitizer_config();
+        assert!(sc.memcheck && !sc.racecheck);
+        // Roundtrip keeps the section.
+        let cfg2 = ForesightConfig::from_json(&cfg.to_json()).unwrap();
+        assert!(!cfg2.sanitize.unwrap().racecheck);
+        // Absent section stays absent.
+        assert!(ForesightConfig::from_json(SAMPLE).unwrap().sanitize.is_none());
+        // Enabling neither check is a config error, not a silent no-op.
+        let json = json.replace(
+            "\"sanitize\": { \"racecheck\": false }",
+            "\"sanitize\": { \"memcheck\": false, \"racecheck\": false }",
+        );
+        assert!(ForesightConfig::from_json(&json).is_err());
     }
 
     #[test]

@@ -38,6 +38,20 @@ pub fn gpu_compress(
     data: &[f32],
     shape: Shape,
 ) -> Result<(Vec<u8>, GpuRunReport)> {
+    // With a sanitizer attached, route through the codecs' traced
+    // launch-grid paths so every per-block access is recorded for
+    // memcheck/racecheck. The emitted stream is byte-identical to the
+    // plain path (both assemble from the same per-block outputs).
+    if device.sanitizer_active() {
+        let (mut stream, report) = match cfg {
+            CodecConfig::Sz(c) => lossy_sz::gpu_exec::compress_on(device, data, shape.to_sz(), c)?,
+            CodecConfig::Zfp(z) => {
+                lossy_zfp::gpu_exec::compress_on(device, data, shape.to_zfp(), z)?
+            }
+        };
+        device.inject_ecc(&mut stream);
+        return Ok((stream, report));
+    }
     let (ck, _) = kinds(cfg.id());
     let n = data.len() as u64;
     // For error-bounded codecs the achieved rate is only known after the
@@ -79,6 +93,22 @@ pub fn gpu_decompress(
     let (_, dk) = kinds(id);
     let mut uploaded = stream.to_vec();
     device.inject_ecc(&mut uploaded);
+    if device.sanitizer_active() {
+        let (data, report) = match id {
+            CompressorId::GpuSz => {
+                let (data, _, report) = lossy_sz::gpu_exec::decompress_on(device, &uploaded)?;
+                (data, report)
+            }
+            CompressorId::CuZfp => {
+                let (data, _, report) = lossy_zfp::gpu_exec::decompress_on(device, &uploaded)?;
+                (data, report)
+            }
+        };
+        if data.len() as u64 != n_values {
+            return Err(foresight_util::Error::corrupt("reconstructed length mismatch"));
+        }
+        return Ok((data, report));
+    }
     let (out, report) = run_decompression(
         device,
         dk,

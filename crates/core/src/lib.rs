@@ -31,6 +31,8 @@
 //! assert!(record.distortion.max_abs_err <= 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cbench;
 pub mod cinema;
 pub mod codec;
@@ -48,7 +50,7 @@ pub use cbench::{
 };
 pub use cinema::{ascii_chart, CinemaDb};
 pub use codec::{CodecConfig, CompressorId, Shape};
-pub use config::{AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig};
+pub use config::{AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig, SanitizeSettings};
 pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
 pub use pat::{Job, JobResult, JobStatus, RetryPolicy, SlurmSim, Workflow, WorkflowReport};
 pub use runner::{run_pipeline, PipelineReport};

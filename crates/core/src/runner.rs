@@ -5,7 +5,7 @@
 //! `foresight_pipeline` example; tests drive it directly.
 
 use crate::cbench::{
-    run_sweep, run_sweep_chaos, CBenchRecord, ExecPath, FieldData, QuarantinedPair,
+    run_sweep, run_sweep_chaos, CBenchRecord, ChaosConfig, ExecPath, FieldData, QuarantinedPair,
 };
 use crate::cinema::CinemaDb;
 use crate::codec::Shape;
@@ -21,7 +21,7 @@ use cosmo_fft::Grid3;
 use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, MetricsRegistry, MetricsSnapshot};
 use foresight_util::{Error, Result};
-use gpu_sim::{Device, FaultPlan, GpuSpec};
+use gpu_sim::{Device, FaultPlan, FaultRates, GpuSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -50,6 +50,11 @@ pub struct PipelineReport {
     /// Pairs quarantined by the chaos sweep, structurally (not as
     /// pre-rendered strings); empty on quiet runs.
     pub quarantined: Vec<QuarantinedPair>,
+    /// Device-sanitizer findings (memcheck/racecheck diagnostics and leak
+    /// assertions), one rendered line per finding, each prefixed with the
+    /// pair or stage that produced it. Empty when no `sanitize` section
+    /// was configured — or when every traced kernel ran clean.
+    pub sanitizer: Vec<String>,
 }
 
 /// Runs the configured pipeline on the (simulated) cluster.
@@ -68,6 +73,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     let outdir = cfg.output.dir.clone();
     let want_cinema = cfg.output.cinema;
     let chaos = cfg.chaos.clone();
+    let sanitizer_cfg = cfg.sanitize.map(|s| s.to_sanitizer_config());
 
     let fields: Arc<Mutex<Vec<FieldData>>> = Arc::new(Mutex::new(Vec::new()));
     let hacc_coords: Arc<Mutex<Option<[Vec<f32>; 3]>>> = Arc::new(Mutex::new(None));
@@ -81,6 +87,28 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     // correct where a counter would double).
     let run_metrics = Arc::new(MetricsRegistry::new());
     let quarantined: Arc<Mutex<Vec<QuarantinedPair>>> = Arc::new(Mutex::new(Vec::new()));
+    // Sanitizer findings, per producing job. Each job wholesale-replaces
+    // its own slot (closures may rerun under the retry policy); the final
+    // report concatenates the slots in stage order.
+    let cbench_san: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let thr_san: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Sanitize without chaos still needs per-pair devices: route the sweep
+    // through the chaos machinery with all fault rates at zero (a "quiet
+    // chaos" run is byte-identical to the plain sweep, which tests pin).
+    let chaos_cfg: Option<ChaosConfig> = match (&chaos, sanitizer_cfg) {
+        (Some(ch), san) => {
+            let mut cc = ch.to_chaos_config();
+            if let Some(s) = san {
+                cc = cc.with_sanitizer(s);
+            }
+            Some(cc)
+        }
+        (None, Some(s)) => {
+            Some(ChaosConfig::new(0, FaultRates::default()).with_sanitizer(s))
+        }
+        (None, None) => None,
+    };
 
     let mut wf = Workflow::new();
     // Stage 1: dataset generation.
@@ -125,21 +153,22 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         let records = records.clone();
         let configs = configs.clone();
         let keep = !analyses.is_empty();
-        let chaos = chaos.clone();
+        let chaos_cfg = chaos_cfg.clone();
         let run_metrics = run_metrics.clone();
         let quarantined = quarantined.clone();
+        let cbench_san = cbench_san.clone();
         wf.add(
             Job::new("cbench", 8, move || {
                 let f = fields.lock();
-                match &chaos {
+                match &chaos_cfg {
                     None => {
                         let recs = run_sweep(&f, &configs, keep)?;
                         let n = recs.len();
                         *records.lock() = recs;
                         Ok(format!("{n} records"))
                     }
-                    Some(ch) => {
-                        let rep = run_sweep_chaos(&f, &configs, keep, &ch.to_chaos_config())?;
+                    Some(cc) => {
+                        let rep = run_sweep_chaos(&f, &configs, keep, cc)?;
                         let fallbacks = rep.fallbacks();
                         let retried = rep
                             .records
@@ -155,11 +184,19 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
                             .gauge("resilience.quarantined_pairs", rep.quarantined.len() as f64);
                         let n = rep.records.len();
                         let nq = rep.quarantined.len();
+                        let san_note = if cc.sanitize.is_some() {
+                            run_metrics
+                                .gauge("sanitizer.findings", rep.sanitizer.len() as f64);
+                            format!(", {} sanitizer findings", rep.sanitizer.len())
+                        } else {
+                            String::new()
+                        };
+                        *cbench_san.lock() = rep.sanitizer;
                         *quarantined.lock() = rep.quarantined;
                         *records.lock() = rep.records;
                         Ok(format!(
                             "{n} records ({retried} gpu-retried, {fallbacks} cpu-fallback, \
-                             {nq} quarantined)"
+                             {nq} quarantined{san_note})"
                         ))
                     }
                 }
@@ -259,6 +296,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         let fields = fields.clone();
         let configs = configs.clone();
         let lines = lines.clone();
+        let thr_san = thr_san.clone();
         wf.add(
             Job::new("throughput", 2, move || {
                 use rayon::prelude::*;
@@ -271,26 +309,44 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
                 // and keep the output in config order.
                 let out = configs
                     .par_iter()
-                    .map(|cfg| -> Result<String> {
-                        let mut dev = Device::new(GpuSpec::tesla_v100()).with_label(format!(
-                            "throughput/{} {}",
-                            cfg.id().display(),
-                            cfg.param_label()
-                        ));
+                    .map(|cfg| -> Result<(String, Vec<String>)> {
+                        let tag =
+                            format!("throughput/{} {}", cfg.id().display(), cfg.param_label());
+                        let mut dev =
+                            Device::new(GpuSpec::tesla_v100()).with_label(tag.clone());
+                        if let Some(s) = sanitizer_cfg {
+                            dev = dev.with_sanitizer(s);
+                        }
                         let (_, rep) = gpu_compress(&mut dev, cfg, &field.data, field.shape)?;
-                        Ok(format!(
-                            "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
-                            cfg.id().display(),
-                            cfg.param_label(),
-                            rep.kernel_throughput_gbs,
-                            rep.overall_throughput_gbs
+                        let findings = dev
+                            .sanitizer_report()
+                            .map(|r| {
+                                r.lines().into_iter().map(|l| format!("{tag}: {l}")).collect()
+                            })
+                            .unwrap_or_default();
+                        Ok((
+                            format!(
+                                "{} {}: V100 kernel {:.1} GB/s, overall {:.1} GB/s",
+                                cfg.id().display(),
+                                cfg.param_label(),
+                                rep.kernel_throughput_gbs,
+                                rep.overall_throughput_gbs
+                            ),
+                            findings,
                         ))
                     })
-                    .collect::<Vec<Result<String>>>()
+                    .collect::<Vec<Result<(String, Vec<String>)>>>()
                     .into_iter()
-                    .collect::<Result<Vec<String>>>()?;
+                    .collect::<Result<Vec<(String, Vec<String>)>>>()?;
                 let n = out.len();
-                lines.lock().extend(out);
+                let mut rows = Vec::with_capacity(n);
+                let mut findings = Vec::new();
+                for (row, f) in out {
+                    rows.push(row);
+                    findings.extend(f);
+                }
+                lines.lock().extend(rows);
+                *thr_san.lock() = findings;
                 Ok(format!("{n} throughput rows"))
             })
             .after("generate"),
@@ -369,6 +425,8 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     let final_lines = std::mem::take(&mut *lines.lock());
     let final_artifacts = *artifacts.lock();
     let final_quarantined = std::mem::take(&mut *quarantined.lock());
+    let mut final_sanitizer = std::mem::take(&mut *cbench_san.lock());
+    final_sanitizer.extend(std::mem::take(&mut *thr_san.lock()));
     if workflow.node_failures > 0 {
         run_metrics.gauge("resilience.node_failures", workflow.node_failures as f64);
         run_metrics.gauge("resilience.alive_nodes", workflow.alive_nodes as f64);
@@ -383,6 +441,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         resilience: crate::trace::resilience_lines(&metrics, &final_quarantined),
         metrics,
         quarantined: final_quarantined,
+        sanitizer: final_sanitizer,
     };
     if telemetry::is_enabled() {
         // Close the run span so it appears in the snapshot, then write the
@@ -511,6 +570,54 @@ mod tests {
         assert_eq!(bytes(&plain), bytes(&quiet));
         assert!(quiet.resilience.is_empty());
         assert!(quiet.workflow.all_ok());
+    }
+
+    #[test]
+    fn sanitized_pipeline_is_clean_and_matches_plain_bytes() {
+        let mut cfg = base_config("nyx", "\"distortion\"");
+        cfg.output.cinema = false;
+        let plain = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        cfg.sanitize =
+            Some(crate::config::SanitizeSettings { memcheck: true, racecheck: true });
+        let traced = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert_eq!(traced.sanitizer, Vec::<String>::new(), "shipped kernels run clean");
+        // The traced GPU route must reproduce the plain sweep's streams.
+        let bytes = |rep: &PipelineReport| -> Vec<(String, usize)> {
+            rep.records
+                .iter()
+                .map(|r| (format!("{}/{}", r.field, r.param), r.compressed_bytes))
+                .collect()
+        };
+        assert_eq!(bytes(&plain), bytes(&traced));
+        assert!(traced.records.iter().all(|r| r.exec == ExecPath::Gpu));
+        assert!(traced.resilience.is_empty(), "quiet run: no resilience events");
+        let msg = traced.workflow.job("cbench").unwrap().output.clone();
+        assert!(msg.contains("0 sanitizer findings"), "cbench message: {msg}");
+    }
+
+    #[test]
+    fn chaos_with_sanitize_stays_leak_free() {
+        // Every recovery path (device retry, roundtrip retry, CPU
+        // fallback) must unwind device memory; the sanitizer turns any
+        // missed free into a pipeline-visible finding.
+        let mut cfg = base_config("nyx", "\"distortion\", \"throughput\"");
+        cfg.output.cinema = false;
+        cfg.chaos = Some(crate::config::ChaosSettings {
+            seed: 21,
+            transfer: 0.4,
+            bit_flip: 0.3,
+            kernel: 0.3,
+            oom: 0.1,
+            node: 0.0,
+            device_retries: 1,
+            op_retries: 1,
+            job_retries: 3,
+        });
+        cfg.sanitize =
+            Some(crate::config::SanitizeSettings { memcheck: true, racecheck: true });
+        let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert!(!report.records.is_empty());
+        assert_eq!(report.sanitizer, Vec::<String>::new(), "fault paths must not leak");
     }
 
     #[test]

@@ -214,6 +214,10 @@ pub fn telemetry_json(report: &PipelineReport, snap: &TelemetrySnapshot) -> Valu
                     .collect(),
             ),
         ),
+        (
+            "sanitizer".into(),
+            Value::Array(report.sanitizer.iter().cloned().map(Value::String).collect()),
+        ),
         ("jobs".into(), jobs),
         ("records".into(), records),
     ])

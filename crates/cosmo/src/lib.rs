@@ -12,6 +12,8 @@
 //! - [`gio`] — GIO-lite, a blocked CRC-protected particle format;
 //! - [`h5lite`] — H5-lite, a chunked hierarchical grid format.
 
+#![forbid(unsafe_code)]
+
 pub mod convert;
 pub mod decimate;
 pub mod field;

@@ -5,6 +5,10 @@
 //! pointer wrapper — distinct lines never alias, which makes the unsafe
 //! parallel scatter sound (see the SAFETY comments).
 
+// The crate denies unsafe_code; this module is the audited exception
+// (disjoint strided-line scatter that safe chunking cannot express).
+#![allow(unsafe_code)]
+
 use crate::complex::Complex;
 use crate::fft1d::{Direction, Fft};
 use crate::grid::Grid3;

@@ -20,6 +20,7 @@
 
 use crate::cost::{kernel_time, FixedCosts, KernelKind};
 use crate::fault::{FaultCounts, FaultKind, FaultPlan};
+use crate::sanitizer::{AccessRecord, Sanitizer, SanitizerConfig, SanitizerReport};
 use crate::specs::GpuSpec;
 use foresight_util::{telemetry, Error, Result};
 
@@ -98,6 +99,25 @@ pub struct Event {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferId(usize);
 
+impl BufferId {
+    /// Rebuilds a handle from its slot index (sanitizer internals/tests).
+    pub(crate) fn raw(idx: usize) -> Self {
+        Self(idx)
+    }
+
+    /// Slot index into the device's buffer table.
+    pub(crate) fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A live allocation slot: size plus the label given at `malloc` time.
+#[derive(Debug, Clone)]
+struct Buf {
+    bytes: u64,
+    label: String,
+}
+
 /// A simulated GPU.
 #[derive(Debug)]
 pub struct Device {
@@ -107,7 +127,8 @@ pub struct Device {
     pub link: PcieLink,
     fixed: FixedCosts,
     faults: Option<FaultPlan>,
-    buffers: Vec<Option<u64>>, // byte sizes of live allocations
+    buffers: Vec<Option<Buf>>, // live allocations, keyed by BufferId index
+    sanitizer: Option<Box<Sanitizer>>,
     allocated: u64,
     clock: f64,
     epoch: f64,
@@ -126,6 +147,7 @@ impl Device {
             fixed: FixedCosts::default(),
             faults: None,
             buffers: Vec::new(),
+            sanitizer: None,
             allocated: 0,
             clock: 0.0,
             epoch: 0.0,
@@ -164,6 +186,46 @@ impl Device {
     /// Faults injected on this device so far (zero without a plan).
     pub fn fault_counts(&self) -> FaultCounts {
         self.faults.as_ref().map(|p| p.counts()).unwrap_or_default()
+    }
+
+    /// Attaches the sanitizer (memcheck/racecheck). With both checks off
+    /// this is a no-op and the device stays entirely untracked.
+    pub fn with_sanitizer(mut self, cfg: SanitizerConfig) -> Self {
+        self.sanitizer = cfg.any().then(|| Box::new(Sanitizer::new(cfg)));
+        self
+    }
+
+    /// True when a sanitizer is attached (traced launches record accesses).
+    pub fn sanitizer_active(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The active checker configuration (all-off when detached).
+    pub fn sanitizer_config(&self) -> SanitizerConfig {
+        self.sanitizer.as_ref().map(|s| s.config()).unwrap_or_default()
+    }
+
+    /// Snapshot of sanitizer findings (plus current leaks under memcheck);
+    /// `None` when no sanitizer is attached.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
+    }
+
+    /// Hands one traced launch's per-block access records to the sanitizer.
+    pub(crate) fn sanitizer_analyze(&mut self, label: &str, blocks: &[Vec<AccessRecord>]) {
+        if let Some(s) = &mut self.sanitizer {
+            s.analyze_launch(label, blocks);
+        }
+    }
+
+    /// Live allocations as `(label, bytes)` — non-empty means a leak.
+    /// Available with or without the sanitizer.
+    pub fn leak_report(&self) -> Vec<(String, u64)> {
+        self.buffers
+            .iter()
+            .flatten()
+            .map(|b| (b.label.clone(), b.bytes))
+            .collect()
     }
 
     fn record(&mut self, phase: Phase, label: impl Into<String>, seconds: f64) {
@@ -225,21 +287,52 @@ impl Device {
         }
         self.attempt(FaultKind::Oom, self.fixed.init_s, "malloc")?;
         self.allocated += bytes;
-        self.buffers.push(Some(bytes));
+        self.buffers.push(Some(Buf { bytes, label: label.to_string() }));
+        let id = BufferId(self.buffers.len() - 1);
+        if let Some(s) = &mut self.sanitizer {
+            s.on_malloc(id.0, bytes, label);
+        }
         self.record(Phase::Init, format!("malloc:{label}"), self.fixed.init_s);
-        Ok(BufferId(self.buffers.len() - 1))
+        Ok(id)
     }
 
     /// Frees a buffer (charged as `Free`); double-free is an error.
     pub fn free(&mut self, id: BufferId) -> Result<()> {
-        let slot = self
-            .buffers
-            .get_mut(id.0)
-            .ok_or_else(|| Error::invalid("unknown buffer id"))?;
-        let bytes = slot.take().ok_or_else(|| Error::invalid("double free"))?;
-        self.allocated -= bytes;
+        let known = id.0 < self.buffers.len();
+        let Some(buf) = self.buffers.get_mut(id.0).and_then(Option::take) else {
+            if let Some(s) = &mut self.sanitizer {
+                s.on_invalid_free(id.0);
+            }
+            return Err(Error::invalid(if known { "double free" } else { "unknown buffer id" }));
+        };
+        self.allocated -= buf.bytes;
+        if let Some(s) = &mut self.sanitizer {
+            s.on_free(id.0);
+        }
         self.record(Phase::Free, "free", self.fixed.free_s);
         Ok(())
+    }
+
+    /// Releases a buffer without charging any simulated time or emitting a
+    /// timeline event — for error-unwind paths, where real CUDA cleanup
+    /// happens outside the measured region. Already-released handles are
+    /// ignored (unwind code may run after a partial teardown).
+    pub fn release(&mut self, id: BufferId) {
+        if let Some(buf) = self.buffers.get_mut(id.0).and_then(Option::take) {
+            self.allocated -= buf.bytes;
+            if let Some(s) = &mut self.sanitizer {
+                s.on_free(id.0);
+            }
+        }
+    }
+
+    /// Size of a live buffer.
+    fn buffer_bytes(&self, id: BufferId) -> Result<u64> {
+        self.buffers
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .map(|b| b.bytes)
+            .ok_or_else(|| Error::invalid("unknown or freed buffer id"))
     }
 
     fn transfer(&mut self, bytes: u64, label: &str) -> Result<()> {
@@ -263,6 +356,43 @@ impl Device {
     /// Charges a device-to-host copy of `bytes`.
     pub fn d2h(&mut self, bytes: u64) -> Result<()> {
         self.transfer(bytes, "d2h")
+    }
+
+    /// Host-to-device upload filling a tracked buffer: charges the same
+    /// transfer as [`Self::h2d`] for the buffer's full size and marks the
+    /// buffer initialized for the sanitizer's uninitialized-read check.
+    pub fn h2d_buf(&mut self, id: BufferId) -> Result<()> {
+        let bytes = self.buffer_bytes(id)?;
+        self.h2d(bytes)?;
+        if let Some(s) = &mut self.sanitizer {
+            s.on_h2d(id.0, bytes);
+        }
+        Ok(())
+    }
+
+    /// Marks a tracked buffer as fully initialized without a transfer —
+    /// for data the simulation produced on-device (the paper's scenario:
+    /// fields already resident in GPU memory when compression starts).
+    /// Charges no simulated time.
+    pub fn mark_resident(&mut self, id: BufferId) -> Result<()> {
+        let bytes = self.buffer_bytes(id)?;
+        if let Some(s) = &mut self.sanitizer {
+            s.on_h2d(id.0, bytes);
+        }
+        Ok(())
+    }
+
+    /// Device-to-host download of a tracked buffer's full contents:
+    /// charges the same transfer as [`Self::d2h`] and, under memcheck,
+    /// verifies every downloaded byte was initialized by an upload or a
+    /// kernel write.
+    pub fn d2h_buf(&mut self, id: BufferId, label: &str) -> Result<()> {
+        let bytes = self.buffer_bytes(id)?;
+        self.d2h(bytes)?;
+        if let Some(s) = &mut self.sanitizer {
+            s.on_d2h(id.0, bytes, label);
+        }
+        Ok(())
     }
 
     /// Device-to-host copy of real payload bytes.

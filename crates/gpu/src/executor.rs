@@ -11,7 +11,8 @@
 //! being one of the four built-in [`KernelKind`]s.
 
 use crate::cost::KernelKind;
-use crate::device::Device;
+use crate::device::{BufferId, Device};
+use crate::sanitizer::AccessRecord;
 use foresight_util::Result;
 use rayon::prelude::*;
 
@@ -42,6 +43,53 @@ fn concurrency(device: &Device) -> usize {
     ((device.spec.shaders as usize) / 2).max(1)
 }
 
+/// Per-block access recorder handed to traced kernels.
+///
+/// A kernel closure calls [`BlockAccess::read`] / [`BlockAccess::write`]
+/// for every tracked-buffer range it touches; the sanitizer then bounds-
+/// checks each range and intersects them across blocks for the racecheck.
+/// When the device has no sanitizer attached the recorder is inert: every
+/// call is a single branch and nothing allocates, so traced kernels cost
+/// nothing extra on untracked devices.
+#[derive(Debug)]
+pub struct BlockAccess {
+    enabled: bool,
+    records: Vec<AccessRecord>,
+}
+
+impl BlockAccess {
+    fn new(enabled: bool) -> Self {
+        Self { enabled, records: Vec::new() }
+    }
+
+    fn record(&mut self, buf: BufferId, start_bit: u64, end_bit: u64, write: bool) {
+        if self.enabled && start_bit < end_bit {
+            self.records.push(AccessRecord { buf, start_bit, end_bit, write });
+        }
+    }
+
+    /// Records a read of bytes `[start, end)` of `buf`.
+    pub fn read(&mut self, buf: BufferId, start: u64, end: u64) {
+        self.record(buf, start * 8, end * 8, false);
+    }
+
+    /// Records a write of bytes `[start, end)` of `buf`.
+    pub fn write(&mut self, buf: BufferId, start: u64, end: u64) {
+        self.record(buf, start * 8, end * 8, true);
+    }
+
+    /// Records a read of bits `[start, end)` — for bit-packed payloads
+    /// whose blocks legitimately share boundary bytes.
+    pub fn read_bits(&mut self, buf: BufferId, start: u64, end: u64) {
+        self.record(buf, start, end, false);
+    }
+
+    /// Records a write of bits `[start, end)`.
+    pub fn write_bits(&mut self, buf: BufferId, start: u64, end: u64) {
+        self.record(buf, start, end, true);
+    }
+}
+
 /// Executes `work(block_index) -> R` for every block in the grid.
 ///
 /// Work really runs (in parallel); the device clock advances by the
@@ -56,12 +104,39 @@ pub fn launch_grid<R: Send>(
     label: &str,
     work: impl Fn(usize) -> R + Sync,
 ) -> Result<(Vec<R>, LaunchReport)> {
+    launch_grid_traced(device, kind, grid, label, |b, _| work(b))
+}
+
+/// [`launch_grid`] with sanitizer tracing: the kernel closure additionally
+/// receives a [`BlockAccess`] recorder for the buffer ranges it touches.
+///
+/// Timing, fault behaviour, and outputs are identical to [`launch_grid`];
+/// only the (zero-simulated-cost) access analysis is added, and only when
+/// the device carries a sanitizer. Races are detected *within* one launch —
+/// blocks of one grid are concurrent, while separate launches are ordered
+/// by the stream, matching `compute-sanitizer`'s model.
+pub fn launch_grid_traced<R: Send>(
+    device: &mut Device,
+    kind: KernelKind,
+    grid: BlockGrid,
+    label: &str,
+    work: impl Fn(usize, &mut BlockAccess) -> R + Sync,
+) -> Result<(Vec<R>, LaunchReport)> {
+    let tracing = device.sanitizer_active();
     let concurrent = concurrency(device);
     let waves = grid.blocks.div_ceil(concurrent).max(1);
     let total_values = grid.values_per_block * grid.blocks as u64;
-    let results: Vec<R> = device.launch(kind, total_values, grid.bits_per_value, label, || {
-        (0..grid.blocks).into_par_iter().map(&work).collect()
-    })?;
+    let traced: Vec<(R, Vec<AccessRecord>)> =
+        device.launch(kind, total_values, grid.bits_per_value, label, || {
+            (0..grid.blocks)
+                .into_par_iter()
+                .map(|b| {
+                    let mut access = BlockAccess::new(tracing);
+                    let r = work(b, &mut access);
+                    (r, access.records)
+                })
+                .collect()
+        })?;
     let report = LaunchReport {
         waves,
         concurrent_blocks: concurrent,
@@ -71,6 +146,10 @@ pub fn launch_grid<R: Send>(
             .map(|e| e.seconds)
             .unwrap_or_default(),
     };
+    let (results, records): (Vec<R>, Vec<Vec<AccessRecord>>) = traced.into_iter().unzip();
+    if tracing {
+        device.sanitizer_analyze(label, &records);
+    }
     Ok((results, report))
 }
 
@@ -113,25 +192,38 @@ mod tests {
     }
 
     #[test]
-    fn executor_matches_a_real_zfp_block_kernel() {
-        // Encode real ZFP blocks through the executor: the grid is the
-        // actual block count, the outputs are actual encoded bits.
-        let mut dev = Device::new(GpuSpec::tesla_v100());
-        let n = 4096usize;
-        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-        let blocks = n / 4;
-        let grid = BlockGrid { blocks, values_per_block: 4, bits_per_value: 8.0 };
-        let (encoded, report) =
-            launch_grid(&mut dev, KernelKind::ZfpCompress, grid, "zfp1d", |b| {
-                let mut w = foresight_util::bits::BitWriter::new();
-                let vals: Vec<f32> = data[b * 4..(b + 1) * 4].to_vec();
-                lossy_zfp::codec::encode_block(&vals, 1, 32, 32, true, &mut w);
-                w.into_bytes()
-            })
-            .unwrap();
-        assert_eq!(encoded.len(), blocks);
-        assert!(encoded.iter().all(|e| e.len() == 4), "32 bits per block");
-        assert!(report.simulated_seconds > 0.0);
-        assert!(dev.breakdown().kernel > 0.0);
+    fn traced_launch_matches_plain_launch_without_sanitizer() {
+        // With no sanitizer attached, the traced path must be byte- and
+        // clock-identical to the plain one and record nothing.
+        let grid = BlockGrid { blocks: 64, values_per_block: 256, bits_per_value: 4.0 };
+        let mut plain = Device::new(GpuSpec::tesla_v100());
+        let (a, ra) =
+            launch_grid(&mut plain, KernelKind::SzCompress, grid, "k", |b| b as u64 * 3).unwrap();
+        let mut traced = Device::new(GpuSpec::tesla_v100());
+        let (b, rb) = launch_grid_traced(&mut traced, KernelKind::SzCompress, grid, "k", |i, acc| {
+            acc.write(BufferId::raw(0), i as u64 * 8, (i as u64 + 1) * 8);
+            i as u64 * 3
+        })
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_eq!(plain.elapsed(), traced.elapsed());
+        assert!(traced.sanitizer_report().is_none());
+    }
+
+    #[test]
+    fn traced_launch_feeds_the_sanitizer() {
+        use crate::sanitizer::SanitizerConfig;
+        let mut dev = Device::new(GpuSpec::tesla_v100()).with_sanitizer(SanitizerConfig::full());
+        let buf = dev.malloc(64, "out").unwrap();
+        let grid = BlockGrid { blocks: 2, values_per_block: 8, bits_per_value: 32.0 };
+        // Both blocks write the same first 8 bytes: a seeded WW race.
+        launch_grid_traced(&mut dev, KernelKind::SzCompress, grid, "racy", |_, acc| {
+            acc.write(buf, 0, 8);
+        })
+        .unwrap();
+        let report = dev.sanitizer_report().unwrap();
+        assert!(report.diagnostics.iter().any(|d| d.kind() == "race_ww"));
+        dev.free(buf).unwrap();
     }
 }

@@ -9,7 +9,10 @@
 //! - [`cost`] — the kernel timing model (bandwidth-bound, rate-dependent);
 //! - [`device`] — memory accounting, PCIe transfers, phase timeline;
 //! - [`pipeline`] — the paper's in-situ compress/decompress sequences,
-//!   reporting Fig. 7 breakdowns and Fig. 9/10 throughputs.
+//!   reporting Fig. 7 breakdowns and Fig. 9/10 throughputs;
+//! - [`sanitizer`] — opt-in memcheck/racecheck for the device model, a
+//!   `compute-sanitizer` analogue (shadow heap, leak report, cross-block
+//!   conflict detection on traced launches).
 //!
 //! DESIGN.md documents why this substitution preserves the paper's
 //! conclusions: the results are first-order functions of data volumes and
@@ -30,18 +33,22 @@
 //! assert!((report.ratio() - 8.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod cost;
 pub mod device;
 pub mod executor;
 pub mod fault;
 pub mod pipeline;
+pub mod sanitizer;
 pub mod specs;
 
 pub use cluster::{ClusterSim, NodeSpec, SnapshotScenario};
 pub use cost::{kernel_throughput_gbs, kernel_time, FixedCosts, KernelKind};
-pub use executor::{launch_grid, BlockGrid, LaunchReport};
+pub use executor::{launch_grid, launch_grid_traced, BlockAccess, BlockGrid, LaunchReport};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
-pub use device::{Breakdown, Device, Event, PcieLink, Phase, PhaseTotals};
+pub use device::{Breakdown, BufferId, Device, Event, PcieLink, Phase, PhaseTotals};
 pub use pipeline::{baseline_transfer_seconds, run_compression, run_decompression, GpuRunReport};
+pub use sanitizer::{AccessRecord, Diagnostic, RaceKind, SanitizerConfig, SanitizerReport};
 pub use specs::{table1, Arch, CpuSpec, GpuSpec};

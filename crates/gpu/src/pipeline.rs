@@ -28,6 +28,19 @@ pub struct GpuRunReport {
 }
 
 impl GpuRunReport {
+    /// Builds a report from a finished device clock — for custom traced
+    /// pipelines that drive the device directly instead of going through
+    /// [`run_compression`]/[`run_decompression`].
+    pub fn from_breakdown(breakdown: Breakdown, uncompressed_bytes: u64, compressed_bytes: u64) -> Self {
+        Self {
+            breakdown,
+            kernel_throughput_gbs: gbs(uncompressed_bytes, breakdown.kernel),
+            overall_throughput_gbs: gbs(uncompressed_bytes, breakdown.total()),
+            compressed_bytes,
+            uncompressed_bytes,
+        }
+    }
+
     /// Achieved compression ratio.
     pub fn ratio(&self) -> f64 {
         if self.compressed_bytes == 0 {
@@ -54,9 +67,21 @@ pub fn run_compression<R>(
     device.reset_clock();
     let out_cap = (n_values as f64 * bits_per_value / 8.0).ceil() as u64 + 4096;
     let buf = device.malloc(out_cap, label)?;
-    let (result, compressed_bytes) =
-        device.launch(kind, n_values, bits_per_value, label, work)?;
-    device.d2h(compressed_bytes)?;
+    // Unwind via `release` (bookkeeping only, no simulated time) so a
+    // faulted launch or download neither leaks the buffer nor perturbs
+    // the fault-path timeline.
+    let run = (|| {
+        let out = device.launch(kind, n_values, bits_per_value, label, work)?;
+        device.d2h(out.1)?;
+        Ok(out)
+    })();
+    let (result, compressed_bytes) = match run {
+        Ok(out) => out,
+        Err(e) => {
+            device.release(buf);
+            return Err(e);
+        }
+    };
     device.free(buf)?;
     let breakdown = device.breakdown();
     let unc = n_values * 4;
@@ -85,8 +110,17 @@ pub fn run_decompression<R>(
     let bits_per_value =
         if n_values == 0 { 0.0 } else { compressed_bytes as f64 * 8.0 / n_values as f64 };
     let out_buf = device.malloc(n_values * 4, label)?;
-    device.h2d(compressed_bytes)?;
-    let result = device.launch(kind, n_values, bits_per_value, label, work)?;
+    let run = (|| {
+        device.h2d(compressed_bytes)?;
+        device.launch(kind, n_values, bits_per_value, label, work)
+    })();
+    let result = match run {
+        Ok(r) => r,
+        Err(e) => {
+            device.release(out_buf);
+            return Err(e);
+        }
+    };
     device.free(out_buf)?;
     let breakdown = device.breakdown();
     let unc = n_values * 4;
@@ -162,6 +196,21 @@ mod tests {
         assert_eq!(val, 7);
         assert_eq!(rep.compressed_bytes, comp);
         assert!(rep.breakdown.memcpy > 0.0 && rep.breakdown.kernel > 0.0);
+    }
+
+    #[test]
+    fn faulted_runs_do_not_leak_device_memory() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let rates = FaultRates { kernel: 1.0, ..Default::default() };
+        let mut d = Device::new(GpuSpec::tesla_v100())
+            .with_fault_plan(FaultPlan::new(3, rates).with_max_retries(1));
+        let r = run_compression(&mut d, KernelKind::SzCompress, 1 << 16, 4.0, "c", || ((), 1024));
+        assert!(r.is_err());
+        assert_eq!(d.allocated_bytes(), 0, "error path must release the output buffer");
+        let r = run_decompression(&mut d, KernelKind::SzDecompress, 1 << 16, 1024, "d", || ());
+        assert!(r.is_err());
+        assert_eq!(d.allocated_bytes(), 0);
+        assert!(d.leak_report().is_empty());
     }
 
     #[test]

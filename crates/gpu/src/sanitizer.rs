@@ -1,0 +1,750 @@
+//! Device-side correctness checking: a `compute-sanitizer` analogue for the
+//! simulated device.
+//!
+//! The real GPU compressors this repo models (cuSZ, cuZFP, FZ-GPU) are
+//! block-parallel kernels whose dominant bug class is memory discipline:
+//! out-of-bounds accesses, reads of uninitialized device memory, leaks on
+//! early-return error paths, and cross-block write races. The sanitizer
+//! mirrors CUDA's `compute-sanitizer` toolset for the device model:
+//!
+//! - **memcheck** — shadow allocation tracking on [`crate::Device::malloc`] /
+//!   `free` (double-free, use-after-free, end-of-run leak report with
+//!   allocation labels), byte-range bounds checks on every tracked access,
+//!   and uninitialized-read detection (a read is flagged unless the range
+//!   was covered by an `h2d` upload or a prior kernel write).
+//! - **racecheck** — per-block read/write ranges recorded during
+//!   [`crate::executor::launch_grid_traced`] are intersected across blocks
+//!   of one launch; overlapping ranges from different blocks where at least
+//!   one side is a write become write–write / read–write diagnostics
+//!   carrying both block ids, the buffer label, and the overlapping range.
+//!
+//! Ranges are tracked at **bit** granularity: fractional-rate ZFP blocks
+//! pack `maxbits`-sized bit strings that legitimately share boundary
+//! *bytes* with their neighbours, and byte-granular tracking would report
+//! false write–write conflicts there.
+//!
+//! Like `foresight_util::telemetry`, the checker is strictly opt-in and
+//! zero-cost when off: an untouched `Device` carries `None` and every hook
+//! is a single `Option` test; traced launches skip recording entirely.
+//! When telemetry is enabled, each diagnostic also increments a
+//! `sanitizer.<kind>` counter so findings land in the existing trace and
+//! metrics exports.
+
+use crate::device::BufferId;
+use foresight_util::telemetry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Total diagnostics retained per device; the rest are counted as
+/// suppressed so a pathological kernel cannot allocate unbounded reports.
+const MAX_DIAGS: usize = 256;
+/// Race diagnostics reported per launch before the sweep bails out.
+const MAX_RACES_PER_LAUNCH: usize = 16;
+
+/// Which checks are active. `Default` is everything off (zero cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizerConfig {
+    /// Shadow-heap checks: bounds, uninitialized reads, double-free,
+    /// use-after-free, leak report.
+    pub memcheck: bool,
+    /// Cross-block conflict detection on traced launches.
+    pub racecheck: bool,
+}
+
+impl SanitizerConfig {
+    /// Memcheck only.
+    pub fn memcheck() -> Self {
+        Self { memcheck: true, racecheck: false }
+    }
+
+    /// Racecheck only.
+    pub fn racecheck() -> Self {
+        Self { memcheck: false, racecheck: true }
+    }
+
+    /// Both checkers.
+    pub fn full() -> Self {
+        Self { memcheck: true, racecheck: true }
+    }
+
+    /// True when any checker is on.
+    pub fn any(&self) -> bool {
+        self.memcheck || self.racecheck
+    }
+}
+
+/// One recorded device-memory access from one block of a traced launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Which tracked buffer was touched.
+    pub buf: BufferId,
+    /// First bit touched (byte offset × 8 for byte-granular records).
+    pub start_bit: u64,
+    /// One past the last bit touched.
+    pub end_bit: u64,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+/// Race flavour for [`Diagnostic::Race`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two blocks wrote overlapping ranges.
+    WriteWrite,
+    /// One block wrote a range another block read.
+    ReadWrite,
+}
+
+/// A single sanitizer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Diagnostic {
+    /// `free` of a buffer id that was already freed or never existed.
+    DoubleFree {
+        /// Description of the offending handle.
+        buffer: String,
+    },
+    /// A traced access named a buffer id the shadow heap has never seen.
+    UnknownBuffer {
+        /// Launch label (or transfer context) of the access.
+        context: String,
+        /// Block id, if the access came from a grid block.
+        block: Option<usize>,
+    },
+    /// A traced access touched a buffer after it was freed.
+    UseAfterFree {
+        /// Allocation label of the freed buffer.
+        buffer: String,
+        /// Launch label (or transfer context) of the access.
+        context: String,
+        /// Block id, if the access came from a grid block.
+        block: Option<usize>,
+    },
+    /// A traced access ran past the end of the allocation.
+    OutOfBounds {
+        /// Allocation label.
+        buffer: String,
+        /// Launch label (or transfer context).
+        context: String,
+        /// Block id, if the access came from a grid block.
+        block: Option<usize>,
+        /// First bit of the offending range.
+        start_bit: u64,
+        /// One past the last bit of the offending range.
+        end_bit: u64,
+        /// Allocation size in bits.
+        buf_bits: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A traced read covered bits never written by `h2d` or a prior kernel.
+    UninitRead {
+        /// Allocation label.
+        buffer: String,
+        /// Launch label (or transfer context).
+        context: String,
+        /// Block id, if the access came from a grid block.
+        block: Option<usize>,
+        /// First uninitialized bit of the read.
+        start_bit: u64,
+        /// One past the last uninitialized bit.
+        end_bit: u64,
+    },
+    /// Two blocks of one launch touched an overlapping range with at least
+    /// one write.
+    Race {
+        /// Allocation label.
+        buffer: String,
+        /// Launch label.
+        launch: String,
+        /// Write–write or read–write.
+        kind: RaceKind,
+        /// First block id (the writer, for read–write races).
+        block_a: usize,
+        /// Second block id.
+        block_b: usize,
+        /// First bit of the overlap.
+        start_bit: u64,
+        /// One past the last bit of the overlap.
+        end_bit: u64,
+    },
+    /// A buffer was still allocated when the report was taken.
+    Leak {
+        /// Allocation label.
+        buffer: String,
+        /// Allocation size in bytes.
+        bytes: u64,
+    },
+}
+
+/// Formats a half-open bit range as bytes when byte-aligned.
+fn fmt_bits(start_bit: u64, end_bit: u64) -> String {
+    if start_bit.is_multiple_of(8) && end_bit.is_multiple_of(8) {
+        format!("bytes [{}, {})", start_bit / 8, end_bit / 8)
+    } else {
+        format!("bits [{start_bit}, {end_bit})")
+    }
+}
+
+fn fmt_block(block: &Option<usize>) -> String {
+    match block {
+        Some(b) => format!("block {b}"),
+        None => "host".to_string(),
+    }
+}
+
+impl Diagnostic {
+    /// Short machine-readable kind, used as the telemetry counter suffix.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Diagnostic::DoubleFree { .. } => "double_free",
+            Diagnostic::UnknownBuffer { .. } => "unknown_buffer",
+            Diagnostic::UseAfterFree { .. } => "use_after_free",
+            Diagnostic::OutOfBounds { .. } => "oob",
+            Diagnostic::UninitRead { .. } => "uninit_read",
+            Diagnostic::Race { kind: RaceKind::WriteWrite, .. } => "race_ww",
+            Diagnostic::Race { kind: RaceKind::ReadWrite, .. } => "race_rw",
+            Diagnostic::Leak { .. } => "leak",
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::DoubleFree { buffer } => {
+                write!(f, "double free: {buffer}")
+            }
+            Diagnostic::UnknownBuffer { context, block } => {
+                write!(f, "unknown buffer in '{context}' ({})", fmt_block(block))
+            }
+            Diagnostic::UseAfterFree { buffer, context, block } => {
+                write!(
+                    f,
+                    "use after free: '{buffer}' in '{context}' ({})",
+                    fmt_block(block)
+                )
+            }
+            Diagnostic::OutOfBounds {
+                buffer,
+                context,
+                block,
+                start_bit,
+                end_bit,
+                buf_bits,
+                write,
+            } => write!(
+                f,
+                "out-of-bounds {}: '{buffer}' {} exceeds {} bytes in '{context}' ({})",
+                if *write { "write" } else { "read" },
+                fmt_bits(*start_bit, *end_bit),
+                buf_bits / 8,
+                fmt_block(block)
+            ),
+            Diagnostic::UninitRead { buffer, context, block, start_bit, end_bit } => {
+                write!(
+                    f,
+                    "uninitialized read: '{buffer}' {} in '{context}' ({})",
+                    fmt_bits(*start_bit, *end_bit),
+                    fmt_block(block)
+                )
+            }
+            Diagnostic::Race { buffer, launch, kind, block_a, block_b, start_bit, end_bit } => {
+                write!(
+                    f,
+                    "{} race: '{buffer}' {} between block {block_a} and block {block_b} in '{launch}'",
+                    match kind {
+                        RaceKind::WriteWrite => "write-write",
+                        RaceKind::ReadWrite => "read-write",
+                    },
+                    fmt_bits(*start_bit, *end_bit)
+                )
+            }
+            Diagnostic::Leak { buffer, bytes } => {
+                write!(f, "leak: '{buffer}' still holds {bytes} bytes")
+            }
+        }
+    }
+}
+
+/// Summary of everything the sanitizer saw, plus current leaks.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerReport {
+    /// All retained diagnostics, in detection order (leaks last).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Traced launches analyzed.
+    pub launches_checked: usize,
+    /// Allocations the shadow heap has seen.
+    pub buffers_tracked: usize,
+    /// Diagnostics dropped past [`MAX_DIAGS`].
+    pub suppressed: usize,
+}
+
+impl SanitizerReport {
+    /// True when no diagnostics were recorded (suppressed implies some were).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.suppressed == 0
+    }
+
+    /// Rendered findings, one string per diagnostic, suitable for reports.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.diagnostics.iter().map(|d| format!("sanitizer: {d}")).collect();
+        if self.suppressed > 0 {
+            out.push(format!("sanitizer: {} further diagnostics suppressed", self.suppressed));
+        }
+        out
+    }
+}
+
+/// Sorted, disjoint, half-open `u64` intervals with merge-on-insert.
+#[derive(Debug, Clone, Default)]
+struct RangeSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// Inserts `[start, end)`, merging overlapping or adjacent runs.
+    fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // First run that could touch [start, end): runs are sorted, so skip
+        // everything ending strictly before `start`.
+        let lo = self.runs.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        let mut ns = start;
+        let mut ne = end;
+        while hi < self.runs.len() && self.runs[hi].0 <= ne {
+            ns = ns.min(self.runs[hi].0);
+            ne = ne.max(self.runs[hi].1);
+            hi += 1;
+        }
+        self.runs.splice(lo..hi, [(ns, ne)]);
+    }
+
+    /// True when `[start, end)` is fully covered.
+    #[cfg(test)]
+    fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.runs.partition_point(|&(_, e)| e <= start);
+        match self.runs.get(i) {
+            Some(&(s, e)) => s <= start && end <= e,
+            None => false,
+        }
+    }
+
+    /// First uncovered sub-range of `[start, end)`, if any.
+    fn first_gap(&self, start: u64, end: u64) -> Option<(u64, u64)> {
+        let mut cursor = start;
+        let i = self.runs.partition_point(|&(_, e)| e <= cursor);
+        for &(s, e) in &self.runs[i..] {
+            if s > cursor {
+                return Some((cursor, end.min(s)));
+            }
+            cursor = cursor.max(e);
+            if cursor >= end {
+                return None;
+            }
+        }
+        (cursor < end).then_some((cursor, end))
+    }
+
+    fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+}
+
+/// Shadow state for one allocation; kept after free so stale handles can be
+/// diagnosed as use-after-free instead of unknown.
+#[derive(Debug, Clone)]
+struct Shadow {
+    label: String,
+    bits: u64,
+    freed: bool,
+    init: RangeSet,
+}
+
+/// The checker itself: shadow heap plus collected diagnostics. Held by
+/// `Device` as `Option<Box<Sanitizer>>` — `None` means every hook is one
+/// branch and no tracing happens.
+#[derive(Debug, Clone)]
+pub(crate) struct Sanitizer {
+    cfg: SanitizerConfig,
+    shadows: BTreeMap<usize, Shadow>,
+    diags: Vec<Diagnostic>,
+    suppressed: usize,
+    launches: usize,
+    buffers_tracked: usize,
+}
+
+/// One merged interval in the per-launch race sweep.
+struct Interval {
+    start: u64,
+    end: u64,
+    write: bool,
+    block: usize,
+}
+
+impl Sanitizer {
+    pub fn new(cfg: SanitizerConfig) -> Self {
+        Self {
+            cfg,
+            shadows: BTreeMap::new(),
+            diags: Vec::new(),
+            suppressed: 0,
+            launches: 0,
+            buffers_tracked: 0,
+        }
+    }
+
+    pub fn config(&self) -> SanitizerConfig {
+        self.cfg
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        if telemetry::is_enabled() {
+            telemetry::counter(&format!("sanitizer.{}", d.kind()), 1);
+        }
+        if self.diags.len() < MAX_DIAGS {
+            self.diags.push(d);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn label_of(&self, idx: usize) -> String {
+        self.shadows.get(&idx).map_or_else(|| format!("buffer #{idx}"), |s| s.label.clone())
+    }
+
+    pub fn on_malloc(&mut self, idx: usize, bytes: u64, label: &str) {
+        self.buffers_tracked += 1;
+        self.shadows.insert(
+            idx,
+            Shadow { label: label.to_string(), bits: bytes * 8, freed: false, init: RangeSet::default() },
+        );
+    }
+
+    /// Valid free: mark the shadow dead but keep it for stale-handle checks.
+    pub fn on_free(&mut self, idx: usize) {
+        if let Some(s) = self.shadows.get_mut(&idx) {
+            s.freed = true;
+        }
+    }
+
+    /// The device rejected a free (unknown id or already freed).
+    pub fn on_invalid_free(&mut self, idx: usize) {
+        if self.cfg.memcheck {
+            let buffer = match self.shadows.get(&idx) {
+                Some(s) => format!("'{}'", s.label),
+                None => format!("buffer #{idx}"),
+            };
+            self.push(Diagnostic::DoubleFree { buffer });
+        }
+    }
+
+    /// An `h2d` upload filled `[0, bytes)` of the buffer.
+    pub fn on_h2d(&mut self, idx: usize, bytes: u64) {
+        if let Some(s) = self.shadows.get_mut(&idx) {
+            if !s.freed {
+                s.init.insert(0, (bytes * 8).min(s.bits));
+            }
+        }
+    }
+
+    /// A `d2h` download read `[0, bytes)` of the buffer.
+    pub fn on_d2h(&mut self, idx: usize, bytes: u64, label: &str) {
+        if !self.cfg.memcheck {
+            return;
+        }
+        let rec = AccessRecord {
+            buf: BufferId::raw(idx),
+            start_bit: 0,
+            end_bit: bytes * 8,
+            write: false,
+        };
+        self.check_access(&rec, &format!("d2h:{label}"), None);
+    }
+
+    /// Memcheck for one access against the current shadow state.
+    fn check_access(&mut self, r: &AccessRecord, context: &str, block: Option<usize>) {
+        let idx = r.buf.index();
+        let Some(sh) = self.shadows.get(&idx) else {
+            self.push(Diagnostic::UnknownBuffer { context: context.to_string(), block });
+            return;
+        };
+        if sh.freed {
+            let buffer = sh.label.clone();
+            self.push(Diagnostic::UseAfterFree { buffer, context: context.to_string(), block });
+            return;
+        }
+        if r.end_bit > sh.bits {
+            let (buffer, buf_bits) = (sh.label.clone(), sh.bits);
+            self.push(Diagnostic::OutOfBounds {
+                buffer,
+                context: context.to_string(),
+                block,
+                start_bit: r.start_bit,
+                end_bit: r.end_bit,
+                buf_bits,
+                write: r.write,
+            });
+            return;
+        }
+        if !r.write {
+            if let Some((gs, ge)) = sh.init.first_gap(r.start_bit, r.end_bit) {
+                let buffer = sh.label.clone();
+                self.push(Diagnostic::UninitRead {
+                    buffer,
+                    context: context.to_string(),
+                    block,
+                    start_bit: gs,
+                    end_bit: ge,
+                });
+            }
+        }
+    }
+
+    /// Analyzes one traced launch: memcheck every record against the
+    /// pre-launch shadow state, sweep for cross-block races, then fold the
+    /// launch's writes into the initialized sets.
+    ///
+    /// Blocks of one launch are concurrent, so reads are checked against the
+    /// state *before* the launch — a block consuming another block's
+    /// same-launch write is both an uninitialized read and (by the race
+    /// sweep) a read–write conflict. Sequential launches are not raced
+    /// against each other, matching `compute-sanitizer`'s model.
+    pub fn analyze_launch(&mut self, label: &str, blocks: &[Vec<AccessRecord>]) {
+        self.launches += 1;
+        if self.cfg.memcheck {
+            for (bi, recs) in blocks.iter().enumerate() {
+                for r in recs {
+                    self.check_access(r, label, Some(bi));
+                }
+            }
+        }
+        if self.cfg.racecheck {
+            self.race_sweep(label, blocks);
+        }
+        // Apply writes last: they become visible to later launches only.
+        for recs in blocks {
+            for r in recs.iter().filter(|r| r.write) {
+                if let Some(sh) = self.shadows.get_mut(&r.buf.index()) {
+                    if !sh.freed && r.end_bit <= sh.bits {
+                        sh.init.insert(r.start_bit, r.end_bit);
+                    }
+                }
+            }
+        }
+    }
+
+    fn race_sweep(&mut self, label: &str, blocks: &[Vec<AccessRecord>]) {
+        // Merge each block's ranges per (buffer, kind) so duplicate or
+        // adjacent records collapse before the O(n log n) sweep.
+        let mut per_buf: BTreeMap<usize, Vec<Interval>> = BTreeMap::new();
+        for (bi, recs) in blocks.iter().enumerate() {
+            let mut local: BTreeMap<(usize, bool), RangeSet> = BTreeMap::new();
+            for r in recs {
+                local.entry((r.buf.index(), r.write)).or_default().insert(r.start_bit, r.end_bit);
+            }
+            for ((buf, write), set) in &local {
+                let ivs = per_buf.entry(*buf).or_default();
+                for &(start, end) in set.runs() {
+                    ivs.push(Interval { start, end, write: *write, block: bi });
+                }
+            }
+        }
+        let mut reported = 0usize;
+        for (buf, mut ivs) in per_buf {
+            ivs.sort_by_key(|iv| (iv.start, iv.end));
+            for i in 0..ivs.len() {
+                for j in i + 1..ivs.len() {
+                    if ivs[j].start >= ivs[i].end {
+                        break;
+                    }
+                    let (a, b) = (&ivs[i], &ivs[j]);
+                    if a.block == b.block || !(a.write || b.write) {
+                        continue;
+                    }
+                    let kind = if a.write && b.write {
+                        RaceKind::WriteWrite
+                    } else {
+                        RaceKind::ReadWrite
+                    };
+                    // For read-write races, name the writer first.
+                    let (block_a, block_b) =
+                        if a.write { (a.block, b.block) } else { (b.block, a.block) };
+                    let buffer = self.label_of(buf);
+                    self.push(Diagnostic::Race {
+                        buffer,
+                        launch: label.to_string(),
+                        kind,
+                        block_a,
+                        block_b,
+                        start_bit: a.start.max(b.start),
+                        end_bit: a.end.min(b.end),
+                    });
+                    reported += 1;
+                    if reported >= MAX_RACES_PER_LAUNCH {
+                        self.suppressed += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot of all diagnostics; live allocations are appended as leaks
+    /// when memcheck is on (the shadow heap is not mutated).
+    pub fn report(&self) -> SanitizerReport {
+        let mut diagnostics = self.diags.clone();
+        if self.cfg.memcheck {
+            for sh in self.shadows.values() {
+                if !sh.freed {
+                    diagnostics
+                        .push(Diagnostic::Leak { buffer: sh.label.clone(), bytes: sh.bits / 8 });
+                }
+            }
+        }
+        SanitizerReport {
+            diagnostics,
+            launches_checked: self.launches,
+            buffers_tracked: self.buffers_tracked,
+            suppressed: self.suppressed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(idx: usize, start: u64, end: u64, write: bool) -> AccessRecord {
+        AccessRecord { buf: BufferId::raw(idx), start_bit: start * 8, end_bit: end * 8, write }
+    }
+
+    #[test]
+    fn rangeset_insert_merges_and_covers() {
+        let mut s = RangeSet::default();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        s.insert(18, 32); // bridges both runs
+        assert_eq!(s.runs(), &[(10, 40)]);
+        assert!(s.covers(10, 40));
+        assert!(!s.covers(9, 11));
+        assert_eq!(s.first_gap(0, 50), Some((0, 10)));
+        assert_eq!(s.first_gap(15, 25), None);
+        assert_eq!(s.first_gap(35, 45), Some((40, 45)));
+    }
+
+    #[test]
+    fn rangeset_adjacent_runs_coalesce() {
+        let mut s = RangeSet::default();
+        s.insert(0, 8);
+        s.insert(8, 16);
+        assert_eq!(s.runs(), &[(0, 16)]);
+        assert!(s.covers(0, 16));
+    }
+
+    #[test]
+    fn memcheck_flags_oob_uninit_and_use_after_free() {
+        let mut san = Sanitizer::new(SanitizerConfig::memcheck());
+        san.on_malloc(0, 16, "buf");
+        // Uninitialized read, then an OOB write.
+        san.analyze_launch("k", &[vec![rec(0, 0, 8, false), rec(0, 12, 20, true)]]);
+        // Second launch: the earlier in-bounds writes are now visible.
+        san.analyze_launch("k2", &[vec![rec(0, 0, 8, false)]]);
+        san.on_free(0);
+        san.analyze_launch("k3", &[vec![rec(0, 0, 4, false)]]);
+        let kinds: Vec<_> = san.report().diagnostics.iter().map(|d| d.kind()).collect();
+        assert_eq!(kinds, vec!["uninit_read", "oob", "uninit_read", "use_after_free"]);
+    }
+
+    #[test]
+    fn write_then_read_same_launch_is_uninit_and_race() {
+        let mut san = Sanitizer::new(SanitizerConfig::full());
+        san.on_malloc(0, 64, "shared");
+        san.analyze_launch("k", &[vec![rec(0, 0, 8, true)], vec![rec(0, 0, 8, false)]]);
+        let kinds: Vec<_> = san.report().diagnostics.iter().map(|d| d.kind()).collect();
+        assert!(kinds.contains(&"uninit_read"));
+        assert!(kinds.contains(&"race_rw"));
+    }
+
+    #[test]
+    fn racecheck_flags_ww_overlap_and_ignores_disjoint() {
+        let mut san = Sanitizer::new(SanitizerConfig::racecheck());
+        san.on_malloc(0, 64, "out");
+        san.analyze_launch(
+            "k",
+            &[vec![rec(0, 0, 20, true)], vec![rec(0, 16, 32, true)], vec![rec(0, 32, 64, true)]],
+        );
+        let report = san.report();
+        assert_eq!(report.diagnostics.len(), 1);
+        match &report.diagnostics[0] {
+            Diagnostic::Race { kind, block_a, block_b, start_bit, end_bit, .. } => {
+                assert_eq!(*kind, RaceKind::WriteWrite);
+                assert_eq!((*block_a, *block_b), (0, 1));
+                assert_eq!((*start_bit, *end_bit), (16 * 8, 20 * 8));
+            }
+            other => panic!("expected race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_read_overlap_is_not_a_race() {
+        let mut san = Sanitizer::new(SanitizerConfig::racecheck());
+        san.on_malloc(0, 64, "in");
+        san.analyze_launch("k", &[vec![rec(0, 0, 32, false)], vec![rec(0, 0, 32, false)]]);
+        assert!(san.report().is_clean());
+    }
+
+    #[test]
+    fn bit_granular_neighbours_do_not_conflict() {
+        let mut san = Sanitizer::new(SanitizerConfig::racecheck());
+        san.on_malloc(0, 64, "payload");
+        // Two 12-bit fields sharing byte 1 — fine at bit granularity.
+        let a = AccessRecord { buf: BufferId::raw(0), start_bit: 0, end_bit: 12, write: true };
+        let b = AccessRecord { buf: BufferId::raw(0), start_bit: 12, end_bit: 24, write: true };
+        san.analyze_launch("k", &[vec![a], vec![b]]);
+        assert!(san.report().is_clean());
+    }
+
+    #[test]
+    fn leak_and_double_free_reported() {
+        let mut san = Sanitizer::new(SanitizerConfig::memcheck());
+        san.on_malloc(0, 32, "kept");
+        san.on_malloc(1, 8, "freed");
+        san.on_free(1);
+        san.on_invalid_free(1);
+        let report = san.report();
+        let kinds: Vec<_> = report.diagnostics.iter().map(|d| d.kind()).collect();
+        assert_eq!(kinds, vec!["double_free", "leak"]);
+        assert_eq!(report.buffers_tracked, 2);
+    }
+
+    #[test]
+    fn diagnostics_render_with_labels_blocks_and_ranges() {
+        let d = Diagnostic::Race {
+            buffer: "sz.out".into(),
+            launch: "sz.decode".into(),
+            kind: RaceKind::WriteWrite,
+            block_a: 3,
+            block_b: 7,
+            start_bit: 64,
+            end_bit: 128,
+        };
+        let s = d.to_string();
+        assert!(s.contains("sz.out") && s.contains("block 3") && s.contains("block 7"));
+        assert!(s.contains("bytes [8, 16)"));
+        let u = Diagnostic::UninitRead {
+            buffer: "b".into(),
+            context: "k".into(),
+            block: None,
+            start_bit: 1,
+            end_bit: 5,
+        }
+        .to_string();
+        assert!(u.contains("bits [1, 5)") && u.contains("host"));
+    }
+}

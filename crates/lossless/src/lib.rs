@@ -17,6 +17,8 @@
 //!
 //! Both are exact: `decompress(compress(x)) == x` bit for bit.
 
+#![forbid(unsafe_code)]
+
 pub mod fpc;
 pub mod fpz;
 

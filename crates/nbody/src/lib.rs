@@ -14,6 +14,8 @@
 //! `cosmo-data` builds the HACC-like (1-D particle arrays) and Nyx-like
 //! (3-D field grids) datasets from these primitives.
 
+#![forbid(unsafe_code)]
+
 pub mod cosmology;
 pub mod icgen;
 pub mod pm;

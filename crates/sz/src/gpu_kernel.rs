@@ -24,17 +24,19 @@ use crate::config::Dims;
 use crate::huffman::Codebook;
 use foresight_util::bits::{BitReader, BitWriter};
 use foresight_util::crc::crc32;
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 use rayon::prelude::*;
 
 const MAGIC: &[u8; 4] = b"SZDQ";
 /// Quantization-code radius (codes span the open interval around it).
 const RADIUS: i64 = 1 << 15;
+/// Largest per-axis extent accepted from a header (2^40 values).
+const MAX_EXTENT: u64 = 1 << 40;
 
 /// Per-block dual-quant compression output.
-struct DqBlock {
-    codes: Vec<u32>,
-    outliers: Vec<f32>, // raw values stored verbatim (exact recovery)
+pub(crate) struct DqBlock {
+    pub codes: Vec<u32>,
+    pub outliers: Vec<f32>, // raw values stored verbatim (exact recovery)
 }
 
 /// Largest lattice magnitude kept on the fast path; beyond it the f64
@@ -85,7 +87,7 @@ fn lorenzo_q(q: &[i64], sx: usize, sxy: usize, i: usize, j: usize, k: usize) -> 
         + at(1, 1, 1)
 }
 
-fn compress_block_dq(data: &[f32], ext: [usize; 3], b: &Block, eb: f64) -> DqBlock {
+pub(crate) fn compress_block_dq(data: &[f32], ext: [usize; 3], b: &Block, eb: f64) -> DqBlock {
     let [sx, sy, sz] = b.size;
     let cells = b.cells();
     // Prequantization (independent per value — the parallel step).
@@ -140,7 +142,7 @@ fn compress_block_dq(data: &[f32], ext: [usize; 3], b: &Block, eb: f64) -> DqBlo
     DqBlock { codes, outliers }
 }
 
-fn decompress_block_dq(
+pub(crate) fn decompress_block_dq(
     codes: &[u32],
     outliers: &[f32],
     b: &Block,
@@ -238,11 +240,13 @@ pub fn compress_dualquant(
         .map(|o| {
             let mut w = BitWriter::with_capacity(o.codes.len() / 2);
             for &c in &o.codes {
-                book.encode(c, &mut w).expect("from histogram");
+                book.encode(c, &mut w)?;
             }
-            w.into_bytes()
+            Ok(w.into_bytes())
         })
-        .collect();
+        .collect::<Vec<Result<Vec<u8>>>>()
+        .into_iter()
+        .collect::<Result<Vec<Vec<u8>>>>()?;
 
     let mut body = Vec::new();
     for (o, s) in outputs.iter().zip(&streams) {
@@ -259,6 +263,7 @@ pub fn compress_dualquant(
         }
     }
 
+    // lint: allow(alloc-arith) — encoder-side capacity hint on an already-materialized body
     let mut out = Vec::with_capacity(body.len() + 80);
     out.extend_from_slice(MAGIC);
     out.push(dims.ndim());
@@ -277,29 +282,28 @@ pub fn compress_dualquant(
 /// Decompresses a dual-quant stream.
 pub fn decompress_dualquant(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     const HDR: usize = 4 + 1 + 24 + 4 + 8 + 8 + 4 + 8;
-    if stream.len() < HDR || &stream[..4] != MAGIC {
-        return Err(Error::corrupt("not an SZDQ stream"));
-    }
-    let ndim = stream[4];
-    let rd_u64 = |o: usize| u64::from_le_bytes(stream[o..o + 8].try_into().unwrap());
-    let nx = rd_u64(5) as usize;
-    let ny = rd_u64(13) as usize;
-    let nz = rd_u64(21) as usize;
+    let mut rd = ByteReader::new(stream);
+    rd.expect_magic(MAGIC, "SZDQ stream")?;
+    let ndim = rd.u8()?;
+    let nx = rd.u64_le_capped(MAX_EXTENT, "x extent")?;
+    let ny = rd.u64_le_capped(MAX_EXTENT, "y extent")?;
+    let nz = rd.u64_le_capped(MAX_EXTENT, "z extent")?;
     let dims = match ndim {
         1 => Dims::D1(nx),
         2 => Dims::D2(nx, ny),
         3 => Dims::D3(nx, ny, nz),
         v => return Err(Error::corrupt(format!("bad ndim {v}"))),
     };
-    let block_size = u32::from_le_bytes(stream[29..33].try_into().unwrap()) as usize;
-    let eb = f64::from_le_bytes(stream[33..41].try_into().unwrap());
+    let block_size = rd.u32_le()? as usize;
+    let eb = rd.f64_le()?;
     if !(eb.is_finite() && eb > 0.0) || block_size < 2 {
         return Err(Error::corrupt("bad header parameters"));
     }
-    let nblocks = rd_u64(41) as usize;
-    let crc = u32::from_le_bytes(stream[49..53].try_into().unwrap());
-    let body_len = rd_u64(53) as usize;
-    let body = &stream[HDR..];
+    let nblocks = rd.u64_le_capped(u64::MAX >> 8, "block count")?;
+    let crc = rd.u32_le()?;
+    let body_len = rd.u64_le_capped(u64::MAX >> 8, "body length")?;
+    debug_assert_eq!(rd.pos(), HDR);
+    let body = stream.get(HDR..).ok_or_else(|| Error::corrupt("truncated SZDQ header"))?;
     if body.len() != body_len {
         return Err(Error::corrupt("body length mismatch"));
     }
@@ -311,35 +315,28 @@ pub fn decompress_dualquant(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     if blocks.len() != nblocks {
         return Err(Error::corrupt("block count mismatch"));
     }
-    let meta_len = nblocks * 8;
-    if body.len() < meta_len {
-        return Err(Error::corrupt("truncated meta"));
-    }
+    let meta_len = nblocks.checked_mul(8).ok_or_else(|| Error::corrupt("meta overflow"))?;
+    let mut meta_rd = ByteReader::new(
+        body.get(..meta_len).ok_or_else(|| Error::corrupt("truncated meta"))?,
+    );
     let mut metas = Vec::with_capacity(nblocks);
-    for bi in 0..nblocks {
-        let o = bi * 8;
-        let n_out = u32::from_le_bytes(body[o..o + 4].try_into().unwrap()) as usize;
-        let s_len = u32::from_le_bytes(body[o + 4..o + 8].try_into().unwrap()) as usize;
+    for _ in 0..nblocks {
+        let n_out = meta_rd.u32_le()? as usize;
+        let s_len = meta_rd.u32_le()? as usize;
         metas.push((n_out, s_len));
     }
-    let (book, table_len) = Codebook::deserialize(&body[meta_len..])?;
+    let table = body.get(meta_len..).ok_or_else(|| Error::corrupt("truncated table"))?;
+    let (book, table_len) = Codebook::deserialize(table)?;
     let codes_start = meta_len + table_len;
-    let total_stream: usize = metas.iter().map(|&(_, s)| s).sum();
-    let total_out: usize = metas.iter().map(|&(o, _)| o).sum();
-    if body.len() < codes_start + total_stream + total_out * 4 {
+    let total_stream: u64 = metas.iter().map(|&(_, s)| s as u64).sum();
+    let total_out: u64 = metas.iter().map(|&(o, _)| o as u64).sum();
+    if (body.len() as u64) < codes_start as u64 + total_stream + total_out * 4 {
         return Err(Error::corrupt("truncated payload"));
     }
-    let outliers_start = codes_start + total_stream;
+    let outliers_start = codes_start + total_stream as usize;
 
     let mut out = vec![0.0f32; dims.len()];
-    // Blocks decode into disjoint regions; same SendPtr argument as the
-    // main stream module.
-    #[derive(Clone, Copy)]
-    struct SendPtr(*mut f32);
-    // SAFETY: each task writes only its own block's cells.
-    unsafe impl Send for SendPtr {}
-    unsafe impl Sync for SendPtr {}
-    let ptr = SendPtr(out.as_mut_ptr());
+    let ptr = crate::stream::SendPtr(out.as_mut_ptr());
     let out_len = out.len();
     let mut code_off = codes_start;
     let mut out_off = 0usize;
@@ -355,19 +352,27 @@ pub fn decompress_dualquant(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
         .try_for_each(|(bi, b)| -> Result<()> {
             let (c_off, o_off) = offsets[bi];
             let (n_out, s_len) = metas[bi];
-            let mut r = BitReader::new(&body[c_off..c_off + s_len]);
+            let code_bytes = body
+                .get(c_off..c_off + s_len)
+                .ok_or_else(|| Error::corrupt("code stream out of range"))?;
+            let mut r = BitReader::new(code_bytes);
             let mut codes = Vec::new();
             book.decode_into(&mut r, b.cells(), &mut codes)?;
             if codes.iter().filter(|&&c| c == 0).count() != n_out {
                 return Err(Error::corrupt("outlier count mismatch"));
             }
             let ostart = outliers_start + o_off * 4;
-            let outliers: Vec<f32> = body[ostart..ostart + n_out * 4]
-                .chunks(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            let outliers: Vec<f32> = body
+                .get(ostart..ostart + n_out * 4)
+                .ok_or_else(|| Error::corrupt("outliers out of range"))?
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect();
             let p = ptr;
-            // SAFETY: see SendPtr.
+            // SAFETY: blocks partition the domain, so each task writes only its
+            // own block's disjoint cells (the racecheck sanitizer validates this
+            // exact claim through `gpu_exec`).
+            #[allow(unsafe_code)]
             let slice = unsafe { std::slice::from_raw_parts_mut(p.0, out_len) };
             decompress_block_dq(&codes, &outliers, b, eb, ext, slice);
             Ok(())

@@ -19,7 +19,7 @@
 //! bit-at-a-time walk only for rare codes longer than the window.
 
 use foresight_util::bits::{BitReader, BitWriter};
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 use std::collections::BinaryHeap;
 
 /// Maximum supported code length (paranoia guard; real tables are shorter).
@@ -368,22 +368,19 @@ impl Codebook {
 
     /// Deserializes a table written by [`Codebook::serialize`];
     /// returns the codebook and the number of bytes consumed.
-    pub fn deserialize(data: &[u8]) -> Result<(Self, usize)> {
-        if data.len() < 4 {
-            return Err(Error::corrupt("huffman table truncated"));
-        }
-        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
-        let need = 4 + n * 5;
-        if data.len() < need {
+    pub fn deserialize(stream: &[u8]) -> Result<(Self, usize)> {
+        let mut rd = ByteReader::new(stream);
+        let n = rd.u32_le()? as usize;
+        if n > rd.remaining() / 5 {
             return Err(Error::corrupt("huffman table truncated"));
         }
         let mut entries = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 4 + i * 5;
-            let sym = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
-            entries.push((sym, data[off + 4]));
+        for _ in 0..n {
+            let sym = rd.u32_le()?;
+            entries.push((sym, rd.u8()?));
         }
-        Ok((Self::from_lengths(entries)?, need))
+        let consumed = rd.pos();
+        Ok((Self::from_lengths(entries)?, consumed))
     }
 }
 
@@ -420,8 +417,7 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Result<Vec<(u32, u8)>> {
     }
     let mut next_id = n as u32;
     while heap.len() > 1 {
-        let a = heap.pop().unwrap();
-        let b = heap.pop().unwrap();
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else { break };
         parent[a.id as usize] = next_id;
         parent[b.id as usize] = next_id;
         heap.push(Node { freq: a.freq.saturating_add(b.freq), id: next_id });

@@ -34,8 +34,14 @@
 //! assert!(data.iter().zip(&recon).all(|(a, b)| (a - b).abs() <= 1e-3));
 //! ```
 
+// `deny` rather than `forbid`: the parallel block-scatter paths carry two
+// item-level `#[allow(unsafe_code)]` pointer wrappers whose disjointness
+// claim the gpu-sim racecheck validates mechanically (see `gpu_exec`).
+#![deny(unsafe_code)]
+
 pub mod block;
 pub mod config;
+pub mod gpu_exec;
 pub mod gpu_kernel;
 pub mod huffman;
 pub mod lossless;

@@ -7,7 +7,7 @@
 //! in 19 bits, so matches shorter than 4 bytes are never emitted.
 
 use foresight_util::bits::{BitReader, BitWriter};
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 
 const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 258;
@@ -24,7 +24,7 @@ fn hash4(data: &[u8], i: usize) -> usize {
 
 /// Compresses `data`; output starts with the original length (u64 LE).
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut w = BitWriter::with_capacity(data.len() / 2 + 16);
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 16); // lint: allow(alloc-arith) in-memory input, bounded
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let mut prev = vec![usize::MAX; data.len().max(1)];
     let mut i = 0usize;
@@ -80,7 +80,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut out = Vec::with_capacity(data.len() / 2 + 16); // lint: allow(alloc-arith) in-memory input, bounded
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     out.extend_from_slice(&w.into_bytes());
     out
@@ -88,10 +88,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
-    if stream.len() < 8 {
-        return Err(Error::corrupt("lzss stream shorter than header"));
-    }
-    let n64 = u64::from_le_bytes(stream[..8].try_into().unwrap());
+    let mut rd = ByteReader::new(stream);
+    let n64 = rd.u64_le()?;
     // LZSS expands at most ~(MIN_MATCH + 255)x per encoded token, so a
     // genuine stream of this input size cannot exceed this many bytes;
     // an untrusted header claiming more is corrupt, and either way the
@@ -102,7 +100,9 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
     }
     let n = n64 as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
-    let mut r = BitReader::new(&stream[8..]);
+    let rem = rd.remaining();
+    let body = rd.take(rem)?;
+    let mut r = BitReader::new(body);
     while out.len() < n {
         if r.read_bit()? {
             let len = r.read_bits(8)? as usize + MIN_MATCH;

@@ -35,8 +35,25 @@ const HDR: usize = HDR_CRC_AT + 4;
 /// Largest per-axis extent accepted from a header (2^40 values).
 const MAX_EXTENT: u64 = 1 << 40;
 
-/// Compresses `data` with the given configuration.
-pub fn compress(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>> {
+/// Error-bound plan shared by the CPU driver and the traced device path:
+/// the absolute bound actually applied, the user-facing parameter, the
+/// header mode tag, and the PW_REL transform when active.
+pub(crate) struct ModePlan {
+    pub eb_abs: f64,
+    pub eb_param: f64,
+    pub tag: u8,
+    pub pw: Option<pwrel::PwRelTransformed>,
+}
+
+impl ModePlan {
+    /// The array the block kernels actually consume (log-space for PW_REL).
+    pub fn working_data<'a>(&'a self, data: &'a [f32]) -> &'a [f32] {
+        self.pw.as_ref().map_or(data, |t| &t.log_data[..])
+    }
+}
+
+/// Validates configuration and data/dims agreement.
+pub(crate) fn validate_input(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<()> {
     cfg.validate()?;
     if data.len() != dims.len() {
         return Err(Error::invalid(format!(
@@ -45,30 +62,35 @@ pub fn compress(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>> {
             dims
         )));
     }
+    Ok(())
+}
+
+/// Resolves the error-bound mode against the data.
+pub(crate) fn plan_mode(data: &[f32], cfg: &SzConfig) -> ModePlan {
     match cfg.mode {
-        ErrorBound::Abs(eb) => compress_inner(data, dims, cfg, eb, eb, 0, None),
+        ErrorBound::Abs(eb) => ModePlan { eb_abs: eb, eb_param: eb, tag: 0, pw: None },
         ErrorBound::Rel(rel) => {
             let range = summarize(data).range();
             let eb = if range > 0.0 && range.is_finite() { rel * range } else { rel };
-            compress_inner(data, dims, cfg, eb, rel, 1, None)
+            ModePlan { eb_abs: eb, eb_param: rel, tag: 1, pw: None }
         }
-        ErrorBound::PwRel(p) => {
-            let t = pwrel::forward(data);
-            let eb = pwrel::abs_bound_for(p);
-            compress_inner(&t.log_data, dims, cfg, eb, p, 2, Some(&t))
-        }
+        ErrorBound::PwRel(p) => ModePlan {
+            eb_abs: pwrel::abs_bound_for(p),
+            eb_param: p,
+            tag: 2,
+            pw: Some(pwrel::forward(data)),
+        },
     }
 }
 
-fn compress_inner(
-    data: &[f32],
-    dims: Dims,
-    cfg: &SzConfig,
-    eb_abs: f64,
-    eb_param: f64,
-    mode_tag: u8,
-    pw: Option<&pwrel::PwRelTransformed>,
-) -> Result<Vec<u8>> {
+/// Compresses `data` with the given configuration.
+pub fn compress(data: &[f32], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>> {
+    validate_input(data, dims, cfg)?;
+    let plan = plan_mode(data, cfg);
+    compress_inner(plan.working_data(data), dims, cfg, &plan)
+}
+
+fn compress_inner(data: &[f32], dims: Dims, cfg: &SzConfig, plan: &ModePlan) -> Result<Vec<u8>> {
     let ext = dims.extents();
     let blocks = block::partition(dims, cfg.block_size);
 
@@ -76,19 +98,37 @@ fn compress_inner(
     let quantize = telemetry::span("sz.quantize");
     let outputs: Vec<BlockOutput> = blocks
         .par_iter()
-        .map(|b| block::compress_block(data, ext, b, eb_abs, cfg.radius, cfg.predictor))
+        .map(|b| block::compress_block(data, ext, b, plan.eb_abs, cfg.radius, cfg.predictor))
         .collect();
     drop(quantize);
 
-    // Global histogram and codebook: fold/reduce over per-chunk dense
-    // tables. Quantization emits symbols in [0, 2*radius) (0 = outlier),
-    // so a flat count array replaces hashing on the hot path; anything
-    // outside that range (impossible today, cheap to tolerate) spills to
-    // a sparse overflow map.
     let histogram = telemetry::span("sz.histogram");
+    let book = global_codebook(&outputs, cfg.radius)?;
+    drop(histogram);
+
+    // Pass 2: entropy-encode each block.
+    let encode = telemetry::span("sz.huffman_encode");
+    let code_streams: Vec<Vec<u8>> = outputs
+        .par_iter()
+        .map(|o| encode_block_codes(&o.codes, &book))
+        .collect::<Vec<Result<Vec<u8>>>>()
+        .into_iter()
+        .collect::<Result<Vec<Vec<u8>>>>()?;
+    drop(encode);
+
+    Ok(assemble(dims, cfg, plan, &outputs, &code_streams, &book))
+}
+
+/// Builds the global Huffman codebook over all block outputs.
+///
+/// Fold/reduce over per-chunk dense tables: quantization emits symbols in
+/// `[0, 2*radius)` (0 = outlier), so a flat count array replaces hashing
+/// on the hot path; anything outside that range (impossible today, cheap
+/// to tolerate) spills to a sparse overflow map.
+pub(crate) fn global_codebook(outputs: &[BlockOutput], radius: u32) -> Result<Codebook> {
     let hist = {
         type Acc = (Vec<u64>, std::collections::HashMap<u32, u64>);
-        let dense_len = 2 * cfg.radius as usize;
+        let dense_len = 2 * radius as usize;
         let new_acc = || (vec![0u64; dense_len], std::collections::HashMap::new());
         let (dense, sparse) = outputs
             .par_iter()
@@ -124,26 +164,33 @@ fn compress_inner(
         v.extend(extra);
         v
     };
-    let book = Codebook::from_frequencies(&hist)?;
-    drop(histogram);
+    Codebook::from_frequencies(&hist)
+}
 
-    // Pass 2: entropy-encode each block.
-    let encode = telemetry::span("sz.huffman_encode");
-    let code_streams: Vec<Vec<u8>> = outputs
-        .par_iter()
-        .map(|o| {
-            let mut w = BitWriter::with_capacity(o.codes.len() / 2);
-            for &c in &o.codes {
-                book.encode(c, &mut w).expect("symbol came from the histogram");
-            }
-            w.into_bytes()
-        })
-        .collect();
-    drop(encode);
+/// Entropy-encodes one block's quantization codes against the global book.
+pub(crate) fn encode_block_codes(codes: &[u32], book: &Codebook) -> Result<Vec<u8>> {
+    let mut w = BitWriter::with_capacity(codes.len() / 2);
+    for &c in codes {
+        book.encode(c, &mut w)?;
+    }
+    Ok(w.into_bytes())
+}
 
-    // Assemble the body.
+/// Assembles the container: body (per-block meta, Huffman table, code
+/// streams, outliers, PW_REL epilogue), optional LZSS, and the header.
+/// Shared verbatim by the CPU driver and the traced device path so both
+/// produce bit-identical streams.
+pub(crate) fn assemble(
+    dims: Dims,
+    cfg: &SzConfig,
+    plan: &ModePlan,
+    outputs: &[BlockOutput],
+    code_streams: &[Vec<u8>],
+    book: &Codebook,
+) -> Vec<u8> {
+    let ext = dims.extents();
     let mut body = Vec::new();
-    for (o, cs) in outputs.iter().zip(&code_streams) {
+    for (o, cs) in outputs.iter().zip(code_streams) {
         body.push(o.tag.to_u8());
         body.extend_from_slice(&(o.outliers.len() as u32).to_le_bytes());
         body.extend_from_slice(&(cs.len() as u32).to_le_bytes());
@@ -152,15 +199,15 @@ fn compress_inner(
         }
     }
     book.serialize(&mut body);
-    for cs in &code_streams {
+    for cs in code_streams {
         body.extend_from_slice(cs);
     }
-    for o in &outputs {
+    for o in outputs {
         for &v in &o.outliers {
             body.extend_from_slice(&v.to_le_bytes());
         }
     }
-    if let Some(t) = pw {
+    if let Some(t) = &plan.pw {
         body.extend_from_slice(&t.sign_bitmap);
         body.extend_from_slice(&t.special_bitmap);
         body.extend_from_slice(&(t.specials.len() as u32).to_le_bytes());
@@ -180,10 +227,10 @@ fn compress_inner(
     };
 
     // Header.
-    let mut out = Vec::with_capacity(body.len() + 96);
+    let mut out = Vec::with_capacity(body.len() + 96); // lint: allow(alloc-arith) — encoder-side capacity hint on an already-materialized body
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    out.push(mode_tag);
+    out.push(plan.tag);
     out.push(match cfg.entropy {
         EntropyBackend::Huffman => 0,
         EntropyBackend::HuffmanLzss => 1,
@@ -194,9 +241,9 @@ fn compress_inner(
     }
     out.extend_from_slice(&(cfg.block_size as u32).to_le_bytes());
     out.extend_from_slice(&cfg.radius.to_le_bytes());
-    out.extend_from_slice(&eb_abs.to_le_bytes());
-    out.extend_from_slice(&eb_param.to_le_bytes());
-    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&plan.eb_abs.to_le_bytes());
+    out.extend_from_slice(&plan.eb_param.to_le_bytes());
+    out.extend_from_slice(&(outputs.len() as u64).to_le_bytes());
     out.extend_from_slice(&raw_len.to_le_bytes());
     out.extend_from_slice(&crc.to_le_bytes());
     // Header CRC: without it a bit flip in, say, the error bound would
@@ -205,7 +252,7 @@ fn compress_inner(
     let hcrc = crc32(&out);
     out.extend_from_slice(&hcrc.to_le_bytes());
     out.extend_from_slice(&body);
-    Ok(out)
+    out
 }
 
 /// Header fields parsed from a compressed stream.
@@ -280,7 +327,8 @@ pub fn info(stream: &[u8]) -> Result<StreamInfo> {
     let crc = r.u32_le()?;
     debug_assert_eq!(r.pos(), HDR_CRC_AT);
     let hcrc = r.u32_le()?;
-    if crc32(&stream[..HDR_CRC_AT]) != hcrc {
+    let hdr = stream.get(..HDR_CRC_AT).ok_or_else(|| Error::corrupt("truncated header"))?;
+    if crc32(hdr) != hcrc {
         return Err(Error::corrupt("header CRC mismatch"));
     }
     Ok(StreamInfo {
@@ -299,23 +347,30 @@ pub fn info(stream: &[u8]) -> Result<StreamInfo> {
 
 /// Pointer wrapper for parallel scatter into disjoint block regions.
 #[derive(Clone, Copy)]
-struct SendPtr(*mut f32);
+pub(crate) struct SendPtr(pub *mut f32);
 // SAFETY: each parallel task writes only the cells of its own block and
-// blocks partition the array without overlap.
+// blocks partition the array without overlap — exactly the claim the
+// gpu-sim racecheck validates mechanically over the traced device path.
+#[allow(unsafe_code)] // lint: allow(decode-panic) — trait impls, not decode logic
 unsafe impl Send for SendPtr {}
+#[allow(unsafe_code)]
 unsafe impl Sync for SendPtr {}
 
-/// Decompresses a stream, returning the data and its dimensions.
-pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
-    let inf = info(stream)?;
-    let body_raw = &stream[inf.body_offset..];
-    let body_owned;
+/// Validates the body against the header (LZSS-expanding if needed) and
+/// returns it; `scratch` owns the expanded bytes when LZSS was used.
+pub(crate) fn checked_body<'a>(
+    inf: &StreamInfo,
+    stream: &'a [u8],
+    scratch: &'a mut Vec<u8>,
+) -> Result<&'a [u8]> {
+    let body_raw =
+        stream.get(inf.body_offset..).ok_or_else(|| Error::corrupt("truncated body"))?;
     let body: &[u8] = match inf.entropy {
         EntropyBackend::Huffman => body_raw,
         EntropyBackend::HuffmanLzss => {
             let _lzss = telemetry::span("sz.lzss_decode");
-            body_owned = lossless::decompress(body_raw)?;
-            &body_owned
+            *scratch = lossless::decompress(body_raw)?;
+            scratch
         }
     };
     if body.len() as u64 != inf.raw_len {
@@ -328,7 +383,46 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     if crc32(body) != inf.crc {
         return Err(Error::corrupt("body CRC mismatch"));
     }
+    Ok(body)
+}
 
+/// Per-block meta parsed from the body.
+pub(crate) struct Meta {
+    pub tag: PredictorTag,
+    pub n_out: usize,
+    pub code_bytes: usize,
+    pub coeffs: [f32; 4],
+}
+
+/// Everything needed to decode blocks independently: the block list,
+/// per-block metas, the Huffman book, and byte offsets into the body.
+pub(crate) struct DecodePlan {
+    pub blocks: Vec<block::Block>,
+    pub metas: Vec<Meta>,
+    pub book: Codebook,
+    pub code_offsets: Vec<usize>,
+    pub outlier_offsets: Vec<usize>,
+    pub outliers_start: usize,
+    pub outliers_end: usize,
+    pub n_values: usize,
+}
+
+impl DecodePlan {
+    /// Body byte range of block `bi`'s Huffman code stream.
+    pub fn code_range(&self, bi: usize) -> (usize, usize) {
+        (self.code_offsets[bi], self.code_offsets[bi] + self.metas[bi].code_bytes)
+    }
+
+    /// Body byte range of block `bi`'s outlier array.
+    pub fn outlier_range(&self, bi: usize) -> (usize, usize) {
+        let start = self.outliers_start + self.outlier_offsets[bi] * 4;
+        (start, start + self.metas[bi].n_out * 4)
+    }
+}
+
+/// Parses per-block metadata and the Huffman table, cross-checking every
+/// size against the body before any dims-driven allocation.
+pub(crate) fn prepare_decode(inf: &StreamInfo, body: &[u8]) -> Result<DecodePlan> {
     let dims = inf.dims;
     let ext = dims.extents();
     let n_values =
@@ -365,14 +459,10 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
 
     // Per-block meta.
     let meta_len = blocks.len() * META_BYTES;
-    struct Meta {
-        tag: PredictorTag,
-        n_out: usize,
-        code_bytes: usize,
-        coeffs: [f32; 4],
-    }
+    let meta_bytes =
+        body.get(..meta_len).ok_or_else(|| Error::corrupt("truncated block meta"))?;
     let mut metas = Vec::with_capacity(blocks.len());
-    let mut mr = ByteReader::new(&body[..meta_len]);
+    let mut mr = ByteReader::new(meta_bytes);
     for _ in 0..blocks.len() {
         let tag = PredictorTag::from_u8(mr.u8()?)
             .ok_or_else(|| Error::corrupt("bad predictor tag"))?;
@@ -386,7 +476,9 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     }
 
     // Huffman table.
-    let (book, table_len) = Codebook::deserialize(&body[meta_len..])?;
+    let table_bytes =
+        body.get(meta_len..).ok_or_else(|| Error::corrupt("truncated Huffman table"))?;
+    let (book, table_len) = Codebook::deserialize(table_bytes)?;
     let codes_start = meta_len + table_len;
 
     // Slice boundaries for code streams and outliers; sum in u64 so a
@@ -404,7 +496,6 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
     if n_values as u64 > total_code_bytes.saturating_mul(8) && n_values > 0 {
         return Err(Error::corrupt("dims imply more values than the code streams hold"));
     }
-    let outliers_start = outliers_start_64 as usize;
     let mut code_offsets = Vec::with_capacity(blocks.len());
     let mut outlier_offsets = Vec::with_capacity(blocks.len());
     let (mut co, mut oo) = (codes_start, 0usize);
@@ -414,62 +505,114 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
         co += m.code_bytes;
         oo += m.n_out;
     }
+    Ok(DecodePlan {
+        blocks,
+        metas,
+        book,
+        code_offsets,
+        outlier_offsets,
+        outliers_start: outliers_start_64 as usize,
+        outliers_end: outliers_end_64 as usize,
+        n_values,
+    })
+}
 
-    let mut out = vec![0.0f32; n_values];
+/// Entropy-decodes and dequantizes one block into `out` (the full array;
+/// only the block's own cells are written).
+pub(crate) fn decode_block_into(
+    inf: &StreamInfo,
+    plan: &DecodePlan,
+    body: &[u8],
+    bi: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    let m = &plan.metas[bi];
+    let b = &plan.blocks[bi];
+    let (cs_start, cs_end) = plan.code_range(bi);
+    let cs = body.get(cs_start..cs_end).ok_or_else(|| Error::corrupt("truncated codes"))?;
+    let mut r = BitReader::new(cs);
+    let mut codes = Vec::new();
+    plan.book.decode_into(&mut r, b.cells(), &mut codes)?;
+    let n_zero = codes.iter().filter(|&&c| c == 0).count();
+    if n_zero != m.n_out {
+        return Err(Error::corrupt("outlier count mismatch"));
+    }
+    let (o_start, o_end) = plan.outlier_range(bi);
+    let outlier_bytes =
+        body.get(o_start..o_end).ok_or_else(|| Error::corrupt("truncated outliers"))?;
+    let outliers: Vec<f32> = outlier_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    block::decompress_block(
+        &codes,
+        &outliers,
+        m.tag,
+        m.coeffs,
+        inf.dims.extents(),
+        b,
+        inf.eb_abs,
+        inf.radius,
+        out,
+    );
+    Ok(())
+}
+
+/// Undoes the PW_REL log transform when active (bounds-checked reads).
+pub(crate) fn finish_pwrel(
+    inf: &StreamInfo,
+    plan: &DecodePlan,
+    body: &[u8],
+    out: Vec<f32>,
+) -> Result<Vec<f32>> {
+    let ErrorBound::PwRel(_) = inf.mode else { return Ok(out) };
+    let nbytes = plan.n_values.div_ceil(8);
+    let tail =
+        body.get(plan.outliers_end..).ok_or_else(|| Error::corrupt("truncated PW_REL tail"))?;
+    let mut er = ByteReader::new(tail);
+    let sign = er.take(nbytes)?;
+    let special = er.take(nbytes)?;
+    let nspec = er.u32_le()? as usize;
+    let spec_bytes = er.take(
+        nspec
+            .checked_mul(4)
+            .ok_or_else(|| Error::corrupt("PW_REL special count overflows"))?,
+    )?;
+    let specials: Vec<f32> = spec_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(pwrel::inverse(&out, sign, special, &specials))
+}
+
+/// Decompresses a stream, returning the data and its dimensions.
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims)> {
+    let inf = info(stream)?;
+    let mut scratch = Vec::new();
+    let body = checked_body(&inf, stream, &mut scratch)?;
+    let plan = prepare_decode(&inf, body)?;
+
+    let mut out = vec![0.0f32; plan.n_values];
     let ptr = SendPtr(out.as_mut_ptr());
     let out_len = out.len();
     // One span covers entropy decode + dequantize: the two are fused in
     // the per-block loop, matching the reference SZ decoder's structure.
     let decode = telemetry::span("sz.huffman_decode");
-    blocks
+    plan.blocks
         .par_iter()
         .enumerate()
-        .try_for_each(|(bi, b)| -> Result<()> {
-            let m = &metas[bi];
-            let cs = &body[code_offsets[bi]..code_offsets[bi] + m.code_bytes];
-            let mut r = BitReader::new(cs);
-            let mut codes = Vec::new();
-            book.decode_into(&mut r, b.cells(), &mut codes)?;
-            let n_zero = codes.iter().filter(|&&c| c == 0).count();
-            if n_zero != m.n_out {
-                return Err(Error::corrupt("outlier count mismatch"));
-            }
-            let ostart = outliers_start + outlier_offsets[bi] * 4;
-            let outliers: Vec<f32> = body[ostart..ostart + m.n_out * 4]
-                .chunks(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
+        .try_for_each(|(bi, _)| -> Result<()> {
             let p = ptr;
             // SAFETY: blocks are disjoint (see SendPtr) and the slice spans
             // the whole array.
+            #[allow(unsafe_code)]
             let slice = unsafe { std::slice::from_raw_parts_mut(p.0, out_len) };
-            block::decompress_block(
-                &codes, &outliers, m.tag, m.coeffs, ext, b, inf.eb_abs, inf.radius, slice,
-            );
-            Ok(())
+            decode_block_into(&inf, &plan, body, bi, slice)
         })?;
     drop(decode);
 
-    // PW_REL epilogue: undo the log transform (bounds-checked reads).
-    if let ErrorBound::PwRel(_) = inf.mode {
-        let nbytes = n_values.div_ceil(8);
-        let mut er = ByteReader::new(&body[outliers_end_64 as usize..]);
-        let sign = er.take(nbytes)?;
-        let special = er.take(nbytes)?;
-        let nspec = er.u32_le()? as usize;
-        let spec_bytes = er.take(
-            nspec
-                .checked_mul(4)
-                .ok_or_else(|| Error::corrupt("PW_REL special count overflows"))?,
-        )?;
-        let specials: Vec<f32> = spec_bytes
-            .chunks(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect();
-        out = pwrel::inverse(&out, sign, special, &specials);
-    }
-
-    Ok((out, dims))
+    let out = finish_pwrel(&inf, &plan, body, out)?;
+    Ok((out, inf.dims))
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 
 use crate::config::{Dims, ErrorBound, SzConfig};
 use crate::stream;
-use foresight_util::{Error, Result};
+use foresight_util::{ByteReader, Error, Result};
 
 /// Compresses `current` against `prev_recon` (element-wise residuals).
 ///
@@ -47,7 +47,7 @@ pub fn compress_temporal(
         }
     }
     let inner = stream::compress(&residual, dims, cfg)?;
-    let mut out = Vec::with_capacity(inner.len() + bypass.len() + 16);
+    let mut out = Vec::with_capacity(inner.len() + bypass.len() + 16); // lint: allow(alloc-arith) in-memory buffers, bounded
     out.extend_from_slice(b"SZTD");
     out.extend_from_slice(&(current.len() as u64).to_le_bytes());
     out.extend_from_slice(&bypass);
@@ -57,22 +57,19 @@ pub fn compress_temporal(
 
 /// Decompresses a temporal stream given the previous reconstruction.
 pub fn decompress_temporal(stream_bytes: &[u8], prev_recon: &[f32]) -> Result<(Vec<f32>, Dims)> {
-    if stream_bytes.len() < 12 || &stream_bytes[..4] != b"SZTD" {
-        return Err(Error::corrupt("not a temporal SZ stream"));
-    }
-    let n = u64::from_le_bytes(stream_bytes[4..12].try_into().unwrap()) as usize;
-    if n != prev_recon.len() {
+    let mut rd = ByteReader::new(stream_bytes);
+    rd.expect_magic(b"SZTD", "temporal SZ stream")?;
+    let n64 = rd.u64_le()?;
+    if n64 != prev_recon.len() as u64 {
         return Err(Error::invalid(format!(
-            "previous snapshot has {} values, stream expects {n}",
+            "previous snapshot has {} values, stream expects {n64}",
             prev_recon.len()
         )));
     }
-    let bypass_len = n.div_ceil(8);
-    if stream_bytes.len() < 12 + bypass_len {
-        return Err(Error::corrupt("temporal bypass bitmap truncated"));
-    }
-    let bypass = &stream_bytes[12..12 + bypass_len];
-    let (residual, dims) = stream::decompress(&stream_bytes[12 + bypass_len..])?;
+    let n = prev_recon.len();
+    let bypass = rd.take(n.div_ceil(8))?;
+    let rem = rd.remaining();
+    let (residual, dims) = stream::decompress(rd.take(rem)?)?;
     if residual.len() != n {
         return Err(Error::corrupt("temporal residual length mismatch"));
     }

@@ -7,6 +7,8 @@
 //! tiny ASCII table/CSV formatter used by the benchmark binaries, and the
 //! telemetry layer (spans, metrics, Chrome-trace/flamegraph export).
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod bytes;
 pub mod crc;

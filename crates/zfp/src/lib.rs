@@ -25,8 +25,11 @@
 //! assert_eq!(recon.len(), data.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod config;
+pub mod gpu_exec;
 pub mod lift;
 pub mod stream;
 

@@ -82,6 +82,7 @@ pub fn lift_axis(data: &mut [i32], stride: usize, forward: bool) {
             1 => line * 4,
             4 => (line / 4) * 16 + (line % 4),
             16 => line,
+            // lint: allow(decode-panic) — internal invariant: callers pass only 1/4/16
             _ => unreachable!("stride must be 1, 4, or 16"),
         };
         let mut g = [

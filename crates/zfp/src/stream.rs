@@ -27,11 +27,11 @@ const MAX_EXTENT: u64 = 1 << 40;
 
 /// A block's position in the (up to) 3-D block grid.
 #[derive(Debug, Clone, Copy)]
-struct BlockPos {
-    origin: [usize; 3],
+pub(crate) struct BlockPos {
+    pub origin: [usize; 3],
 }
 
-fn block_grid(dims: Dims3) -> (Vec<BlockPos>, u8) {
+pub(crate) fn block_grid(dims: Dims3) -> (Vec<BlockPos>, u8) {
     let d = dims.ndim();
     let [nx, ny, nz] = dims.extents();
     let mut blocks = Vec::new();
@@ -70,7 +70,7 @@ fn gather(data: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
 }
 
 /// Scatters decoded samples back, skipping replicated padding.
-fn scatter(block: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
+pub(crate) fn scatter(block: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
     let [nx, ny, nz] = dims.extents();
     let (ex, ey, ez) = match d {
         1 => (4usize, 1usize, 1usize),
@@ -90,6 +90,17 @@ fn scatter(block: &[f32], dims: Dims3, pos: &BlockPos, d: u8, out: &mut [f32]) {
                 i += 1;
             }
         }
+    }
+}
+
+/// Per-mode worst-case bits any single block may occupy — the staging
+/// slot size a GPU encoder allocates per block before compaction. Exact
+/// (not just an upper bound) in fixed-rate mode.
+pub(crate) fn block_bit_cap(mode: &ZfpMode, d: u8) -> u32 {
+    let cells = codec::block_cells(d) as u32;
+    match mode {
+        ZfpMode::FixedRate(rate) => rate_maxbits(*rate, cells as usize),
+        _ => HEADER_BITS + INTPREC * (cells + 2),
     }
 }
 
@@ -128,30 +139,46 @@ pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
         )));
     }
     let (blocks, d) = block_grid(dims);
-    let cells = codec::block_cells(d);
 
     // Encode every block independently (parallel), then splice bit-exactly.
     let encode = telemetry::span("zfp.encode");
-    let encoded: Vec<(Vec<u8>, u32)> = blocks
-        .par_iter()
-        .map(|pos| {
-            let mut vals = vec![0.0f32; cells];
-            gather(data, dims, pos, d, &mut vals);
-            let (maxbits, maxprec, pad) = block_params(cfg, d, &vals);
-            let mut w = BitWriter::new();
-            let used = codec::encode_block(&vals, d, maxbits, maxprec, pad, &mut w);
-            (w.into_bytes(), used)
-        })
-        .collect();
+    let encoded: Vec<(Vec<u8>, u32)> =
+        blocks.par_iter().map(|pos| encode_one(data, dims, pos, d, cfg)).collect();
     drop(encode);
 
+    Ok(assemble(dims, cfg, &encoded))
+}
+
+/// Gathers and encodes one block, returning its bytes and exact bit count.
+/// Shared by the CPU driver and the traced device path.
+pub(crate) fn encode_one(
+    data: &[f32],
+    dims: Dims3,
+    pos: &BlockPos,
+    d: u8,
+    cfg: &ZfpConfig,
+) -> (Vec<u8>, u32) {
+    let cells = codec::block_cells(d);
+    let mut vals = vec![0.0f32; cells];
+    gather(data, dims, pos, d, &mut vals);
+    let (maxbits, maxprec, pad) = block_params(cfg, d, &vals);
+    let mut w = BitWriter::new();
+    let used = codec::encode_block(&vals, d, maxbits, maxprec, pad, &mut w);
+    (w.into_bytes(), used)
+}
+
+/// Splices encoded blocks into the container (payload, header, length
+/// table). Shared verbatim by the CPU driver and the traced device path
+/// so both produce bit-identical streams.
+pub(crate) fn assemble(dims: Dims3, cfg: &ZfpConfig, encoded: &[(Vec<u8>, u32)]) -> Vec<u8> {
     let mut payload = BitWriter::with_capacity(encoded.iter().map(|(b, _)| b.len()).sum());
-    for (bytes, nbits) in &encoded {
+    for (bytes, nbits) in encoded {
         append_bits(&mut payload, bytes, *nbits as u64);
     }
     let payload = payload.into_bytes();
     let crc = crc32(&payload);
 
+    // lint: allow(alloc-arith) — encoder-side capacity hint on an already-materialized payload
     let mut out = Vec::with_capacity(payload.len() + 64 + encoded.len() * 4);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -162,18 +189,18 @@ pub fn compress(data: &[f32], dims: Dims3, cfg: &ZfpConfig) -> Result<Vec<u8>> {
         out.extend_from_slice(&(e as u64).to_le_bytes());
     }
     out.extend_from_slice(&cfg.mode.param().to_le_bytes());
-    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(encoded.len() as u64).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc.to_le_bytes());
     let hcrc = crc32(&out);
     out.extend_from_slice(&hcrc.to_le_bytes());
     if !matches!(cfg.mode, ZfpMode::FixedRate(_)) {
-        for (_, nbits) in &encoded {
+        for (_, nbits) in encoded {
             out.extend_from_slice(&nbits.to_le_bytes());
         }
     }
     out.extend_from_slice(&payload);
-    Ok(out)
+    out
 }
 
 /// Appends the first `nbits` bits of `bytes` to `w`.
@@ -239,25 +266,33 @@ pub fn info(stream: &[u8]) -> Result<StreamInfo> {
     let crc = r.u32_le()?;
     debug_assert_eq!(r.pos(), HDR_CRC_AT);
     let hcrc = r.u32_le()?;
-    if crc32(&stream[..HDR_CRC_AT]) != hcrc {
+    let hdr = stream.get(..HDR_CRC_AT).ok_or_else(|| Error::corrupt("truncated header"))?;
+    if crc32(hdr) != hcrc {
         return Err(Error::corrupt("header CRC mismatch"));
     }
     Ok(StreamInfo { dims, mode, nblocks, payload_len, crc, lens_offset: HDR })
 }
 
-/// Bits per block in fixed-rate mode; must match `block_params`.
-fn fixed_rate_maxbits(mode: &ZfpMode, cells: usize) -> u32 {
-    match mode {
-        ZfpMode::FixedRate(rate) => {
-            ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1)
-        }
-        _ => unreachable!("fixed_rate_maxbits called for variable-rate mode"),
-    }
+/// Bits per block at a fixed rate; must match `block_params`.
+fn rate_maxbits(rate: f64, cells: usize) -> u32 {
+    ((rate * cells as f64).round() as u32).max(HEADER_BITS + 1)
 }
 
-/// Decompresses a stream produced by [`compress`].
-pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
-    let inf = info(stream)?;
+/// Everything needed to decode blocks independently: the block grid,
+/// per-block bit spans, and where the payload starts in the stream.
+pub(crate) struct DecodePlan {
+    pub blocks: Vec<BlockPos>,
+    pub d: u8,
+    pub fixed_rate: bool,
+    pub bit_offsets: Vec<u64>,
+    pub bit_lens: Vec<u32>,
+    pub payload_start: usize,
+    pub n_values: usize,
+}
+
+/// Validates the header against the stream and builds the decode plan,
+/// cross-checking every size before any dims-driven allocation.
+pub(crate) fn prepare_decode(inf: &StreamInfo, stream: &[u8]) -> Result<DecodePlan> {
     let dims = inf.dims;
     let d = dims.ndim();
     let cells = codec::block_cells(d);
@@ -270,7 +305,13 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
     if expected_blocks != inf.nblocks as u128 {
         return Err(Error::corrupt("block count mismatch"));
     }
-    let fixed_rate = matches!(inf.mode, ZfpMode::FixedRate(_));
+    // Resolving the mode here (rather than re-matching later) keeps the
+    // fixed-rate bit math in one place with no unreachable arm.
+    let rate_bits = match inf.mode {
+        ZfpMode::FixedRate(rate) => Some(rate_maxbits(rate, cells)),
+        _ => None,
+    };
+    let fixed_rate = rate_bits.is_some();
     // Total stream length must match header + length table + payload
     // exactly; this bounds nblocks by the bytes we actually hold.
     let lens_bytes: u128 = if fixed_rate { 0 } else { inf.nblocks as u128 * 4 };
@@ -279,27 +320,22 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
         return Err(Error::corrupt("payload length mismatch"));
     }
     let payload_start = payload_start_wide as usize;
-    if fixed_rate {
-        let maxbits = fixed_rate_maxbits(&inf.mode, cells);
-        let total_bits = inf.nblocks as u128 * maxbits as u128;
-        if total_bits.div_ceil(8) > inf.payload_len as u128 {
-            return Err(Error::corrupt("payload shorter than block bits"));
-        }
-    }
 
     let (blocks, _) = block_grid(dims);
     debug_assert_eq!(blocks.len() as u128, expected_blocks);
 
     // Per-block bit offsets.
-    let (bit_offsets, bit_lens): (Vec<u64>, Vec<u32>) = if fixed_rate {
-        let maxbits = fixed_rate_maxbits(&inf.mode, cells);
+    let (bit_offsets, bit_lens): (Vec<u64>, Vec<u32>) = if let Some(maxbits) = rate_bits {
         let offs = (0..blocks.len() as u64).map(|i| i * maxbits as u64).collect();
         (offs, vec![maxbits; blocks.len()])
     } else {
+        let table = stream
+            .get(inf.lens_offset..payload_start)
+            .ok_or_else(|| Error::corrupt("truncated length table"))?;
+        let mut lr = ByteReader::new(table);
         let mut lens = Vec::with_capacity(blocks.len());
-        for i in 0..blocks.len() {
-            let o = inf.lens_offset + i * 4;
-            lens.push(u32::from_le_bytes(stream[o..o + 4].try_into().unwrap()));
+        for _ in 0..blocks.len() {
+            lens.push(lr.u32_le()?);
         }
         let mut offs = Vec::with_capacity(blocks.len());
         let mut acc = 0u64;
@@ -310,7 +346,8 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
         (offs, lens)
     };
 
-    let payload = &stream[payload_start..];
+    let payload =
+        stream.get(payload_start..).ok_or_else(|| Error::corrupt("truncated payload"))?;
     if crc32(payload) != inf.crc {
         return Err(Error::corrupt("payload CRC mismatch"));
     }
@@ -319,48 +356,77 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
         return Err(Error::corrupt("payload shorter than block bits"));
     }
 
-    let n_values = dims
-        .checked_len()
-        .ok_or_else(|| Error::corrupt("dims product overflows"))?;
-    let mut out = vec![0.0f32; n_values];
+    let n_values =
+        dims.checked_len().ok_or_else(|| Error::corrupt("dims product overflows"))?;
+    Ok(DecodePlan {
+        blocks,
+        d,
+        fixed_rate,
+        bit_offsets,
+        bit_lens,
+        payload_start,
+        n_values,
+    })
+}
+
+/// Decodes one block's `4^d` values from the payload. Shared by the CPU
+/// driver and the traced device path.
+pub(crate) fn decode_one(
+    inf: &StreamInfo,
+    plan: &DecodePlan,
+    payload: &[u8],
+    bi: usize,
+) -> Result<Vec<f32>> {
+    let d = plan.d;
+    let bit_off = plan.bit_offsets[bi];
+    let byte = (bit_off / 8) as usize;
+    let skip = (bit_off % 8) as u32;
+    let tail = payload.get(byte..).ok_or_else(|| Error::corrupt("block bits out of range"))?;
+    let mut r = BitReader::new(tail);
+    r.read_bits(skip)?;
+    let mut vals = vec![0.0f32; codec::block_cells(d)];
+    let (maxbits, maxprec) = match inf.mode {
+        ZfpMode::FixedRate(_) => (plan.bit_lens[bi], INTPREC),
+        ZfpMode::FixedPrecision(p) => (plan.bit_lens[bi], p.min(INTPREC)),
+        // Accuracy mode derives per-block precision from emax; the
+        // encoder stored the exact bit length, so cap by it and let
+        // the codec recompute maxprec from the stream's emax.
+        ZfpMode::FixedAccuracy(tol) => {
+            let used = codec::peek_maxprec_for_accuracy(tail, skip, tol, d)?;
+            (plan.bit_lens[bi], used)
+        }
+    };
+    let consumed = codec::decode_block(&mut r, d, maxbits, maxprec, plan.fixed_rate, &mut vals)?;
+    if !plan.fixed_rate && consumed != plan.bit_lens[bi] {
+        return Err(Error::corrupt(format!(
+            "block {bi} consumed {consumed} bits, expected {}",
+            plan.bit_lens[bi]
+        )));
+    }
+    Ok(vals)
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Dims3)> {
+    let inf = info(stream)?;
+    let dims = inf.dims;
+    let plan = prepare_decode(&inf, stream)?;
+    let payload = stream
+        .get(plan.payload_start..)
+        .ok_or_else(|| Error::corrupt("truncated payload"))?;
+
+    let mut out = vec![0.0f32; plan.n_values];
     // Decode blocks in parallel into local buffers, then scatter serially
     // (scatter touches interleaved rows, so keep it simple and safe).
     let decode = telemetry::span("zfp.decode");
-    let decoded: Vec<Result<Vec<f32>>> = blocks
+    let decoded: Vec<Result<Vec<f32>>> = plan
+        .blocks
         .par_iter()
         .enumerate()
-        .map(|(bi, _)| {
-            let bit_off = bit_offsets[bi];
-            let byte = (bit_off / 8) as usize;
-            let skip = (bit_off % 8) as u32;
-            let mut r = BitReader::new(&payload[byte..]);
-            r.read_bits(skip)?;
-            let mut vals = vec![0.0f32; cells];
-            let (maxbits, maxprec) = match inf.mode {
-                ZfpMode::FixedRate(_) => (bit_lens[bi], INTPREC),
-                ZfpMode::FixedPrecision(p) => (bit_lens[bi], p.min(INTPREC)),
-                // Accuracy mode derives per-block precision from emax; the
-                // encoder stored the exact bit length, so cap by it and let
-                // the codec recompute maxprec from the stream's emax.
-                ZfpMode::FixedAccuracy(tol) => {
-                    let used =
-                        codec::peek_maxprec_for_accuracy(&payload[byte..], skip, tol, d)?;
-                    (bit_lens[bi], used)
-                }
-            };
-            let consumed =
-                codec::decode_block(&mut r, d, maxbits, maxprec, fixed_rate, &mut vals)?;
-            if !fixed_rate && consumed != bit_lens[bi] {
-                return Err(Error::corrupt(format!(
-                    "block {bi} consumed {consumed} bits, expected {}",
-                    bit_lens[bi]
-                )));
-            }
-            Ok(vals)
-        })
+        .map(|(bi, _)| decode_one(&inf, &plan, payload, bi))
         .collect();
     for (bi, dec) in decoded.into_iter().enumerate() {
-        scatter(&dec?, dims, &blocks[bi], d, &mut out);
+        scatter(&dec?, dims, &plan.blocks[bi], plan.d, &mut out);
     }
     drop(decode);
     Ok((out, dims))

@@ -5,4 +5,6 @@
 //! lives in the member crates. [`prelude`] re-exports the pieces most
 //! examples need.
 
+#![forbid(unsafe_code)]
+
 pub mod prelude;
