@@ -4,6 +4,7 @@
 //! ```text
 //! foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>
 //! foresight-cli report <telemetry.json>
+//! foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]
 //! ```
 //!
 //! `--trace` enables the telemetry collector and writes a Chrome
@@ -17,10 +18,22 @@
 //! table. `report` pretty-prints a previously written `telemetry.json`
 //! as per-phase (Fig. 7) and per-stage tables.
 //!
+//! `serve-bench` runs the same synthetic open-loop workload through the
+//! serial single-device reference scheduler and the batched multi-device
+//! scheduler (see the `serve` module), prints a comparison table with
+//! p50/p95/p99 latency, verifies the two produced bit-identical outputs,
+//! and — with `--out` — writes `telemetry.json` (both metric snapshots
+//! plus the speedup) and `serve_trace.json` (a Chrome trace of the
+//! batched run's device lanes) into the directory. The optional config
+//! file's `serve` section sets the node/scheduler/workload parameters
+//! and its `chaos` section sets device fault rates; `--requests` and
+//! `--seed` override the workload size and seed.
+//!
 //! Exit codes:
 //! - 0 — success;
 //! - 1 — config/telemetry file could not be loaded, the pipeline aborted
-//!   with an error, or an output file could not be written;
+//!   with an error, an output file could not be written, or `serve-bench`
+//!   found a batched/serial output divergence;
 //! - 2 — usage error (missing/unknown argument);
 //! - 3 — the pipeline ran to completion but one or more jobs failed or
 //!   were skipped (per-job summary on stderr);
@@ -34,7 +47,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -81,6 +94,137 @@ fn report_main(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `serve-bench`: serial-vs-batched scheduler comparison on one
+/// synthetic workload, with bit-identity verification.
+fn serve_bench_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut requests: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut config_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(p) = args.next() else { usage_exit() };
+                out_dir = Some(PathBuf::from(p));
+            }
+            "--requests" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                requests = Some(n);
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                seed = Some(s);
+            }
+            s if s.starts_with('-') => usage_exit(),
+            _ if config_path.is_some() => usage_exit(),
+            _ => config_path = Some(arg),
+        }
+    }
+    let (settings, rates) = match &config_path {
+        None => (foresight::ServeSettings::default(), gpu_sim::FaultRates::default()),
+        Some(path) => match ForesightConfig::from_file(path) {
+            Ok(cfg) => (
+                cfg.serve.unwrap_or_default(),
+                cfg.chaos.map(|c| c.fault_rates()).unwrap_or_default(),
+            ),
+            Err(e) => {
+                eprintln!("error: cannot load '{path}': {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let node = settings.to_node();
+    let opts = settings.to_serve_options(rates);
+    let mut wl = settings.to_workload_spec();
+    if let Some(n) = requests {
+        wl.requests = n;
+    }
+    if let Some(s) = seed {
+        wl.seed = s;
+    }
+    println!(
+        "serve-bench: {} device(s), link {} GB/s, {} requests @ {:.0}/s, seed {}",
+        node.devices, node.link.bandwidth_gbs, wl.requests, wl.arrival_hz, wl.seed
+    );
+    let run = || -> foresight_util::Result<(foresight::ServeReport, foresight::ServeReport)> {
+        let reqs = foresight::synth_workload(&wl)?;
+        let serial = foresight::serve_serial(&node, &opts, &reqs)?;
+        // reset() also disables, so enable after it: the Chrome trace
+        // should carry only the batched run's device lanes.
+        telemetry::reset();
+        telemetry::enable();
+        let batched = foresight::serve(&node, &opts, &reqs)?;
+        Ok((serial, batched))
+    };
+    let (serial, batched) = match run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = Table::new(["scheduler", "makespan_s", "GB/s", "batches", "p50_ms", "p95_ms", "p99_ms"]);
+    for (name, r) in [("serial x1", &serial), (&format!("batched x{}", node.devices), &batched)] {
+        let lat = r.latency();
+        table.push_row([
+            name.to_string(),
+            fmt_f64(r.makespan_s),
+            fmt_f64(r.sustained_gbs),
+            r.batches.to_string(),
+            fmt_f64(lat.map_or(0.0, |l| l.p50 * 1e3)),
+            fmt_f64(lat.map_or(0.0, |l| l.p95 * 1e3)),
+            fmt_f64(lat.map_or(0.0, |l| l.p99 * 1e3)),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    let speedup = serial.makespan_s / batched.makespan_s.max(1e-12);
+    println!(
+        "speedup {speedup:.2}x | rejected {} | deadline-missed {} | failovers {} | cpu-fallbacks {}",
+        batched.rejected, batched.missed, batched.failovers, batched.cpu_fallbacks
+    );
+    for (dev, util) in &batched.device_util {
+        println!("  {dev}: {:.1}% busy", util * 100.0);
+    }
+    // Bit-identity: every request served by both schedulers must have
+    // produced the same bytes — scheduling must never change results.
+    let mut diverged = 0usize;
+    for b in &batched.responses {
+        if let (Some(bo), Some(s)) = (&b.output, serial.response(b.id)) {
+            if s.output.as_ref() != Some(bo) {
+                eprintln!("DIVERGENCE: request {} bytes differ between schedulers", b.id);
+                diverged += 1;
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create '{}': {e}", dir.display());
+            std::process::exit(1);
+        }
+        let tpath = dir.join("telemetry.json");
+        let doc = Value::Object(vec![
+            ("serial".into(), serial.metrics.to_json()),
+            ("batched".into(), batched.metrics.to_json()),
+            ("speedup".into(), Value::Number(speedup)),
+        ]);
+        write_or_die(&tpath, "serve metrics", || {
+            std::fs::write(&tpath, doc.to_json())?;
+            Ok(())
+        });
+        let cpath = dir.join("serve_trace.json");
+        let snap = telemetry::snapshot();
+        write_or_die(&cpath, "serve chrome trace", || {
+            trace::write_chrome_trace(&cpath, &snap, ChromeTraceOptions::default())
+        });
+    }
+    if diverged > 0 {
+        eprintln!("{diverged} request(s) diverged; batched output is NOT bit-identical");
+        std::process::exit(1);
+    }
+    println!("outputs bit-identical across schedulers");
+    std::process::exit(0);
+}
+
 struct Cli {
     config: String,
     trace_out: Option<PathBuf>,
@@ -103,6 +247,9 @@ fn parse_args() -> Cli {
             "report" if config.is_none() => {
                 let Some(path) = args.next() else { usage_exit() };
                 report_main(&path);
+            }
+            "serve-bench" if config.is_none() => {
+                serve_bench_main(args);
             }
             "--trace" => {
                 let Some(p) = args.next() else { usage_exit() };

@@ -13,7 +13,8 @@
 //!   "analysis":    [ "distortion", "power-spectrum" ],
 //!   "output":      { "dir": "out", "cinema": true },
 //!   "chaos":       { "seed": 7, "transfer": 0.05, "node": 0.1 },
-//!   "sanitize":    { "memcheck": true, "racecheck": true }
+//!   "sanitize":    { "memcheck": true, "racecheck": true },
+//!   "serve":       { "devices": 6, "link": "nvlink", "requests": 48 }
 //! }
 //! ```
 //!
@@ -21,7 +22,9 @@
 //! sweep runs through the simulated GPU with the given failure rates and
 //! the PAT workflow retries jobs under node-level faults (see
 //! [`ChaosSettings`]). The optional `sanitize` section attaches the
-//! device sanitizer to every GPU run (see [`SanitizeSettings`]).
+//! device sanitizer to every GPU run (see [`SanitizeSettings`]). The
+//! optional `serve` section configures the `serve-bench` scheduler
+//! benchmark (see [`ServeSettings`]).
 
 use crate::cbench::ChaosConfig;
 use crate::codec::CodecConfig;
@@ -456,6 +459,180 @@ impl SanitizeSettings {
     }
 }
 
+/// Optional serving-scheduler ("serve") settings.
+///
+/// When present, `foresight-cli serve-bench` uses these instead of its
+/// built-in defaults: the node shape (device count and host link), the
+/// scheduler knobs ([`crate::serve::ServeOptions`]), and the synthetic
+/// open-loop workload ([`crate::serve::WorkloadSpec`]). Device fault
+/// rates are *not* duplicated here — serve-bench reads them from the
+/// existing `chaos` section so one knob governs all fault injection.
+#[derive(Debug, Clone)]
+pub struct ServeSettings {
+    /// Simulated devices on the serving node (default 6).
+    pub devices: usize,
+    /// Host link: `"nvlink"` (default, Summit-like) or `"pcie"`.
+    pub link: String,
+    /// Max units per dispatched batch (default 8).
+    pub max_batch: usize,
+    /// Outstanding-unit bound before admission rejects (default 64).
+    pub queue_depth: usize,
+    /// Shard threshold in KiB (default 256).
+    pub shard_kb: usize,
+    /// Batching window in milliseconds (default 1.0).
+    pub window_ms: f64,
+    /// Scheduler fault seed (default 0).
+    pub seed: u64,
+    /// Synthetic workload: request count (default 48).
+    pub requests: usize,
+    /// Synthetic workload: mean arrival rate, requests/s (default 4000).
+    pub arrival_hz: f64,
+    /// Synthetic workload: per-request deadline in ms; 0 means none
+    /// (default 0).
+    pub deadline_ms: f64,
+    /// Synthetic workload: decompression fraction (default 0.25).
+    pub decompress_fraction: f64,
+}
+
+impl Default for ServeSettings {
+    fn default() -> Self {
+        ServeSettings {
+            devices: 6,
+            link: "nvlink".into(),
+            max_batch: 8,
+            queue_depth: 64,
+            shard_kb: 256,
+            window_ms: 1.0,
+            seed: 0,
+            requests: 48,
+            arrival_hz: 4000.0,
+            deadline_ms: 0.0,
+            decompress_fraction: 0.25,
+        }
+    }
+}
+
+impl ServeSettings {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'serve' must be an object"));
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => {
+                s.as_u64().ok_or_else(|| bad("field 'seed' must be a non-negative integer"))?
+            }
+        };
+        let link = match v.get("link") {
+            None => "nvlink".to_string(),
+            Some(s) => s
+                .as_str()
+                .ok_or_else(|| bad("field 'link' must be a string"))?
+                .to_string(),
+        };
+        Ok(ServeSettings {
+            devices: usize_field(v, "devices", 6)?,
+            link,
+            max_batch: usize_field(v, "max_batch", 8)?,
+            queue_depth: usize_field(v, "queue_depth", 64)?,
+            shard_kb: usize_field(v, "shard_kb", 256)?,
+            window_ms: f64_field(v, "window_ms", 1.0)?,
+            seed,
+            requests: usize_field(v, "requests", 48)?,
+            arrival_hz: f64_field(v, "arrival_hz", 4000.0)?,
+            deadline_ms: f64_field(v, "deadline_ms", 0.0)?,
+            decompress_fraction: f64_field(v, "decompress_fraction", 0.25)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("devices".into(), Value::Number(self.devices as f64)),
+            ("link".into(), Value::String(self.link.clone())),
+            ("max_batch".into(), Value::Number(self.max_batch as f64)),
+            ("queue_depth".into(), Value::Number(self.queue_depth as f64)),
+            ("shard_kb".into(), Value::Number(self.shard_kb as f64)),
+            ("window_ms".into(), Value::Number(self.window_ms)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("requests".into(), Value::Number(self.requests as f64)),
+            ("arrival_hz".into(), Value::Number(self.arrival_hz)),
+            ("deadline_ms".into(), Value::Number(self.deadline_ms)),
+            (
+                "decompress_fraction".into(),
+                Value::Number(self.decompress_fraction),
+            ),
+        ])
+    }
+
+    /// The serving node these settings describe (V100 devices; the link
+    /// string picks the interconnect).
+    pub fn to_node(&self) -> crate::serve::ServeNode {
+        let mut node = crate::serve::ServeNode::v100_pcie(self.devices);
+        if self.link == "nvlink" {
+            node.link = gpu_sim::PcieLink::nvlink2();
+        }
+        node
+    }
+
+    /// Scheduler options; `rates` come from the `chaos` section (or
+    /// default quiet).
+    pub fn to_serve_options(&self, rates: FaultRates) -> crate::serve::ServeOptions {
+        crate::serve::ServeOptions {
+            max_batch: self.max_batch,
+            queue_depth: self.queue_depth,
+            shard_bytes: self.shard_kb as u64 * 1024,
+            window_s: self.window_ms * 1e-3,
+            seed: self.seed,
+            rates,
+            ..crate::serve::ServeOptions::default()
+        }
+    }
+
+    /// The synthetic open-loop workload these settings describe.
+    pub fn to_workload_spec(&self) -> crate::serve::WorkloadSpec {
+        crate::serve::WorkloadSpec {
+            requests: self.requests,
+            seed: self.seed,
+            arrival_hz: self.arrival_hz,
+            deadline_s: (self.deadline_ms > 0.0).then_some(self.deadline_ms * 1e-3),
+            decompress_fraction: self.decompress_fraction,
+            ..crate::serve::WorkloadSpec::default()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.devices == 0 {
+            return Err(Error::Config("serve.devices must be >= 1".into()));
+        }
+        if self.link != "nvlink" && self.link != "pcie" {
+            return Err(Error::Config(format!(
+                "serve.link must be 'nvlink' or 'pcie', got '{}'",
+                self.link
+            )));
+        }
+        if self.max_batch == 0 || self.queue_depth == 0 || self.shard_kb == 0 {
+            return Err(Error::Config(
+                "serve.max_batch, queue_depth, and shard_kb must be >= 1".into(),
+            ));
+        }
+        if !(self.window_ms > 0.0 && self.window_ms.is_finite()) {
+            return Err(Error::Config("serve.window_ms must be positive".into()));
+        }
+        if !(self.arrival_hz > 0.0 && self.arrival_hz.is_finite()) {
+            return Err(Error::Config("serve.arrival_hz must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.decompress_fraction) {
+            return Err(Error::Config(
+                "serve.decompress_fraction must be in [0, 1]".into(),
+            ));
+        }
+        if !(self.deadline_ms >= 0.0 && self.deadline_ms.is_finite()) {
+            return Err(Error::Config("serve.deadline_ms must be >= 0".into()));
+        }
+        Ok(())
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -471,6 +648,9 @@ pub struct ForesightConfig {
     pub chaos: Option<ChaosSettings>,
     /// Optional device-sanitizer settings (absent means untraced runs).
     pub sanitize: Option<SanitizeSettings>,
+    /// Optional serving-scheduler settings for `serve-bench` (absent
+    /// means built-in defaults).
+    pub serve: Option<ServeSettings>,
 }
 
 impl ForesightConfig {
@@ -504,6 +684,10 @@ impl ForesightConfig {
             None | Some(Value::Null) => None,
             Some(v) => Some(SanitizeSettings::from_value(v)?),
         };
+        let serve = match doc.get("serve") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(ServeSettings::from_value(v)?),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
@@ -511,6 +695,7 @@ impl ForesightConfig {
             output: OutputConfig::from_value(field(&doc, "output")?)?,
             chaos,
             sanitize,
+            serve,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -541,6 +726,9 @@ impl ForesightConfig {
         }
         if let Some(sanitize) = &self.sanitize {
             fields.push(("sanitize".into(), sanitize.to_value()));
+        }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve".into(), serve.to_value()));
         }
         Value::Object(fields).to_json()
     }
@@ -588,6 +776,9 @@ impl ForesightConfig {
         }
         if let Some(sanitize) = &self.sanitize {
             sanitize.validate()?;
+        }
+        if let Some(serve) = &self.serve {
+            serve.validate()?;
         }
         Ok(())
     }
@@ -766,5 +957,71 @@ mod tests {
         assert_eq!(cfg2.codec_configs().len(), 4);
         assert_eq!(cfg2.input.seed, 42);
         assert_eq!(cfg2.analysis, cfg.analysis);
+    }
+
+    fn with_serve(section: &str) -> Result<ForesightConfig> {
+        ForesightConfig::from_json(&format!(
+            r#"{{
+            "input": {{ "dataset": "nyx", "n_side": 16 }},
+            "compressors": [ {{ "name": "cuzfp", "rates": [4] }} ],
+            "analysis": [],
+            "output": {{ "dir": "o" }},
+            "serve": {section}
+        }}"#
+        ))
+    }
+
+    #[test]
+    fn serve_section_parses_with_defaults() {
+        let cfg = with_serve("{}").unwrap();
+        let s = cfg.serve.expect("serve section present");
+        assert_eq!(s.devices, 6);
+        assert_eq!(s.link, "nvlink");
+        assert_eq!(s.max_batch, 8);
+        assert_eq!(s.queue_depth, 64);
+        assert_eq!(s.shard_kb, 256);
+        assert_eq!(s.requests, 48);
+        assert!(s.to_workload_spec().deadline_s.is_none());
+        let node = s.to_node();
+        assert_eq!(node.devices, 6);
+        // nvlink is the Summit-like default link.
+        assert!(node.link.bandwidth_gbs > 50.0);
+        // Absent section stays absent.
+        let plain = ForesightConfig::from_json(SAMPLE).unwrap();
+        assert!(plain.serve.is_none());
+    }
+
+    #[test]
+    fn serve_section_roundtrips_and_maps_to_options() {
+        let cfg = with_serve(
+            r#"{ "devices": 4, "link": "pcie", "max_batch": 16, "queue_depth": 32,
+                 "shard_kb": 128, "window_ms": 0.5, "seed": 9, "requests": 12,
+                 "arrival_hz": 1000, "deadline_ms": 2.5, "decompress_fraction": 0.5 }"#,
+        )
+        .unwrap();
+        let cfg2 = ForesightConfig::from_json(&cfg.to_json()).unwrap();
+        let s = cfg2.serve.unwrap();
+        assert_eq!(s.devices, 4);
+        assert_eq!(s.link, "pcie");
+        let opts = s.to_serve_options(FaultRates::default());
+        assert_eq!(opts.max_batch, 16);
+        assert_eq!(opts.queue_depth, 32);
+        assert_eq!(opts.shard_bytes, 128 * 1024);
+        assert!((opts.window_s - 5e-4).abs() < 1e-12);
+        assert_eq!(opts.seed, 9);
+        let w = s.to_workload_spec();
+        assert_eq!(w.requests, 12);
+        assert!((w.deadline_s.unwrap() - 2.5e-3).abs() < 1e-12);
+        assert!((w.decompress_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_section_rejects_bad_values() {
+        assert!(with_serve(r#"{ "devices": 0 }"#).is_err());
+        assert!(with_serve(r#"{ "link": "infiniband" }"#).is_err());
+        assert!(with_serve(r#"{ "window_ms": 0 }"#).is_err());
+        assert!(with_serve(r#"{ "decompress_fraction": 1.5 }"#).is_err());
+        assert!(with_serve(r#"{ "queue_depth": 0 }"#).is_err());
+        assert!(with_serve(r#"[1]"#).is_err());
     }
 }

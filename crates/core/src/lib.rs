@@ -13,9 +13,10 @@
 //!
 //! Supporting modules: the unified codec layer ([`codec`]), JSON pipeline
 //! configuration ([`config`]), the GPU execution backend ([`gpu_backend`]),
-//! the paper's best-fit configuration guideline ([`optimizer`]) and the
+//! the paper's best-fit configuration guideline ([`optimizer`]), the
 //! telemetry reporting layer ([`trace`]) that turns collected spans and
-//! metrics into Chrome traces, flamegraphs and `telemetry.json`.
+//! metrics into Chrome traces, flamegraphs and `telemetry.json`, and the
+//! batched multi-device serving scheduler ([`serve`]).
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub mod gpu_backend;
 pub mod optimizer;
 pub mod pat;
 pub mod runner;
+pub mod serve;
 pub mod trace;
 pub mod viz;
 
@@ -50,7 +52,13 @@ pub use cbench::{
 };
 pub use cinema::{ascii_chart, CinemaDb};
 pub use codec::{CodecConfig, CompressorId, Shape};
-pub use config::{AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig, SanitizeSettings};
+pub use config::{
+    AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig, SanitizeSettings, ServeSettings,
+};
 pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
 pub use pat::{Job, JobResult, JobStatus, RetryPolicy, SlurmSim, Workflow, WorkflowReport};
 pub use runner::{run_pipeline, PipelineReport};
+pub use serve::{
+    serve, serve_serial, synth_workload, ServeNode, ServeOptions, ServePayload, ServeReport,
+    ServeRequest, ServeResponse, ServeStatus, WorkloadSpec,
+};

@@ -516,9 +516,12 @@ impl Workflow {
                     let handles: Vec<_> = batch
                         .into_iter()
                         .map(|j| {
+                            // Keep the name on this side of the spawn so a
+                            // panicking job closure can still be attributed.
+                            let name = j.name.clone();
                             // Job threads don't inherit the workflow span
                             // via thread-locals; parent explicitly.
-                            scope.spawn(move |_| {
+                            let handle = scope.spawn(move |_| {
                                 let mut jspan = telemetry::span_with_parent(
                                     format!("pat.job.{}", j.name),
                                     wf_id,
@@ -559,10 +562,33 @@ impl Workflow {
                                 jspan.set_attr("attempts", attempts.to_string());
                                 jspan.set_attr("backoff_s", format!("{backoff}"));
                                 (j.name, out, total_wall, attempts, backoff)
-                            })
+                            });
+                            (name, handle)
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("job panicked")).collect()
+                    // A panicking job closure surfaces as a join error;
+                    // contain it as a Failed result so one bad job cannot
+                    // take down the whole workflow.
+                    handles
+                        .into_iter()
+                        .map(|(name, h)| match h.join() {
+                            Ok(r) => r,
+                            Err(panic) => {
+                                let msg = panic
+                                    .downcast_ref::<String>()
+                                    .map(String::as_str)
+                                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                                    .unwrap_or("opaque panic payload");
+                                (
+                                    name,
+                                    Err(Error::Workflow(format!("job panicked: {msg}"))),
+                                    0.0,
+                                    1,
+                                    0.0,
+                                )
+                            }
+                        })
+                        .collect()
                 })
                 .expect("scope panicked");
             for (name, out, secs, attempts, backoff) in results {
@@ -873,5 +899,64 @@ mod tests {
         assert!(report.job("wide").unwrap().output.contains("node failure"));
         assert_eq!(report.job("after-wide").unwrap().status, JobStatus::Skipped);
         assert_eq!(report.job("narrow").unwrap().status, JobStatus::Ok);
+    }
+
+    #[test]
+    fn panicking_job_is_contained_as_failed() {
+        // Regression: a panic inside a job closure used to unwind through
+        // the scoped join and take down the whole run_chaos call. It must
+        // land as a Failed result instead, leaving siblings untouched.
+        let mut wf = Workflow::new();
+        wf.add(Job::new("bomb", 1, || panic!("synthetic job panic"))).unwrap();
+        wf.add(Job::new("calm", 1, || Ok("fine".into()))).unwrap();
+        wf.add(Job::new("after-bomb", 1, || Ok("".into())).after("bomb")).unwrap();
+        let report = wf
+            .run_chaos(&SlurmSim::default(), RetryPolicy::default(), None)
+            .unwrap();
+        let bomb = report.job("bomb").unwrap();
+        assert_eq!(bomb.status, JobStatus::Failed);
+        assert!(
+            bomb.output.contains("job panicked") && bomb.output.contains("synthetic job panic"),
+            "panic payload surfaces in the output: {}",
+            bomb.output
+        );
+        assert_eq!(report.job("calm").unwrap().status, JobStatus::Ok);
+        assert_eq!(report.job("after-bomb").unwrap().status, JobStatus::Skipped);
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn deps_skipped_and_quarantined_in_same_wave_skip_the_join_job() {
+        // Regression for the wave-structure edge case: J depends on A and
+        // B, and in one wave A is skipped (poisoned by X's earlier
+        // failure) while B is quarantined as unfit after a node loss. J
+        // must then be skipped with a concrete cause — not run, not hang,
+        // not panic.
+        let cluster = SlurmSim { nodes: 2, cores_per_node: 4 };
+        let mut wf = Workflow::new();
+        wf.add(Job::new("x", 1, || Err(Error::Workflow("seed failure".into())))).unwrap();
+        wf.add(Job::new("y", 1, || Ok("ok".into()))).unwrap();
+        wf.add(Job::new("a", 1, || Ok("never".into())).after("x")).unwrap();
+        wf.add(Job::new("b", 6, || Ok("never".into())).after("y")).unwrap();
+        wf.add(Job::new("j", 1, || Ok("never".into())).after("a").after("b")).unwrap();
+        // Node rate 1.0 drops the cluster to its one-node floor (4 cores)
+        // in wave 0, so b (6 cores) can never fit once it is ready.
+        let plan = FaultPlan::new(0, FaultRates { node: 1.0, ..Default::default() });
+        let report = wf.run_chaos(&cluster, RetryPolicy::default(), Some(plan)).unwrap();
+        assert_eq!(report.job("x").unwrap().status, JobStatus::Failed);
+        assert_eq!(report.job("y").unwrap().status, JobStatus::Ok);
+        let a = report.job("a").unwrap();
+        let b = report.job("b").unwrap();
+        assert_eq!(a.status, JobStatus::Skipped);
+        assert_eq!(b.status, JobStatus::Failed);
+        assert_eq!(a.wave, b.wave, "A's skip and B's quarantine share a wave");
+        let j = report.job("j").unwrap();
+        assert_eq!(j.status, JobStatus::Skipped);
+        assert!(
+            j.output.contains("'a'") || j.output.contains("'b'"),
+            "skip cause names a dead dependency: {}",
+            j.output
+        );
+        assert!(j.wave > a.wave);
     }
 }

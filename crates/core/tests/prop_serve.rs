@@ -1,0 +1,165 @@
+//! Property tests for the serving scheduler.
+//!
+//! Two invariants, per the design contract:
+//!
+//! - **Bytes are scheduling-independent.** For any admitted mix of
+//!   requests — shapes, codecs, arrival jitter, device count, shard
+//!   threshold — the batched multi-device scheduler returns exactly the
+//!   bytes the serial single-device reference returns.
+//! - **Runs are seed-deterministic.** With fault injection on, two runs
+//!   with the same seed produce identical traces, statuses, devices,
+//!   and timings.
+
+use foresight::codec::{self, CodecConfig, Shape};
+use foresight::{
+    serve, serve_serial, synth_workload, ServeNode, ServeOptions, ServePayload, ServeRequest,
+    WorkloadSpec,
+};
+use gpu_sim::FaultRates;
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+use proptest::prelude::*;
+
+/// Cheap deterministic field — content only feeds the host codec.
+fn lcg_field(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (s >> 40) as f32 / 16_777_216.0 - 0.5;
+            (i as f32 * 0.01).sin() * 30.0 + noise
+        })
+        .collect()
+}
+
+fn shapes() -> [Shape; 4] {
+    [Shape::D3(8, 8, 8), Shape::D3(16, 16, 16), Shape::D2(64, 64), Shape::D1(4096)]
+}
+
+fn configs() -> [CodecConfig; 4] {
+    [
+        CodecConfig::Sz(SzConfig::abs(1e-3)),
+        CodecConfig::Sz(SzConfig::abs(1e-2)),
+        CodecConfig::Zfp(ZfpConfig::rate(4.0)),
+        CodecConfig::Zfp(ZfpConfig::rate(8.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any admitted interleaving — mixed shapes/codecs, jittered
+    /// arrivals, compress and decompress, sharded and whole — yields
+    /// bytes identical to serial single-device execution.
+    #[test]
+    fn admitted_interleavings_are_byte_identical_to_serial(
+        specs in prop::collection::vec(
+            (0usize..4, 0usize..4, 0u64..3000, any::<u64>()),
+            1..7,
+        ),
+        devices in 2usize..5,
+    ) {
+        let requests: Vec<ServeRequest> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(si, ci, at_us, seed))| {
+                let shape = shapes()[si];
+                let config = configs()[ci].clone();
+                let data = lcg_field(shape.len(), seed);
+                // A quarter of the stream decompresses what an earlier
+                // compression produced; the rest compress.
+                let payload = if seed % 4 == 0 {
+                    let stream = codec::compress(&data, shape, &config).unwrap();
+                    ServePayload::Decompress { stream }
+                } else {
+                    ServePayload::Compress { data, shape, config }
+                };
+                ServeRequest {
+                    id: i as u64,
+                    arrival_s: at_us as f64 * 1e-6,
+                    deadline_s: None,
+                    payload,
+                }
+            })
+            .collect();
+        let node = ServeNode::v100_pcie(devices);
+        // Deep queue: the property quantifies over *admitted* requests,
+        // so admit everything. 8 KiB shard threshold forces the larger
+        // shapes through the shard/reassemble path.
+        let opts = ServeOptions {
+            queue_depth: 4096,
+            shard_bytes: 8 * 1024,
+            ..Default::default()
+        };
+        let batched = serve(&node, &opts, &requests).unwrap();
+        let serial = serve_serial(&node, &opts, &requests).unwrap();
+        prop_assert_eq!(batched.rejected, 0);
+        prop_assert_eq!(batched.responses.len(), requests.len());
+        for r in &batched.responses {
+            prop_assert!(r.status.succeeded(), "request {} not Done: {:?}", r.id, r.status);
+            let s = serial.response(r.id).expect("serial resolved every request");
+            prop_assert!(
+                r.output == s.output,
+                "request {} bytes diverged from serial execution",
+                r.id
+            );
+        }
+    }
+
+    /// Same seed, same trace: with fault injection active, a rerun is
+    /// indistinguishable — identical timelines, statuses, device
+    /// assignments, timings, and bytes (which also still match the
+    /// quiet serial reference: faults delay, they never corrupt).
+    #[test]
+    fn same_seed_runs_produce_identical_traces(
+        seed in any::<u64>(),
+        transfer_pct in 0u32..30,
+        kernel_pct in 0u32..20,
+    ) {
+        let spec = WorkloadSpec {
+            requests: 6,
+            seed,
+            arrival_hz: 2000.0,
+            deadline_s: None,
+            decompress_fraction: 0.25,
+            big_every: 0, // keep fields small; sharding is covered above
+        };
+        let requests = synth_workload(&spec).unwrap();
+        let node = ServeNode::v100_pcie(3);
+        let opts = ServeOptions {
+            seed,
+            rates: FaultRates {
+                transfer: transfer_pct as f64 / 100.0,
+                kernel: kernel_pct as f64 / 100.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = serve(&node, &opts, &requests).unwrap();
+        let b = serve(&node, &opts, &requests).unwrap();
+        prop_assert!(a.trace == b.trace, "same-seed traces diverged");
+        prop_assert_eq!(a.makespan_s, b.makespan_s);
+        prop_assert_eq!(a.batches, b.batches);
+        prop_assert_eq!(a.failovers, b.failovers);
+        prop_assert_eq!(a.cpu_fallbacks, b.cpu_fallbacks);
+        prop_assert_eq!(a.responses.len(), b.responses.len());
+        let serial = serve_serial(&node, &opts, &requests).unwrap();
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.status, y.status);
+            prop_assert_eq!(x.completed_s, y.completed_s);
+            prop_assert_eq!(x.latency_s, y.latency_s);
+            prop_assert_eq!(&x.device, &y.device);
+            prop_assert_eq!(x.exec, y.exec);
+            prop_assert!(x.output == y.output, "request {} bytes changed across reruns", x.id);
+            if x.status.succeeded() {
+                let s = serial.response(x.id).unwrap();
+                prop_assert!(
+                    x.output == s.output,
+                    "request {} bytes diverged from serial under faults",
+                    x.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Negative-path tests for the serving scheduler.
+//!
+//! Backpressure must *reject* (with a usable retry hint), never drop;
+//! a missed deadline must fail exactly that request, JobStatus-style,
+//! without poisoning the batch it rode in.
+
+use foresight::codec::{self, CodecConfig, Shape};
+use foresight::{serve, ServeNode, ServeOptions, ServePayload, ServeRequest, ServeStatus};
+use lossy_sz::SzConfig;
+
+const SHAPE: Shape = Shape::D3(8, 8, 8);
+
+fn field() -> Vec<f32> {
+    (0..SHAPE.len()).map(|i| (i % 97) as f32 * 0.5 - 24.0).collect()
+}
+
+fn config() -> CodecConfig {
+    CodecConfig::Sz(SzConfig::abs(1e-3))
+}
+
+fn request(id: u64, arrival_s: f64, deadline_s: Option<f64>) -> ServeRequest {
+    ServeRequest {
+        id,
+        arrival_s,
+        deadline_s,
+        payload: ServePayload::Compress { data: field(), shape: SHAPE, config: config() },
+    }
+}
+
+#[test]
+fn saturated_queue_rejects_with_retry_hint_and_drops_nothing() {
+    let node = ServeNode::v100_pcie(2);
+    let opts = ServeOptions { queue_depth: 2, ..Default::default() };
+    let requests: Vec<ServeRequest> = (0..8).map(|i| request(i, 0.0, None)).collect();
+    let report = serve(&node, &opts, &requests).unwrap();
+
+    // Nothing dropped: every request has a response row.
+    assert_eq!(report.responses.len(), requests.len());
+    assert_eq!(report.rejected, 6);
+    assert_eq!(report.metrics.counter("serve.rejected"), 6);
+
+    let mut done = 0usize;
+    let mut rejected = 0usize;
+    for r in &report.responses {
+        match r.status {
+            ServeStatus::Done => {
+                done += 1;
+                assert!(r.output.is_some(), "request {} served without bytes", r.id);
+            }
+            ServeStatus::Rejected { retry_after_s } => {
+                rejected += 1;
+                assert!(
+                    retry_after_s.is_finite() && retry_after_s > 0.0,
+                    "request {}: unusable retry hint {retry_after_s}",
+                    r.id
+                );
+                // Rejected means never executed: no bytes, no batch, no
+                // simulated latency charged.
+                assert!(r.output.is_none());
+                assert_eq!(r.batch, None);
+                assert_eq!(r.completed_s, 0.0); // the arrival time
+                assert_eq!(r.latency_s, 0.0);
+            }
+            ServeStatus::DeadlineMissed => panic!("no deadlines in this workload"),
+        }
+    }
+    assert_eq!((done, rejected), (2, 6));
+    // Depth gauge reflects the saturation the admission loop saw.
+    assert_eq!(report.metrics.gauge("serve.queue_depth.limit"), Some(2.0));
+}
+
+#[test]
+fn rejected_requests_succeed_when_retried_after_the_hint() {
+    let node = ServeNode::v100_pcie(2);
+    let opts = ServeOptions { queue_depth: 2, ..Default::default() };
+    let first: Vec<ServeRequest> = (0..4).map(|i| request(i, 0.0, None)).collect();
+    let report = serve(&node, &opts, &first).unwrap();
+    let hints: Vec<(u64, f64)> = report
+        .responses
+        .iter()
+        .filter_map(|r| match r.status {
+            ServeStatus::Rejected { retry_after_s } => Some((r.id, retry_after_s)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(hints.len(), 2, "expected requests 2 and 3 bounced");
+
+    // Resubmit the bounced pair at exactly the hinted time: the queue
+    // has drained and both complete.
+    let retried: Vec<ServeRequest> = first[..2]
+        .iter()
+        .cloned()
+        .chain(hints.iter().map(|&(id, after)| request(id, after, None)))
+        .collect();
+    let second = serve(&node, &opts, &retried).unwrap();
+    assert_eq!(second.rejected, 0, "retry at the hint must be admitted");
+    assert!(second.responses.iter().all(|r| r.status.succeeded()));
+}
+
+#[test]
+fn missed_deadline_fails_alone_without_poisoning_its_batch() {
+    let node = ServeNode::v100_pcie(2);
+    let opts = ServeOptions::default();
+    let mut requests: Vec<ServeRequest> = (0..4).map(|i| request(i, 0.0, None)).collect();
+    // Request 1 cannot make its deadline (the batching window alone is
+    // 1 ms); request 2's generous deadline is comfortably met.
+    requests[1].deadline_s = Some(1e-7);
+    requests[2].deadline_s = Some(1.0);
+    let report = serve(&node, &opts, &requests).unwrap();
+
+    assert_eq!(report.missed, 1);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.metrics.counter("serve.deadline_missed"), 1);
+
+    let miss = report.response(1).unwrap();
+    assert_eq!(miss.status, ServeStatus::DeadlineMissed);
+    assert_eq!(miss.status.label(), "deadline-missed");
+    assert!(!miss.status.succeeded());
+    assert!(miss.output.is_none(), "late bytes must not be returned");
+    // Executed late — not dropped: it rode a batch and was charged time.
+    assert!(miss.latency_s > 0.0);
+    let batch = miss.batch.expect("missed request still rode its batch");
+
+    let expected = codec::compress(&field(), SHAPE, &config()).unwrap();
+    for id in [0u64, 2, 3] {
+        let r = report.response(id).unwrap();
+        assert_eq!(r.status, ServeStatus::Done, "request {id} poisoned by batchmate");
+        assert_eq!(
+            r.batch,
+            Some(batch),
+            "request {id} evicted from the shared batch"
+        );
+        assert_eq!(r.output.as_deref(), Some(expected.as_slice()));
+    }
+}

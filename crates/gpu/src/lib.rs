@@ -41,6 +41,7 @@ pub mod device;
 pub mod executor;
 pub mod fault;
 pub mod pipeline;
+pub mod queue;
 pub mod sanitizer;
 pub mod specs;
 
@@ -50,5 +51,6 @@ pub use executor::{launch_grid, launch_grid_traced, BlockAccess, BlockGrid, Laun
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
 pub use device::{Breakdown, BufferId, Device, Event, PcieLink, Phase, PhaseTotals};
 pub use pipeline::{baseline_transfer_seconds, run_compression, run_decompression, GpuRunReport};
+pub use queue::{GpuQueueSim, QueueSlice, UnitTiming};
 pub use sanitizer::{AccessRecord, Diagnostic, RaceKind, SanitizerConfig, SanitizerReport};
 pub use specs::{table1, Arch, CpuSpec, GpuSpec};

@@ -107,7 +107,11 @@ impl Patterns {
             malloc: [".mal", "loc("].concat(),
             instant_now: ["Ins", "tant::now"].concat(),
             std_instant: ["std::time::", "Ins", "tant"].concat(),
-            launch: vec![[".lau", "nch("].concat(), ["launch_", "grid("].concat()],
+            launch: vec![
+                [".lau", "nch("].concat(),
+                ["launch_", "grid("].concat(),
+                [".enqueue_", "unit("].concat(),
+            ],
             unsafe_tok: ["uns", "afe"].concat(),
             forbid_unsafe: ["#![forbid(", "uns", "afe_code)]"].concat(),
             deny_unsafe: ["#![deny(", "uns", "afe_code)]"].concat(),
@@ -557,6 +561,18 @@ mod tests {
         assert!(scan_file("crates/gpu/src/x.rs", &src, &pats).is_empty());
         // Non-literal label sites are skipped.
         let src = format!("fn f(l: &str) {{\n{call}l, w);\n}}");
+        assert!(scan_file("crates/gpu/src/x.rs", &src, &pats).is_empty());
+    }
+
+    #[test]
+    fn serve_queue_enqueue_sites_are_launch_sites() {
+        let pats = Patterns::new();
+        let call = ["q.enqueue_", "unit(t, kind, n, b, inb, outb, "].concat();
+        let src = format!("fn f() {{\n{call}\"u\");\n{call}\"u\");\n}}");
+        assert_eq!(rules(&scan_file("crates/gpu/src/x.rs", &src, &pats)), ["kernel-label"]);
+        let src = format!("fn f() {{\n{call}\"\");\n}}");
+        assert_eq!(rules(&scan_file("crates/gpu/src/x.rs", &src, &pats)), ["kernel-label"]);
+        let src = format!("fn f() {{\n{call}\"u0\");\n{call}\"u1\");\n}}");
         assert!(scan_file("crates/gpu/src/x.rs", &src, &pats).is_empty());
     }
 

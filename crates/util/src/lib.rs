@@ -4,8 +4,9 @@
 //! domain-specific: an error type, bit-granular stream I/O (used by both
 //! compressor crates), CRC32 checksums (used by the GIO-lite file format),
 //! chunked parallel helpers, wall-clock timers, running statistics, a
-//! tiny ASCII table/CSV formatter used by the benchmark binaries, and the
-//! telemetry layer (spans, metrics, Chrome-trace/flamegraph export).
+//! tiny ASCII table/CSV formatter used by the benchmark binaries, SHA-256
+//! (golden-vector digests), and the telemetry layer (spans, metrics,
+//! Chrome-trace/flamegraph export).
 
 #![forbid(unsafe_code)]
 
@@ -15,6 +16,7 @@ pub mod crc;
 pub mod error;
 pub mod json;
 pub mod parallel;
+pub mod sha256;
 pub mod stats;
 pub mod table;
 pub mod telemetry;

@@ -1,0 +1,305 @@
+//! Golden-vector conformance suite.
+//!
+//! `tests/golden/` holds a committed 32^3 input field plus the exact
+//! compressed streams GPU-SZ and cuZFP produce for it at two error-bound
+//! configurations each, with SHA-256 digests in `manifest.json`. These
+//! tests recompress the committed input and compare byte-for-byte, so
+//! any change to predictor, quantizer, transform, or entropy stage that
+//! alters the wire format fails loudly — with the digest pair, lengths,
+//! and the first differing byte offset — instead of silently shipping an
+//! incompatible stream.
+//!
+//! To re-bless after an *intentional* format change:
+//!
+//! ```text
+//! FORESIGHT_BLESS=1 cargo test --test conformance
+//! git diff tests/golden/   # review every regenerated artifact
+//! ```
+//!
+//! The bless run rewrites the input field, all streams, and the
+//! manifest; the diff is the reviewable record of the format change.
+
+use foresight::codec::{self, CodecConfig, Shape};
+use foresight::{serve, ServeNode, ServeOptions, ServePayload, ServeRequest};
+use foresight_util::json::Value;
+use foresight_util::sha256::sha256_hex;
+use lossy_sz::SzConfig;
+use lossy_zfp::ZfpConfig;
+use std::path::{Path, PathBuf};
+
+const N_SIDE: usize = 32;
+const INPUT_FILE: &str = "input_32.f32le";
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The conformance vectors: both codecs at two bounds each.
+fn vectors() -> Vec<(&'static str, CodecConfig)> {
+    vec![
+        ("sz_abs_1e-3", CodecConfig::Sz(SzConfig::abs(1e-3))),
+        ("sz_abs_1e-2", CodecConfig::Sz(SzConfig::abs(1e-2))),
+        ("zfp_rate_4", CodecConfig::Zfp(ZfpConfig::rate(4.0))),
+        ("zfp_rate_8", CodecConfig::Zfp(ZfpConfig::rate(8.0))),
+    ]
+}
+
+/// Deterministic synthetic field: a smooth polynomial ramp plus xorshift
+/// noise. Integer PRNG and plain f32 mul/add only — no libm calls — so
+/// the same bytes come out on every platform.
+fn golden_field() -> Vec<f32> {
+    let n = N_SIDE * N_SIDE * N_SIDE;
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 40) as f32 / 16_777_216.0 - 0.5;
+            let x = (i % N_SIDE) as f32 / N_SIDE as f32;
+            let y = ((i / N_SIDE) % N_SIDE) as f32 / N_SIDE as f32;
+            let z = (i / (N_SIDE * N_SIDE)) as f32 / N_SIDE as f32;
+            let smooth = 80.0 * (x * x - 0.5 * y + 0.25 * z * z * z) + 20.0 * x * y * z;
+            smooth + 0.2 * noise
+        })
+        .collect()
+}
+
+fn f32le_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bless_requested() -> bool {
+    std::env::var("FORESIGHT_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Human-readable mismatch report: digests, lengths, first differing
+/// byte. `None` when the streams are identical.
+fn diff_report(name: &str, expected: &[u8], actual: &[u8]) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let mut msg = format!(
+        "vector {name}: stream mismatch\n  expected: {} ({} bytes)\n  actual:   {} ({} bytes)",
+        sha256_hex(expected),
+        expected.len(),
+        sha256_hex(actual),
+        actual.len()
+    );
+    match expected.iter().zip(actual).position(|(a, b)| a != b) {
+        Some(off) => msg.push_str(&format!(
+            "\n  first difference at byte {off} (expected {:#04x}, got {:#04x})",
+            expected[off], actual[off]
+        )),
+        None => msg.push_str(&format!(
+            "\n  streams agree for {} bytes, then lengths diverge",
+            expected.len().min(actual.len())
+        )),
+    }
+    Some(msg)
+}
+
+/// Regenerates every golden artifact. Runs only under `FORESIGHT_BLESS=1`.
+fn bless(dir: &Path) {
+    std::fs::create_dir_all(dir).unwrap();
+    let field = golden_field();
+    let input_bytes = f32le_bytes(&field);
+    std::fs::write(dir.join(INPUT_FILE), &input_bytes).unwrap();
+    let shape = Shape::D3(N_SIDE, N_SIDE, N_SIDE);
+    let mut entries = Vec::new();
+    for (name, cfg) in vectors() {
+        let stream = codec::compress(&field, shape, &cfg).unwrap();
+        let (decoded, _) = codec::decompress(&stream).unwrap();
+        let file = format!("{name}.stream");
+        std::fs::write(dir.join(&file), &stream).unwrap();
+        entries.push(Value::Object(vec![
+            ("name".into(), Value::String(name.into())),
+            ("file".into(), Value::String(file)),
+            ("bytes".into(), Value::Number(stream.len() as f64)),
+            ("stream_sha256".into(), Value::String(sha256_hex(&stream))),
+            (
+                "decoded_sha256".into(),
+                Value::String(sha256_hex(&f32le_bytes(&decoded))),
+            ),
+        ]));
+    }
+    let manifest = Value::Object(vec![
+        (
+            "shape".into(),
+            Value::Array(vec![
+                Value::Number(N_SIDE as f64),
+                Value::Number(N_SIDE as f64),
+                Value::Number(N_SIDE as f64),
+            ]),
+        ),
+        (
+            "input".into(),
+            Value::Object(vec![
+                ("file".into(), Value::String(INPUT_FILE.into())),
+                ("sha256".into(), Value::String(sha256_hex(&input_bytes))),
+            ]),
+        ),
+        ("vectors".into(), Value::Array(entries)),
+    ]);
+    std::fs::write(dir.join("manifest.json"), manifest.to_json()).unwrap();
+    println!(
+        "blessed {} vectors into {} — review `git diff tests/golden/`",
+        vectors().len(),
+        dir.display()
+    );
+}
+
+fn load_manifest(dir: &Path) -> Value {
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `FORESIGHT_BLESS=1 cargo test --test conformance` once",
+            path.display()
+        )
+    });
+    Value::parse(&text).expect("manifest.json parses")
+}
+
+fn load_input(dir: &Path, manifest: &Value) -> Vec<f32> {
+    let input = manifest.get("input").expect("manifest has input");
+    let file = input.get("file").and_then(Value::as_str).unwrap();
+    let want_sha = input.get("sha256").and_then(Value::as_str).unwrap();
+    let bytes = std::fs::read(dir.join(file)).expect("golden input readable");
+    assert_eq!(
+        sha256_hex(&bytes),
+        want_sha,
+        "golden input {file} does not match its manifest digest — the fixture is corrupt"
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[test]
+fn conformance_golden_vectors() {
+    let dir = golden_dir();
+    if bless_requested() {
+        bless(&dir);
+        return;
+    }
+    let manifest = load_manifest(&dir);
+    let field = load_input(&dir, &manifest);
+    let shape = Shape::D3(N_SIDE, N_SIDE, N_SIDE);
+    assert_eq!(field.len(), shape.len());
+    let listed = manifest.get("vectors").and_then(Value::as_array).unwrap();
+    assert_eq!(listed.len(), vectors().len(), "manifest covers every vector");
+    let mut failures = Vec::new();
+    for (name, cfg) in vectors() {
+        let entry = listed
+            .iter()
+            .find(|v| v.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("manifest missing vector '{name}'"));
+        let file = entry.get("file").and_then(Value::as_str).unwrap();
+        let committed = std::fs::read(dir.join(file)).expect("golden stream readable");
+        assert_eq!(
+            sha256_hex(&committed),
+            entry.get("stream_sha256").and_then(Value::as_str).unwrap(),
+            "committed {file} does not match its manifest digest — the fixture is corrupt"
+        );
+        // Recompress and require byte identity with the committed stream.
+        let fresh = codec::compress(&field, shape, &cfg).unwrap();
+        if let Some(msg) = diff_report(name, &committed, &fresh) {
+            failures.push(msg);
+            continue;
+        }
+        // The committed stream must still decode, to the committed bytes.
+        let (decoded, dshape) = codec::decompress(&committed).unwrap();
+        assert_eq!(dshape.len(), shape.len());
+        assert_eq!(
+            sha256_hex(&f32le_bytes(&decoded)),
+            entry.get("decoded_sha256").and_then(Value::as_str).unwrap(),
+            "vector {name}: decoded output drifted from the blessed digest"
+        );
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} golden vectors diverged:\n{}",
+        failures.len(),
+        vectors().len(),
+        failures.join("\n")
+    );
+}
+
+/// The serving scheduler is part of the conformance surface: a request
+/// routed through `serve` must emit exactly the golden stream.
+#[test]
+fn scheduler_output_matches_golden_vectors() {
+    let dir = golden_dir();
+    if bless_requested() {
+        return; // fixtures are being regenerated by the main test
+    }
+    let manifest = load_manifest(&dir);
+    let field = load_input(&dir, &manifest);
+    let shape = Shape::D3(N_SIDE, N_SIDE, N_SIDE);
+    let node = ServeNode::v100_pcie(2);
+    // Field is 128 KiB; keep shard_bytes above that so the scheduler
+    // emits a raw codec stream rather than a shard container.
+    let opts = ServeOptions { shard_bytes: 1 << 20, ..Default::default() };
+    let requests: Vec<ServeRequest> = vectors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, cfg))| ServeRequest {
+            id: i as u64,
+            arrival_s: i as f64 * 1e-4,
+            deadline_s: None,
+            payload: ServePayload::Compress { data: field.clone(), shape, config: cfg },
+        })
+        .collect();
+    let report = serve(&node, &opts, &requests).unwrap();
+    let listed = manifest.get("vectors").and_then(Value::as_array).unwrap();
+    for (i, (name, _)) in vectors().into_iter().enumerate() {
+        let entry = listed
+            .iter()
+            .find(|v| v.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap();
+        let resp = report.response(i as u64).unwrap();
+        let out = resp.output.as_ref().expect("request served");
+        assert_eq!(
+            sha256_hex(out),
+            entry.get("stream_sha256").and_then(Value::as_str).unwrap(),
+            "vector {name}: scheduler-produced stream diverged from golden"
+        );
+    }
+}
+
+/// A single flipped byte anywhere in a stream must be caught — both by
+/// the digest and by the readable diff.
+#[test]
+fn perturbed_stream_fails_loudly() {
+    let dir = golden_dir();
+    if bless_requested() {
+        return;
+    }
+    let manifest = load_manifest(&dir);
+    let listed = manifest.get("vectors").and_then(Value::as_array).unwrap();
+    let entry = &listed[0];
+    let file = entry.get("file").and_then(Value::as_str).unwrap();
+    let name = entry.get("name").and_then(Value::as_str).unwrap();
+    let committed = std::fs::read(dir.join(file)).unwrap();
+    for &offset in &[0usize, committed.len() / 2, committed.len() - 1] {
+        let mut bad = committed.clone();
+        bad[offset] ^= 0x01;
+        assert_ne!(
+            sha256_hex(&bad),
+            entry.get("stream_sha256").and_then(Value::as_str).unwrap(),
+            "digest must change when byte {offset} flips"
+        );
+        let msg = diff_report(name, &committed, &bad).expect("diff detected");
+        assert!(
+            msg.contains(&format!("first difference at byte {offset}")),
+            "diff names the corrupt offset: {msg}"
+        );
+    }
+    // Identical streams produce no report.
+    assert!(diff_report(name, &committed, &committed).is_none());
+}
