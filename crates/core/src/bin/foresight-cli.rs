@@ -5,6 +5,7 @@
 //! foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>
 //! foresight-cli report <telemetry.json>
 //! foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]
+//! foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]
 //! ```
 //!
 //! `--trace` enables the telemetry collector and writes a Chrome
@@ -29,11 +30,25 @@
 //! and its `chaos` section sets device fault rates; `--requests` and
 //! `--seed` override the workload size and seed.
 //!
+//! `cluster-bench` runs a Zipf-popularity open-loop workload through the
+//! fault-tolerant multi-node router (see the `cluster` module) twice —
+//! once healthy, once under node-level chaos — and prints a side-by-side
+//! table. The chaos schedule comes from the config's `cluster.faults`
+//! list; with none configured the benchmark injects a node-kill halfway
+//! through the healthy run's makespan (`--healthy-only` skips chaos
+//! entirely). Both runs are checked for lost requests
+//! (completed + rejected must equal submitted) and byte divergence
+//! against the single-node serial reference; either failure exits 1.
+//! With `--out` it writes `telemetry.json` (healthy + chaos metric
+//! snapshots) and `cluster_trace.json` (a Chrome trace of the chaos run:
+//! per-node device lanes, chaos windows, breaker flips, lost dispatches).
+//!
 //! Exit codes:
 //! - 0 — success;
 //! - 1 — config/telemetry file could not be loaded, the pipeline aborted
-//!   with an error, an output file could not be written, or `serve-bench`
-//!   found a batched/serial output divergence;
+//!   with an error, an output file could not be written, `serve-bench`
+//!   found a batched/serial output divergence, or `cluster-bench` found
+//!   a divergence or a lost request;
 //! - 2 — usage error (missing/unknown argument);
 //! - 3 — the pipeline ran to completion but one or more jobs failed or
 //!   were skipped (per-job summary on stderr);
@@ -47,7 +62,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -225,6 +240,213 @@ fn serve_bench_main(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `cluster-bench`: healthy-vs-chaos comparison of the multi-node
+/// router, with lost-request and byte-identity verification.
+fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut requests: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut healthy_only = false;
+    let mut config_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(p) = args.next() else { usage_exit() };
+                out_dir = Some(PathBuf::from(p));
+            }
+            "--requests" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                requests = Some(n);
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                seed = Some(s);
+            }
+            "--healthy-only" => healthy_only = true,
+            s if s.starts_with('-') => usage_exit(),
+            _ if config_path.is_some() => usage_exit(),
+            _ => config_path = Some(arg),
+        }
+    }
+    let settings = match &config_path {
+        None => foresight::ClusterSettings::default(),
+        Some(path) => match ForesightConfig::from_file(path) {
+            Ok(cfg) => cfg.cluster.unwrap_or_default(),
+            Err(e) => {
+                eprintln!("error: cannot load '{path}': {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let spec = settings.to_cluster();
+    let base_opts = match settings.to_cluster_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: bad cluster settings: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut wl = settings.to_workload_spec();
+    if let Some(n) = requests {
+        wl.requests = n;
+    }
+    if let Some(s) = seed {
+        wl.seed = s;
+    }
+    println!(
+        "cluster-bench: {} node(s) x {} device(s), R={}, {} requests @ {:.0}/s over {} fields (zipf {}), seed {}",
+        spec.nodes,
+        spec.node.devices,
+        spec.replication,
+        wl.requests,
+        wl.arrival_hz,
+        wl.fields,
+        wl.zipf_s,
+        wl.seed
+    );
+    type Runs = (
+        foresight::ServeReport,
+        foresight::ClusterReport,
+        Option<foresight::ClusterReport>,
+    );
+    let healthy_opts = foresight::ClusterOptions {
+        chaos: gpu_sim::NodeChaosPlan::quiet(),
+        ..base_opts.clone()
+    };
+    let run = || -> foresight_util::Result<Runs> {
+        let reqs = foresight::cluster_workload(&wl)?;
+        let serial = foresight::cluster_serial(&spec, &healthy_opts, &reqs)?;
+        let healthy = foresight::serve_cluster(&spec, &healthy_opts, &reqs)?;
+        if healthy_only {
+            return Ok((serial, healthy, None));
+        }
+        let chaos_opts = if base_opts.chaos.is_quiet() {
+            // No schedule configured: kill one node halfway through the
+            // healthy makespan (deterministic — derived from the healthy
+            // run, not wall-clock).
+            let victim = if spec.nodes > 1 { 1 } else { 0 };
+            let at_s = healthy.makespan_s * 0.5;
+            println!("chaos: injecting node-kill n{victim} @ {at_s:.6}s (mid-run)");
+            let plan = gpu_sim::NodeChaosPlan::new(vec![gpu_sim::NodeFaultEvent {
+                node: victim,
+                kind: gpu_sim::NodeFaultKind::Crash,
+                at_s,
+                duration_s: 0.0,
+                slow_factor: 1.0,
+            }])?;
+            foresight::ClusterOptions { chaos: plan, ..base_opts.clone() }
+        } else {
+            println!("chaos: {} configured fault(s)", base_opts.chaos.events().len());
+            base_opts.clone()
+        };
+        // reset() also disables, so enable after it: the Chrome trace
+        // should carry only the chaos run's timeline.
+        telemetry::reset();
+        telemetry::enable();
+        let chaos = foresight::serve_cluster(&spec, &chaos_opts, &reqs)?;
+        Ok((serial, healthy, Some(chaos)))
+    };
+    let (serial, healthy, chaos) = match run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster-bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = Table::new([
+        "run", "makespan_s", "GB/s", "done", "rej", "p50_ms", "p95_ms", "p99_ms",
+    ]);
+    let mut rows: Vec<(&str, &foresight::ClusterReport)> = vec![("healthy", &healthy)];
+    if let Some(c) = &chaos {
+        rows.push(("chaos", c));
+    }
+    for (name, r) in &rows {
+        let lat = r.latency();
+        table.push_row([
+            name.to_string(),
+            fmt_f64(r.makespan_s),
+            fmt_f64(r.sustained_gbs),
+            r.completed.to_string(),
+            r.rejected.to_string(),
+            fmt_f64(lat.map_or(0.0, |l| l.p50 * 1e3)),
+            fmt_f64(lat.map_or(0.0, |l| l.p95 * 1e3)),
+            fmt_f64(lat.map_or(0.0, |l| l.p99 * 1e3)),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    for (name, r) in &rows {
+        println!(
+            "{name}: failovers {} | redirects {} | timeouts {} | interrupted {} | cpu-fallbacks {} | shed(brownout) {} | breaker-flips {}",
+            r.failovers,
+            r.redirects,
+            r.timeouts,
+            r.interrupted,
+            r.cpu_fallbacks,
+            r.shed_brownout,
+            r.breaker_transitions.len()
+        );
+    }
+    // Conservation: nothing submitted may vanish — every request is
+    // either executed or rejected-with-hint.
+    let mut lost = 0usize;
+    for (name, r) in &rows {
+        if r.completed + r.rejected != r.submitted {
+            eprintln!(
+                "LOST REQUESTS ({name}): {} submitted but {} completed + {} rejected",
+                r.submitted, r.completed, r.rejected
+            );
+            lost += r.submitted - (r.completed + r.rejected).min(r.submitted);
+        }
+    }
+    // Byte identity: every executed request must match the single-node
+    // serial reference bit-for-bit, chaos or not.
+    let mut diverged = 0usize;
+    for (name, r) in &rows {
+        for resp in &r.responses {
+            if let (Some(bytes), Some(reference)) = (&resp.output, serial.response(resp.id)) {
+                if reference.output.as_ref() != Some(bytes) {
+                    eprintln!(
+                        "DIVERGENCE ({name}): request {} bytes differ from serial reference",
+                        resp.id
+                    );
+                    diverged += 1;
+                }
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create '{}': {e}", dir.display());
+            std::process::exit(1);
+        }
+        let tpath = dir.join("telemetry.json");
+        let mut doc = vec![("healthy".into(), healthy.metrics.to_json())];
+        if let Some(c) = &chaos {
+            doc.push(("chaos".into(), c.metrics.to_json()));
+        }
+        let doc = Value::Object(doc);
+        write_or_die(&tpath, "cluster metrics", || {
+            std::fs::write(&tpath, doc.to_json())?;
+            Ok(())
+        });
+        if chaos.is_some() {
+            let cpath = dir.join("cluster_trace.json");
+            let snap = telemetry::snapshot();
+            write_or_die(&cpath, "cluster chrome trace", || {
+                trace::write_chrome_trace(&cpath, &snap, ChromeTraceOptions::default())
+            });
+        }
+    }
+    if lost > 0 || diverged > 0 {
+        eprintln!(
+            "{lost} lost request(s), {diverged} divergent request(s); cluster run is NOT sound"
+        );
+        std::process::exit(1);
+    }
+    println!("zero lost requests; outputs bit-identical to the serial reference");
+    std::process::exit(0);
+}
+
 struct Cli {
     config: String,
     trace_out: Option<PathBuf>,
@@ -250,6 +472,9 @@ fn parse_args() -> Cli {
             }
             "serve-bench" if config.is_none() => {
                 serve_bench_main(args);
+            }
+            "cluster-bench" if config.is_none() => {
+                cluster_bench_main(args);
             }
             "--trace" => {
                 let Some(p) = args.next() else { usage_exit() };

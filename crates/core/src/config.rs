@@ -24,7 +24,10 @@
 //! [`ChaosSettings`]). The optional `sanitize` section attaches the
 //! device sanitizer to every GPU run (see [`SanitizeSettings`]). The
 //! optional `serve` section configures the `serve-bench` scheduler
-//! benchmark (see [`ServeSettings`]).
+//! benchmark (see [`ServeSettings`]), and the optional `cluster` section
+//! configures the `cluster-bench` multi-node serving benchmark — node
+//! count, replication, router knobs, Zipf workload, and an explicit
+//! node-fault schedule (see [`ClusterSettings`]).
 
 use crate::cbench::ChaosConfig;
 use crate::codec::CodecConfig;
@@ -633,6 +636,366 @@ impl ServeSettings {
     }
 }
 
+/// One scheduled node-level fault in a `cluster` section.
+#[derive(Debug, Clone)]
+pub struct ClusterFaultSetting {
+    /// `"crash"`, `"slow"`, or `"partition"`.
+    pub kind: String,
+    /// Target node index.
+    pub node: usize,
+    /// Onset, milliseconds on the simulated clock.
+    pub at_ms: f64,
+    /// Duration in milliseconds (ignored for `crash`).
+    pub duration_ms: f64,
+    /// Straggler factor (only for `slow`; must be >= 1).
+    pub factor: f64,
+}
+
+impl ClusterFaultSetting {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'cluster.faults' entries must be objects"));
+        }
+        Ok(ClusterFaultSetting {
+            kind: str_field(v, "kind")?.to_string(),
+            node: usize_field(v, "node", 0)?,
+            at_ms: f64_field(v, "at_ms", 0.0)?,
+            duration_ms: f64_field(v, "duration_ms", 0.0)?,
+            factor: f64_field(v, "factor", 1.0)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("kind".into(), Value::String(self.kind.clone())),
+            ("node".into(), Value::Number(self.node as f64)),
+            ("at_ms".into(), Value::Number(self.at_ms)),
+            ("duration_ms".into(), Value::Number(self.duration_ms)),
+            ("factor".into(), Value::Number(self.factor)),
+        ])
+    }
+
+    fn to_event(&self) -> Result<gpu_sim::NodeFaultEvent> {
+        let kind = match self.kind.as_str() {
+            "crash" => gpu_sim::NodeFaultKind::Crash,
+            "slow" => gpu_sim::NodeFaultKind::Slow,
+            "partition" => gpu_sim::NodeFaultKind::Partition,
+            other => {
+                return Err(bad(format!(
+                    "cluster fault kind must be crash|slow|partition, got '{other}'"
+                )))
+            }
+        };
+        Ok(gpu_sim::NodeFaultEvent {
+            node: self.node,
+            kind,
+            at_s: self.at_ms * 1e-3,
+            duration_s: self.duration_ms * 1e-3,
+            slow_factor: self.factor,
+        })
+    }
+}
+
+/// Optional multi-node serving ("cluster") settings.
+///
+/// When present, `foresight-cli cluster-bench` uses these instead of its
+/// built-in defaults: the cluster shape (node count, replication, devices
+/// per node), the router knobs ([`crate::cluster::ClusterOptions`]), the
+/// Zipf open-loop workload ([`crate::cluster::ClusterWorkloadSpec`]), and
+/// an explicit node-fault schedule (`faults`). Absent `faults` means a
+/// healthy run; `cluster-bench` injects its own node-kill when asked for
+/// chaos.
+#[derive(Debug, Clone)]
+pub struct ClusterSettings {
+    /// Serving nodes (default 4).
+    pub nodes: usize,
+    /// Replicas per placement key (default 2).
+    pub replication: usize,
+    /// Devices per node (default 2).
+    pub devices: usize,
+    /// Host link per device: `"nvlink"` (default) or `"pcie"`.
+    pub link: String,
+    /// Per-node outstanding-unit bound (default 64).
+    pub queue_depth: usize,
+    /// Shard threshold in KiB (default 256).
+    pub shard_kb: usize,
+    /// Batching window in milliseconds (default 1.0).
+    pub window_ms: f64,
+    /// Seed for jitter, workload, and fault streams (default 0).
+    pub seed: u64,
+    /// Health-probe interval in milliseconds (default 2.0).
+    pub heartbeat_ms: f64,
+    /// Missed probes before a node is marked down (default 2).
+    pub probe_misses: u32,
+    /// Failures that open a node's circuit breaker (default 3).
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown in milliseconds (default 20.0).
+    pub breaker_open_ms: f64,
+    /// First redirect backoff in milliseconds (default 0.5).
+    pub backoff_base_ms: f64,
+    /// Redirect backoff cap in milliseconds (default 8.0).
+    pub backoff_cap_ms: f64,
+    /// Workload: request count (default 96).
+    pub requests: usize,
+    /// Workload: mean arrival rate, requests/s (default 6000).
+    pub arrival_hz: f64,
+    /// Workload: catalog size, distinct placement keys (default 12).
+    pub fields: usize,
+    /// Workload: Zipf popularity exponent (default 1.1).
+    pub zipf_s: f64,
+    /// Workload: decompression fraction (default 0.25).
+    pub decompress_fraction: f64,
+    /// Workload: per-request deadline in ms; 0 means none (default 0).
+    pub deadline_ms: f64,
+    /// Workload: priority tiers (default 3).
+    pub priorities: u8,
+    /// Scheduled node faults (default none).
+    pub faults: Vec<ClusterFaultSetting>,
+}
+
+impl Default for ClusterSettings {
+    fn default() -> Self {
+        ClusterSettings {
+            nodes: 4,
+            replication: 2,
+            devices: 2,
+            link: "nvlink".into(),
+            queue_depth: 64,
+            shard_kb: 256,
+            window_ms: 1.0,
+            seed: 0,
+            heartbeat_ms: 2.0,
+            probe_misses: 2,
+            breaker_threshold: 3,
+            breaker_open_ms: 20.0,
+            backoff_base_ms: 0.5,
+            backoff_cap_ms: 8.0,
+            requests: 96,
+            arrival_hz: 6000.0,
+            fields: 12,
+            zipf_s: 1.1,
+            decompress_fraction: 0.25,
+            deadline_ms: 0.0,
+            priorities: 3,
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl ClusterSettings {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'cluster' must be an object"));
+        }
+        let d = ClusterSettings::default();
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => {
+                s.as_u64().ok_or_else(|| bad("field 'seed' must be a non-negative integer"))?
+            }
+        };
+        let link = match v.get("link") {
+            None => d.link.clone(),
+            Some(s) => s
+                .as_str()
+                .ok_or_else(|| bad("field 'link' must be a string"))?
+                .to_string(),
+        };
+        let faults = match v.get("faults") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(f) => f
+                .as_array()
+                .ok_or_else(|| bad("'cluster.faults' must be an array"))?
+                .iter()
+                .map(ClusterFaultSetting::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        };
+        Ok(ClusterSettings {
+            nodes: usize_field(v, "nodes", d.nodes)?,
+            replication: usize_field(v, "replication", d.replication)?,
+            devices: usize_field(v, "devices", d.devices)?,
+            link,
+            queue_depth: usize_field(v, "queue_depth", d.queue_depth)?,
+            shard_kb: usize_field(v, "shard_kb", d.shard_kb)?,
+            window_ms: f64_field(v, "window_ms", d.window_ms)?,
+            seed,
+            heartbeat_ms: f64_field(v, "heartbeat_ms", d.heartbeat_ms)?,
+            probe_misses: usize_field(v, "probe_misses", d.probe_misses as usize)? as u32,
+            breaker_threshold: usize_field(v, "breaker_threshold", d.breaker_threshold as usize)?
+                as u32,
+            breaker_open_ms: f64_field(v, "breaker_open_ms", d.breaker_open_ms)?,
+            backoff_base_ms: f64_field(v, "backoff_base_ms", d.backoff_base_ms)?,
+            backoff_cap_ms: f64_field(v, "backoff_cap_ms", d.backoff_cap_ms)?,
+            requests: usize_field(v, "requests", d.requests)?,
+            arrival_hz: f64_field(v, "arrival_hz", d.arrival_hz)?,
+            fields: usize_field(v, "fields", d.fields)?,
+            zipf_s: f64_field(v, "zipf_s", d.zipf_s)?,
+            decompress_fraction: f64_field(v, "decompress_fraction", d.decompress_fraction)?,
+            deadline_ms: f64_field(v, "deadline_ms", d.deadline_ms)?,
+            priorities: usize_field(v, "priorities", d.priorities as usize)? as u8,
+            faults,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("nodes".into(), Value::Number(self.nodes as f64)),
+            ("replication".into(), Value::Number(self.replication as f64)),
+            ("devices".into(), Value::Number(self.devices as f64)),
+            ("link".into(), Value::String(self.link.clone())),
+            ("queue_depth".into(), Value::Number(self.queue_depth as f64)),
+            ("shard_kb".into(), Value::Number(self.shard_kb as f64)),
+            ("window_ms".into(), Value::Number(self.window_ms)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("heartbeat_ms".into(), Value::Number(self.heartbeat_ms)),
+            ("probe_misses".into(), Value::Number(self.probe_misses as f64)),
+            ("breaker_threshold".into(), Value::Number(self.breaker_threshold as f64)),
+            ("breaker_open_ms".into(), Value::Number(self.breaker_open_ms)),
+            ("backoff_base_ms".into(), Value::Number(self.backoff_base_ms)),
+            ("backoff_cap_ms".into(), Value::Number(self.backoff_cap_ms)),
+            ("requests".into(), Value::Number(self.requests as f64)),
+            ("arrival_hz".into(), Value::Number(self.arrival_hz)),
+            ("fields".into(), Value::Number(self.fields as f64)),
+            ("zipf_s".into(), Value::Number(self.zipf_s)),
+            ("decompress_fraction".into(), Value::Number(self.decompress_fraction)),
+            ("deadline_ms".into(), Value::Number(self.deadline_ms)),
+            ("priorities".into(), Value::Number(self.priorities as f64)),
+            (
+                "faults".into(),
+                Value::Array(self.faults.iter().map(ClusterFaultSetting::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// The cluster shape these settings describe.
+    pub fn to_cluster(&self) -> crate::cluster::ServeCluster {
+        let mut node = crate::serve::ServeNode::v100_pcie(self.devices);
+        if self.link == "nvlink" {
+            node.link = gpu_sim::PcieLink::nvlink2();
+        }
+        crate::cluster::ServeCluster::new(self.nodes, self.replication, node)
+    }
+
+    /// Router options including the configured fault schedule.
+    pub fn to_cluster_options(&self) -> Result<crate::cluster::ClusterOptions> {
+        Ok(crate::cluster::ClusterOptions {
+            serve: crate::serve::ServeOptions {
+                queue_depth: self.queue_depth,
+                shard_bytes: self.shard_kb as u64 * 1024,
+                window_s: self.window_ms * 1e-3,
+                seed: self.seed,
+                ..crate::serve::ServeOptions::default()
+            },
+            heartbeat_s: self.heartbeat_ms * 1e-3,
+            probe_misses: self.probe_misses,
+            breaker_threshold: self.breaker_threshold,
+            breaker_open_s: self.breaker_open_ms * 1e-3,
+            backoff_base_s: self.backoff_base_ms * 1e-3,
+            backoff_cap_s: self.backoff_cap_ms * 1e-3,
+            chaos: self.to_chaos_plan()?,
+        })
+    }
+
+    /// The configured node-fault schedule (quiet when `faults` is empty).
+    pub fn to_chaos_plan(&self) -> Result<gpu_sim::NodeChaosPlan> {
+        let events = self
+            .faults
+            .iter()
+            .map(ClusterFaultSetting::to_event)
+            .collect::<Result<Vec<_>>>()?;
+        gpu_sim::NodeChaosPlan::new(events)
+            .map_err(|e| Error::Config(format!("cluster faults: {e}")))
+    }
+
+    /// The Zipf open-loop workload these settings describe.
+    pub fn to_workload_spec(&self) -> crate::cluster::ClusterWorkloadSpec {
+        crate::cluster::ClusterWorkloadSpec {
+            requests: self.requests,
+            seed: self.seed,
+            arrival_hz: self.arrival_hz,
+            fields: self.fields,
+            zipf_s: self.zipf_s,
+            decompress_fraction: self.decompress_fraction,
+            deadline_s: (self.deadline_ms > 0.0).then_some(self.deadline_ms * 1e-3),
+            priorities: self.priorities,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(Error::Config("cluster.nodes must be >= 1".into()));
+        }
+        if self.replication == 0 || self.replication > self.nodes {
+            return Err(Error::Config(format!(
+                "cluster.replication must be in [1, nodes={}], got {}",
+                self.nodes, self.replication
+            )));
+        }
+        if self.devices == 0 {
+            return Err(Error::Config("cluster.devices must be >= 1".into()));
+        }
+        if self.link != "nvlink" && self.link != "pcie" {
+            return Err(Error::Config(format!(
+                "cluster.link must be 'nvlink' or 'pcie', got '{}'",
+                self.link
+            )));
+        }
+        if self.queue_depth == 0 || self.shard_kb == 0 || self.fields == 0 {
+            return Err(Error::Config(
+                "cluster.queue_depth, shard_kb, and fields must be >= 1".into(),
+            ));
+        }
+        if self.probe_misses == 0 || self.breaker_threshold == 0 || self.priorities == 0 {
+            return Err(Error::Config(
+                "cluster.probe_misses, breaker_threshold, and priorities must be >= 1".into(),
+            ));
+        }
+        for (name, v) in [
+            ("window_ms", self.window_ms),
+            ("heartbeat_ms", self.heartbeat_ms),
+            ("breaker_open_ms", self.breaker_open_ms),
+            ("backoff_base_ms", self.backoff_base_ms),
+            ("backoff_cap_ms", self.backoff_cap_ms),
+            ("arrival_hz", self.arrival_hz),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(Error::Config(format!("cluster.{name} must be positive")));
+            }
+        }
+        if self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(Error::Config(
+                "cluster.backoff_cap_ms must be >= backoff_base_ms".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.decompress_fraction) {
+            return Err(Error::Config(
+                "cluster.decompress_fraction must be in [0, 1]".into(),
+            ));
+        }
+        if !(self.deadline_ms >= 0.0
+            && self.deadline_ms.is_finite()
+            && self.zipf_s >= 0.0
+            && self.zipf_s.is_finite())
+        {
+            return Err(Error::Config(
+                "cluster.deadline_ms and zipf_s must be finite and >= 0".into(),
+            ));
+        }
+        for f in &self.faults {
+            if f.node >= self.nodes {
+                return Err(Error::Config(format!(
+                    "cluster fault targets node {} but the cluster has {}",
+                    f.node, self.nodes
+                )));
+            }
+            f.to_event()?;
+        }
+        // Delegate range checks the chaos model enforces itself.
+        self.to_chaos_plan()?;
+        Ok(())
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -651,6 +1014,9 @@ pub struct ForesightConfig {
     /// Optional serving-scheduler settings for `serve-bench` (absent
     /// means built-in defaults).
     pub serve: Option<ServeSettings>,
+    /// Optional multi-node serving settings for `cluster-bench` (absent
+    /// means built-in defaults).
+    pub cluster: Option<ClusterSettings>,
 }
 
 impl ForesightConfig {
@@ -688,6 +1054,10 @@ impl ForesightConfig {
             None | Some(Value::Null) => None,
             Some(v) => Some(ServeSettings::from_value(v)?),
         };
+        let cluster = match doc.get("cluster") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(ClusterSettings::from_value(v)?),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
@@ -696,6 +1066,7 @@ impl ForesightConfig {
             chaos,
             sanitize,
             serve,
+            cluster,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -729,6 +1100,9 @@ impl ForesightConfig {
         }
         if let Some(serve) = &self.serve {
             fields.push(("serve".into(), serve.to_value()));
+        }
+        if let Some(cluster) = &self.cluster {
+            fields.push(("cluster".into(), cluster.to_value()));
         }
         Value::Object(fields).to_json()
     }
@@ -779,6 +1153,9 @@ impl ForesightConfig {
         }
         if let Some(serve) = &self.serve {
             serve.validate()?;
+        }
+        if let Some(cluster) = &self.cluster {
+            cluster.validate()?;
         }
         Ok(())
     }
@@ -1013,6 +1390,89 @@ mod tests {
         assert_eq!(w.requests, 12);
         assert!((w.deadline_s.unwrap() - 2.5e-3).abs() < 1e-12);
         assert!((w.decompress_fraction - 0.5).abs() < 1e-12);
+    }
+
+    fn with_cluster(section: &str) -> Result<ForesightConfig> {
+        ForesightConfig::from_json(&format!(
+            r#"{{
+            "input": {{ "dataset": "nyx", "n_side": 16 }},
+            "compressors": [ {{ "name": "cuzfp", "rates": [4] }} ],
+            "analysis": [],
+            "output": {{ "dir": "o" }},
+            "cluster": {section}
+        }}"#
+        ))
+    }
+
+    #[test]
+    fn cluster_section_parses_with_defaults() {
+        let cfg = with_cluster("{}").unwrap();
+        let c = cfg.cluster.expect("cluster section present");
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.replication, 2);
+        assert_eq!(c.devices, 2);
+        assert_eq!(c.priorities, 3);
+        assert!(c.faults.is_empty());
+        let spec = c.to_cluster();
+        assert_eq!(spec.nodes, 4);
+        assert_eq!(spec.node.devices, 2);
+        let opts = c.to_cluster_options().unwrap();
+        assert!((opts.heartbeat_s - 2e-3).abs() < 1e-12);
+        assert!(opts.chaos.is_quiet());
+        let w = c.to_workload_spec();
+        assert_eq!(w.fields, 12);
+        assert!((w.zipf_s - 1.1).abs() < 1e-12);
+        // Absent section stays absent.
+        assert!(ForesightConfig::from_json(SAMPLE).unwrap().cluster.is_none());
+    }
+
+    #[test]
+    fn cluster_section_roundtrips_with_fault_schedule() {
+        let cfg = with_cluster(
+            r#"{ "nodes": 3, "replication": 2, "devices": 1, "link": "pcie",
+                 "heartbeat_ms": 1.0, "breaker_open_ms": 10, "seed": 11,
+                 "faults": [
+                   { "kind": "crash", "node": 1, "at_ms": 0.8 },
+                   { "kind": "slow", "node": 0, "at_ms": 0.2, "duration_ms": 2.0, "factor": 4.0 },
+                   { "kind": "partition", "node": 2, "at_ms": 0.5, "duration_ms": 1.5 }
+                 ] }"#,
+        )
+        .unwrap();
+        let cfg2 = ForesightConfig::from_json(&cfg.to_json()).unwrap();
+        let c = cfg2.cluster.unwrap();
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.faults.len(), 3);
+        let plan = c.to_chaos_plan().unwrap();
+        assert!(!plan.is_quiet());
+        assert!(!plan.reachable(1, 1.0), "crash at 0.8ms is permanent");
+        assert!((plan.slow_factor(0, 1e-3) - 4.0).abs() < 1e-12);
+        assert!(plan.reachable(2, 2.1e-3), "partition recovered");
+        let opts = c.to_cluster_options().unwrap();
+        assert!((opts.breaker_open_s - 1e-2).abs() < 1e-12);
+        assert_eq!(opts.serve.seed, 11);
+    }
+
+    #[test]
+    fn cluster_section_rejects_bad_values() {
+        assert!(with_cluster(r#"{ "nodes": 0 }"#).is_err());
+        assert!(with_cluster(r#"{ "replication": 5 }"#).is_err(), "R > nodes");
+        assert!(with_cluster(r#"{ "link": "ethernet" }"#).is_err());
+        assert!(with_cluster(r#"{ "heartbeat_ms": 0 }"#).is_err());
+        assert!(with_cluster(r#"{ "backoff_base_ms": 9, "backoff_cap_ms": 1 }"#).is_err());
+        assert!(with_cluster(r#"{ "priorities": 0 }"#).is_err());
+        assert!(
+            with_cluster(r#"{ "faults": [ { "kind": "meteor", "node": 0 } ] }"#).is_err(),
+            "unknown fault kind"
+        );
+        assert!(
+            with_cluster(r#"{ "faults": [ { "kind": "crash", "node": 9 } ] }"#).is_err(),
+            "fault on a node outside the cluster"
+        );
+        assert!(
+            with_cluster(r#"{ "faults": [ { "kind": "slow", "node": 0, "factor": 0.5 } ] }"#)
+                .is_err(),
+            "slow factor below 1"
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! configuration ([`config`]), the GPU execution backend ([`gpu_backend`]),
 //! the paper's best-fit configuration guideline ([`optimizer`]), the
 //! telemetry reporting layer ([`trace`]) that turns collected spans and
-//! metrics into Chrome traces, flamegraphs and `telemetry.json`, and the
-//! batched multi-device serving scheduler ([`serve`]).
+//! metrics into Chrome traces, flamegraphs and `telemetry.json`, the
+//! batched multi-device serving scheduler ([`serve`]), and its
+//! fault-tolerant multi-node front end ([`cluster`]) with replicated
+//! placement, health-checked failover, and node-level chaos.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 
 pub mod cbench;
 pub mod cinema;
+pub mod cluster;
 pub mod codec;
 pub mod config;
 pub mod gpu_backend;
@@ -51,9 +54,15 @@ pub use cbench::{
     ChaosSweepReport, ExecPath, FieldData, QuarantinedPair,
 };
 pub use cinema::{ascii_chart, CinemaDb};
+pub use cluster::{
+    cluster_serial, cluster_workload, serve_cluster, BreakerState, BreakerTransition,
+    ClusterOptions, ClusterReport, ClusterRequest, ClusterResponse, ClusterWorkloadSpec,
+    ServeCluster,
+};
 pub use codec::{CodecConfig, CompressorId, Shape};
 pub use config::{
-    AnalysisKind, ChaosSettings, DatasetKind, ForesightConfig, SanitizeSettings, ServeSettings,
+    AnalysisKind, ChaosSettings, ClusterFaultSetting, ClusterSettings, DatasetKind,
+    ForesightConfig, SanitizeSettings, ServeSettings,
 };
 pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
 pub use pat::{Job, JobResult, JobStatus, RetryPolicy, SlurmSim, Workflow, WorkflowReport};

@@ -86,6 +86,16 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
     // may rerun under the workflow retry policy; a gauge set twice stays
     // correct where a counter would double).
     let run_metrics = Arc::new(MetricsRegistry::new());
+    // A configured `cluster` section doesn't run inside the pipeline
+    // (cluster-bench drives it), but its shape is part of the run's
+    // provenance: surface it so telemetry.json records what the serving
+    // tier would look like.
+    if let Some(cl) = &cfg.cluster {
+        run_metrics.gauge("cluster.configured.nodes", cl.nodes as f64);
+        run_metrics.gauge("cluster.configured.replication", cl.replication as f64);
+        run_metrics.gauge("cluster.configured.devices", cl.devices as f64);
+        run_metrics.gauge("cluster.configured.faults", cl.faults.len() as f64);
+    }
     let quarantined: Arc<Mutex<Vec<QuarantinedPair>>> = Arc::new(Mutex::new(Vec::new()));
     // Sanitizer findings, per producing job. Each job wholesale-replaces
     // its own slot (closures may rerun under the retry policy); the final
@@ -486,6 +496,25 @@ mod tests {
         assert!(report.candidates.iter().all(|c| c.pk_deviation.is_some()));
         assert!(report.artifacts >= 2);
         assert!(report.workflow.job("report").is_some());
+        std::fs::remove_dir_all(&cfg.output.dir).ok();
+    }
+
+    #[test]
+    fn cluster_section_surfaces_provenance_gauges() {
+        let mut cfg = base_config("nyx", "\"distortion\"");
+        cfg.cluster = Some(crate::config::ClusterSettings {
+            nodes: 3,
+            replication: 2,
+            ..Default::default()
+        });
+        let report = run_pipeline(&cfg, &SlurmSim::default()).unwrap();
+        assert_eq!(report.metrics.gauge("cluster.configured.nodes"), Some(3.0));
+        assert_eq!(report.metrics.gauge("cluster.configured.replication"), Some(2.0));
+        assert_eq!(report.metrics.gauge("cluster.configured.faults"), Some(0.0));
+        // A run without the section records no cluster gauges.
+        let plain = base_config("nyx", "\"distortion\"");
+        let plain_report = run_pipeline(&plain, &SlurmSim::default()).unwrap();
+        assert_eq!(plain_report.metrics.gauge("cluster.configured.nodes"), None);
         std::fs::remove_dir_all(&cfg.output.dir).ok();
     }
 

@@ -56,6 +56,23 @@ use std::collections::BTreeMap;
 /// Multi-shard compressed stream container magic (version 1).
 const CONTAINER_MAGIC: &[u8; 4] = b"FSH1";
 
+/// Deterministic jitter in `[0, 1)` keyed by `(seed, a, b)` — one
+/// splitmix64 step over a mixed seed. Used to de-synchronize retry
+/// hints (and cluster backoff) without any shared PRNG state: the value
+/// depends only on its key, so same-seed runs stay identical while
+/// distinct requests (or attempts) get distinct jitter.
+pub(crate) fn jitter01(seed: u64, a: u64, b: u64) -> f64 {
+    let mut state = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 // ---------------------------------------------------------------------------
 // Node / options / requests
 // ---------------------------------------------------------------------------
@@ -318,7 +335,7 @@ pub fn shard_plan(shape: Shape, shard_bytes: u64) -> Vec<(usize, Shape)> {
 
 /// Wraps shard streams into the `FSH1` container. Callers pass 2+
 /// shards; a single shard stays a raw codec stream.
-fn wrap_shards(shards: &[Vec<u8>]) -> Vec<u8> {
+pub(crate) fn wrap_shards(shards: &[Vec<u8>]) -> Vec<u8> {
     debug_assert!(shards.len() >= 2);
     let payload: usize = shards.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(8 + 4 * shards.len() + payload);
@@ -367,16 +384,16 @@ fn split_container(stream: &[u8]) -> Result<Option<Vec<(usize, usize)>>> {
 // ---------------------------------------------------------------------------
 
 /// One schedulable unit of work with its host-computed result.
-struct Unit {
+pub(crate) struct Unit {
     /// Result bytes: compressed shard stream, or decoded f32 LE bytes.
-    out: Vec<u8>,
-    n_values: u64,
+    pub(crate) out: Vec<u8>,
+    pub(crate) n_values: u64,
     /// H2D payload.
-    in_bytes: u64,
+    pub(crate) in_bytes: u64,
     /// D2H payload.
-    out_bytes: u64,
-    bits_per_value: f64,
-    kind: KernelKind,
+    pub(crate) out_bytes: u64,
+    pub(crate) bits_per_value: f64,
+    pub(crate) kind: KernelKind,
 }
 
 fn batch_key(cfg: &CodecConfig) -> String {
@@ -464,7 +481,10 @@ fn run_unit(req: &ServeRequest, slice: &(usize, usize, Shape)) -> Result<Unit> {
 
 /// Host-executes every unit of every request (rayon over units; result
 /// order is deterministic regardless of thread scheduling).
-fn execute_units(requests: &[ServeRequest], shard_bytes: u64) -> Result<Vec<Vec<Unit>>> {
+pub(crate) fn execute_units(
+    requests: &[ServeRequest],
+    shard_bytes: u64,
+) -> Result<Vec<Vec<Unit>>> {
     let plans = requests
         .iter()
         .map(|r| unit_slices(r, shard_bytes))
@@ -484,7 +504,7 @@ fn execute_units(requests: &[ServeRequest], shard_bytes: u64) -> Result<Vec<Vec<
 }
 
 /// Assembles a request's response bytes from its unit outputs.
-fn assemble_output(req: &ServeRequest, units: &[Unit]) -> Vec<u8> {
+pub(crate) fn assemble_output(req: &ServeRequest, units: &[Unit]) -> Vec<u8> {
     match &req.payload {
         ServePayload::Compress { .. } => {
             if units.len() == 1 {
@@ -508,24 +528,31 @@ fn assemble_output(req: &ServeRequest, units: &[Unit]) -> Vec<u8> {
 // Phase B: simulated-clock scheduling
 // ---------------------------------------------------------------------------
 
-struct ExecState {
-    queues: Vec<GpuQueueSim>,
-    plans: Vec<FaultPlan>,
+/// Per-node execution state: device queues, fault plans, CPU lane.
+/// `Clone` lets the cluster router dispatch tentatively and commit only
+/// when the target node survives to the completion time.
+#[derive(Clone)]
+pub(crate) struct ExecState {
+    pub(crate) queues: Vec<GpuQueueSim>,
+    pub(crate) plans: Vec<FaultPlan>,
     /// Warm-pool accounting on (batched scheduler) or off (serial
     /// reference, which pays init/free per request instead).
     warm_pool: bool,
     /// Devices whose buffer pool has been initialized (warm-pool model:
     /// the batched scheduler pays init once per device, at first use).
-    inited: Vec<bool>,
-    cpu_free_s: f64,
+    pub(crate) inited: Vec<bool>,
+    /// Trace-process prefix (`"serve"`, `"serial"`, or a cluster node
+    /// label like `"n2"`).
+    prefix: String,
+    pub(crate) cpu_free_s: f64,
     cpu_gbs: f64,
-    cpu_trace: Vec<TraceEvent>,
-    failovers: u64,
-    cpu_fallbacks: u64,
+    pub(crate) cpu_trace: Vec<TraceEvent>,
+    pub(crate) failovers: u64,
+    pub(crate) cpu_fallbacks: u64,
 }
 
 impl ExecState {
-    fn new(node: &ServeNode, opts: &ServeOptions, prefix: &str, warm_pool: bool) -> Self {
+    pub(crate) fn new(node: &ServeNode, opts: &ServeOptions, prefix: &str, warm_pool: bool) -> Self {
         let master = FaultPlan::new(opts.seed, opts.rates);
         Self {
             queues: (0..node.devices)
@@ -534,10 +561,11 @@ impl ExecState {
                 })
                 .collect(),
             plans: (0..node.devices)
-                .map(|i| master.fork(&format!("serve/gpu{i}")))
+                .map(|i| master.fork(&format!("{prefix}/gpu{i}")))
                 .collect(),
             warm_pool,
             inited: vec![false; node.devices],
+            prefix: prefix.to_string(),
             cpu_free_s: 0.0,
             cpu_gbs: opts.cpu_fallback_gbs,
             cpu_trace: Vec::new(),
@@ -550,7 +578,7 @@ impl ExecState {
     /// A long-running server allocates device memory once and reuses it
     /// across batches — per-batch `cudaMalloc` would dominate small
     /// batches and no serving system does that.
-    fn ensure_warm(&mut self, d: usize, ready_s: f64) {
+    pub(crate) fn ensure_warm(&mut self, d: usize, ready_s: f64) {
         if self.warm_pool && !self.inited[d] {
             self.inited[d] = true;
             self.queues[d].charge_init(ready_s, "warmup");
@@ -558,7 +586,7 @@ impl ExecState {
     }
 
     /// Index of the device whose lanes drain first.
-    fn least_loaded(&self) -> usize {
+    pub(crate) fn least_loaded(&self) -> usize {
         let mut best = 0usize;
         for (i, q) in self.queues.iter().enumerate() {
             if q.ready_s() < self.queues[best].ready_s() {
@@ -571,7 +599,7 @@ impl ExecState {
     /// Runs one unit with fail-over: try `start_dev`, then every other
     /// device in ring order, then the CPU path. Returns (done time, path
     /// taken, device label).
-    fn exec_unit(&mut self, start_dev: usize, ready_s: f64, u: &Unit, label: &str)
+    pub(crate) fn exec_unit(&mut self, start_dev: usize, ready_s: f64, u: &Unit, label: &str)
         -> (f64, ExecPath, String) {
         let n = self.queues.len();
         let mut ready = ready_s;
@@ -588,6 +616,7 @@ impl ExecState {
                     + kernel_time(&q.spec, u.kind, u.n_values, u.bits_per_value);
                 ready = q.charge_fault(ready, wasted, label);
                 self.failovers += 1;
+                telemetry::counter("serve.fault", 1);
                 continue;
             }
             let t = q.enqueue_unit(
@@ -608,8 +637,9 @@ impl ExecState {
         let dur = u.n_values as f64 * 4.0 / (self.cpu_gbs * 1e9);
         self.cpu_free_s = start + dur;
         self.cpu_fallbacks += 1;
+        telemetry::counter("serve.cpu_fallback", 1);
         self.cpu_trace.push(TraceEvent {
-            process: "serve-cpu".into(),
+            process: format!("{}-cpu", self.prefix),
             track: "cpu".into(),
             name: label.to_string(),
             start_s: start,
@@ -618,7 +648,7 @@ impl ExecState {
         (self.cpu_free_s, ExecPath::CpuFallback, "cpu".into())
     }
 
-    fn collect_trace(&self) -> Vec<TraceEvent> {
+    pub(crate) fn collect_trace(&self) -> Vec<TraceEvent> {
         let mut out = Vec::new();
         for q in &self.queues {
             for s in q.timeline() {
@@ -638,7 +668,7 @@ impl ExecState {
 
 /// Merges unit outcomes into a request-level (completion, path, device)
 /// triple: the slowest unit completes the request, the worst path wins.
-fn fold_units(outcomes: &[(f64, ExecPath, String)]) -> (f64, ExecPath, String) {
+pub(crate) fn fold_units(outcomes: &[(f64, ExecPath, String)]) -> (f64, ExecPath, String) {
     let done = outcomes.iter().fold(0.0f64, |m, o| m.max(o.0));
     let retried: u32 = outcomes
         .iter()
@@ -663,7 +693,11 @@ fn fold_units(outcomes: &[(f64, ExecPath, String)]) -> (f64, ExecPath, String) {
     (done, path, devices.join("+"))
 }
 
-fn validate(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -> Result<()> {
+pub(crate) fn validate(
+    node: &ServeNode,
+    opts: &ServeOptions,
+    requests: &[ServeRequest],
+) -> Result<()> {
     if node.devices == 0 {
         return Err(Error::invalid("serve node needs at least one device"));
     }
@@ -853,13 +887,17 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
             if outstanding + n_units > opts.queue_depth {
                 // Backpressure: reject with a hint, never drop. The hint
                 // is when the earliest outstanding unit drains (or the
-                // next window if the pressure is all queued work).
+                // next window if the pressure is all queued work), plus
+                // up to one window of per-request deterministic jitter —
+                // identical hints would re-synchronize every rejected
+                // client into a thundering herd at the same instant.
                 let retry_after_s = completions
                     .iter()
                     .filter(|&&c| c > req.arrival_s)
                     .fold(f64::INFINITY, |m, &c| m.min(c))
                     .min(dispatch_s + opts.window_s)
-                    - req.arrival_s;
+                    - req.arrival_s
+                    + jitter01(opts.seed, req.id, 0) * opts.window_s;
                 rejected += 1;
                 reg.counter("serve.rejected", 1);
                 pending.responses[ri] = Some(ServeResponse {
@@ -1043,7 +1081,7 @@ impl Default for WorkloadSpec {
 
 /// Smooth-plus-noise field used by the generator (cosmology-shaped
 /// enough for the codecs to behave normally).
-fn synth_field(n: usize, seed_phase: f64, rng: &mut StdRng) -> Vec<f32> {
+pub(crate) fn synth_field(n: usize, seed_phase: f64, rng: &mut StdRng) -> Vec<f32> {
     (0..n)
         .map(|i| {
             let x = i as f64 * 0.013 + seed_phase;
@@ -1257,6 +1295,92 @@ mod tests {
         }
         // Rejected + served == total: nothing dropped.
         assert_eq!(r.responses.len(), 5);
+    }
+
+    #[test]
+    fn rejects_in_the_same_window_get_jittered_retry_hints() {
+        // Sustained saturation: everything arrives at t=0 against a
+        // depth-2 queue, so multiple requests reject in the same window.
+        // Pre-jitter they all got the identical retry_after_s — every
+        // client would retry at the same instant (thundering herd).
+        let node = ServeNode::v100_pcie(1);
+        let opts = ServeOptions { queue_depth: 2, ..Default::default() };
+        let reqs: Vec<ServeRequest> = (0..8).map(|i| compress_req(i, 0.0, 16, 4.0)).collect();
+        let r = serve(&node, &opts, &reqs).unwrap();
+        let hints: Vec<f64> = r
+            .responses
+            .iter()
+            .filter_map(|resp| match resp.status {
+                ServeStatus::Rejected { retry_after_s } => Some(retry_after_s),
+                _ => None,
+            })
+            .collect();
+        assert!(hints.len() >= 3, "need several same-window rejects, got {}", hints.len());
+        for (i, a) in hints.iter().enumerate() {
+            assert!(a.is_finite() && *a > 0.0);
+            for b in &hints[i + 1..] {
+                assert!(
+                    (a - b).abs() > 1e-12,
+                    "two rejects share retry_after_s = {a}: herd re-synchronized"
+                );
+            }
+        }
+        // Jitter is bounded (at most one extra window) and deterministic.
+        let base: f64 = hints.iter().cloned().fold(f64::INFINITY, f64::min);
+        for h in &hints {
+            assert!(h - base < opts.window_s, "jitter must stay within one window");
+        }
+        let r2 = serve(&node, &opts, &reqs).unwrap();
+        let hints2: Vec<f64> = r2
+            .responses
+            .iter()
+            .filter_map(|resp| match resp.status {
+                ServeStatus::Rejected { retry_after_s } => Some(retry_after_s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints, hints2, "same seed, same hints");
+    }
+
+    #[test]
+    fn cpu_fallback_still_charges_fault_phase_and_counters() {
+        // Every device faults every kernel: each unit must charge a
+        // `fault` slice on every device it tried before landing on the
+        // CPU path — a CPU fallback with zero recorded faults would mean
+        // the failure was silently absorbed.
+        let node = ServeNode::v100_pcie(2);
+        let opts = ServeOptions {
+            rates: FaultRates { kernel: 1.0, ..Default::default() },
+            seed: 5,
+            ..Default::default()
+        };
+        let reqs: Vec<ServeRequest> =
+            (0..3).map(|i| compress_req(i, 1e-5 * i as f64, 16, 4.0)).collect();
+        telemetry::reset();
+        telemetry::enable();
+        let r = serve(&node, &opts, &reqs).unwrap();
+        let snap = telemetry::snapshot();
+        telemetry::reset();
+        assert_eq!(r.cpu_fallbacks, 3);
+        assert_eq!(r.failovers, 6, "3 units x 2 devices all faulted");
+        // The fault phase is charged on the device timelines.
+        for (label, _) in &r.device_util {
+            let charged: f64 = r
+                .trace
+                .iter()
+                .filter(|e| &e.process == label && e.track == "fault")
+                .map(|e| e.dur_s)
+                .sum();
+            assert!(charged > 0.0, "{label} recorded no fault time");
+        }
+        let faults = r.trace.iter().filter(|e| e.track == "fault").count();
+        assert_eq!(faults as u64, r.failovers);
+        // Report counters and global telemetry counters both fire
+        // (global ones are >= because concurrent tests may add).
+        assert_eq!(r.metrics.counter("serve.failover"), 6);
+        assert_eq!(r.metrics.counter("serve.cpu_fallback"), 3);
+        assert!(snap.metrics.counter("serve.fault") >= 6, "telemetry fault counter missing");
+        assert!(snap.metrics.counter("serve.cpu_fallback") >= 3);
     }
 
     #[test]

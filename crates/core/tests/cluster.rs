@@ -1,0 +1,123 @@
+//! Acceptance test for fault-tolerant cluster serving.
+//!
+//! Pins the headline robustness claim end to end: seeded chaos killing
+//! 1 of 4 nodes mid-run at replication factor 2 must lose zero
+//! requests, return bytes identical to the healthy run for every
+//! executed request, and reproduce the exact same trace on a
+//! same-seed rerun. Failover must be visible in the report's counters,
+//! metrics snapshot, and Chrome-trace events — degradation is allowed,
+//! silence about it is not.
+
+use foresight::{
+    cluster_workload, serve_cluster, ClusterOptions, ClusterWorkloadSpec, ServeCluster, ServeNode,
+    ServeOptions, ServeStatus,
+};
+use gpu_sim::{NodeChaosPlan, NodeFaultEvent, NodeFaultKind};
+
+const NODES: usize = 4;
+const REPLICATION: usize = 2;
+const VICTIM: usize = 1;
+
+fn spec() -> ServeCluster {
+    ServeCluster::new(NODES, REPLICATION, ServeNode::v100_pcie(2))
+}
+
+fn options(chaos: NodeChaosPlan) -> ClusterOptions {
+    ClusterOptions {
+        // Depth raised so the whole workload is admitted: the claim is
+        // about failover correctness, not about shedding load.
+        serve: ServeOptions { queue_depth: 256, seed: 7, ..Default::default() },
+        chaos,
+        ..Default::default()
+    }
+}
+
+fn workload() -> Vec<foresight::ClusterRequest> {
+    cluster_workload(&ClusterWorkloadSpec { requests: 64, seed: 7, ..Default::default() })
+        .expect("workload spec is valid")
+}
+
+#[test]
+fn node_kill_mid_run_at_r2_loses_nothing_and_preserves_bytes() {
+    let spec = spec();
+    let requests = workload();
+
+    let healthy = serve_cluster(&spec, &options(NodeChaosPlan::quiet()), &requests).unwrap();
+    assert_eq!(healthy.completed, requests.len(), "healthy run must execute everything");
+    assert_eq!(healthy.failovers, 0, "quiet chaos must not fail over");
+
+    // Kill one node mid-run: onset at half the healthy makespan puts the
+    // crash squarely inside the serving window on the simulated clock.
+    let kill_at = healthy.makespan_s * 0.5;
+    assert!(kill_at > 0.0, "healthy run must have nonzero makespan");
+    let chaos = NodeChaosPlan::new(vec![NodeFaultEvent {
+        node: VICTIM,
+        kind: NodeFaultKind::Crash,
+        at_s: kill_at,
+        duration_s: 10.0,
+        slow_factor: 1.0,
+    }])
+    .unwrap();
+
+    let report = serve_cluster(&spec, &options(chaos.clone()), &requests).unwrap();
+
+    // Zero lost requests: everything submitted terminates, and with R=2
+    // and three healthy nodes everything still executes.
+    assert_eq!(report.submitted, requests.len());
+    assert_eq!(
+        report.completed + report.rejected,
+        report.submitted,
+        "conservation law violated under node kill"
+    );
+    assert_eq!(report.completed, requests.len(), "R=2 must absorb a single node loss");
+
+    // Bytes identical to the healthy run, request by request.
+    for r in &report.responses {
+        assert!(
+            matches!(r.status, ServeStatus::Done | ServeStatus::DeadlineMissed),
+            "request {} not executed under chaos: {:?}",
+            r.id,
+            r.status
+        );
+        let h = healthy.response(r.id).expect("healthy run resolved every id");
+        assert_eq!(r.output, h.output, "request {} bytes diverged after node kill", r.id);
+    }
+
+    // Failover is visible, not silent: counters, metrics, and the
+    // Chrome trace all carry it.
+    assert!(report.failovers > 0, "node kill produced no failovers");
+    assert!(report.redirects >= report.failovers);
+    assert_eq!(report.metrics.counter("cluster.failover"), report.failovers);
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|e| e.process == "cluster"
+                && e.track == format!("chaos.n{VICTIM}")
+                && e.name == "crash"),
+        "crash window missing from the cluster trace"
+    );
+
+    // Degraded but bounded: the chaos run may be slower, but its p99
+    // stays within an order of magnitude of healthy.
+    let hp99 = healthy.latency().expect("healthy latency histogram").p99;
+    let cp99 = report.latency().expect("chaos latency histogram").p99;
+    assert!(cp99 >= hp99, "losing a node cannot make tail latency better");
+    assert!(
+        cp99 <= hp99 * 10.0,
+        "chaos p99 {cp99:.6}s unbounded vs healthy {hp99:.6}s"
+    );
+
+    // Same seed, same chaos plan: reruns are indistinguishable.
+    let rerun = serve_cluster(&spec, &options(chaos), &requests).unwrap();
+    assert!(rerun.trace == report.trace, "same-seed chaos rerun trace diverged");
+    assert_eq!(rerun.makespan_s, report.makespan_s);
+    assert_eq!(rerun.failovers, report.failovers);
+    assert_eq!(rerun.breaker_transitions, report.breaker_transitions);
+    for (a, b) in rerun.responses.iter().zip(&report.responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.completed_s, b.completed_s);
+        assert!(a.output == b.output, "request {} bytes changed across reruns", a.id);
+    }
+}

@@ -229,6 +229,266 @@ impl FaultPlan {
     }
 }
 
+/// Kinds of whole-node chaos events in a [`NodeChaosPlan`].
+///
+/// These model the cluster-level failures the paper's target machines
+/// (Summit-class, §V) see routinely and that per-device fault rates
+/// cannot express: a node going away entirely, a node running slow (the
+/// classic straggler), and a node becoming unreachable for a while and
+/// then coming back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeFaultKind {
+    /// The node dies at `at_s` and never returns.
+    Crash,
+    /// The node keeps serving but every engine lane runs `slow_factor`×
+    /// slower during the window (thermal throttling, a noisy neighbour).
+    Slow,
+    /// The node is unreachable during the window and recovers afterwards
+    /// (a transient network partition); in-flight work on it is lost.
+    Partition,
+}
+
+impl NodeFaultKind {
+    /// Short label used in traces and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeFaultKind::Crash => "crash",
+            NodeFaultKind::Slow => "slow",
+            NodeFaultKind::Partition => "partition",
+        }
+    }
+}
+
+/// One scheduled node-level fault on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaultEvent {
+    /// Index of the victim node.
+    pub node: usize,
+    /// What happens to it.
+    pub kind: NodeFaultKind,
+    /// When the fault begins (simulated seconds).
+    pub at_s: f64,
+    /// Window length for [`NodeFaultKind::Slow`] and
+    /// [`NodeFaultKind::Partition`]; ignored for `Crash` (permanent).
+    pub duration_s: f64,
+    /// Lane-time multiplier for [`NodeFaultKind::Slow`] (`>= 1`);
+    /// ignored for the other kinds.
+    pub slow_factor: f64,
+}
+
+/// Health of one node at one instant of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeHealth {
+    /// Reachable and running at full speed.
+    Up,
+    /// Reachable but every lane runs this factor slower.
+    Slow(f64),
+    /// Unreachable, will recover.
+    Partitioned,
+    /// Unreachable, permanently.
+    Crashed,
+}
+
+/// A validated, explicit schedule of node-level chaos events.
+///
+/// Unlike [`FaultPlan`] (a rate-driven PRNG queried per operation), node
+/// chaos is an *event schedule*: the set of `(node, kind, window)` tuples
+/// is fixed up front, so health at any simulated instant is a pure
+/// function of the plan — routers can query it deterministically in any
+/// order without perturbing other decisions, and same-seed runs replay
+/// the identical outage pattern.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeChaosPlan {
+    events: Vec<NodeFaultEvent>,
+}
+
+impl NodeChaosPlan {
+    /// A plan with no events: every node is [`NodeHealth::Up`] forever.
+    pub fn quiet() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from explicit events, validating each one.
+    pub fn new(events: Vec<NodeFaultEvent>) -> foresight_util::Result<Self> {
+        for (i, e) in events.iter().enumerate() {
+            if !e.at_s.is_finite() || e.at_s < 0.0 {
+                return Err(foresight_util::Error::invalid(format!(
+                    "node fault #{i}: at_s must be finite and >= 0, got {}",
+                    e.at_s
+                )));
+            }
+            if !e.duration_s.is_finite() || e.duration_s < 0.0 {
+                return Err(foresight_util::Error::invalid(format!(
+                    "node fault #{i}: duration_s must be finite and >= 0, got {}",
+                    e.duration_s
+                )));
+            }
+            if e.kind == NodeFaultKind::Slow && (!e.slow_factor.is_finite() || e.slow_factor < 1.0)
+            {
+                return Err(foresight_util::Error::invalid(format!(
+                    "node fault #{i}: slow_factor must be finite and >= 1, got {}",
+                    e.slow_factor
+                )));
+            }
+        }
+        Ok(Self { events })
+    }
+
+    /// Derives a plan from a seed: for each of `nodes`, at most one event
+    /// per kind inside `[0, horizon_s)`, drawn from an independent
+    /// label-forked stream (so adding a node never reshuffles the chaos
+    /// another node sees). `rates` are per-node, per-kind probabilities.
+    pub fn seeded(
+        seed: u64,
+        nodes: usize,
+        horizon_s: f64,
+        crash: f64,
+        slow: f64,
+        partition: f64,
+    ) -> foresight_util::Result<Self> {
+        for (name, r) in [("crash", crash), ("slow", slow), ("partition", partition)] {
+            if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+                return Err(foresight_util::Error::invalid(format!(
+                    "node chaos rate '{name}' must be in [0, 1], got {r}"
+                )));
+            }
+        }
+        if !horizon_s.is_finite() || horizon_s <= 0.0 {
+            return Err(foresight_util::Error::invalid(format!(
+                "node chaos horizon_s must be finite and > 0, got {horizon_s}"
+            )));
+        }
+        let mut events = Vec::new();
+        for node in 0..nodes {
+            let child = seed ^ fnv1a(format!("node-chaos/{node}").as_bytes()).rotate_left(17);
+            let mut state = child;
+            let mut draw = || (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            for (kind, rate) in [
+                (NodeFaultKind::Crash, crash),
+                (NodeFaultKind::Slow, slow),
+                (NodeFaultKind::Partition, partition),
+            ] {
+                // Fixed draw count per kind keeps streams aligned across
+                // rate changes for the *other* kinds.
+                let (hit, at01, dur01, fac01) = (draw(), draw(), draw(), draw());
+                if hit < rate {
+                    events.push(NodeFaultEvent {
+                        node,
+                        kind,
+                        at_s: at01 * horizon_s,
+                        duration_s: (0.05 + 0.25 * dur01) * horizon_s,
+                        slow_factor: 1.5 + 4.0 * fac01,
+                    });
+                }
+            }
+        }
+        Self::new(events)
+    }
+
+    /// The validated event schedule.
+    pub fn events(&self) -> &[NodeFaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan can never perturb anything.
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Health of `node` at simulated time `t_s`. Crash dominates
+    /// partition dominates slow; overlapping slow windows compound.
+    pub fn health(&self, node: usize, t_s: f64) -> NodeHealth {
+        let mut slow = 1.0f64;
+        let mut partitioned = false;
+        for e in self.events.iter().filter(|e| e.node == node) {
+            match e.kind {
+                NodeFaultKind::Crash => {
+                    if t_s >= e.at_s {
+                        return NodeHealth::Crashed;
+                    }
+                }
+                NodeFaultKind::Partition => {
+                    if t_s >= e.at_s && t_s < e.at_s + e.duration_s {
+                        partitioned = true;
+                    }
+                }
+                NodeFaultKind::Slow => {
+                    if t_s >= e.at_s && t_s < e.at_s + e.duration_s {
+                        slow *= e.slow_factor;
+                    }
+                }
+            }
+        }
+        if partitioned {
+            NodeHealth::Partitioned
+        } else if slow > 1.0 {
+            NodeHealth::Slow(slow)
+        } else {
+            NodeHealth::Up
+        }
+    }
+
+    /// True when `node` can accept and answer requests at `t_s`.
+    pub fn reachable(&self, node: usize, t_s: f64) -> bool {
+        !matches!(self.health(node, t_s), NodeHealth::Crashed | NodeHealth::Partitioned)
+    }
+
+    /// Lane-time multiplier for `node` at `t_s` (`1.0` when healthy;
+    /// meaningless while unreachable).
+    pub fn slow_factor(&self, node: usize, t_s: f64) -> f64 {
+        match self.health(node, t_s) {
+            NodeHealth::Slow(f) => f,
+            _ => 1.0,
+        }
+    }
+
+    /// Earliest time strictly after `t_s` at which `node` *becomes*
+    /// unreachable (start of the next crash or partition window), if any.
+    /// Routers use this to decide whether in-flight work dispatched at
+    /// `t_s` survives to its completion time.
+    pub fn next_outage(&self, node: usize, t_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.node == node
+                    && matches!(e.kind, NodeFaultKind::Crash | NodeFaultKind::Partition)
+                    && e.at_s > t_s
+            })
+            .map(|e| e.at_s)
+            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+    }
+
+    /// Start of the unreachability interval covering `t_s`, if the node
+    /// is unreachable then (merging overlapping/chained outage windows).
+    /// Heartbeat detection keys on this: the first probe *after* the
+    /// outage starts is the first one that can miss.
+    pub fn outage_start(&self, node: usize, t_s: f64) -> Option<f64> {
+        if self.reachable(node, t_s) {
+            return None;
+        }
+        // Walk left through chained windows: the covering interval starts
+        // at the earliest window start from which unreachability is
+        // continuous up to t_s.
+        let mut start = t_s;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in self.events.iter().filter(|e| e.node == node) {
+                let (a, b) = match e.kind {
+                    NodeFaultKind::Crash => (e.at_s, f64::INFINITY),
+                    NodeFaultKind::Partition => (e.at_s, e.at_s + e.duration_s),
+                    NodeFaultKind::Slow => continue,
+                };
+                if a < start && b >= start && e.at_s < start {
+                    start = e.at_s;
+                    changed = true;
+                }
+            }
+        }
+        Some(start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +587,97 @@ mod tests {
             assert_eq!(va, b.pick(n));
             assert!(va < n);
         }
+    }
+
+    fn ev(node: usize, kind: NodeFaultKind, at_s: f64, duration_s: f64) -> NodeFaultEvent {
+        NodeFaultEvent { node, kind, at_s, duration_s, slow_factor: 2.0 }
+    }
+
+    #[test]
+    fn node_chaos_crash_is_permanent() {
+        let p = NodeChaosPlan::new(vec![ev(1, NodeFaultKind::Crash, 0.5, 0.0)]).unwrap();
+        assert_eq!(p.health(1, 0.4), NodeHealth::Up);
+        assert_eq!(p.health(1, 0.5), NodeHealth::Crashed);
+        assert_eq!(p.health(1, 100.0), NodeHealth::Crashed);
+        assert!(p.reachable(0, 100.0), "other nodes unaffected");
+        assert!(!p.reachable(1, 0.5));
+    }
+
+    #[test]
+    fn node_chaos_partition_recovers() {
+        let p = NodeChaosPlan::new(vec![ev(0, NodeFaultKind::Partition, 1.0, 0.5)]).unwrap();
+        assert!(p.reachable(0, 0.99));
+        assert_eq!(p.health(0, 1.2), NodeHealth::Partitioned);
+        assert!(p.reachable(0, 1.5), "recovered at window end");
+    }
+
+    #[test]
+    fn node_chaos_slow_window_and_compounding() {
+        let p = NodeChaosPlan::new(vec![
+            ev(2, NodeFaultKind::Slow, 0.0, 1.0),
+            ev(2, NodeFaultKind::Slow, 0.5, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(p.slow_factor(2, 0.25), 2.0);
+        assert_eq!(p.slow_factor(2, 0.75), 4.0, "overlapping windows compound");
+        assert_eq!(p.slow_factor(2, 1.25), 2.0);
+        assert_eq!(p.slow_factor(2, 3.0), 1.0);
+        assert!(p.reachable(2, 0.75), "slow nodes still serve");
+    }
+
+    #[test]
+    fn node_chaos_next_outage_and_outage_start() {
+        let p = NodeChaosPlan::new(vec![
+            ev(0, NodeFaultKind::Partition, 1.0, 0.5),
+            ev(0, NodeFaultKind::Crash, 3.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.next_outage(0, 0.0), Some(1.0));
+        assert_eq!(p.next_outage(0, 1.0), Some(3.0));
+        assert_eq!(p.next_outage(0, 3.5), None);
+        assert_eq!(p.outage_start(0, 0.5), None);
+        assert_eq!(p.outage_start(0, 1.2), Some(1.0));
+        assert_eq!(p.outage_start(0, 10.0), Some(3.0));
+        // Chained windows merge: partition abutting the crash start.
+        let q = NodeChaosPlan::new(vec![
+            ev(0, NodeFaultKind::Partition, 2.0, 1.0),
+            ev(0, NodeFaultKind::Crash, 3.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(q.outage_start(0, 5.0), Some(2.0));
+    }
+
+    #[test]
+    fn node_chaos_validates() {
+        assert!(NodeChaosPlan::new(vec![ev(0, NodeFaultKind::Crash, -1.0, 0.0)]).is_err());
+        assert!(NodeChaosPlan::new(vec![ev(0, NodeFaultKind::Partition, 0.0, -0.5)]).is_err());
+        let bad = NodeFaultEvent {
+            node: 0,
+            kind: NodeFaultKind::Slow,
+            at_s: 0.0,
+            duration_s: 1.0,
+            slow_factor: 0.5,
+        };
+        assert!(NodeChaosPlan::new(vec![bad]).is_err());
+        assert!(NodeChaosPlan::quiet().is_quiet());
+    }
+
+    #[test]
+    fn node_chaos_seeded_is_deterministic_and_rate_scaled() {
+        let a = NodeChaosPlan::seeded(9, 8, 1.0, 0.5, 0.5, 0.5).unwrap();
+        let b = NodeChaosPlan::seeded(9, 8, 1.0, 0.5, 0.5, 0.5).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_quiet(), "50% rates over 8 nodes × 3 kinds must fire");
+        let quiet = NodeChaosPlan::seeded(9, 8, 1.0, 0.0, 0.0, 0.0).unwrap();
+        assert!(quiet.is_quiet());
+        // Prefix stability: the first 4 nodes' events are unchanged when
+        // the cluster grows.
+        let grown = NodeChaosPlan::seeded(9, 16, 1.0, 0.5, 0.5, 0.5).unwrap();
+        let first4 = |p: &NodeChaosPlan| {
+            p.events().iter().filter(|e| e.node < 4).copied().collect::<Vec<_>>()
+        };
+        assert_eq!(first4(&a), first4(&grown));
+        assert!(NodeChaosPlan::seeded(9, 4, 0.0, 0.1, 0.1, 0.1).is_err());
+        assert!(NodeChaosPlan::seeded(9, 4, 1.0, 1.5, 0.0, 0.0).is_err());
     }
 }

@@ -48,7 +48,10 @@ pub mod specs;
 pub use cluster::{ClusterSim, NodeSpec, SnapshotScenario};
 pub use cost::{kernel_throughput_gbs, kernel_time, FixedCosts, KernelKind};
 pub use executor::{launch_grid, launch_grid_traced, BlockAccess, BlockGrid, LaunchReport};
-pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
+pub use fault::{
+    FaultCounts, FaultKind, FaultPlan, FaultRates, NodeChaosPlan, NodeFaultEvent, NodeFaultKind,
+    NodeHealth,
+};
 pub use device::{Breakdown, BufferId, Device, Event, PcieLink, Phase, PhaseTotals};
 pub use pipeline::{baseline_transfer_seconds, run_compression, run_decompression, GpuRunReport};
 pub use queue::{GpuQueueSim, QueueSlice, UnitTiming};

@@ -65,6 +65,10 @@ pub struct GpuQueueSim {
     d2h_free_s: f64,
     busy: [f64; 3], // h2d, compute, d2h occupancy totals
     timeline: Vec<QueueSlice>,
+    /// Straggler multiplier applied to every lane time of subsequently
+    /// enqueued units (`1.0` = nominal speed). Cluster chaos uses this to
+    /// model a slow node without touching the hardware model.
+    slowdown: f64,
 }
 
 impl GpuQueueSim {
@@ -81,12 +85,25 @@ impl GpuQueueSim {
             d2h_free_s: 0.0,
             busy: [0.0; 3],
             timeline: Vec::new(),
+            slowdown: 1.0,
         }
     }
 
     /// The queue's trace label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// Sets the straggler multiplier for units enqueued from now on.
+    /// Must be finite and `>= 1`; `1.0` restores nominal speed.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        debug_assert!(factor.is_finite() && factor >= 1.0);
+        self.slowdown = factor.max(1.0);
+    }
+
+    /// The current straggler multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
     }
 
     /// Earliest time every lane is idle (batch dispatch decisions key on
@@ -154,19 +171,19 @@ impl GpuQueueSim {
         name: &str,
     ) -> UnitTiming {
         let h2d_start = ready_s.max(self.h2d_free_s);
-        let t_h2d = self.link.transfer_time(in_bytes);
+        let t_h2d = self.link.transfer_time(in_bytes) * self.slowdown;
         self.h2d_free_s = h2d_start + t_h2d;
         self.busy[0] += t_h2d;
         self.push("h2d", name, h2d_start, t_h2d);
 
         let kern_start = self.h2d_free_s.max(self.compute_free_s);
-        let t_kern = kernel_time(&self.spec, kind, n_values, bits_per_value);
+        let t_kern = kernel_time(&self.spec, kind, n_values, bits_per_value) * self.slowdown;
         self.compute_free_s = kern_start + t_kern;
         self.busy[1] += t_kern;
         self.push("kernel", name, kern_start, t_kern);
 
         let d2h_start = self.compute_free_s.max(self.d2h_free_s);
-        let t_d2h = self.link.transfer_time(out_bytes);
+        let t_d2h = self.link.transfer_time(out_bytes) * self.slowdown;
         self.d2h_free_s = d2h_start + t_d2h;
         self.busy[2] += t_d2h;
         self.push("d2h", name, d2h_start, t_d2h);
@@ -305,6 +322,23 @@ mod tests {
         let u = q.utilization(done);
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
         assert_eq!(q.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_scales_every_lane() {
+        let n = MB64 / 4;
+        let mut nominal = queue();
+        let mut straggler = queue();
+        straggler.set_slowdown(3.0);
+        let a = nominal.enqueue_unit(0.0, KernelKind::ZfpCompress, n, 4.0, MB64, MB64 / 8, "u");
+        let b = straggler.enqueue_unit(0.0, KernelKind::ZfpCompress, n, 4.0, MB64, MB64 / 8, "u");
+        assert!((b.done_s - 3.0 * a.done_s).abs() < 1e-12, "serial phases scale linearly");
+        // Restoring nominal speed affects only later units: a post-reset
+        // unit admitted after the backlog drains takes nominal time.
+        straggler.set_slowdown(1.0);
+        assert_eq!(straggler.slowdown(), 1.0);
+        let c = straggler.enqueue_unit(b.done_s, KernelKind::ZfpCompress, n, 4.0, MB64, MB64 / 8, "v");
+        assert!((c.done_s - b.done_s - a.done_s).abs() < 1e-12);
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl Patterns {
                 [".lau", "nch("].concat(),
                 ["launch_", "grid("].concat(),
                 [".enqueue_", "unit("].concat(),
+                [".exec_", "unit("].concat(),
             ],
             unsafe_tok: ["uns", "afe"].concat(),
             forbid_unsafe: ["#![forbid(", "uns", "afe_code)]"].concat(),
@@ -574,6 +575,21 @@ mod tests {
         assert_eq!(rules(&scan_file("crates/gpu/src/x.rs", &src, &pats)), ["kernel-label"]);
         let src = format!("fn f() {{\n{call}\"u0\");\n{call}\"u1\");\n}}");
         assert!(scan_file("crates/gpu/src/x.rs", &src, &pats).is_empty());
+    }
+
+    #[test]
+    fn cluster_exec_sites_are_launch_sites() {
+        let pats = Patterns::new();
+        let call = ["state.exec_", "unit(d, t, u, "].concat();
+        let src = format!("fn f() {{\n{call}\"r0\");\n{call}\"r0\");\n}}");
+        assert_eq!(rules(&scan_file("crates/core/src/cluster.rs", &src, &pats)), ["kernel-label"]);
+        let src = format!("fn f() {{\n{call}\"\");\n}}");
+        assert_eq!(rules(&scan_file("crates/core/src/cluster.rs", &src, &pats)), ["kernel-label"]);
+        let src = format!("fn f() {{\n{call}\"r0\");\n{call}\"r1\");\n}}");
+        assert!(scan_file("crates/core/src/cluster.rs", &src, &pats).is_empty());
+        // Runtime-label dispatch sites (the router's) are skipped.
+        let src = format!("fn f(l: &str) {{\n{call}l);\n}}");
+        assert!(scan_file("crates/core/src/cluster.rs", &src, &pats).is_empty());
     }
 
     #[test]

@@ -272,6 +272,70 @@ fn scheduler_output_matches_golden_vectors() {
     }
 }
 
+/// The cluster router is part of the conformance surface too: a request
+/// placed, replicated, and — under chaos — failed over across nodes must
+/// still emit exactly the golden stream. Bytes are placement- and
+/// failover-independent by construction; this pins it against the
+/// committed vectors.
+#[test]
+fn cluster_output_matches_golden_vectors_even_under_node_kill() {
+    use foresight::{serve_cluster, ClusterOptions, ClusterRequest, ServeCluster};
+    use gpu_sim::{NodeChaosPlan, NodeFaultEvent, NodeFaultKind};
+
+    let dir = golden_dir();
+    if bless_requested() {
+        return; // fixtures are being regenerated by the main test
+    }
+    let manifest = load_manifest(&dir);
+    let field = load_input(&dir, &manifest);
+    let shape = Shape::D3(N_SIDE, N_SIDE, N_SIDE);
+    let spec = ServeCluster::new(4, 2, ServeNode::v100_pcie(2));
+    let requests: Vec<ClusterRequest> = vectors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, cfg))| ClusterRequest {
+            key: name.to_string(),
+            priority: 1,
+            req: ServeRequest {
+                id: i as u64,
+                arrival_s: i as f64 * 1e-4,
+                deadline_s: None,
+                payload: ServePayload::Compress { data: field.clone(), shape, config: cfg },
+            },
+        })
+        .collect();
+    let listed = manifest.get("vectors").and_then(Value::as_array).unwrap();
+    let chaos = NodeChaosPlan::new(vec![NodeFaultEvent {
+        node: 0,
+        kind: NodeFaultKind::Crash,
+        at_s: 5e-4,
+        duration_s: 0.0,
+        slow_factor: 1.0,
+    }])
+    .unwrap();
+    for (label, plan) in [("healthy", NodeChaosPlan::quiet()), ("node-kill", chaos)] {
+        let opts = ClusterOptions {
+            serve: ServeOptions { shard_bytes: 1 << 20, ..Default::default() },
+            chaos: plan,
+            ..Default::default()
+        };
+        let report = serve_cluster(&spec, &opts, &requests).unwrap();
+        for (i, (name, _)) in vectors().into_iter().enumerate() {
+            let entry = listed
+                .iter()
+                .find(|v| v.get("name").and_then(Value::as_str) == Some(name))
+                .unwrap();
+            let resp = report.response(i as u64).unwrap();
+            let out = resp.output.as_ref().expect("request served");
+            assert_eq!(
+                sha256_hex(out),
+                entry.get("stream_sha256").and_then(Value::as_str).unwrap(),
+                "vector {name}: cluster-produced stream diverged from golden ({label} run)"
+            );
+        }
+    }
+}
+
 /// A single flipped byte anywhere in a stream must be caught — both by
 /// the digest and by the readable diff.
 #[test]
