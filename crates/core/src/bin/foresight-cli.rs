@@ -4,6 +4,7 @@
 //! ```text
 //! foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>
 //! foresight-cli report <telemetry.json>
+//! foresight-cli obs-report <telemetry.json>
 //! foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]
 //! foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]
 //! ```
@@ -42,6 +43,17 @@
 //! With `--out` it writes `telemetry.json` (healthy + chaos metric
 //! snapshots) and `cluster_trace.json` (a Chrome trace of the chaos run:
 //! per-node device lanes, chaos windows, breaker flips, lost dispatches).
+//! The chaos run records request-scoped observability (see the `obs`
+//! module): `telemetry.json` gains `series` (windowed time-series) and
+//! `slo` (burn-rate verdicts — the config's `slo` section, or a default
+//! p99-latency objective) keys, the table is followed by an `== slo ==`
+//! section, and `cluster_trace.json` carries one track per request with
+//! flow arrows linking retries and failovers to device lanes.
+//!
+//! `obs-report` pretty-prints the observability sections of a previously
+//! written `telemetry.json` — the windowed-series summary and the
+//! `== slo ==` verdict table — and exits 5 if any objective is at
+//! page-level burn, making it usable as a CI gate.
 //!
 //! Exit codes:
 //! - 0 — success;
@@ -52,8 +64,11 @@
 //! - 2 — usage error (missing/unknown argument);
 //! - 3 — the pipeline ran to completion but one or more jobs failed or
 //!   were skipped (per-job summary on stderr);
-//! - 4 — all jobs succeeded but the device sanitizer reported findings.
+//! - 4 — all jobs succeeded but the device sanitizer reported findings;
+//! - 5 — the run (or the report under `obs-report`) has an SLO at
+//!   page-level burn rate.
 
+use foresight::obs;
 use foresight::runner::run_pipeline;
 use foresight::trace;
 use foresight::{ForesightConfig, SlurmSim};
@@ -62,7 +77,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli obs-report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -70,7 +85,7 @@ fn usage_exit() -> ! {
     std::process::exit(2);
 }
 
-fn report_main(path: &str) -> ! {
+fn load_json_or_die(path: &str) -> Value {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -78,13 +93,17 @@ fn report_main(path: &str) -> ! {
             std::process::exit(1);
         }
     };
-    let doc = match Value::parse(&text) {
+    match Value::parse(&text) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: '{path}' is not valid JSON: {e}");
             std::process::exit(1);
         }
-    };
+    }
+}
+
+fn report_main(path: &str) -> ! {
+    let doc = load_json_or_die(path);
     for section in [
         trace::render_phase_table(&doc),
         trace::render_stage_table(&doc),
@@ -105,6 +124,53 @@ fn report_main(path: &str) -> ! {
                 }
             }
         }
+    }
+    let slo = obs::render_slo_section(&doc);
+    if !slo.is_empty() {
+        println!("{slo}");
+    }
+    std::process::exit(0);
+}
+
+/// Renders a one-line summary of a `telemetry.json` `series` value.
+fn series_summary(doc: &Value) -> Option<String> {
+    let series = doc.get("series")?;
+    let windows = series.get("windows").and_then(Value::as_array)?;
+    let width = series.get("width_s").and_then(Value::as_f64).unwrap_or(f64::NAN);
+    let dropped = series.get("dropped").and_then(Value::as_f64).unwrap_or(0.0);
+    let span = match (windows.first(), windows.last()) {
+        (Some(a), Some(b)) => {
+            let idx = |w: &Value| w.get("index").and_then(Value::as_f64).unwrap_or(0.0);
+            format!("indices {}..={}", idx(a) as u64, idx(b) as u64)
+        }
+        _ => "empty".into(),
+    };
+    Some(format!(
+        "series: {} window(s) of {:.6}s ({span}, {} dropped sample(s))",
+        windows.len(),
+        width,
+        dropped as u64
+    ))
+}
+
+/// `obs-report`: the observability slice of a `telemetry.json` — series
+/// summary plus SLO verdicts — with exit 5 on page-level burn so CI can
+/// gate on it.
+fn obs_report_main(path: &str) -> ! {
+    let doc = load_json_or_die(path);
+    match series_summary(&doc) {
+        Some(line) => println!("{line}"),
+        None => println!("series: none recorded (run with an `slo` config section or obs on)"),
+    }
+    let slo = obs::render_slo_section(&doc);
+    if slo.is_empty() {
+        println!("slo: no verdicts in this report");
+        std::process::exit(0);
+    }
+    print!("{slo}");
+    if obs::any_page(&doc) {
+        eprintln!("SLO PAGE: at least one objective is at page-level burn");
+        std::process::exit(5);
     }
     std::process::exit(0);
 }
@@ -268,15 +334,22 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
             _ => config_path = Some(arg),
         }
     }
-    let settings = match &config_path {
-        None => foresight::ClusterSettings::default(),
+    let (settings, slo_cfg) = match &config_path {
+        None => (foresight::ClusterSettings::default(), None),
         Some(path) => match ForesightConfig::from_file(path) {
-            Ok(cfg) => cfg.cluster.unwrap_or_default(),
+            Ok(cfg) => (cfg.cluster.unwrap_or_default(), cfg.slo),
             Err(e) => {
                 eprintln!("error: cannot load '{path}': {e}");
                 std::process::exit(1);
             }
         },
+    };
+    // SLOs come from the config's `slo` section; with none configured the
+    // chaos run is still judged against a generous default latency
+    // objective, so the burn-rate path is always exercised.
+    let slo_specs: Vec<foresight::SloSpec> = match &slo_cfg {
+        Some(list) => list.iter().map(|s| s.to_spec()).collect(),
+        None => vec![foresight::SloSpec::new("cluster.latency.p99", 50.0, 0.004)],
     };
     let spec = settings.to_cluster();
     let base_opts = match settings.to_cluster_options() {
@@ -320,7 +393,7 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
         if healthy_only {
             return Ok((serial, healthy, None));
         }
-        let chaos_opts = if base_opts.chaos.is_quiet() {
+        let mut chaos_opts = if base_opts.chaos.is_quiet() {
             // No schedule configured: kill one node halfway through the
             // healthy makespan (deterministic — derived from the healthy
             // run, not wall-clock).
@@ -339,6 +412,10 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
             println!("chaos: {} configured fault(s)", base_opts.chaos.events().len());
             base_opts.clone()
         };
+        // The chaos run is the observed one: request-scoped spans, the
+        // windowed series, and flow-linked Chrome tracks all come from it
+        // (the healthy run stays obs-off, pinning the zero-cost path).
+        chaos_opts.obs = Some(foresight::ObsOptions::default());
         // reset() also disables, so enable after it: the Chrome trace
         // should carry only the chaos run's timeline.
         telemetry::reset();
@@ -414,6 +491,25 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
             }
         }
     }
+    // The chaos run carries the observability payload: SLO verdicts over
+    // its windowed series, and a request-span summary. Printed before the
+    // artifact paths so CI logs always show the verdict table.
+    let verdicts = chaos
+        .as_ref()
+        .and_then(|c| c.series.as_ref())
+        .map(|s| obs::evaluate_slos(s, &slo_specs))
+        .unwrap_or_default();
+    if let Some(c) = &chaos {
+        println!(
+            "obs: {} span(s) across {} traced request(s)",
+            c.obs.spans.len(),
+            c.obs.request_ids().len()
+        );
+    }
+    if !verdicts.is_empty() {
+        let doc = Value::Object(vec![("slo".into(), obs::slo_to_value(&verdicts))]);
+        print!("{}", obs::render_slo_section(&doc));
+    }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create '{}': {e}", dir.display());
@@ -423,17 +519,29 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
         let mut doc = vec![("healthy".into(), healthy.metrics.to_json())];
         if let Some(c) = &chaos {
             doc.push(("chaos".into(), c.metrics.to_json()));
+            if let Some(s) = &c.series {
+                doc.push(("series".into(), s.to_value()));
+                doc.push(("slo".into(), obs::slo_to_value(&verdicts)));
+            }
         }
         let doc = Value::Object(doc);
         write_or_die(&tpath, "cluster metrics", || {
             std::fs::write(&tpath, doc.to_json())?;
             Ok(())
         });
-        if chaos.is_some() {
+        if let Some(c) = &chaos {
             let cpath = dir.join("cluster_trace.json");
             let snap = telemetry::snapshot();
+            // Device lanes plus one track per request, with flow arrows
+            // linking each request's spans across node processes.
+            let trace_doc =
+                obs::chrome_trace_with_requests(&snap, ChromeTraceOptions::default(), &c.obs);
             write_or_die(&cpath, "cluster chrome trace", || {
-                trace::write_chrome_trace(&cpath, &snap, ChromeTraceOptions::default())
+                if let Some(parent) = cpath.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(&cpath, trace_doc.to_json())?;
+                Ok(())
             });
         }
     }
@@ -444,6 +552,10 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
         std::process::exit(1);
     }
     println!("zero lost requests; outputs bit-identical to the serial reference");
+    if verdicts.iter().any(|v| v.level == foresight::SloLevel::Page) {
+        eprintln!("SLO PAGE: at least one objective is at page-level burn");
+        std::process::exit(5);
+    }
     std::process::exit(0);
 }
 
@@ -469,6 +581,10 @@ fn parse_args() -> Cli {
             "report" if config.is_none() => {
                 let Some(path) = args.next() else { usage_exit() };
                 report_main(&path);
+            }
+            "obs-report" if config.is_none() => {
+                let Some(path) = args.next() else { usage_exit() };
+                obs_report_main(&path);
             }
             "serve-bench" if config.is_none() => {
                 serve_bench_main(args);
@@ -595,6 +711,10 @@ fn main() {
                     }
                 }
             }
+            if !report.slo.is_empty() {
+                let doc = Value::Object(vec![("slo".into(), obs::slo_to_value(&report.slo))]);
+                println!("\n{}", obs::render_slo_section(&doc));
+            }
             for line in &report.best_fit_lines {
                 println!("{line}");
             }
@@ -645,6 +765,10 @@ fn main() {
                     report.sanitizer.len()
                 );
                 std::process::exit(4);
+            }
+            if report.slo.iter().any(|v| v.level == foresight::SloLevel::Page) {
+                eprintln!("\nSLO PAGE: at least one objective is at page-level burn");
+                std::process::exit(5);
             }
         }
         Err(e) => {

@@ -1,27 +1,38 @@
 //! Validates a Chrome trace-event JSON file produced by `--trace`.
 //!
 //! ```text
-//! trace-check <trace.json>
+//! trace-check [--require-flows] <trace.json>
 //! ```
 //!
 //! Checks the subset of the trace-event format our exporter emits — the
 //! same subset Perfetto needs to load the file: a `traceEvents` array
-//! whose entries are `ph:"M"` metadata or `ph:"X"` complete events with
-//! numeric `pid`/`tid`/`ts`/`dur`, and a `process_name`/`thread_name`
-//! pair registered for every (pid, tid) that carries slices. CI runs this
-//! against a real pipeline trace so exporter regressions fail the build.
+//! whose entries are `ph:"M"` metadata, `ph:"X"` complete events with
+//! numeric `pid`/`tid`/`ts`/`dur`, or `ph:"s"`/`ph:"f"` flow edges with
+//! numeric `id`/`pid`/`tid`/`ts` (`bp:"e"` on the finish). Every
+//! (pid, tid) carrying slices must have a `process_name`/`thread_name`
+//! pair, every flow id must pair a start with a finish, and a flow's
+//! `args.span` must reference a span id some `X` event defined via
+//! `args.span_id` — dangling causal arrows fail the check. CI runs this
+//! against a real pipeline trace so exporter regressions fail the build;
+//! `--require-flows` additionally fails traces with no flow edges at all
+//! (the cluster job uses it so request causality can't silently vanish).
 //!
 //! Exit codes: 0 valid, 1 invalid or unreadable, 2 usage.
 
 use foresight_util::json::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: trace-check <trace.json>");
-        std::process::exit(2);
-    };
+    let mut require_flows = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-flows" => require_flows = true,
+            _ if path.is_some() => usage_exit(),
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else { usage_exit() };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -36,7 +47,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match check(&doc) {
+    match check(&doc, require_flows) {
         Ok(summary) => println!("{path}: OK — {summary}"),
         Err(errors) => {
             for e in errors.iter().take(10) {
@@ -50,11 +61,22 @@ fn main() {
     }
 }
 
+fn usage_exit() -> ! {
+    eprintln!("usage: trace-check [--require-flows] <trace.json>");
+    std::process::exit(2);
+}
+
 fn num(ev: &Value, key: &str) -> Option<f64> {
     ev.get(key).and_then(Value::as_f64)
 }
 
-fn check(doc: &Value) -> Result<String, Vec<String>> {
+/// Reads a span id carried in `args.<key>` (our exporter writes them as
+/// decimal strings).
+fn arg_span(ev: &Value, key: &str) -> Option<u64> {
+    ev.get("args")?.get(key)?.as_str()?.parse().ok()
+}
+
+fn check(doc: &Value, require_flows: bool) -> Result<String, Vec<String>> {
     let mut errors = Vec::new();
     // Both trace-event container formats are accepted: the bare JSON
     // array our exporter writes, and the `{"traceEvents": [...]}` object.
@@ -73,6 +95,12 @@ fn check(doc: &Value) -> Result<String, Vec<String>> {
     let mut named_tracks = BTreeSet::new();
     let mut slice_count = 0usize;
     let mut meta_count = 0usize;
+    // Flow bookkeeping, resolved after the scan: span ids may be defined
+    // by X events that appear later in the array than the flows that
+    // reference them.
+    let mut defined_spans: BTreeSet<u64> = BTreeSet::new();
+    let mut span_refs: Vec<(usize, u64)> = Vec::new();
+    let mut flow_ends: BTreeMap<i64, (usize, usize)> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
             errors.push(format!("event {i}: missing 'ph'"));
@@ -133,6 +161,31 @@ fn check(doc: &Value) -> Result<String, Vec<String>> {
                         errors.push(format!("event {i}: tid {t} has no thread_name"));
                     }
                 }
+                if let Some(id) = arg_span(ev, "span_id") {
+                    defined_spans.insert(id);
+                }
+            }
+            "s" | "f" => {
+                for key in ["id", "tid", "ts"] {
+                    if num(ev, key).is_none() {
+                        errors.push(format!("event {i}: flow missing numeric '{key}'"));
+                    }
+                }
+                if ph == "f" && ev.get("bp").and_then(Value::as_str) != Some("e") {
+                    errors.push(format!("event {i}: flow finish without bp:\"e\""));
+                }
+                match arg_span(ev, "span") {
+                    Some(span) => span_refs.push((i, span)),
+                    None => errors.push(format!("event {i}: flow without args.span")),
+                }
+                if let Some(id) = num(ev, "id") {
+                    let e = flow_ends.entry(id as i64).or_insert((0, 0));
+                    if ph == "s" {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
             }
             other => errors.push(format!("event {i}: unsupported ph '{other}'")),
         }
@@ -140,9 +193,28 @@ fn check(doc: &Value) -> Result<String, Vec<String>> {
     if slice_count == 0 {
         errors.push("trace has no ph:\"X\" slices".into());
     }
+    // Flows are causal claims: both ends must exist and every referenced
+    // span id must have been defined by some exported slice.
+    for (i, span) in &span_refs {
+        if !defined_spans.contains(span) {
+            errors.push(format!("event {i}: flow references unknown span id {span}"));
+        }
+    }
+    for (id, (starts, finishes)) in &flow_ends {
+        if starts != finishes {
+            errors.push(format!(
+                "flow id {id}: {starts} start(s) but {finishes} finish(es)"
+            ));
+        }
+    }
+    let flow_count = flow_ends.len();
+    if require_flows && flow_count == 0 {
+        errors.push("trace has no flow events (--require-flows)".into());
+    }
     if errors.is_empty() {
         Ok(format!(
-            "{} events ({meta_count} metadata, {slice_count} slices, {} processes, {} tracks)",
+            "{} events ({meta_count} metadata, {slice_count} slices, {flow_count} flows, \
+             {} processes, {} tracks)",
             events.len(),
             named_pids.len(),
             named_tracks.len()

@@ -261,6 +261,9 @@ pub fn run_sweep(
             run_one(f, c, keep_recon)
         })
         .collect();
+    // Debug-only: every pair span recorded by the fan-out must hang off
+    // this sweep, or the Chrome trace shows orphaned roots.
+    telemetry::assert_span_parent("cbench.pair", sweep_id);
     let mut out = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
     for ((f, c), r) in pairs.iter().zip(results) {
@@ -415,6 +418,9 @@ pub fn run_sweep_chaos(
             (result, findings)
         })
         .collect();
+    // Debug-only: every pair span recorded by the fan-out must hang off
+    // this sweep, or the Chrome trace shows orphaned roots.
+    telemetry::assert_span_parent("cbench.pair", sweep_id);
     let mut records = Vec::new();
     let mut quarantined = Vec::new();
     let mut sanitizer = Vec::new();

@@ -42,14 +42,17 @@
 
 use crate::cbench::ExecPath;
 use crate::codec::{self, CodecConfig, Shape};
+use crate::obs::{self, ObsOptions, ObsRecorder, ObsTrace, TraceContext};
 use crate::serve::{
-    self, assemble_output, execute_units, fold_units, jitter01, shard_plan, synth_field,
-    wrap_shards, ExecState, ServeNode, ServeOptions, ServeReport, ServeRequest, ServeStatus,
-    TraceEvent,
+    self, assemble_output, execute_units, fold_units, jitter01, record_units, shard_plan,
+    synth_field, wrap_shards, ExecState, ServeNode, ServeOptions, ServeReport, ServeRequest,
+    ServeStatus, TraceEvent,
 };
-use foresight_util::telemetry::{self, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+use foresight_util::telemetry::{
+    self, HistogramSummary, MetricsRegistry, MetricsSnapshot, WindowSeries,
+};
 use foresight_util::{Error, Result};
-use gpu_sim::{NodeChaosPlan, NodeFaultKind};
+use gpu_sim::{NodeChaosPlan, NodeFaultKind, UnitTiming};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// One executed unit as `ExecState::exec_unit` reports it:
@@ -106,6 +109,11 @@ pub struct ClusterOptions {
     pub backoff_cap_s: f64,
     /// Node-level fault schedule (default quiet).
     pub chaos: NodeChaosPlan,
+    /// Request-scoped tracing + windowed series (default `None`: off —
+    /// the report carries an empty [`ObsTrace`] and no series).
+    /// Scheduling, bytes, and every pre-existing report field are
+    /// identical either way.
+    pub obs: Option<ObsOptions>,
 }
 
 impl Default for ClusterOptions {
@@ -119,6 +127,7 @@ impl Default for ClusterOptions {
             backoff_base_s: 5e-4,
             backoff_cap_s: 8e-3,
             chaos: NodeChaosPlan::quiet(),
+            obs: None,
         }
     }
 }
@@ -235,6 +244,14 @@ pub struct ClusterReport {
     /// Deterministic slice timeline: node device lanes, node CPU lanes,
     /// router events (lost work, CPU lane), chaos windows, breaker flips.
     pub trace: Vec<TraceEvent>,
+    /// Request-scoped spans — every shed, breaker rejection, timeout,
+    /// interrupted dispatch, commit, and device lane, causally linked
+    /// per request (empty unless [`ClusterOptions::obs`] is set).
+    pub obs: ObsTrace,
+    /// Windowed series: latency, queue depth, failover/shed/fault
+    /// counters, per-node utilization (`None` unless
+    /// [`ClusterOptions::obs`] is set).
+    pub series: Option<WindowSeries>,
 }
 
 impl ClusterReport {
@@ -479,6 +496,10 @@ pub fn serve_cluster(
     let mut transitions: Vec<BreakerTransition> = Vec::new();
     let mut router_events: Vec<TraceEvent> = Vec::new();
     let mut router_cpu_free_s = 0.0f64;
+    // Obs layer: inert when `opts.obs` is None. The dispatch loop below
+    // is serial, so everything recorded here is deterministic.
+    let mut rec = ObsRecorder::new(opts.obs.is_some());
+    let mut series = opts.obs.map(|o| WindowSeries::new(o.series_width_s, o.series_retention));
 
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by(|&a, &b| {
@@ -530,6 +551,9 @@ pub fn serve_cluster(
             let outstanding =
                 completions.iter().filter(|&&c| c > req.arrival_s).count() + queued_units;
             reg.observe("cluster.queue_depth", outstanding as f64);
+            if let Some(s) = series.as_mut() {
+                s.observe(req.arrival_s, "cluster.queue_depth", outstanding as f64);
+            }
             if outstanding + n_units > capacity {
                 let retry_after_s = completions
                     .iter()
@@ -544,6 +568,35 @@ pub fn serve_cluster(
                     shed_brownout += 1;
                     reg.counter("cluster.shed_brownout", 1);
                     telemetry::counter("cluster.shed_brownout", 1);
+                }
+                if let Some(s) = series.as_mut() {
+                    s.incr(req.arrival_s, "cluster.shed", 1);
+                    if degraded {
+                        s.incr(req.arrival_s, "cluster.shed_brownout", 1);
+                    }
+                }
+                if rec.enabled() {
+                    let root = rec.mint(
+                        req.id,
+                        "admission",
+                        req.arrival_s,
+                        (dispatch_s - req.arrival_s).max(0.0),
+                        vec![
+                            ("key".into(), requests[ri].key.clone()),
+                            ("priority".into(), requests[ri].priority.to_string()),
+                            ("outstanding".into(), outstanding.to_string()),
+                        ],
+                    );
+                    rec.child(
+                        root,
+                        "shed",
+                        req.arrival_s,
+                        0.0,
+                        vec![
+                            ("retry_after_s".into(), format!("{retry_after_s:.9}")),
+                            ("degraded".into(), degraded.to_string()),
+                        ],
+                    );
                 }
                 responses[ri] = Some(ClusterResponse {
                     id: req.id,
@@ -578,9 +631,35 @@ pub fn serve_cluster(
             let mut attempt = 0u32;
             let mut redirects_here = 0u32;
             let mut committed: Option<(Vec<UnitExec>, usize)> = None;
+            // Root of this request's span tree: admission covers the
+            // wait from arrival to the window's dispatch tick.
+            let root = if rec.enabled() {
+                rec.mint(
+                    inner[ri].id,
+                    "admission",
+                    inner[ri].arrival_s,
+                    (dispatch_s - inner[ri].arrival_s).max(0.0),
+                    vec![
+                        ("key".into(), requests[ri].key.clone()),
+                        ("priority".into(), requests[ri].priority.to_string()),
+                        ("primary".into(), format!("n{primary}")),
+                    ],
+                )
+            } else {
+                TraceContext::NONE
+            };
             for &ni in &candidates {
                 if !breakers[ni].admits(ni, t, opts.breaker_open_s, &mut transitions) {
                     redirects_here += 1;
+                    if rec.enabled() {
+                        rec.child(
+                            root,
+                            "breaker.reject",
+                            t,
+                            0.0,
+                            vec![("node".into(), format!("n{ni}")), ("state".into(), "open".into())],
+                        );
+                    }
                     continue;
                 }
                 if detected_down(&opts.chaos, ni, t, opts.heartbeat_s, opts.probe_misses) {
@@ -588,6 +667,15 @@ pub fn serve_cluster(
                     // and let the breaker learn from the probe.
                     redirects_here += 1;
                     breakers[ni].on_failure(ni, t, opts.breaker_threshold, &mut transitions);
+                    if rec.enabled() {
+                        rec.child(
+                            root,
+                            "skip.down",
+                            t,
+                            0.0,
+                            vec![("node".into(), format!("n{ni}"))],
+                        );
+                    }
                     continue;
                 }
                 if !opts.chaos.reachable(ni, t) {
@@ -603,6 +691,25 @@ pub fn serve_cluster(
                         opts.breaker_threshold,
                         &mut transitions,
                     );
+                    if let Some(s) = series.as_mut() {
+                        s.incr(t, "cluster.timeout", 1);
+                    }
+                    if rec.enabled() {
+                        rec.child(
+                            root,
+                            "timeout",
+                            t,
+                            opts.heartbeat_s,
+                            vec![
+                                ("node".into(), format!("n{ni}")),
+                                ("attempt".into(), attempt.to_string()),
+                                (
+                                    "backoff_s".into(),
+                                    format!("{:.9}", backoff_s(opts, inner[ri].id, attempt)),
+                                ),
+                            ],
+                        );
+                    }
                     t += opts.heartbeat_s + backoff_s(opts, inner[ri].id, attempt);
                     attempt += 1;
                     redirects_here += 1;
@@ -619,15 +726,15 @@ pub fn serve_cluster(
                 let lanes = trial.queues.len().min(units[ri].len());
                 let involved: Vec<usize> =
                     (0..lanes).map(|k| (start + k) % trial.queues.len()).collect();
-                let outcomes: Vec<(f64, ExecPath, String)> = units[ri]
-                    .iter()
-                    .enumerate()
-                    .map(|(k, u)| {
-                        let d = involved[k % involved.len()];
-                        let label = format!("r{}.{k}", inner[ri].id);
-                        trial.exec_unit(d, t, u, &label)
-                    })
-                    .collect();
+                let mut outcomes: Vec<(f64, ExecPath, String)> =
+                    Vec::with_capacity(units[ri].len());
+                let mut timings: Vec<Option<UnitTiming>> = Vec::with_capacity(units[ri].len());
+                for (k, u) in units[ri].iter().enumerate() {
+                    let d = involved[k % involved.len()];
+                    let label = format!("r{}.{k}", inner[ri].id);
+                    outcomes.push(trial.exec_unit(d, t, u, &label));
+                    timings.push(trial.last_timing);
+                }
                 let done = outcomes.iter().fold(0.0f64, |m, o| m.max(o.0));
                 let cut = opts.chaos.next_outage(ni, t).filter(|&c| c < done);
                 if let Some(cut_s) = cut {
@@ -645,6 +752,23 @@ pub fn serve_cluster(
                         dur_s: (cut_s - t).max(0.0),
                     });
                     breakers[ni].on_failure(ni, cut_s, opts.breaker_threshold, &mut transitions);
+                    if let Some(s) = series.as_mut() {
+                        s.incr(cut_s, "cluster.interrupted", 1);
+                    }
+                    if rec.enabled() {
+                        rec.child(
+                            root,
+                            "dispatch",
+                            t,
+                            (cut_s - t).max(0.0),
+                            vec![
+                                ("node".into(), format!("n{ni}")),
+                                ("attempt".into(), attempt.to_string()),
+                                ("outcome".into(), "interrupted".into()),
+                                ("cut_s".into(), format!("{cut_s:.9}")),
+                            ],
+                        );
+                    }
                     t = cut_s + backoff_s(opts, inner[ri].id, attempt);
                     attempt += 1;
                     redirects_here += 1;
@@ -652,6 +776,20 @@ pub fn serve_cluster(
                 }
                 breakers[ni].on_success(ni, done, &mut transitions);
                 states[ni] = trial;
+                if rec.enabled() {
+                    let dispatch = rec.child(
+                        root,
+                        "dispatch",
+                        t,
+                        (done - t).max(0.0),
+                        vec![
+                            ("node".into(), format!("n{ni}")),
+                            ("attempt".into(), attempt.to_string()),
+                            ("outcome".into(), "ok".into()),
+                        ],
+                    );
+                    record_units(&mut rec, dispatch, &outcomes, &timings, &format!("n{ni}-cpu"));
+                }
                 committed = Some((outcomes, ni));
                 break;
             }
@@ -664,7 +802,11 @@ pub fn serve_cluster(
                     cpu_fallbacks += 1;
                     reg.counter("cluster.cpu_fallback", 1);
                     telemetry::counter("cluster.cpu_fallback", 1);
+                    if let Some(s) = series.as_mut() {
+                        s.incr(t, "cluster.cpu_fallback", 1);
+                    }
                     let mut outs = Vec::with_capacity(units[ri].len());
+                    let mut cpu_slices: Vec<(f64, f64)> = Vec::new();
                     for (k, u) in units[ri].iter().enumerate() {
                         let start = t.max(router_cpu_free_s);
                         let dur =
@@ -677,11 +819,41 @@ pub fn serve_cluster(
                             start_s: start,
                             dur_s: dur,
                         });
+                        if rec.enabled() {
+                            cpu_slices.push((start, dur));
+                        }
                         outs.push((
                             router_cpu_free_s,
                             ExecPath::CpuFallback,
                             "cluster-cpu".to_string(),
                         ));
+                    }
+                    if rec.enabled() {
+                        let dispatch = rec.child(
+                            root,
+                            "dispatch",
+                            t,
+                            (router_cpu_free_s - t).max(0.0),
+                            vec![
+                                ("node".into(), "router".into()),
+                                ("attempt".into(), attempt.to_string()),
+                                ("outcome".into(), "cpu".into()),
+                            ],
+                        );
+                        for (k, &(start, dur)) in cpu_slices.iter().enumerate() {
+                            rec.child(
+                                dispatch,
+                                "unit",
+                                start,
+                                dur,
+                                vec![
+                                    ("unit".into(), k.to_string()),
+                                    ("device".into(), "cluster-cpu".into()),
+                                    ("path".into(), "cpu".into()),
+                                ],
+                            );
+                            rec.anchor_last("cluster-cpu", "cpu");
+                        }
                     }
                     (outs, None)
                 }
@@ -708,6 +880,29 @@ pub fn serve_cluster(
                 reg.counter("cluster.deadline_missed", 1);
                 ServeStatus::DeadlineMissed
             };
+            if let Some(s) = series.as_mut() {
+                s.observe(done, "cluster.latency_s", latency);
+                s.incr(done, "cluster.completed", 1);
+                if node != Some(primary) {
+                    s.incr(done, "cluster.failover", 1);
+                }
+                if redirects_here > 0 {
+                    s.incr(done, "cluster.redirect", u64::from(redirects_here));
+                }
+                let faults: u32 = outcomes
+                    .iter()
+                    .map(|o| match o.1 {
+                        ExecPath::GpuRetried(n) => n,
+                        _ => 0,
+                    })
+                    .sum();
+                if faults > 0 {
+                    s.incr(done, "cluster.fault", u64::from(faults));
+                }
+                if !in_time {
+                    s.incr(done, "cluster.deadline_missed", 1);
+                }
+            }
             responses[ri] = Some(ClusterResponse {
                 id: req.id,
                 status,
@@ -732,6 +927,8 @@ pub fn serve_cluster(
         router_events,
         router_cpu_free_s,
         transitions,
+        rec,
+        series,
         counts: ClusterCounts {
             rejected,
             missed,
@@ -768,6 +965,8 @@ struct FinishInputs<'a> {
     router_events: Vec<TraceEvent>,
     router_cpu_free_s: f64,
     transitions: Vec<BreakerTransition>,
+    rec: ObsRecorder,
+    series: Option<WindowSeries>,
     counts: ClusterCounts,
 }
 
@@ -782,6 +981,8 @@ fn finish_cluster(inp: FinishInputs<'_>) -> ClusterReport {
         mut router_events,
         router_cpu_free_s,
         transitions,
+        rec,
+        mut series,
         counts,
     } = inp;
     // Warm-pool shutdown on every node that served.
@@ -812,6 +1013,25 @@ fn finish_cluster(inp: FinishInputs<'_>) -> ClusterReport {
             let u = q.utilization(makespan_s);
             reg.gauge(&format!("cluster.util.{}", q.label()), u);
             node_util.push((q.label().to_string(), u));
+        }
+    }
+    if let Some(s) = series.as_mut() {
+        // Per-node windowed utilization: compute-lane busy time across
+        // the node's devices, per series window.
+        for (i, st) in states.iter().enumerate() {
+            let busy: Vec<(f64, f64)> = st
+                .queues
+                .iter()
+                .flat_map(|q| q.timeline())
+                .filter(|t| t.track == "kernel")
+                .map(|t| (t.start_s, t.dur_s))
+                .collect();
+            obs::utilization_windows(
+                s,
+                &format!("cluster.util.n{i}"),
+                &busy,
+                st.queues.len() as f64,
+            );
         }
     }
     // Chaos windows and breaker flips become router-process trace
@@ -887,6 +1107,8 @@ fn finish_cluster(inp: FinishInputs<'_>) -> ClusterReport {
         breaker_transitions: transitions,
         metrics: reg.snapshot(),
         trace,
+        obs: rec.into_trace(),
+        series,
     }
 }
 

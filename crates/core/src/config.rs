@@ -27,7 +27,10 @@
 //! benchmark (see [`ServeSettings`]), and the optional `cluster` section
 //! configures the `cluster-bench` multi-node serving benchmark — node
 //! count, replication, router knobs, Zipf workload, and an explicit
-//! node-fault schedule (see [`ClusterSettings`]).
+//! node-fault schedule (see [`ClusterSettings`]). The optional `slo`
+//! array declares service-level objectives evaluated over the windowed
+//! telemetry series with multi-window burn-rate alerts (see
+//! [`SloSetting`] and [`crate::obs`]).
 
 use crate::cbench::ChaosConfig;
 use crate::codec::CodecConfig;
@@ -893,6 +896,7 @@ impl ClusterSettings {
             backoff_base_s: self.backoff_base_ms * 1e-3,
             backoff_cap_s: self.backoff_cap_ms * 1e-3,
             chaos: self.to_chaos_plan()?,
+            obs: None,
         })
     }
 
@@ -996,6 +1000,95 @@ impl ClusterSettings {
     }
 }
 
+/// One declarative service-level objective, from the optional `slo`
+/// array:
+///
+/// ```json
+/// { "slo": [ { "metric": "cluster.latency.p99", "threshold_ms": 5.0,
+///              "window": 0.002 } ] }
+/// ```
+///
+/// `metric` is either `<series>.<stat>` over a histogram series (stat in
+/// `p50|p95|p99|mean|max`, compared in milliseconds) or a bare counter
+/// name (compared as a raw count). `window` is the fast alert window in
+/// sim seconds; `slow_window` defaults to 4x the fast one and `objective`
+/// to 0.99 availability. See [`crate::obs::SloSpec`] for the burn-rate
+/// semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSetting {
+    /// Metric selector, e.g. `cluster.latency.p99` or `cluster.shed`.
+    pub metric: String,
+    /// Per-window bad threshold (ms for latency stats, count otherwise).
+    pub threshold_ms: f64,
+    /// Fast burn-rate alert window in sim seconds.
+    pub window_s: f64,
+    /// Slow burn-rate alert window in sim seconds (default `4 * window`).
+    pub slow_window_s: f64,
+    /// Availability objective in (0, 1); the error budget is `1 - objective`.
+    pub objective: f64,
+}
+
+impl SloSetting {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'slo' entries must be objects"));
+        }
+        let metric = str_field(v, "metric")?.to_string();
+        let threshold_ms = field(v, "threshold_ms")?
+            .as_f64()
+            .ok_or_else(|| bad("field 'threshold_ms' must be a number"))?;
+        let window_s = field(v, "window")?
+            .as_f64()
+            .ok_or_else(|| bad("field 'window' must be a number (sim seconds)"))?;
+        let slow_window_s = f64_field(v, "slow_window", window_s * 4.0)?;
+        let objective = f64_field(v, "objective", 0.99)?;
+        Ok(SloSetting { metric, threshold_ms, window_s, slow_window_s, objective })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("metric".into(), Value::String(self.metric.clone())),
+            ("threshold_ms".into(), Value::Number(self.threshold_ms)),
+            ("window".into(), Value::Number(self.window_s)),
+            ("slow_window".into(), Value::Number(self.slow_window_s)),
+            ("objective".into(), Value::Number(self.objective)),
+        ])
+    }
+
+    /// The evaluator-side spec these settings describe.
+    pub fn to_spec(&self) -> crate::obs::SloSpec {
+        crate::obs::SloSpec {
+            metric: self.metric.clone(),
+            threshold_ms: self.threshold_ms,
+            window_s: self.window_s,
+            slow_window_s: self.slow_window_s,
+            objective: self.objective,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.metric.is_empty() {
+            return Err(Error::Config("slo.metric must be non-empty".into()));
+        }
+        for (name, v) in [
+            ("threshold_ms", self.threshold_ms),
+            ("window", self.window_s),
+            ("slow_window", self.slow_window_s),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(Error::Config(format!("slo.{name} must be positive")));
+            }
+        }
+        if self.slow_window_s < self.window_s {
+            return Err(Error::Config("slo.slow_window must be >= window".into()));
+        }
+        if !(self.objective > 0.0 && self.objective < 1.0) {
+            return Err(Error::Config("slo.objective must be in (0, 1)".into()));
+        }
+        Ok(())
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -1017,6 +1110,9 @@ pub struct ForesightConfig {
     /// Optional multi-node serving settings for `cluster-bench` (absent
     /// means built-in defaults).
     pub cluster: Option<ClusterSettings>,
+    /// Optional service-level objectives evaluated over the windowed
+    /// telemetry series (absent means no SLO report).
+    pub slo: Option<Vec<SloSetting>>,
 }
 
 impl ForesightConfig {
@@ -1058,6 +1154,16 @@ impl ForesightConfig {
             None | Some(Value::Null) => None,
             Some(v) => Some(ClusterSettings::from_value(v)?),
         };
+        let slo = match doc.get("slo") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_array()
+                    .ok_or_else(|| bad("'slo' must be an array"))?
+                    .iter()
+                    .map(SloSetting::from_value)
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
@@ -1067,6 +1173,7 @@ impl ForesightConfig {
             sanitize,
             serve,
             cluster,
+            slo,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -1103,6 +1210,9 @@ impl ForesightConfig {
         }
         if let Some(cluster) = &self.cluster {
             fields.push(("cluster".into(), cluster.to_value()));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".into(), Value::Array(slo.iter().map(SloSetting::to_value).collect())));
         }
         Value::Object(fields).to_json()
     }
@@ -1156,6 +1266,11 @@ impl ForesightConfig {
         }
         if let Some(cluster) = &self.cluster {
             cluster.validate()?;
+        }
+        if let Some(slo) = &self.slo {
+            for s in slo {
+                s.validate()?;
+            }
         }
         Ok(())
     }
@@ -1472,6 +1587,67 @@ mod tests {
             with_cluster(r#"{ "faults": [ { "kind": "slow", "node": 0, "factor": 0.5 } ] }"#)
                 .is_err(),
             "slow factor below 1"
+        );
+    }
+
+    fn with_slo(section: &str) -> Result<ForesightConfig> {
+        ForesightConfig::from_json(&format!(
+            r#"{{
+            "input": {{ "dataset": "nyx", "n_side": 16 }},
+            "compressors": [ {{ "name": "cuzfp", "rates": [4] }} ],
+            "analysis": [],
+            "output": {{ "dir": "o" }},
+            "slo": {section}
+        }}"#
+        ))
+    }
+
+    #[test]
+    fn slo_section_parses_defaults_and_roundtrips() {
+        let cfg = with_slo(
+            r#"[ { "metric": "cluster.latency.p99", "threshold_ms": 5.0, "window": 0.002 },
+                 { "metric": "cluster.shed", "threshold_ms": 1, "window": 0.004,
+                   "slow_window": 0.02, "objective": 0.999 } ]"#,
+        )
+        .unwrap();
+        let slo = cfg.slo.as_ref().expect("slo section present");
+        assert_eq!(slo.len(), 2);
+        assert_eq!(slo[0].metric, "cluster.latency.p99");
+        assert!((slo[0].slow_window_s - 0.008).abs() < 1e-12, "slow defaults to 4x");
+        assert!((slo[0].objective - 0.99).abs() < 1e-12);
+        assert!((slo[1].slow_window_s - 0.02).abs() < 1e-12);
+        let spec = slo[1].to_spec();
+        assert_eq!(spec.metric, "cluster.shed");
+        assert!((spec.objective - 0.999).abs() < 1e-12);
+        let cfg2 = ForesightConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg2.slo.as_ref().unwrap(), slo);
+        // Absent section stays absent.
+        assert!(ForesightConfig::from_json(SAMPLE).unwrap().slo.is_none());
+    }
+
+    #[test]
+    fn slo_section_rejects_bad_values() {
+        assert!(with_slo(r#"{ "metric": "x" }"#).is_err(), "must be an array");
+        assert!(with_slo(r#"[ { "threshold_ms": 1, "window": 0.1 } ]"#).is_err(), "no metric");
+        assert!(
+            with_slo(r#"[ { "metric": "m", "threshold_ms": 0, "window": 0.1 } ]"#).is_err(),
+            "zero threshold"
+        );
+        assert!(
+            with_slo(r#"[ { "metric": "m", "threshold_ms": 1, "window": 0 } ]"#).is_err(),
+            "zero window"
+        );
+        assert!(
+            with_slo(
+                r#"[ { "metric": "m", "threshold_ms": 1, "window": 0.1, "slow_window": 0.01 } ]"#
+            )
+            .is_err(),
+            "slow window shorter than fast"
+        );
+        assert!(
+            with_slo(r#"[ { "metric": "m", "threshold_ms": 1, "window": 0.1, "objective": 1.0 } ]"#)
+                .is_err(),
+            "objective must be < 1"
         );
     }
 

@@ -18,7 +18,8 @@
 //! metrics into Chrome traces, flamegraphs and `telemetry.json`, the
 //! batched multi-device serving scheduler ([`serve`]), and its
 //! fault-tolerant multi-node front end ([`cluster`]) with replicated
-//! placement, health-checked failover, and node-level chaos.
+//! placement, health-checked failover, and node-level chaos, observed
+//! end to end by the distributed-tracing/SLO layer ([`obs`]).
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub mod cluster;
 pub mod codec;
 pub mod config;
 pub mod gpu_backend;
+pub mod obs;
 pub mod optimizer;
 pub mod pat;
 pub mod runner;
@@ -62,7 +64,11 @@ pub use cluster::{
 pub use codec::{CodecConfig, CompressorId, Shape};
 pub use config::{
     AnalysisKind, ChaosSettings, ClusterFaultSetting, ClusterSettings, DatasetKind,
-    ForesightConfig, SanitizeSettings, ServeSettings,
+    ForesightConfig, SanitizeSettings, ServeSettings, SloSetting,
+};
+pub use obs::{
+    evaluate_slo, evaluate_slos, ObsOptions, ObsRecorder, ObsSpan, ObsTrace, SloLevel, SloSpec,
+    SloVerdict, SpanNode, TraceContext,
 };
 pub use optimizer::{best_fit_per_field, overall_best_ratio, Acceptance, BestFit, Candidate};
 pub use pat::{Job, JobResult, JobStatus, RetryPolicy, SlurmSim, Workflow, WorkflowReport};

@@ -55,6 +55,13 @@ pub struct PipelineReport {
     /// pair or stage that produced it. Empty when no `sanitize` section
     /// was configured — or when every traced kernel ran clean.
     pub sanitizer: Vec<String>,
+    /// SLO verdicts evaluated over the windowed slice series; empty
+    /// unless the config declares an `slo` section and the global
+    /// telemetry collector is on (the series is built from sim slices).
+    pub slo: Vec<crate::obs::SloVerdict>,
+    /// The windowed series the SLOs were evaluated against (None when no
+    /// `slo` section was configured or telemetry was off).
+    pub series: Option<foresight_util::telemetry::WindowSeries>,
 }
 
 /// Runs the configured pipeline on the (simulated) cluster.
@@ -442,7 +449,7 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         run_metrics.gauge("resilience.alive_nodes", workflow.alive_nodes as f64);
     }
     let metrics = run_metrics.snapshot();
-    let report = PipelineReport {
+    let mut report = PipelineReport {
         records: final_records,
         candidates: final_candidates,
         best_fit_lines: final_lines,
@@ -452,12 +459,25 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
         metrics,
         quarantined: final_quarantined,
         sanitizer: final_sanitizer,
+        slo: Vec::new(),
+        series: None,
     };
     if telemetry::is_enabled() {
         // Close the run span so it appears in the snapshot, then write the
         // machine-readable report next to the other run outputs.
         drop(run_span);
         let snap = telemetry::snapshot();
+        if let Some(slo_cfg) = &cfg.slo {
+            // Window the sim slices finely enough that the fastest alert
+            // window covers >= 4 whole windows; burn rates then have
+            // sub-window resolution without configuration knobs.
+            let specs: Vec<_> = slo_cfg.iter().map(|s| s.to_spec()).collect();
+            let width =
+                specs.iter().map(|s| s.window_s).fold(f64::INFINITY, f64::min) / 4.0;
+            let series = crate::obs::series_from_slices(&snap, width, 4096);
+            report.slo = crate::obs::evaluate_slos(&series, &specs);
+            report.series = Some(series);
+        }
         let path = cfg.output.dir.join("telemetry").join("telemetry.json");
         crate::trace::write_telemetry_json(&path, &report, &snap)?;
     }

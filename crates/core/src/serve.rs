@@ -43,11 +43,14 @@
 
 use crate::cbench::ExecPath;
 use crate::codec::{self, CodecConfig, Shape};
-use foresight_util::telemetry::{self, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+use crate::obs::{self, ObsOptions, ObsRecorder, ObsTrace, TraceContext};
+use foresight_util::telemetry::{
+    self, HistogramSummary, MetricsRegistry, MetricsSnapshot, WindowSeries,
+};
 use foresight_util::{Error, Result};
 use gpu_sim::{
     kernel_time, FaultKind, FaultPlan, FaultRates, GpuQueueSim, GpuSpec, KernelKind, NodeSpec,
-    PcieLink,
+    PcieLink, UnitTiming,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rayon::prelude::*;
@@ -131,6 +134,10 @@ pub struct ServeOptions {
     /// Host-codec throughput used when every device failed a unit
     /// (default 2 GB/s — the paper's per-node CPU SZ figure).
     pub cpu_fallback_gbs: f64,
+    /// Request-scoped tracing + windowed series (default `None`: off —
+    /// nothing is recorded and the report carries an empty
+    /// [`ObsTrace`]). Scheduling and bytes are identical either way.
+    pub obs: Option<ObsOptions>,
 }
 
 impl Default for ServeOptions {
@@ -143,6 +150,7 @@ impl Default for ServeOptions {
             seed: 0,
             rates: FaultRates::default(),
             cpu_fallback_gbs: 2.0,
+            obs: None,
         }
     }
 }
@@ -276,6 +284,10 @@ pub struct ServeReport {
     pub metrics: MetricsSnapshot,
     /// Deterministic slice timeline (device order, then enqueue order).
     pub trace: Vec<TraceEvent>,
+    /// Request-scoped spans (empty unless [`ServeOptions::obs`] is set).
+    pub obs: ObsTrace,
+    /// Windowed series (`None` unless [`ServeOptions::obs`] is set).
+    pub series: Option<WindowSeries>,
 }
 
 impl ServeReport {
@@ -485,6 +497,8 @@ pub(crate) fn execute_units(
     requests: &[ServeRequest],
     shard_bytes: u64,
 ) -> Result<Vec<Vec<Unit>>> {
+    let phase = telemetry::span("serve.execute_units");
+    let phase_id = phase.id();
     let plans = requests
         .iter()
         .map(|r| unit_slices(r, shard_bytes))
@@ -494,8 +508,17 @@ pub(crate) fn execute_units(
         .enumerate()
         .flat_map(|(i, p)| p.iter().map(move |s| (i, *s)))
         .collect();
-    let outs: Vec<Result<Unit>> =
-        flat.par_iter().map(|(i, slice)| run_unit(&requests[*i], slice)).collect();
+    let outs: Vec<Result<Unit>> = flat
+        .par_iter()
+        .map(|(i, slice)| {
+            // Rayon workers have no thread-local span stack: an implicit
+            // parent would silently re-root these under whatever that
+            // worker ran last, so the parent is passed explicitly.
+            let _unit = telemetry::span_with_parent("serve.unit", phase_id);
+            run_unit(&requests[*i], slice)
+        })
+        .collect();
+    telemetry::assert_span_parent("serve.unit", phase_id);
     let mut per_req: Vec<Vec<Unit>> = requests.iter().map(|_| Vec::new()).collect();
     for ((i, _), u) in flat.iter().zip(outs) {
         per_req[*i].push(u?);
@@ -549,6 +572,11 @@ pub(crate) struct ExecState {
     pub(crate) cpu_trace: Vec<TraceEvent>,
     pub(crate) failovers: u64,
     pub(crate) cpu_fallbacks: u64,
+    /// Lane placement of the most recent [`ExecState::exec_unit`] call
+    /// (`None` when it fell back to the CPU path) — read by the obs
+    /// layer to attach device-lane child spans without widening the
+    /// `exec_unit` signature.
+    pub(crate) last_timing: Option<UnitTiming>,
 }
 
 impl ExecState {
@@ -571,6 +599,7 @@ impl ExecState {
             cpu_trace: Vec::new(),
             failovers: 0,
             cpu_fallbacks: 0,
+            last_timing: None,
         }
     }
 
@@ -629,6 +658,7 @@ impl ExecState {
                 label,
             );
             let path = if attempt == 0 { ExecPath::Gpu } else { ExecPath::GpuRetried(attempt as u32) };
+            self.last_timing = Some(t);
             return (t.done_s, path, q.label().to_string());
         }
         // Every device faulted this unit: host codec path. The bytes
@@ -645,6 +675,7 @@ impl ExecState {
             start_s: start,
             dur_s: dur,
         });
+        self.last_timing = None;
         (self.cpu_free_s, ExecPath::CpuFallback, "cpu".into())
     }
 
@@ -691,6 +722,53 @@ pub(crate) fn fold_units(outcomes: &[(f64, ExecPath, String)]) -> (f64, ExecPath
         }
     }
     (done, path, devices.join("+"))
+}
+
+/// Records the per-unit child spans of a dispatch: one `unit` span per
+/// outcome, with `h2d`/`kernel`/`d2h` lane children anchored on the
+/// device process when the unit ran on a GPU (so Chrome-trace flow
+/// arrows land on the lane slices that actually ran it), or a CPU-lane
+/// anchor when it fell back. No-op on a disabled recorder.
+pub(crate) fn record_units(
+    rec: &mut ObsRecorder,
+    parent: TraceContext,
+    outcomes: &[(f64, ExecPath, String)],
+    timings: &[Option<UnitTiming>],
+    cpu_process: &str,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    for (k, (o, tm)) in outcomes.iter().zip(timings).enumerate() {
+        let path = match o.1 {
+            ExecPath::Cpu | ExecPath::CpuFallback => "cpu".to_string(),
+            ExecPath::Gpu => "gpu".to_string(),
+            ExecPath::GpuRetried(n) => format!("gpu+retry{n}"),
+        };
+        let start = tm.map_or(o.0, |t| t.h2d_start_s);
+        let unit = rec.child(
+            parent,
+            "unit",
+            start,
+            (o.0 - start).max(0.0),
+            vec![
+                ("unit".into(), k.to_string()),
+                ("device".into(), o.2.clone()),
+                ("path".into(), path),
+            ],
+        );
+        match tm {
+            Some(t) => {
+                rec.child(unit, "h2d", t.h2d_start_s, (t.kernel_start_s - t.h2d_start_s).max(0.0), vec![]);
+                rec.anchor_last(&o.2, "h2d");
+                rec.child(unit, "kernel", t.kernel_start_s, (t.d2h_start_s - t.kernel_start_s).max(0.0), vec![]);
+                rec.anchor_last(&o.2, "kernel");
+                rec.child(unit, "d2h", t.d2h_start_s, (t.done_s - t.d2h_start_s).max(0.0), vec![]);
+                rec.anchor_last(&o.2, "d2h");
+            }
+            None => rec.anchor_last(cpu_process, "cpu"),
+        }
+    }
 }
 
 pub(crate) fn validate(
@@ -783,6 +861,59 @@ fn complete_request(
     }
 }
 
+/// Obs hook for one completed request: the admission → dispatch → unit
+/// span chain plus the completion-side series samples. No-op when obs
+/// is off.
+#[allow(clippy::too_many_arguments)] // mirrors complete_request's facts
+fn observe_response(
+    rec: &mut ObsRecorder,
+    series: &mut Option<WindowSeries>,
+    id: u64,
+    dispatch_s: f64,
+    batch: usize,
+    outcomes: &[(f64, ExecPath, String)],
+    timings: &[Option<UnitTiming>],
+    resp: &ServeResponse,
+) {
+    if let Some(s) = series.as_mut() {
+        s.observe(resp.completed_s, "serve.latency_s", resp.latency_s);
+        s.incr(resp.completed_s, "serve.completed", 1);
+        let faults: u32 = outcomes
+            .iter()
+            .map(|o| match o.1 {
+                ExecPath::GpuRetried(n) => n,
+                _ => 0,
+            })
+            .sum();
+        if faults > 0 {
+            s.incr(resp.completed_s, "serve.fault", u64::from(faults));
+        }
+        let cpu = outcomes.iter().filter(|o| matches!(o.1, ExecPath::CpuFallback)).count();
+        if cpu > 0 {
+            s.incr(resp.completed_s, "serve.cpu_fallback", cpu as u64);
+        }
+        if matches!(resp.status, ServeStatus::DeadlineMissed) {
+            s.incr(resp.completed_s, "serve.deadline_missed", 1);
+        }
+    }
+    if rec.enabled() {
+        let arrival = resp.completed_s - resp.latency_s;
+        let root = rec.mint(id, "admission", arrival, (dispatch_s - arrival).max(0.0), vec![]);
+        let dispatch = rec.child(
+            root,
+            "dispatch",
+            dispatch_s,
+            (resp.completed_s - dispatch_s).max(0.0),
+            vec![
+                ("batch".into(), batch.to_string()),
+                ("units".into(), outcomes.len().to_string()),
+            ],
+        );
+        record_units(rec, dispatch, outcomes, timings, "serve-cpu");
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // report assembly genuinely has this many facts
 fn finish_report(
     mut state: ExecState,
     reg: MetricsRegistry,
@@ -791,6 +922,8 @@ fn finish_report(
     rejected: usize,
     missed: usize,
     executed_bytes: u64,
+    rec: ObsRecorder,
+    mut series: Option<WindowSeries>,
 ) -> ServeReport {
     // Warm-pool shutdown: release each used device's buffer pool once.
     for d in 0..state.queues.len() {
@@ -815,6 +948,17 @@ fn finish_report(
         let u = q.utilization(makespan_s);
         reg.gauge(&format!("serve.util.{}", q.label()), u);
         device_util.push((q.label().to_string(), u));
+    }
+    if let Some(s) = series.as_mut() {
+        for q in &state.queues {
+            let busy: Vec<(f64, f64)> = q
+                .timeline()
+                .iter()
+                .filter(|t| t.track == "kernel")
+                .map(|t| (t.start_s, t.dur_s))
+                .collect();
+            obs::utilization_windows(s, &format!("serve.util.{}", q.label()), &busy, 1.0);
+        }
     }
     reg.gauge("serve.makespan_s", makespan_s);
     reg.gauge("serve.sustained_gbs", sustained_gbs);
@@ -842,6 +986,8 @@ fn finish_report(
         device_util,
         metrics: reg.snapshot(),
         trace,
+        obs: rec.into_trace(),
+        series,
     }
 }
 
@@ -857,6 +1003,8 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
     let mut state = ExecState::new(node, opts, "serve", true);
     let mut pending = Pending::new(requests);
     let order = pending.order.clone();
+    let mut rec = ObsRecorder::new(opts.obs.is_some());
+    let mut series = opts.obs.map(|o| WindowSeries::new(o.series_width_s, o.series_retention));
 
     let mut completions: Vec<f64> = Vec::new(); // dispatched units
     let mut rejected = 0usize;
@@ -884,6 +1032,9 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
             depth_max = depth_max.max(outstanding);
             reg.observe("serve.queue_depth", outstanding as f64);
             telemetry::observe("serve.queue_depth", outstanding as f64);
+            if let Some(s) = series.as_mut() {
+                s.observe(req.arrival_s, "serve.queue_depth", outstanding as f64);
+            }
             if outstanding + n_units > opts.queue_depth {
                 // Backpressure: reject with a hint, never drop. The hint
                 // is when the earliest outstanding unit drains (or the
@@ -900,6 +1051,25 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
                     + jitter01(opts.seed, req.id, 0) * opts.window_s;
                 rejected += 1;
                 reg.counter("serve.rejected", 1);
+                if let Some(s) = series.as_mut() {
+                    s.incr(req.arrival_s, "serve.shed", 1);
+                }
+                if rec.enabled() {
+                    let root = rec.mint(
+                        req.id,
+                        "admission",
+                        req.arrival_s,
+                        (dispatch_s - req.arrival_s).max(0.0),
+                        vec![("outstanding".into(), outstanding.to_string())],
+                    );
+                    rec.child(
+                        root,
+                        "shed",
+                        req.arrival_s,
+                        0.0,
+                        vec![("retry_after_s".into(), format!("{retry_after_s:.9}"))],
+                    );
+                }
                 pending.responses[ri] = Some(ServeResponse {
                     id: req.id,
                     status: ServeStatus::Rejected { retry_after_s },
@@ -931,15 +1101,16 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
                         (0..state.queues.len().min(units[ri].len()))
                             .map(|k| (start + k) % state.queues.len())
                             .collect();
-                    let outcomes: Vec<(f64, ExecPath, String)> = units[ri]
-                        .iter()
-                        .enumerate()
-                        .map(|(k, u)| {
-                            let d = involved[k % involved.len()];
-                            let label = format!("r{}.{}", requests[ri].id, k);
-                            state.exec_unit(d, dispatch_s, u, &label)
-                        })
-                        .collect();
+                    let mut outcomes: Vec<(f64, ExecPath, String)> =
+                        Vec::with_capacity(units[ri].len());
+                    let mut timings: Vec<Option<UnitTiming>> =
+                        Vec::with_capacity(units[ri].len());
+                    for (k, u) in units[ri].iter().enumerate() {
+                        let d = involved[k % involved.len()];
+                        let label = format!("r{}.{}", requests[ri].id, k);
+                        outcomes.push(state.exec_unit(d, dispatch_s, u, &label));
+                        timings.push(state.last_timing);
+                    }
                     completions.extend(outcomes.iter().map(|o| o.0));
                     pending.responses[ri] = Some(complete_request(
                         &requests[ri],
@@ -950,6 +1121,16 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
                         &mut missed,
                         &mut executed_bytes,
                     ));
+                    observe_response(
+                        &mut rec,
+                        &mut series,
+                        requests[ri].id,
+                        dispatch_s,
+                        batches - 1,
+                        &outcomes,
+                        &timings,
+                        pending.responses[ri].as_ref().expect("just resolved"),
+                    );
                 } else {
                     singles.push(ri);
                 }
@@ -961,23 +1142,34 @@ pub fn serve(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequest]) -
                 for &ri in chunk {
                     let label = format!("r{}.0", requests[ri].id);
                     let outcome = state.exec_unit(d, dispatch_s, &units[ri][0], &label);
+                    let timing = state.last_timing;
                     completions.push(outcome.0);
                     pending.responses[ri] = Some(complete_request(
                         &requests[ri],
                         &units[ri],
-                        &[outcome],
+                        std::slice::from_ref(&outcome),
                         batches - 1,
                         &reg,
                         &mut missed,
                         &mut executed_bytes,
                     ));
+                    observe_response(
+                        &mut rec,
+                        &mut series,
+                        requests[ri].id,
+                        dispatch_s,
+                        batches - 1,
+                        &[outcome],
+                        &[timing],
+                        pending.responses[ri].as_ref().expect("just resolved"),
+                    );
                 }
             }
         }
     }
     reg.gauge("serve.queue_depth.max", depth_max as f64);
     reg.counter("serve.batches", batches as u64);
-    Ok(finish_report(state, reg, pending, batches, rejected, missed, executed_bytes))
+    Ok(finish_report(state, reg, pending, batches, rejected, missed, executed_bytes, rec, series))
 }
 
 fn batch_key_of(req: &ServeRequest) -> String {
@@ -1041,7 +1233,19 @@ pub fn serve_serial(node: &ServeNode, opts: &ServeOptions, requests: &[ServeRequ
     }
     reg.gauge("serve.queue_depth.max", 1.0);
     reg.counter("serve.batches", order.len() as u64);
-    Ok(finish_report(state, reg, pending, order.len(), 0, missed, executed_bytes))
+    // The serial reference never records obs data — it is the
+    // byte-identity baseline, not an observed scheduler.
+    Ok(finish_report(
+        state,
+        reg,
+        pending,
+        order.len(),
+        0,
+        missed,
+        executed_bytes,
+        ObsRecorder::new(false),
+        None,
+    ))
 }
 
 // ---------------------------------------------------------------------------

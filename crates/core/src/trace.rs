@@ -199,7 +199,7 @@ pub fn telemetry_json(report: &PipelineReport, snap: &TelemetrySnapshot) -> Valu
             })
             .collect(),
     );
-    Value::Object(vec![
+    let mut fields = vec![
         ("phase_totals".into(), phase_totals_json(&overall_phase_totals(snap))),
         ("phase_totals_per_process".into(), per_process),
         ("stages".into(), stages),
@@ -220,7 +220,15 @@ pub fn telemetry_json(report: &PipelineReport, snap: &TelemetrySnapshot) -> Valu
         ),
         ("jobs".into(), jobs),
         ("records".into(), records),
-    ])
+    ];
+    // Observability keys, only when the run evaluated SLOs: the windowed
+    // series the verdicts were computed from, then the verdicts. Keeping
+    // them out of plain runs keeps pre-obs telemetry.json byte-identical.
+    if let Some(series) = &report.series {
+        fields.push(("series".into(), series.to_value()));
+        fields.push(("slo".into(), crate::obs::slo_to_value(&report.slo)));
+    }
+    Value::Object(fields)
 }
 
 fn write_file(path: &Path, contents: &str) -> Result<()> {

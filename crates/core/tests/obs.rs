@@ -1,0 +1,209 @@
+//! Acceptance tests for the request-observability layer (`foresight::obs`).
+//!
+//! Pins the layer's three headline claims end to end:
+//! - a node-kill chaos run at R=2 yields a reconstructable span tree for
+//!   a failed-over request via `trace_of(request_id)` — admission →
+//!   failed hop(s) → committed dispatch → device-lane units — and the
+//!   Chrome export links the hops with paired flow events whose span
+//!   references all resolve;
+//! - same-seed reruns are byte-identical in the windowed series and the
+//!   SLO verdicts derived from it;
+//! - with obs off, every pre-existing report field is identical: the
+//!   layer observes scheduling, it never steers it.
+
+use foresight::obs::{self, SloLevel};
+use foresight::{
+    cluster_workload, serve_cluster, ClusterOptions, ClusterWorkloadSpec, ObsOptions, ServeCluster,
+    ServeNode, ServeOptions, SloSpec,
+};
+use foresight_util::json::Value;
+use foresight_util::telemetry::{self, ChromeTraceOptions};
+use gpu_sim::{NodeChaosPlan, NodeFaultEvent, NodeFaultKind};
+use std::collections::BTreeSet;
+
+const NODES: usize = 4;
+const REPLICATION: usize = 2;
+const VICTIM: usize = 1;
+
+fn spec() -> ServeCluster {
+    ServeCluster::new(NODES, REPLICATION, ServeNode::v100_pcie(2))
+}
+
+fn options(chaos: NodeChaosPlan, obs_on: bool) -> ClusterOptions {
+    ClusterOptions {
+        // Depth raised so the whole workload is admitted: these tests are
+        // about failover visibility, not shedding.
+        serve: ServeOptions { queue_depth: 256, seed: 7, ..Default::default() },
+        chaos,
+        obs: obs_on.then(ObsOptions::default),
+        ..Default::default()
+    }
+}
+
+fn workload() -> Vec<foresight::ClusterRequest> {
+    cluster_workload(&ClusterWorkloadSpec { requests: 64, seed: 7, ..Default::default() })
+        .expect("workload spec is valid")
+}
+
+/// Kills one node squarely inside the serving window (onset at half the
+/// healthy makespan), same shape as the cluster acceptance test.
+fn kill_plan() -> NodeChaosPlan {
+    let healthy =
+        serve_cluster(&spec(), &options(NodeChaosPlan::quiet(), false), &workload()).unwrap();
+    assert!(healthy.makespan_s > 0.0, "healthy run must have nonzero makespan");
+    NodeChaosPlan::new(vec![NodeFaultEvent {
+        node: VICTIM,
+        kind: NodeFaultKind::Crash,
+        at_s: healthy.makespan_s * 0.5,
+        duration_s: 10.0,
+        slow_factor: 1.0,
+    }])
+    .unwrap()
+}
+
+fn span_count(node: &foresight::SpanNode) -> usize {
+    1 + node.children.iter().map(span_count).sum::<usize>()
+}
+
+#[test]
+fn node_kill_span_tree_reconstructs_failover_with_flows() {
+    let report = serve_cluster(&spec(), &options(kill_plan(), true), &workload()).unwrap();
+    assert!(report.failovers > 0, "node kill produced no failovers");
+    assert!(!report.obs.is_empty(), "obs-on chaos run recorded no spans");
+
+    // Every request whose routing took more than one hop before a
+    // committed dispatch: the kill must have produced at least one.
+    let failed_over: Vec<u64> = report
+        .obs
+        .request_ids()
+        .into_iter()
+        .filter(|&id| {
+            let tree = report.obs.trace_of(id).expect("listed id resolves");
+            let dispatches = tree.find_all("dispatch");
+            let hops = dispatches.len()
+                + tree.find_all("timeout").len()
+                + tree.find_all("skip.down").len()
+                + tree.find_all("breaker.reject").len();
+            hops >= 2 && dispatches.iter().any(|d| d.attr("outcome") == Some("ok"))
+        })
+        .collect();
+    assert!(!failed_over.is_empty(), "node kill left no multi-hop request trees");
+
+    // The tree reads as the failover story: admission root with routing
+    // attributes, a committed dispatch at the end, device lanes under it.
+    let id = failed_over[0];
+    let tree = report.obs.trace_of(id).expect("failed-over id resolves");
+    assert_eq!(tree.span.name, "admission", "request tree must root at admission");
+    assert!(tree.attr("key").is_some(), "admission span lost its routing key");
+    assert!(tree.attr("primary").is_some(), "admission span lost its primary replica");
+    let ok = tree
+        .find_all("dispatch")
+        .into_iter()
+        .find(|d| d.attr("outcome") == Some("ok"))
+        .expect("failed-over request has a committed dispatch");
+    let units = ok.find_all("unit");
+    assert!(!units.is_empty(), "committed dispatch carries no unit lanes");
+    assert!(units.iter().all(|u| u.attr("device").is_some()), "unit span without a device");
+    assert!(
+        units.iter().any(|u| u.find("kernel").is_some()),
+        "no device kernel lane under the committed dispatch"
+    );
+    // trace_of is a partition: the tree holds exactly this request's spans.
+    let flat = report.obs.spans.iter().filter(|s| s.request_id == id).count();
+    assert_eq!(span_count(&tree), flat, "trace_of dropped or duplicated spans");
+
+    // The Chrome export links the hops with paired flow events whose
+    // span references all resolve to exported slices.
+    let doc = obs::chrome_trace_with_requests(
+        &telemetry::snapshot(),
+        ChromeTraceOptions::default(),
+        &report.obs,
+    );
+    let Value::Array(events) = &doc else { panic!("chrome trace is not a bare event array") };
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    let mut refs: Vec<String> = Vec::new();
+    let (mut starts, mut finishes) = (0usize, 0usize);
+    for ev in events {
+        let arg = |key: &str| {
+            ev.get("args").and_then(|a| a.get(key)).and_then(Value::as_str).map(str::to_string)
+        };
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                if let Some(sid) = arg("span_id") {
+                    defined.insert(sid);
+                }
+            }
+            Some("s") => {
+                starts += 1;
+                refs.push(arg("span").expect("flow start without args.span"));
+            }
+            Some("f") => {
+                finishes += 1;
+                assert_eq!(ev.get("bp").and_then(Value::as_str), Some("e"));
+                refs.push(arg("span").expect("flow finish without args.span"));
+            }
+            _ => {}
+        }
+    }
+    assert!(starts > 0, "no flow events in the chrome export");
+    assert_eq!(starts, finishes, "unpaired flow events");
+    for r in &refs {
+        assert!(defined.contains(r), "flow references unknown span id {r}");
+    }
+}
+
+#[test]
+fn obs_layer_never_changes_scheduling_or_bytes() {
+    let chaos = kill_plan();
+    let base = serve_cluster(&spec(), &options(chaos.clone(), false), &workload()).unwrap();
+    let with_obs = serve_cluster(&spec(), &options(chaos, true), &workload()).unwrap();
+    assert!(base.obs.is_empty(), "obs-off run recorded spans");
+    assert!(base.series.is_none(), "obs-off run recorded a series");
+    assert!(!with_obs.obs.is_empty());
+    assert!(with_obs.series.is_some());
+
+    assert_eq!(base.makespan_s, with_obs.makespan_s);
+    assert_eq!(base.failovers, with_obs.failovers);
+    assert_eq!(base.redirects, with_obs.redirects);
+    assert_eq!(base.timeouts, with_obs.timeouts);
+    assert_eq!(base.interrupted, with_obs.interrupted);
+    assert_eq!(base.submitted, with_obs.submitted);
+    assert_eq!(base.completed, with_obs.completed);
+    assert_eq!(base.rejected, with_obs.rejected);
+    assert_eq!(base.executed_bytes, with_obs.executed_bytes);
+    assert!(base.trace == with_obs.trace, "sim trace diverged when obs was enabled");
+    for (a, b) in base.responses.iter().zip(&with_obs.responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.completed_s, b.completed_s);
+        assert!(a.output == b.output, "request {} bytes changed with obs on", a.id);
+    }
+}
+
+#[test]
+fn same_seed_rerun_is_byte_identical_in_series_and_slo() {
+    let chaos = kill_plan();
+    let a = serve_cluster(&spec(), &options(chaos.clone(), true), &workload()).unwrap();
+    let b = serve_cluster(&spec(), &options(chaos, true), &workload()).unwrap();
+    assert_eq!(a.obs, b.obs, "span streams diverged across same-seed reruns");
+    let sa = a.series.as_ref().expect("obs run records a series");
+    let sb = b.series.as_ref().expect("obs run records a series");
+    assert_eq!(
+        sa.to_value().to_json(),
+        sb.to_value().to_json(),
+        "series JSON diverged across same-seed reruns"
+    );
+
+    // Verdicts are pure functions of the series: identical across
+    // reruns, and calibrated thresholds land where they should.
+    let specs = [
+        SloSpec::new("cluster.latency.p99", 50.0, 0.004),
+        SloSpec::new("cluster.latency.p99", 1e-6, 0.004),
+    ];
+    let va = obs::evaluate_slos(sa, &specs);
+    let vb = obs::evaluate_slos(sb, &specs);
+    assert_eq!(va, vb, "SLO verdicts diverged across same-seed reruns");
+    assert_eq!(obs::slo_to_value(&va).to_json(), obs::slo_to_value(&vb).to_json());
+    assert_eq!(va[0].level, SloLevel::Ok, "50 ms p99 objective should hold: {:?}", va[0]);
+    assert_eq!(va[1].level, SloLevel::Page, "1 ns p99 objective should burn: {:?}", va[1]);
+}

@@ -46,6 +46,8 @@ pub struct UnitTiming {
     pub h2d_start_s: f64,
     /// Kernel start (compute engine).
     pub kernel_start_s: f64,
+    /// Download start (copy engine, D2H direction).
+    pub d2h_start_s: f64,
     /// Download completion — the unit's result is on the host.
     pub done_s: f64,
 }
@@ -188,7 +190,12 @@ impl GpuQueueSim {
         self.busy[2] += t_d2h;
         self.push("d2h", name, d2h_start, t_d2h);
 
-        UnitTiming { h2d_start_s: h2d_start, kernel_start_s: kern_start, done_s: self.d2h_free_s }
+        UnitTiming {
+            h2d_start_s: h2d_start,
+            kernel_start_s: kern_start,
+            d2h_start_s: d2h_start,
+            done_s: self.d2h_free_s,
+        }
     }
 
     /// Serializes the queue: every lane waits for the slowest one. The
@@ -295,7 +302,8 @@ mod tests {
         let t = q.enqueue_unit(0.5, KernelKind::SzCompress, 1 << 20, 6.0, 4 << 20, 1 << 20, "u");
         assert!(t.h2d_start_s >= 0.5);
         assert!(t.kernel_start_s >= t.h2d_start_s);
-        assert!(t.done_s > t.kernel_start_s);
+        assert!(t.d2h_start_s >= t.kernel_start_s);
+        assert!(t.done_s > t.d2h_start_s);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `instant`          | wall-clock timing goes through `foresight_util::timer`        |
 //! | `kernel-label`     | kernel launches carry distinct, non-empty string labels       |
 //! | `unsafe-policy`    | crate roots forbid/deny `unsafe_code`; exceptions are audited |
+//! | `span-orphan`      | spans inside rayon/crossbeam fan-outs use `span_with_parent`  |
 //!
 //! A finding can be suppressed with a `// lint: allow(<rule>)` comment on
 //! the offending line or the line directly above it; the escape is the
@@ -48,6 +49,13 @@ const DECODE_CRITICAL: &[&str] = &[
 /// Files allowed to touch `std::time` directly (they implement the
 /// timing layer everything else is supposed to use).
 const TIMING_LAYER: &[&str] = &["crates/util/src/timer.rs", "crates/util/src/telemetry.rs"];
+
+/// Files that fan work out across rayon/crossbeam workers. The
+/// `span-orphan` rule applies only here; matched by path suffix. A span
+/// opened inside a stolen-work closure parents onto whatever span that
+/// worker ran last, so fan-out bodies must capture the parent id up
+/// front and use `span_with_parent`.
+const SPAN_FANOUT_FILES: &[&str] = &["crates/core/src/cbench.rs", "crates/core/src/serve.rs"];
 
 /// Directories never scanned. `tests`/`benches` hold integration tests
 /// and harnesses — test code, excluded for the same reason inline
@@ -87,6 +95,8 @@ struct Patterns {
     deny_unsafe: String,
     allow_unsafe: String,
     safety: String,
+    fanout: Vec<String>,
+    naked_span: String,
     escape_prefix: String,
 }
 
@@ -118,6 +128,13 @@ impl Patterns {
             deny_unsafe: ["#![deny(", "uns", "afe_code)]"].concat(),
             allow_unsafe: ["allow(", "uns", "afe_code)"].concat(),
             safety: ["SAF", "ETY:"].concat(),
+            fanout: vec![
+                [".par_", "iter"].concat(),
+                ["rayon::", "scope"].concat(),
+                ["crossbeam::", "scope"].concat(),
+                [".spa", "wn("].concat(),
+            ],
+            naked_span: ["telemetry::", "span("].concat(),
             escape_prefix: ["// lint: ", "allow("].concat(),
         }
     }
@@ -181,6 +198,10 @@ fn is_decode_critical(path: &str) -> bool {
 
 fn is_timing_layer(path: &str) -> bool {
     TIMING_LAYER.iter().any(|s| path.ends_with(s))
+}
+
+fn is_span_fanout_file(path: &str) -> bool {
+    SPAN_FANOUT_FILES.iter().any(|s| path.ends_with(s))
 }
 
 fn is_crate_root(path: &str) -> bool {
@@ -409,6 +430,60 @@ fn check_unsafe_policy(src: &Source, pats: &Patterns, findings: &mut Vec<Finding
     }
 }
 
+/// Rule 8: ambient-parent spans inside rayon/crossbeam fan-out closures
+/// (span-fanout files only). Under work stealing, a span opened inside a
+/// worker closure parents onto whichever span that worker happened to
+/// record last — an orphaned root in the Chrome trace. The sanctioned
+/// shape captures the parent id before the fan-out and passes it through
+/// `span_with_parent`. The tracker is a brace-depth heuristic: a line
+/// containing a fan-out token opens a region at the current depth, and
+/// the region closes once depth returns to (or below) that mark on a
+/// `;`-terminated line — multi-line iterator chains stay open until
+/// their `.collect();` lands.
+fn check_span_orphan(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>) {
+    if !is_span_fanout_file(src.path) {
+        return;
+    }
+    let mut depth: i64 = 0;
+    // Brace depth at which each currently-open fan-out statement began.
+    let mut regions: Vec<i64> = Vec::new();
+    for (i, code) in src.code.iter().enumerate() {
+        if code.is_empty() {
+            continue;
+        }
+        if pats.fanout.iter().any(|p| code.contains(p.as_str())) {
+            regions.push(depth);
+        }
+        if !regions.is_empty()
+            && code.contains(pats.naked_span.as_str())
+            && !src.escaped(i, "span-orphan", pats)
+        {
+            push(
+                findings,
+                src,
+                i,
+                "span-orphan",
+                "ambient-parent span inside a fan-out closure; capture the parent id before the fan-out and use span_with_parent".into(),
+            );
+        }
+        for b in code.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        let ends_stmt = code.trim_end().ends_with(';');
+        while let Some(&start) = regions.last() {
+            if depth < start || (depth <= start && ends_stmt) {
+                regions.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 fn scan_file(path: &str, text: &str, pats: &Patterns) -> Vec<Finding> {
     let src = Source::new(path, text);
     let mut findings = Vec::new();
@@ -416,6 +491,7 @@ fn scan_file(path: &str, text: &str, pats: &Patterns) -> Vec<Finding> {
     check_instant(&src, pats, &mut findings);
     check_kernel_labels(&src, pats, &mut findings);
     check_unsafe_policy(&src, pats, &mut findings);
+    check_span_orphan(&src, pats, &mut findings);
     findings
 }
 
@@ -613,6 +689,50 @@ mod tests {
             pats.allow_unsafe, pats.safety
         );
         assert!(scan_file("crates/fft/src/fft3d.rs", &src, &pats).is_empty());
+    }
+
+    #[test]
+    fn flags_ambient_span_inside_fanout() {
+        let pats = Patterns::new();
+        let span = ["telemetry::", "span("].concat();
+        let par = [".par_", "iter()"].concat();
+        let src = format!(
+            "fn f(xs: &[u32]) {{\nlet v: Vec<_> = xs{par}.map(|x| {{\nlet _s = {span}\"pair\");\nx + 1\n}}).collect();\ndrop(v);\n}}"
+        );
+        assert_eq!(rules(&scan_file("crates/core/src/cbench.rs", &src, &pats)), ["span-orphan"]);
+        // Same code outside the fan-out file list is not checked.
+        assert!(scan_file("crates/core/src/runner.rs", &src, &pats).is_empty());
+    }
+
+    #[test]
+    fn span_with_parent_and_spans_outside_fanouts_are_fine() {
+        let pats = Patterns::new();
+        let span = ["telemetry::", "span("].concat();
+        let swp = ["telemetry::", "span_with_parent("].concat();
+        let par = [".par_", "iter()"].concat();
+        // The sanctioned shape: span before the fan-out, span_with_parent
+        // inside the closure.
+        let src = format!(
+            "fn f(xs: &[u32]) {{\nlet s = {span}\"sweep\");\nlet id = s.id();\nlet v: Vec<_> = xs{par}.map(|x| {{\nlet _c = {swp}\"pair\", id);\nx\n}}).collect();\ndrop(v);\n}}"
+        );
+        assert!(scan_file("crates/core/src/cbench.rs", &src, &pats).is_empty());
+        // A span after the fan-out statement closes is ambient again.
+        let src = format!(
+            "fn f(xs: &[u32]) {{\nlet v: Vec<_> = xs{par}.map(|x| x).collect();\nlet _s = {span}\"after\");\ndrop(v);\n}}"
+        );
+        assert!(scan_file("crates/core/src/cbench.rs", &src, &pats).is_empty());
+    }
+
+    #[test]
+    fn span_orphan_escape_suppresses() {
+        let pats = Patterns::new();
+        let span = ["telemetry::", "span("].concat();
+        let par = [".par_", "iter()"].concat();
+        let marker = [pats.escape_prefix.as_str(), "span-orphan)"].concat();
+        let src = format!(
+            "fn f(xs: &[u32]) {{\nlet v: Vec<_> = xs{par}.map(|x| {{\n{marker} root-per-item is intended\nlet _s = {span}\"pair\");\nx\n}}).collect();\ndrop(v);\n}}"
+        );
+        assert!(scan_file("crates/core/src/cbench.rs", &src, &pats).is_empty());
     }
 
     #[test]

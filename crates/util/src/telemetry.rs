@@ -828,6 +828,278 @@ fn complete_event(
     Value::Object(fields)
 }
 
+// ---------------------------------------------------------------------------
+// Windowed time-series (ring-buffer windows over the simulated clock)
+// ---------------------------------------------------------------------------
+
+/// One fixed-width window of a [`WindowSeries`]: counters, last-write
+/// gauges, and histograms scoped to `[index * width_s, (index+1) * width_s)`
+/// on the simulated clock.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesWindow {
+    /// Window index (`floor(t / width_s)`).
+    pub index: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl SeriesWindow {
+    /// Reads a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Borrows a histogram, if any sample landed in this window.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing was recorded in the window.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Fixed-width ring-buffer windows over the simulated clock.
+///
+/// A window materializes the first time a sample lands in it, so an idle
+/// clock produces index gaps, not empty windows — readers that need
+/// per-window semantics (the SLO engine) must treat a missing index as
+/// "no data". The ring retains the `retention` highest-index windows
+/// ever touched; older windows are evicted lowest-index-first, and
+/// samples that arrive for an already-evicted window are counted in
+/// `dropped` rather than resurrecting it. Everything is plain data on
+/// the simulated clock, so same-seed runs produce byte-identical
+/// snapshots.
+#[derive(Debug, Clone)]
+pub struct WindowSeries {
+    width_s: f64,
+    retention: usize,
+    /// Ascending by window index; at most `retention` entries.
+    windows: Vec<SeriesWindow>,
+    dropped: u64,
+}
+
+impl WindowSeries {
+    /// A series of `retention` windows of `width_s` seconds each.
+    /// `width_s` must be positive and finite; `retention >= 1`.
+    pub fn new(width_s: f64, retention: usize) -> Self {
+        assert!(width_s > 0.0 && width_s.is_finite(), "window width must be positive");
+        assert!(retention >= 1, "retention must be >= 1");
+        Self { width_s, retention, windows: Vec::new(), dropped: 0 }
+    }
+
+    /// The window width, seconds.
+    pub fn width_s(&self) -> f64 {
+        self.width_s
+    }
+
+    /// Max windows retained.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Samples that arrived for an already-evicted window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The window index covering simulated time `t_s` (clamped at 0).
+    pub fn window_index(&self, t_s: f64) -> u64 {
+        (t_s.max(0.0) / self.width_s).floor() as u64
+    }
+
+    /// Retained windows, ascending by index.
+    pub fn windows(&self) -> &[SeriesWindow] {
+        &self.windows
+    }
+
+    /// The retained window at `index`, if it materialized and survived.
+    pub fn window_at(&self, index: u64) -> Option<&SeriesWindow> {
+        self.windows.iter().find(|w| w.index == index)
+    }
+
+    /// Highest window index ever touched (None before the first sample).
+    pub fn newest_index(&self) -> Option<u64> {
+        self.windows.last().map(|w| w.index)
+    }
+
+    fn window_mut(&mut self, t_s: f64) -> Option<&mut SeriesWindow> {
+        let index = self.window_index(t_s);
+        let pos = match self.windows.binary_search_by_key(&index, |w| w.index) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.windows.insert(pos, SeriesWindow { index, ..SeriesWindow::default() });
+                // Evict lowest-index windows first until the ring fits.
+                // A sample for an already-evicted index lands below every
+                // retained window and is itself the next victim: counted
+                // in `dropped`, never resurrected.
+                while self.windows.len() > self.retention {
+                    self.windows.remove(0);
+                }
+                match self.windows.binary_search_by_key(&index, |w| w.index) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.dropped += 1;
+                        return None;
+                    }
+                }
+            }
+        };
+        Some(&mut self.windows[pos])
+    }
+
+    /// Adds `delta` to counter `name` in the window covering `t_s`.
+    pub fn incr(&mut self, t_s: f64, name: &str, delta: u64) {
+        if let Some(w) = self.window_mut(t_s) {
+            *w.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Sets gauge `name` in the window covering `t_s` (last write wins).
+    pub fn gauge(&mut self, t_s: f64, name: &str, value: f64) {
+        if let Some(w) = self.window_mut(t_s) {
+            w.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records a histogram sample into the window covering `t_s`.
+    pub fn observe(&mut self, t_s: f64, name: &str, value: f64) {
+        if let Some(w) = self.window_mut(t_s) {
+            w.histograms.entry(name.to_string()).or_default().observe(value);
+        }
+    }
+
+    /// Renders the series as a deterministic JSON object (the
+    /// `telemetry.json` `series` key): window metadata plus per-window
+    /// counters, gauges, and histogram summaries, all name-sorted.
+    pub fn to_value(&self) -> Value {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                let counters = Value::Object(
+                    w.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Number(*v as f64)))
+                        .collect(),
+                );
+                let gauges = Value::Object(
+                    w.gauges.iter().map(|(k, v)| (k.clone(), Value::Number(*v))).collect(),
+                );
+                let hists = Value::Object(
+                    w.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_summary_value(&h.summary())))
+                        .collect(),
+                );
+                Value::Object(vec![
+                    ("index".into(), Value::Number(w.index as f64)),
+                    ("start_s".into(), Value::Number(w.index as f64 * self.width_s)),
+                    ("counters".into(), counters),
+                    ("gauges".into(), gauges),
+                    ("histograms".into(), hists),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("width_s".into(), Value::Number(self.width_s)),
+            ("retention".into(), Value::Number(self.retention as f64)),
+            ("dropped".into(), Value::Number(self.dropped as f64)),
+            ("windows".into(), Value::Array(windows)),
+        ])
+    }
+}
+
+fn hist_summary_value(h: &HistogramSummary) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::Number(h.count as f64)),
+        ("min".into(), Value::Number(h.min)),
+        ("max".into(), Value::Number(h.max)),
+        ("mean".into(), Value::Number(h.mean)),
+        ("p50".into(), Value::Number(h.p50)),
+        ("p95".into(), Value::Number(h.p95)),
+        ("p99".into(), Value::Number(h.p99)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Flow events (request causality across trace processes)
+// ---------------------------------------------------------------------------
+
+/// Builds a Chrome flow-start event (`ph: "s"`): the outgoing edge of a
+/// causal link, anchored at (`pid`, `tid`, `ts_us`). `flow_id` pairs it
+/// with its [`flow_finish_event`]; `span_id` names the span the edge
+/// leaves, and `trace-check` rejects flows whose `span` attribute does
+/// not match any exported span id.
+pub fn flow_start_event(flow_id: u64, pid: f64, tid: f64, ts_us: f64, name: &str, span_id: u64) -> Value {
+    flow_event("s", flow_id, pid, tid, ts_us, name, span_id)
+}
+
+/// Builds a Chrome flow-finish event (`ph: "f"`, `bp: "e"`): the
+/// incoming edge of the causal link opened by [`flow_start_event`] with
+/// the same `flow_id`.
+pub fn flow_finish_event(flow_id: u64, pid: f64, tid: f64, ts_us: f64, name: &str, span_id: u64) -> Value {
+    flow_event("f", flow_id, pid, tid, ts_us, name, span_id)
+}
+
+fn flow_event(ph: &str, flow_id: u64, pid: f64, tid: f64, ts_us: f64, name: &str, span_id: u64) -> Value {
+    let mut fields = vec![
+        ("ph".into(), Value::String(ph.into())),
+        ("id".into(), Value::Number(flow_id as f64)),
+        ("name".into(), Value::String(name.into())),
+        ("cat".into(), Value::String("flow".into())),
+        ("pid".into(), Value::Number(pid)),
+        ("tid".into(), Value::Number(tid)),
+        ("ts".into(), Value::Number(ts_us)),
+    ];
+    if ph == "f" {
+        // Bind to the enclosing slice's end, the convention Perfetto
+        // renders as an arrow into the destination slice.
+        fields.push(("bp".into(), Value::String("e".into())));
+    }
+    fields.push((
+        "args".into(),
+        Value::Object(vec![("span".into(), Value::String(span_id.to_string()))]),
+    ));
+    Value::Object(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Span-parentage guard (rayon/crossbeam fan-outs)
+// ---------------------------------------------------------------------------
+
+/// Debug assertion that every recorded span named `name` is parented on
+/// `parent`. Spans opened with plain [`span`] inside a rayon/crossbeam
+/// closure silently re-root (the worker thread has an empty span stack);
+/// call this after the fan-out joins to catch that class of bug in debug
+/// builds. No-op in release builds or while collection is disabled.
+pub fn assert_span_parent(name: &str, parent: SpanId) {
+    if !cfg!(debug_assertions) || !is_enabled() {
+        return;
+    }
+    let spans = collector().spans.lock().unwrap();
+    // Only spans recorded under *this* parent (ids are allocated in
+    // record order, so an earlier fan-out's children — which correctly
+    // parent to their own batch — are out of scope).
+    for s in spans.iter().filter(|s| s.name == name && s.id > parent.0) {
+        debug_assert!(
+            s.parent == parent.0,
+            "span '{name}' (id {}) re-rooted: parent {} != expected {} — \
+             use telemetry::span_with_parent inside parallel closures",
+            s.id,
+            s.parent,
+            parent.0
+        );
+    }
+}
+
 /// Renders the wall-clock spans as collapsed-stack flamegraph text
 /// (`root;child;leaf count` per line, count in integer microseconds of
 /// *self* time), sorted for determinism. Feed to `inferno-flamegraph` or
@@ -1143,5 +1415,116 @@ mod tests {
         reset();
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].name, "work");
+    }
+
+    // -- windowed series (no global state: no lock needed) ------------------
+
+    #[test]
+    fn series_empty_window_never_materializes() {
+        // An untouched series has no windows; a touched one materializes
+        // only the windows samples actually landed in.
+        let mut s = WindowSeries::new(1e-3, 8);
+        assert!(s.windows().is_empty());
+        assert_eq!(s.newest_index(), None);
+        s.incr(5.5e-3, "hits", 1);
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.window_at(5).unwrap().counter("hits"), 1);
+        assert!(s.window_at(4).is_none(), "idle windows stay gaps");
+        // A counter-only window reports no histogram: readers must treat
+        // that as "no data", not as an empty distribution.
+        assert!(s.window_at(5).unwrap().histogram("lat").is_none());
+    }
+
+    #[test]
+    fn series_single_sample_window_summary_is_exact() {
+        let mut s = WindowSeries::new(1e-3, 8);
+        s.observe(2.1e-3, "lat", 0.25);
+        let w = s.window_at(2).unwrap();
+        let h = w.histogram("lat").unwrap().summary();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 0.25);
+        assert_eq!(h.mean, 0.25);
+    }
+
+    #[test]
+    fn series_retention_evicts_lowest_index_first() {
+        let mut s = WindowSeries::new(1.0, 3);
+        for t in 0..5 {
+            s.incr(t as f64 + 0.5, "w", 1);
+        }
+        let idx: Vec<u64> = s.windows().iter().map(|w| w.index).collect();
+        assert_eq!(idx, [2, 3, 4], "windows 0 and 1 evicted in order");
+        // A late sample for an evicted window is dropped, not resurrected.
+        s.incr(0.5, "w", 1);
+        let idx: Vec<u64> = s.windows().iter().map(|w| w.index).collect();
+        assert_eq!(idx, [2, 3, 4]);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn series_idle_clock_leaves_gaps_not_windows() {
+        // A long idle stretch between samples must not burn retention on
+        // empty windows: only touched indexes occupy ring slots.
+        let mut s = WindowSeries::new(1e-3, 4);
+        s.observe(0.5e-3, "lat", 1.0);
+        s.observe(1000.5e-3, "lat", 2.0); // ~1000 windows later
+        let idx: Vec<u64> = s.windows().iter().map(|w| w.index).collect();
+        assert_eq!(idx, [0, 1000], "both survive: gaps don't evict");
+        s.observe(2000.5e-3, "lat", 3.0);
+        s.observe(3000.5e-3, "lat", 4.0);
+        s.observe(4000.5e-3, "lat", 5.0);
+        let idx: Vec<u64> = s.windows().iter().map(|w| w.index).collect();
+        assert_eq!(idx, [1000, 2000, 3000, 4000], "capacity, not time, evicts");
+    }
+
+    #[test]
+    fn series_snapshot_is_deterministic_json() {
+        let run = || {
+            let mut s = WindowSeries::new(1e-3, 8);
+            for i in 0..32 {
+                let t = i as f64 * 3.7e-4;
+                s.observe(t, "lat", 1e-3 + i as f64 * 1e-5);
+                s.incr(t, "reqs", 1);
+                s.gauge(t, "depth", i as f64);
+            }
+            s.to_value().to_json()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("\"width_s\""));
+        assert!(a.contains("\"windows\""));
+    }
+
+    #[test]
+    fn flow_events_pair_and_reference_spans() {
+        let s = flow_start_event(7, 1.0, 2.0, 10.0, "r7", 42);
+        let f = flow_finish_event(7, 3.0, 1.0, 20.0, "r7", 43);
+        assert_eq!(s.get("ph").unwrap().as_str().unwrap(), "s");
+        assert_eq!(f.get("ph").unwrap().as_str().unwrap(), "f");
+        assert_eq!(s.get("id").unwrap().as_f64().unwrap(), 7.0);
+        assert_eq!(f.get("id").unwrap().as_f64().unwrap(), 7.0);
+        assert!(s.get("bp").is_none());
+        assert_eq!(f.get("bp").unwrap().as_str().unwrap(), "e");
+        let span_of = |v: &Value| {
+            v.get("args").unwrap().get("span").unwrap().as_str().unwrap().to_string()
+        };
+        assert_eq!(span_of(&s), "42");
+        assert_eq!(span_of(&f), "43");
+    }
+
+    #[test]
+    fn assert_span_parent_accepts_explicit_parentage() {
+        let _g = lock();
+        reset();
+        enable();
+        let parent = span("batch");
+        let pid = parent.id();
+        for _ in 0..3 {
+            drop(span_with_parent("child", pid));
+        }
+        assert_span_parent("child", pid); // must not panic
+        drop(parent);
+        reset();
     }
 }

@@ -1,0 +1,366 @@
+//! Perf-regression gate: runs the committed bench scenarios, emits a
+//! schema-versioned `BENCH_<n>.json`, and compares against the previous
+//! file with noise-aware tolerances.
+//!
+//! ```text
+//! cargo run --release --bin perf-gate [-- --dir <d>]
+//! ```
+//!
+//! Three scenarios cover the perf-critical paths:
+//!
+//! - **entropy** — canonical-Huffman encode/decode wall throughput of a
+//!   full SZ roundtrip on a synthetic Nyx-like field, plus the exact
+//!   compressed byte count;
+//! - **serve** — the batched multi-device scheduler on the default
+//!   synthetic workload (sim-clock makespan, p50/p95/p99, sustained
+//!   GB/s, exact executed bytes);
+//! - **cluster** — the healthy multi-node router on the default Zipf
+//!   workload (same sim-clock metrics plus completion counts).
+//!
+//! Every metric carries a class that sets its comparison rule:
+//!
+//! - `exact` — byte counts and completion counts; any difference is a
+//!   regression (the simulator is bit-deterministic, so these only move
+//!   when behavior does);
+//! - `model` — simulated-clock results; deterministic, but legitimate
+//!   model changes move them, so only >2% in the worse direction fails;
+//! - `wall` — real wall-clock throughput; noisy across machines and CI
+//!   runners, so only a >3x collapse fails.
+//!
+//! The output file is `BENCH_<seq>.json` where `seq` is one past the
+//! highest existing `BENCH_*.json` in `--dir` (default: the current
+//! directory), starting at 8 — the PR that introduced the gate. The
+//! newest existing file is the comparison baseline; with none, the run
+//! only records.
+//!
+//! Exit codes: 0 ok (or first baseline), 1 regression, 2 usage/IO error.
+
+use foresight::config::{ClusterSettings, ServeSettings};
+use foresight_util::json::Value;
+use foresight_util::timer::time;
+use lossy_sz::{Dims, SzConfig};
+use std::path::{Path, PathBuf};
+
+/// First sequence number; `BENCH_8.json` belongs to the PR that
+/// introduced the gate.
+const BASE_SEQ: u64 = 8;
+const SCHEMA: u64 = 1;
+/// Scenario seed (shared; each scenario derives its workload from it).
+const SEED: u64 = 0;
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    /// "exact" | "model" | "wall"
+    class: &'static str,
+    /// "higher" | "lower" — which direction is better.
+    better: &'static str,
+}
+
+struct Scenario {
+    name: &'static str,
+    metrics: Vec<Metric>,
+}
+
+fn main() {
+    let mut dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                let Some(d) = args.next() else { usage_exit() };
+                dir = PathBuf::from(d);
+            }
+            _ => usage_exit(),
+        }
+    }
+    let scenarios = match run_scenarios() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf-gate: scenario failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let previous = newest_bench(&dir);
+    let seq = previous.as_ref().map(|(s, _)| s + 1).unwrap_or(BASE_SEQ);
+    let doc = to_doc(seq, &scenarios);
+    let out = dir.join(format!("BENCH_{seq}.json"));
+    if let Err(e) = std::fs::write(&out, doc.to_json()) {
+        eprintln!("perf-gate: cannot write '{}': {e}", out.display());
+        std::process::exit(2);
+    }
+    println!("perf-gate: wrote {}", out.display());
+    for s in &scenarios {
+        for m in &s.metrics {
+            println!("  {}.{} = {} [{}]", s.name, m.name, m.value, m.class);
+        }
+    }
+    let Some((prev_seq, prev_doc)) = previous else {
+        println!("perf-gate: no previous BENCH_*.json — baseline recorded, nothing to compare");
+        std::process::exit(0);
+    };
+    let regressions = compare(&prev_doc, &scenarios);
+    if regressions.is_empty() {
+        println!("perf-gate: OK against BENCH_{prev_seq}.json (no regressions)");
+        std::process::exit(0);
+    }
+    eprintln!("perf-gate: {} regression(s) against BENCH_{prev_seq}.json:", regressions.len());
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(1);
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: perf-gate [--dir <d>]");
+    std::process::exit(2);
+}
+
+/// The newest `BENCH_<n>.json` in `dir`, if any parses.
+fn newest_bench(dir: &Path) -> Option<(u64, Value)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let seq: u64 = match name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) {
+            Some(s) => match s.parse() {
+                Ok(n) => n,
+                Err(_) => continue,
+            },
+            None => continue,
+        };
+        if best.as_ref().map(|(b, _)| seq > *b).unwrap_or(true) {
+            best = Some((seq, entry.path()));
+        }
+    }
+    let (seq, path) = best?;
+    let text = std::fs::read_to_string(path).ok()?;
+    Some((seq, Value::parse(&text).ok()?))
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn run_scenarios() -> foresight_util::Result<Vec<Scenario>> {
+    Ok(vec![entropy_scenario()?, serve_scenario()?, cluster_scenario()?])
+}
+
+/// Best-of-3 wall seconds (first run also warms caches).
+fn best_secs<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let (_, secs) = time(|| std::hint::black_box(f()));
+        best = best.min(secs);
+    }
+    best
+}
+
+/// Full SZ roundtrip (Lorenzo + canonical Huffman) on a deterministic
+/// smooth field — the entropy stage dominates, which is what the
+/// fused-kernel roadmap work targets.
+fn entropy_scenario() -> foresight_util::Result<Scenario> {
+    const N: usize = 64;
+    let data: Vec<f32> = (0..N * N * N)
+        .map(|i| {
+            let x = (i % N) as f32;
+            let y = ((i / N) % N) as f32;
+            let z = (i / (N * N)) as f32;
+            (0.13 * x).sin() + (0.07 * y).cos() + (0.11 * z).sin()
+        })
+        .collect();
+    let dims = Dims::D3(N, N, N);
+    let cfg = SzConfig::abs(1e-3);
+    let stream = lossy_sz::compress(&data, dims, &cfg)?;
+    let volume_mb = (data.len() * 4) as f64 / 1e6;
+    let enc_s = best_secs(|| lossy_sz::compress(&data, dims, &cfg).expect("compress"));
+    let dec_s = best_secs(|| lossy_sz::decompress(&stream).expect("decompress"));
+    Ok(Scenario {
+        name: "entropy",
+        metrics: vec![
+            Metric {
+                name: "encode_mbs",
+                value: volume_mb / enc_s,
+                class: "wall",
+                better: "higher",
+            },
+            Metric {
+                name: "decode_mbs",
+                value: volume_mb / dec_s,
+                class: "wall",
+                better: "higher",
+            },
+            Metric {
+                name: "compressed_bytes",
+                value: stream.len() as f64,
+                class: "exact",
+                better: "lower",
+            },
+        ],
+    })
+}
+
+fn latency_metrics(
+    summary: Option<&foresight_util::telemetry::HistogramSummary>,
+    out: &mut Vec<Metric>,
+) {
+    let s = |f: fn(&foresight_util::telemetry::HistogramSummary) -> f64| {
+        summary.map(f).unwrap_or(0.0) * 1e3
+    };
+    out.push(Metric { name: "p50_ms", value: s(|l| l.p50), class: "model", better: "lower" });
+    out.push(Metric { name: "p95_ms", value: s(|l| l.p95), class: "model", better: "lower" });
+    out.push(Metric { name: "p99_ms", value: s(|l| l.p99), class: "model", better: "lower" });
+}
+
+/// The batched serving scheduler on its default synthetic workload.
+fn serve_scenario() -> foresight_util::Result<Scenario> {
+    let settings = ServeSettings::default();
+    let node = settings.to_node();
+    let opts = settings.to_serve_options(gpu_sim::FaultRates::default());
+    let mut wl = settings.to_workload_spec();
+    wl.seed = SEED;
+    let reqs = foresight::synth_workload(&wl)?;
+    let report = foresight::serve(&node, &opts, &reqs)?;
+    let mut metrics = vec![
+        Metric { name: "makespan_s", value: report.makespan_s, class: "model", better: "lower" },
+        Metric {
+            name: "sustained_gbs",
+            value: report.sustained_gbs,
+            class: "model",
+            better: "higher",
+        },
+        Metric {
+            name: "executed_bytes",
+            value: report.executed_bytes as f64,
+            class: "exact",
+            better: "lower",
+        },
+    ];
+    latency_metrics(report.latency(), &mut metrics);
+    Ok(Scenario { name: "serve", metrics })
+}
+
+/// The healthy multi-node router on its default Zipf workload.
+fn cluster_scenario() -> foresight_util::Result<Scenario> {
+    let settings = ClusterSettings::default();
+    let spec = settings.to_cluster();
+    let opts = foresight::ClusterOptions {
+        chaos: gpu_sim::NodeChaosPlan::quiet(),
+        ..settings.to_cluster_options()?
+    };
+    let mut wl = settings.to_workload_spec();
+    wl.seed = SEED;
+    let reqs = foresight::cluster_workload(&wl)?;
+    let report = foresight::serve_cluster(&spec, &opts, &reqs)?;
+    let mut metrics = vec![
+        Metric { name: "makespan_s", value: report.makespan_s, class: "model", better: "lower" },
+        Metric {
+            name: "sustained_gbs",
+            value: report.sustained_gbs,
+            class: "model",
+            better: "higher",
+        },
+        Metric {
+            name: "completed",
+            value: report.completed as f64,
+            class: "exact",
+            better: "higher",
+        },
+    ];
+    latency_metrics(report.latency(), &mut metrics);
+    Ok(Scenario { name: "cluster", metrics })
+}
+
+fn to_doc(seq: u64, scenarios: &[Scenario]) -> Value {
+    let scen = scenarios
+        .iter()
+        .map(|s| {
+            let metrics = s
+                .metrics
+                .iter()
+                .map(|m| {
+                    (
+                        m.name.to_string(),
+                        Value::Object(vec![
+                            ("value".into(), Value::Number(m.value)),
+                            ("class".into(), Value::String(m.class.into())),
+                            ("better".into(), Value::String(m.better.into())),
+                        ]),
+                    )
+                })
+                .collect();
+            (
+                s.name.to_string(),
+                Value::Object(vec![("metrics".into(), Value::Object(metrics))]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::Number(SCHEMA as f64)),
+        ("seq".into(), Value::Number(seq as f64)),
+        ("git_rev".into(), Value::String(git_rev())),
+        ("seed".into(), Value::Number(SEED as f64)),
+        ("scenarios".into(), Value::Object(scen)),
+    ])
+}
+
+/// Compares current metrics against a previous document; returns one
+/// line per regression. Metrics absent on either side are skipped (the
+/// schema is allowed to grow).
+fn compare(prev: &Value, scenarios: &[Scenario]) -> Vec<String> {
+    let mut out = Vec::new();
+    if prev.get("schema").and_then(Value::as_u64) != Some(SCHEMA) {
+        // An unknown schema can't be compared meaningfully; treat as a
+        // fresh baseline rather than failing CI on the format change.
+        return out;
+    }
+    for s in scenarios {
+        for m in &s.metrics {
+            let Some(old) = prev
+                .get("scenarios")
+                .and_then(|v| v.get(s.name))
+                .and_then(|v| v.get("metrics"))
+                .and_then(|v| v.get(m.name))
+                .and_then(|v| v.get("value"))
+                .and_then(Value::as_f64)
+            else {
+                continue;
+            };
+            let worse = m.better == "lower";
+            let regressed = match m.class {
+                "exact" => m.value != old,
+                // Deterministic sim-clock values: >2% in the worse
+                // direction means the model got slower, not noisier.
+                "model" => {
+                    if worse {
+                        m.value > old * 1.02
+                    } else {
+                        m.value < old * 0.98
+                    }
+                }
+                // Wall-clock throughput: machine- and load-dependent, so
+                // only a collapse (3x) fails the gate.
+                _ => {
+                    if worse {
+                        m.value > old * 3.0
+                    } else {
+                        m.value < old / 3.0
+                    }
+                }
+            };
+            if regressed {
+                out.push(format!(
+                    "{}.{} [{}]: {} -> {} (worse)",
+                    s.name, m.name, m.class, old, m.value
+                ));
+            }
+        }
+    }
+    out
+}
