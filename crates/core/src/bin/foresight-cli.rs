@@ -77,7 +77,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli obs-report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli obs-report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]\n       foresight-cli analyze [workspace-root] [--deny-new] [--bless] [--baseline <path>] [--sarif <path>] [--hops <n>]";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -591,6 +591,10 @@ fn parse_args() -> Cli {
             }
             "cluster-bench" if config.is_none() => {
                 cluster_bench_main(args);
+            }
+            "analyze" if config.is_none() => {
+                let rest: Vec<String> = args.collect();
+                std::process::exit(foresight_lint::analyze::run_cli(&rest));
             }
             "--trace" => {
                 let Some(p) = args.next() else { usage_exit() };

@@ -505,8 +505,7 @@ pub fn serve_cluster(
     order.sort_by(|&a, &b| {
         inner[a]
             .arrival_s
-            .partial_cmp(&inner[b].arrival_s)
-            .unwrap()
+            .total_cmp(&inner[b].arrival_s)
             .then(inner[a].id.cmp(&inner[b].id))
     });
     let mut responses: Vec<Option<ClusterResponse>> = requests.iter().map(|_| None).collect();
@@ -540,7 +539,7 @@ pub fn serve_cluster(
             requests[b]
                 .priority
                 .cmp(&requests[a].priority)
-                .then(inner[a].arrival_s.partial_cmp(&inner[b].arrival_s).unwrap())
+                .then(inner[a].arrival_s.total_cmp(&inner[b].arrival_s))
                 .then(inner[a].id.cmp(&inner[b].id))
         });
         let mut admitted: Vec<bool> = vec![false; requests.len()];
@@ -993,10 +992,11 @@ fn finish_cluster(inp: FinishInputs<'_>) -> ClusterReport {
             }
         }
     }
-    let responses: Vec<ClusterResponse> = order
-        .iter()
-        .map(|&i| responses[i].clone().expect("every request resolved"))
-        .collect();
+    // Mirrors `serve::finish_report`: the dispatch loop leaves every slot
+    // Some, and report assembly must not panic in release builds.
+    let responses: Vec<ClusterResponse> =
+        order.iter().filter_map(|&i| responses[i].clone()).collect();
+    debug_assert_eq!(responses.len(), order.len(), "every request resolved");
     let makespan_s = responses
         .iter()
         .fold(0.0f64, |m, r| m.max(r.completed_s))

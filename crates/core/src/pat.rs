@@ -328,10 +328,13 @@ impl Workflow {
             ordered += 1;
             for j in &self.jobs {
                 if j.deps.iter().any(|d| d == n) {
-                    let e = indeg.get_mut(j.name.as_str()).expect("known job");
-                    *e -= 1;
-                    if *e == 0 {
-                        queue.push(j.name.as_str());
+                    // Keys come from self.jobs two lines up, so the entry
+                    // always exists; `if let` keeps this panic-free.
+                    if let Some(e) = indeg.get_mut(j.name.as_str()) {
+                        *e -= 1;
+                        if *e == 0 {
+                            queue.push(j.name.as_str());
+                        }
                     }
                 }
             }

@@ -1,0 +1,8 @@
+//! `foresight-analyze` — dataflow-aware workspace analyzer (taint,
+//! determinism, panic-reachability). All logic lives in
+//! [`foresight_lint::analyze`]; `foresight-cli analyze` shares it.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(foresight_lint::analyze::run_cli(&args));
+}

@@ -1,0 +1,428 @@
+//! Function tables and the intra-crate call graph.
+//!
+//! Built from the shared token stream: a heuristic item parser records
+//! every `fn` with its parameter names and body span, then call edges
+//! connect `ident(` call sites to same-crate functions of that name.
+//! Name-based matching over-approximates (two methods named `len` in one
+//! crate both become candidates), which is the right bias for the
+//! passes built on top: reachability and taint want to err toward
+//! reporting, and every finding still points at a concrete line a human
+//! can judge.
+
+use crate::scan::{Token, TokKind};
+use std::collections::BTreeMap;
+
+/// One parsed function.
+#[derive(Debug)]
+pub struct FnInfo {
+    pub name: String,
+    /// Index into the analyzer's file table.
+    pub file: usize,
+    /// Crate the file belongs to (`crates/<name>/...`, else `root`).
+    pub krate: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the closing brace (approximate for one-liners).
+    pub end_line: usize,
+    /// Parameter names in order (`self` recorded literally).
+    pub params: Vec<String>,
+    /// Token index range of the body, `[open_brace, close_brace]`,
+    /// into the owning file's token stream. Empty for bodyless items.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Candidate callees (indices into `CallGraph::fns`); name-matched,
+    /// so overloaded names yield several candidates.
+    pub callees: Vec<usize>,
+    /// Callee name as written.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Argument texts, one per comma-separated top-level argument.
+    pub args: Vec<String>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    pub fns: Vec<FnInfo>,
+    /// fn index -> call sites in body order.
+    pub calls: Vec<Vec<CallSite>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Derives the crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    if let Some(rest) = p.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Finds the matching close delimiter for the open delimiter at `open`,
+/// tracking all three bracket kinds. Returns the index of the matching
+/// token or `toks.len()` when unbalanced.
+pub fn matching(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Parses the functions of one token stream. `file` is the caller's file
+/// index, `path` its workspace-relative path.
+pub fn parse_fns(toks: &[Token], file: usize, path: &str) -> Vec<FnInfo> {
+    let krate = crate_of(path);
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        // `.fn` never occurs; `fn` inside `Fn(..)` bounds is uppercase.
+        let Some(name_tok) = toks.get(i + 1) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = t.line;
+        // Skip generics to the parameter list.
+        let mut j = i + 2;
+        if toks.get(j).map(|t| t.is("<")).unwrap_or(false) {
+            let mut depth = 0i64;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).map(|t| t.is("(")).unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let close = matching(toks, j);
+        let params = parse_params(&toks[j + 1..close.min(toks.len())]);
+        // Body: first `{` or `;` after the parameter list (return types
+        // and where clauses realistically contain neither).
+        let mut k = close + 1;
+        let mut body = None;
+        while let Some(t) = toks.get(k) {
+            if t.kind == TokKind::Punct && t.text == ";" {
+                break;
+            }
+            if t.kind == TokKind::Punct && t.text == "{" {
+                let end = matching(toks, k);
+                body = Some((k, end.min(toks.len().saturating_sub(1))));
+                break;
+            }
+            k += 1;
+        }
+        let end_line = body
+            .and_then(|(_, e)| toks.get(e).map(|t| t.line))
+            .unwrap_or(line);
+        fns.push(FnInfo { name, file, krate: krate.clone(), line, end_line, params, body });
+        i = match body {
+            // Recurse into the body anyway: nested fns are rare but real.
+            Some((open, _)) => open + 1,
+            None => k + 1,
+        };
+    }
+    fns
+}
+
+/// Parameter names from the token slice between the parens.
+fn parse_params(toks: &[Token]) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut seg: Vec<&Token> = Vec::new();
+    let flush = |seg: &mut Vec<&Token>, params: &mut Vec<String>| {
+        // The name is the last ident before the first `:` (handles
+        // `mut x: T`); a lone `self`/`&mut self` records as `self`.
+        let mut name = None;
+        for t in seg.iter() {
+            if t.kind == TokKind::Punct && t.text == ":" {
+                break;
+            }
+            if t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref" {
+                name = Some(t.text.clone());
+            }
+        }
+        if let Some(n) = name {
+            params.push(n);
+        }
+        seg.clear();
+    };
+    for t in toks {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                "," if depth == 0 => {
+                    flush(&mut seg, &mut params);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seg.push(t);
+    }
+    flush(&mut seg, &mut params);
+    params
+}
+
+impl CallGraph {
+    /// Builds the graph over `files`: one `(path, tokens)` per file.
+    pub fn build(files: &[(String, Vec<Token>)]) -> Self {
+        let mut fns = Vec::new();
+        for (fi, (path, toks)) in files.iter().enumerate() {
+            fns.extend(parse_fns(toks, fi, path));
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let mut calls = Vec::with_capacity(fns.len());
+        for f in &fns {
+            calls.push(extract_calls(f, files, &fns, &by_name));
+        }
+        Self { fns, calls, by_name }
+    }
+
+    /// All functions named `name` (any crate).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Index of the function named `name` defined in the file whose path
+    /// ends with `file_suffix`, if any.
+    pub fn find(&self, files: &[(String, Vec<Token>)], file_suffix: &str, name: &str) -> Option<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .find(|&i| files[self.fns[i].file].0.ends_with(file_suffix))
+    }
+
+    /// Functions reachable from `start` within `hops` call-graph edges,
+    /// with the hop count and one shortest call path (names) per node.
+    pub fn reachable(&self, start: usize, hops: usize) -> Vec<(usize, usize, Vec<String>)> {
+        let mut seen: BTreeMap<usize, (usize, Vec<String>)> = BTreeMap::new();
+        seen.insert(start, (0, vec![self.fns[start].name.clone()]));
+        let mut frontier = vec![start];
+        for h in 1..=hops {
+            let mut next = Vec::new();
+            for &f in &frontier {
+                let path = seen[&f].1.clone();
+                for cs in &self.calls[f] {
+                    for &callee in &cs.callees {
+                        if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(callee) {
+                            let mut p = path.clone();
+                            p.push(self.fns[callee].name.clone());
+                            e.insert((h, p));
+                            next.push(callee);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen.into_iter().map(|(i, (h, p))| (i, h, p)).collect()
+    }
+}
+
+/// Call sites inside `f`'s body, candidates restricted to same-crate
+/// functions. Macro invocations (`name!`) and the defining `fn` token
+/// are excluded.
+fn extract_calls(
+    f: &FnInfo,
+    files: &[(String, Vec<Token>)],
+    fns: &[FnInfo],
+    by_name: &BTreeMap<String, Vec<usize>>,
+) -> Vec<CallSite> {
+    let Some((open, close)) = f.body else { return Vec::new() };
+    let toks = &files[f.file].1;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < close && i + 1 < toks.len() {
+        let t = &toks[i];
+        let isname = t.kind == TokKind::Ident
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "(";
+        if !isname {
+            i += 1;
+            continue;
+        }
+        let prev_is_fn = i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn";
+        if prev_is_fn {
+            i += 1;
+            continue;
+        }
+        // `.get(` / `.get_mut(` as method calls are overwhelmingly the
+        // bounds-checked std slice/map API; linking them to a same-crate
+        // `fn get` would fabricate edges.
+        let method_call =
+            i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == ".";
+        if method_call && (t.text == "get" || t.text == "get_mut") {
+            i += 1;
+            continue;
+        }
+        let candidates: Vec<usize> = by_name
+            .get(&t.text)
+            .map(|v| v.iter().copied().filter(|&c| fns[c].krate == f.krate).collect())
+            .unwrap_or_default();
+        if candidates.is_empty() {
+            i += 1;
+            continue;
+        }
+        let end = matching(toks, i + 1);
+        out.push(CallSite {
+            callees: candidates,
+            name: t.text.clone(),
+            line: t.line,
+            args: split_args(&toks[i + 2..end.min(toks.len())]),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Splits an argument token slice at top-level commas, rendering each
+/// argument back to text with single spaces between tokens.
+fn split_args(toks: &[Token]) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut cur = String::new();
+    for t in toks {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    if !cur.trim().is_empty() {
+                        args.push(cur.trim().to_string());
+                    }
+                    cur = String::new();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        if t.kind == TokKind::Str {
+            cur.push('"');
+            cur.push_str(&t.text);
+            cur.push('"');
+        } else {
+            cur.push_str(&t.text);
+        }
+    }
+    if !cur.trim().is_empty() {
+        args.push(cur.trim().to_string());
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{lex, Source};
+
+    fn graph(src_texts: &[(&str, &str)]) -> (Vec<(String, Vec<Token>)>, CallGraph) {
+        let files: Vec<(String, Vec<Token>)> = src_texts
+            .iter()
+            .map(|(p, t)| (p.to_string(), lex(&Source::new(p, t))))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn parses_fns_params_and_bodies() {
+        let (_, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "pub fn a(n: usize, mut buf: Vec<u8>) -> usize { helper(n) }\nfn helper(m: usize) -> usize { m }",
+        )]);
+        assert_eq!(g.fns.len(), 2);
+        assert_eq!(g.fns[0].name, "a");
+        assert_eq!(g.fns[0].params, ["n", "buf"]);
+        assert_eq!(g.fns[0].krate, "x");
+        assert_eq!(g.calls[0].len(), 1);
+        assert_eq!(g.calls[0][0].name, "helper");
+        assert_eq!(g.calls[0][0].args, ["n"]);
+    }
+
+    #[test]
+    fn calls_are_intra_crate_only() {
+        let (_, g) = graph(&[
+            ("crates/x/src/lib.rs", "fn caller() { shared(); }"),
+            ("crates/y/src/lib.rs", "fn shared() {}"),
+        ]);
+        // `shared` is defined only in crate y; x's call has no same-crate
+        // candidate, so no edge.
+        assert!(g.calls[0].is_empty());
+    }
+
+    #[test]
+    fn reachability_respects_hop_budget() {
+        let (files, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "fn entry() { one(); }\nfn one() { two(); }\nfn two() { three(); }\nfn three() {}",
+        )]);
+        let entry = g.find(&files, "lib.rs", "entry").expect("entry parsed");
+        let within2: Vec<String> =
+            g.reachable(entry, 2).into_iter().map(|(i, _, _)| g.fns[i].name.clone()).collect();
+        assert!(within2.contains(&"two".to_string()));
+        assert!(!within2.contains(&"three".to_string()));
+        let (_, hops, path) = g
+            .reachable(entry, 3)
+            .into_iter()
+            .find(|&(i, _, _)| g.fns[i].name == "three")
+            .expect("three reachable in 3");
+        assert_eq!(hops, 3);
+        assert_eq!(path, ["entry", "one", "two", "three"]);
+    }
+
+    #[test]
+    fn generic_fns_and_bodyless_decls_parse() {
+        let (_, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "trait T { fn sig(&self, n: usize); }\nfn gen<T: Clone>(x: T) -> T { x.clone() }",
+        )]);
+        let sig = g.fns.iter().find(|f| f.name == "sig").expect("sig parsed");
+        assert!(sig.body.is_none());
+        assert_eq!(sig.params, ["self", "n"]);
+        let gen = g.fns.iter().find(|f| f.name == "gen").expect("gen parsed");
+        assert_eq!(gen.params, ["x"]);
+        assert!(gen.body.is_some());
+    }
+}

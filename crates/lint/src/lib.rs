@@ -1,0 +1,18 @@
+//! Shared static-analysis library behind the workspace's two analysis
+//! bins:
+//!
+//! * `foresight-lint` — the single-file token scanner (7+1 domain rules,
+//!   see `src/main.rs`),
+//! * `foresight-analyze` — the dataflow-aware workspace analyzer (taint,
+//!   determinism, panic-reachability; see [`analyze`]).
+//!
+//! Both bins lex files through [`scan`], so they agree on comment
+//! stripping, `#[cfg(test)]` exclusion, escape comments, and which
+//! directories are never scanned. [`graph`] builds the per-file function
+//! tables and the intra-crate call graph the dataflow passes walk.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod graph;
+pub mod scan;

@@ -27,24 +27,10 @@
 
 #![forbid(unsafe_code)]
 
+use foresight_lint::analyze::DECODE_CRITICAL;
+use foresight_lint::scan::{collect_rs_files, contains_keyword, first_string_literal, Source};
 use std::fmt;
-use std::path::{Path, PathBuf};
-
-/// Files that parse untrusted compressed streams. Decode-path rules
-/// (`decode-panic`, `decode-index`, `header-bytereader`, `alloc-arith`)
-/// apply only here; matched by path suffix.
-const DECODE_CRITICAL: &[&str] = &[
-    "crates/sz/src/stream.rs",
-    "crates/sz/src/gpu_kernel.rs",
-    "crates/sz/src/gpu_exec.rs",
-    "crates/sz/src/huffman.rs",
-    "crates/sz/src/lossless.rs",
-    "crates/sz/src/temporal.rs",
-    "crates/zfp/src/stream.rs",
-    "crates/zfp/src/codec.rs",
-    "crates/zfp/src/gpu_exec.rs",
-    "crates/zfp/src/lift.rs",
-];
+use std::path::Path;
 
 /// Files allowed to touch `std::time` directly (they implement the
 /// timing layer everything else is supposed to use).
@@ -56,11 +42,6 @@ const TIMING_LAYER: &[&str] = &["crates/util/src/timer.rs", "crates/util/src/tel
 /// worker ran last, so fan-out bodies must capture the parent id up
 /// front and use `span_with_parent`.
 const SPAN_FANOUT_FILES: &[&str] = &["crates/core/src/cbench.rs", "crates/core/src/serve.rs"];
-
-/// Directories never scanned. `tests`/`benches` hold integration tests
-/// and harnesses — test code, excluded for the same reason inline
-/// `#[cfg(test)]` modules are stripped.
-const SKIP_DIRS: &[&str] = &["target", "shims", ".git", "results", "tests", "benches"];
 
 #[derive(Debug)]
 struct Finding {
@@ -140,58 +121,6 @@ impl Patterns {
     }
 }
 
-/// Strips a trailing `//` comment, tracking string/char state so `//`
-/// inside a string literal does not truncate the line.
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip escaped char inside a string
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-/// True when `hay` uses `kw` as a keyword: not part of a longer
-/// identifier, and followed by whitespace, `{`, or end of line (the only
-/// shapes Rust's `unsafe` keyword takes), so `"<kw>-policy"` string
-/// literals and `<kw>_code` attribute names do not match.
-fn contains_keyword(hay: &str, kw: &str) -> bool {
-    let mut from = 0;
-    while let Some(rel) = hay[from..].find(kw) {
-        let at = from + rel;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .map(|c| c.is_alphanumeric() || c == '_')
-                .unwrap_or(false);
-        let end = at + kw.len();
-        let after_ok = matches!(hay[end..].chars().next(), None | Some(' ') | Some('\t') | Some('{'));
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Extracts the first `"..."` literal from a line, if any.
-fn first_string_literal(line: &str) -> Option<&str> {
-    let start = line.find('"')?;
-    let rest = &line[start + 1..];
-    let end = rest.find('"')?;
-    Some(&rest[..end])
-}
-
 fn is_decode_critical(path: &str) -> bool {
     DECODE_CRITICAL.iter().any(|s| path.ends_with(s))
 }
@@ -206,45 +135,6 @@ fn is_span_fanout_file(path: &str) -> bool {
 
 fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
-}
-
-/// One source file pre-processed for scanning: raw lines plus the
-/// comment-stripped "code" view, truncated at `#[cfg(test)]`.
-struct Source<'a> {
-    path: &'a str,
-    raw: Vec<&'a str>,
-    code: Vec<String>,
-}
-
-impl<'a> Source<'a> {
-    fn new(path: &'a str, text: &'a str) -> Self {
-        let mut raw = Vec::new();
-        let mut code = Vec::new();
-        let mut in_tests = false;
-        for line in text.lines() {
-            raw.push(line);
-            let trimmed = line.trim();
-            if trimmed == "#[cfg(test)]" {
-                in_tests = true;
-            }
-            if in_tests || trimmed.starts_with("//") {
-                code.push(String::new());
-            } else {
-                code.push(strip_comment(line).to_string());
-            }
-        }
-        Self { path, raw, code }
-    }
-
-    /// True when line `i` (0-based) carries a `// lint: allow(rule)`
-    /// escape, either on the line itself or the line directly above.
-    fn escaped(&self, i: usize, rule: &str, pats: &Patterns) -> bool {
-        let marker = format!("{}{})", pats.escape_prefix, rule);
-        if self.raw[i].contains(&marker) {
-            return true;
-        }
-        i > 0 && self.raw[i - 1].trim_start().starts_with("//") && self.raw[i - 1].contains(&marker)
-    }
 }
 
 fn push(findings: &mut Vec<Finding>, src: &Source, i: usize, rule: &'static str, msg: String) {
@@ -267,7 +157,7 @@ fn check_decode_rules(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>
             (&pats.panic, "panic!"),
             (&pats.unreachable, "unreachable!"),
         ] {
-            if code.contains(pat.as_str()) && !src.escaped(i, "decode-panic", pats) {
+            if code.contains(pat.as_str()) && !src.escaped(i, "decode-panic", &pats.escape_prefix) {
                 push(
                     findings,
                     src,
@@ -279,7 +169,7 @@ fn check_decode_rules(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>
         }
         // decode-index: direct indexing into the untrusted stream slice.
         if pats.stream_idx.iter().any(|p| code.contains(p.as_str()))
-            && !src.escaped(i, "decode-index", pats)
+            && !src.escaped(i, "decode-index", &pats.escape_prefix)
         {
             push(
                 findings,
@@ -292,7 +182,7 @@ fn check_decode_rules(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>
         // header-bytereader: ad-hoc header plucking.
         if code.contains(pats.from_le.as_str())
             && code.contains(pats.stream_word.as_str())
-            && !src.escaped(i, "header-bytereader", pats)
+            && !src.escaped(i, "header-bytereader", &pats.escape_prefix)
         {
             push(
                 findings,
@@ -309,7 +199,7 @@ fn check_decode_rules(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>
             && (code.contains('*') || code.contains(" + "))
             && !code.contains("checked_")
             && !code.contains("saturating_")
-            && !src.escaped(i, "alloc-arith", pats)
+            && !src.escaped(i, "alloc-arith", &pats.escape_prefix)
         {
             push(
                 findings,
@@ -332,7 +222,7 @@ fn check_instant(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>) {
             continue;
         }
         if (code.contains(pats.instant_now.as_str()) || code.contains(pats.std_instant.as_str()))
-            && !src.escaped(i, "instant", pats)
+            && !src.escaped(i, "instant", &pats.escape_prefix)
         {
             push(
                 findings,
@@ -354,7 +244,7 @@ fn check_kernel_labels(src: &Source, pats: &Patterns, findings: &mut Vec<Finding
         if code.is_empty() || !pats.launch.iter().any(|p| code.contains(p.as_str())) {
             continue;
         }
-        if src.escaped(i, "kernel-label", pats) {
+        if src.escaped(i, "kernel-label", &pats.escape_prefix) {
             continue;
         }
         // The label literal may sit on the launch line or, for multi-line
@@ -456,7 +346,7 @@ fn check_span_orphan(src: &Source, pats: &Patterns, findings: &mut Vec<Finding>)
         }
         if !regions.is_empty()
             && code.contains(pats.naked_span.as_str())
-            && !src.escaped(i, "span-orphan", pats)
+            && !src.escaped(i, "span-orphan", &pats.escape_prefix)
         {
             push(
                 findings,
@@ -493,23 +383,6 @@ fn scan_file(path: &str, text: &str, pats: &Patterns) -> Vec<Finding> {
     check_unsafe_policy(&src, pats, &mut findings);
     check_span_orphan(&src, pats, &mut findings);
     findings
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name().to_string_lossy().into_owned();
-        if path.is_dir() {
-            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 fn main() {
@@ -733,21 +606,5 @@ mod tests {
             "fn f(xs: &[u32]) {{\nlet v: Vec<_> = xs{par}.map(|x| {{\n{marker} root-per-item is intended\nlet _s = {span}\"pair\");\nx\n}}).collect();\ndrop(v);\n}}"
         );
         assert!(scan_file("crates/core/src/cbench.rs", &src, &pats).is_empty());
-    }
-
-    #[test]
-    fn strip_comment_respects_strings() {
-        assert_eq!(strip_comment("let u = \"https://x\"; // tail"), "let u = \"https://x\"; ");
-        assert_eq!(strip_comment("no comment"), "no comment");
-    }
-
-    #[test]
-    fn keyword_boundaries() {
-        let uns = ["uns", "afe"].concat();
-        assert!(contains_keyword(&format!("{uns} {{"), &uns));
-        assert!(contains_keyword(&format!("{uns} impl Send for X {{}}"), &uns));
-        assert!(!contains_keyword(&format!("{uns}_code"), &uns));
-        assert!(!contains_keyword(&format!("not{uns}"), &uns));
-        assert!(!contains_keyword(&format!("\"{uns}-policy\""), &uns));
     }
 }

@@ -1,0 +1,174 @@
+//! Fixture-corpus conformance suite for `foresight-analyze`.
+//!
+//! Each true-positive fixture tags its seeded findings with
+//! `// EXPECT: <rule>[, <rule>...]` on the offending line; the suite
+//! parses the tags and demands an exact match — same lines, same rule
+//! sets, nothing extra. Clean fixtures mirror the same sink shapes with
+//! sanitizers applied and must produce zero findings. On top of the
+//! corpus: fingerprint stability, the baseline bless → rerun → zero-new
+//! round trip, and the sanitizer-deletion gate (removing a documented
+//! `checked_mul` must surface a NEW finding).
+
+use foresight_lint::analyze::{
+    analyze_files, parse_baseline, render_baseline, sarif, AnalyzeOptions, Finding,
+};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// `line -> sorted rules` parsed from `// EXPECT:` tags.
+fn expectations(text: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut out: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let Some(at) = line.find("// EXPECT:") else { continue };
+        let rules = line[at + "// EXPECT:".len()..]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        out.entry(i + 1).or_default().extend(rules);
+    }
+    for v in out.values_mut() {
+        v.sort();
+    }
+    out
+}
+
+fn group(findings: &[Finding], file: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut out: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.file == file) {
+        out.entry(f.line).or_default().push(f.rule.to_string());
+    }
+    for v in out.values_mut() {
+        v.sort();
+    }
+    out
+}
+
+fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, t)| (p.to_string(), t.to_string())).collect();
+    analyze_files(&owned, &AnalyzeOptions::default())
+}
+
+/// Runs one fixture under a virtual workspace path and checks the tags
+/// exactly.
+fn check_fixture(name: &str, virtual_path: &str) {
+    let text = fixture(name);
+    let findings = run(&[(virtual_path, &text)]);
+    let got = group(&findings, virtual_path);
+    let want = expectations(&text);
+    assert_eq!(got, want, "{name}: findings (left) must match EXPECT tags (right)");
+}
+
+#[test]
+fn taint_true_positives_exact() {
+    check_fixture("taint_tp.rs", "crates/sz/src/stream.rs");
+}
+
+#[test]
+fn taint_clean_fixture_passes() {
+    check_fixture("taint_clean.rs", "crates/sz/src/stream.rs");
+}
+
+#[test]
+fn determinism_true_positives_exact() {
+    check_fixture("det_tp.rs", "crates/sz/src/huffman.rs");
+}
+
+#[test]
+fn determinism_clean_fixture_passes() {
+    check_fixture("det_clean.rs", "crates/sz/src/huffman.rs");
+}
+
+#[test]
+fn panic_true_positives_exact_and_hop_budget_holds() {
+    // deep4's `expect` sits 5 hops from `serve`; exact-match proves the
+    // default 4-hop budget excludes it while admit's sites are caught.
+    check_fixture("panic_tp.rs", "crates/core/src/serve.rs");
+}
+
+#[test]
+fn panic_clean_fixture_passes() {
+    check_fixture("panic_clean.rs", "crates/core/src/serve.rs");
+}
+
+#[test]
+fn fingerprints_are_unique_and_deterministic() {
+    let text = fixture("taint_tp.rs");
+    let a = run(&[("crates/sz/src/stream.rs", &text)]);
+    let b = run(&[("crates/sz/src/stream.rs", &text)]);
+    assert!(!a.is_empty());
+    let fa: Vec<&String> = a.iter().map(|f| &f.fingerprint).collect();
+    let fb: Vec<&String> = b.iter().map(|f| &f.fingerprint).collect();
+    assert_eq!(fa, fb, "fingerprints must be deterministic");
+    let mut dedup = fa.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), fa.len(), "fingerprints must be unique per finding");
+    for f in &a {
+        assert_eq!(f.fingerprint.len(), 16, "16 hex chars: {f:?}");
+        assert!(f.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}
+
+#[test]
+fn baseline_bless_then_rerun_reports_zero_new() {
+    // Bless everything the corpus produces, rerun, and check that every
+    // finding is covered — the --deny-new gate would exit 0.
+    let sets: Vec<(String, String)> = [
+        ("crates/sz/src/stream.rs", fixture("taint_tp.rs")),
+        ("crates/sz/src/huffman.rs", fixture("det_tp.rs")),
+        ("crates/core/src/serve.rs", fixture("panic_tp.rs")),
+    ]
+    .into_iter()
+    .map(|(p, t)| (p.to_string(), t))
+    .collect();
+    let first = analyze_files(&sets, &AnalyzeOptions::default());
+    assert!(!first.is_empty());
+    let blessed = parse_baseline(&render_baseline(&first));
+    let second = analyze_files(&sets, &AnalyzeOptions::default());
+    let new: Vec<&Finding> =
+        second.iter().filter(|f| !blessed.contains(&f.fingerprint)).collect();
+    assert!(new.is_empty(), "rerun after bless must report zero new: {new:?}");
+}
+
+#[test]
+fn deleting_documented_sanitizer_creates_new_finding() {
+    // The acceptance gate: taint_clean.rs is clean because (among other
+    // sanitizers) a checked_mul bounds the read length. Deleting it must
+    // surface a finding whose fingerprint is NOT in the blessed baseline
+    // of the clean state — exactly what fails `--deny-new` in CI.
+    let clean = fixture("taint_clean.rs");
+    let blessed = parse_baseline(&render_baseline(&run(&[(
+        "crates/sz/src/stream.rs",
+        &clean,
+    )])));
+    let sabotaged = clean.replace(
+        "r.take(raw.checked_mul(4).ok_or_else(|| Error::corrupt(\"overflow\"))?)?",
+        "r.take(raw * 4)?",
+    );
+    assert_ne!(clean, sabotaged, "the documented sanitizer must exist to be deleted");
+    let after = run(&[("crates/sz/src/stream.rs", &sabotaged)]);
+    let new: Vec<&Finding> =
+        after.iter().filter(|f| !blessed.contains(&f.fingerprint)).collect();
+    assert!(
+        new.iter().any(|f| f.rule == "taint-arith"),
+        "deleting checked_mul must surface a new taint-arith finding, got {new:?}"
+    );
+}
+
+#[test]
+fn sarif_covers_every_fixture_finding() {
+    let text = fixture("taint_tp.rs");
+    let findings = run(&[("crates/sz/src/stream.rs", &text)]);
+    let doc = sarif(&findings);
+    assert!(doc.contains("\"version\":\"2.1.0\""));
+    for f in &findings {
+        assert!(doc.contains(&f.fingerprint), "SARIF must carry {}", f.fingerprint);
+        assert!(doc.contains(f.rule));
+    }
+}

@@ -1,0 +1,20 @@
+// Near-miss clean file for the determinism pass: the same shapes as
+// det_tp.rs but deterministic — BTreeMap (sorted iteration by
+// construction), a seeded RNG, a worker index threaded in as data.
+// Scanned under crates/sz/src/huffman.rs; must produce zero findings.
+fn histogram(codes: &[u32]) -> Vec<(u32, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for &c in codes {
+        *map.entry(c).or_insert(0u64) += 1;
+    }
+    map.into_iter().collect()
+}
+
+fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+fn worker_tag(lane: usize) -> usize {
+    lane
+}

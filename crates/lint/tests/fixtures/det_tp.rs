@@ -1,0 +1,27 @@
+// Seeded determinism-pass true positives, scanned under the virtual
+// path crates/sz/src/huffman.rs (byte-producing). Each tagged line must
+// be reported with exactly the tagged rules.
+fn histogram(codes: &[u32]) -> Vec<(u32, u64)> {
+    let mut map = std::collections::HashMap::new(); // EXPECT: det-hash-decl
+    for &c in codes {
+        *map.entry(c).or_insert(0u64) += 1;
+    }
+    let mut out: Vec<(u32, u64)> = map.into_iter().collect(); // EXPECT: det-hash-iter
+    out.sort_unstable();
+    out
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now(); // EXPECT: det-wallclock
+    drop(t);
+    0
+}
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // EXPECT: det-rng
+    rng.gen()
+}
+
+fn worker_tag() -> usize {
+    rayon::current_thread_index().unwrap_or(0) // EXPECT: det-thread-id
+}

@@ -1,0 +1,14 @@
+// Near-miss clean file for the panic pass: the same call shape as
+// panic_tp.rs but every panicking construct replaced with a total
+// alternative — unwrap_or, bounds-checked get, saturating arithmetic.
+// Scanned under crates/core/src/serve.rs; must produce zero findings.
+pub fn serve(requests: &[u64]) -> u64 {
+    admit(requests)
+}
+
+fn admit(requests: &[u64]) -> u64 {
+    let first = requests.first().copied().unwrap_or(0);
+    let k = requests.len();
+    let edge = requests.get(k.saturating_sub(1)).copied().unwrap_or(0);
+    first + edge
+}

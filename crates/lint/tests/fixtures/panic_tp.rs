@@ -1,0 +1,30 @@
+// Seeded panic-reachability true positives, scanned under the virtual
+// path crates/core/src/serve.rs so `serve` is a request-admission entry
+// point. `deep4` sits 5 hops out — beyond the default budget of 4 — so
+// its `expect` must NOT be reported (near-miss by distance).
+pub fn serve(requests: &[u64]) -> u64 {
+    admit(requests)
+}
+
+fn admit(requests: &[u64]) -> u64 {
+    let first = requests.first().unwrap(); // EXPECT: panic-path
+    let k = requests.len();
+    let edge = requests[k + 1]; // EXPECT: panic-index
+    deep1(first + edge)
+}
+
+fn deep1(x: u64) -> u64 {
+    deep2(x)
+}
+
+fn deep2(x: u64) -> u64 {
+    deep3(x)
+}
+
+fn deep3(x: u64) -> u64 {
+    deep4(x)
+}
+
+fn deep4(x: u64) -> u64 {
+    x.checked_add(1).expect("overflow")
+}

@@ -441,14 +441,16 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Result<Vec<(u32, u8)>> {
 }
 
 /// Convenience: builds a histogram of `codes`.
+///
+/// A BTreeMap keeps the result sorted by symbol by construction — the
+/// histogram feeds codebook construction, so its order must not depend
+/// on hash iteration.
 pub fn histogram(codes: &[u32]) -> Vec<(u32, u64)> {
-    let mut map = std::collections::HashMap::new();
+    let mut map = std::collections::BTreeMap::new();
     for &c in codes {
         *map.entry(c).or_insert(0u64) += 1;
     }
-    let mut v: Vec<(u32, u64)> = map.into_iter().collect();
-    v.sort_unstable();
-    v
+    map.into_iter().collect()
 }
 
 #[cfg(test)]

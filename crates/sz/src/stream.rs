@@ -127,9 +127,11 @@ fn compress_inner(data: &[f32], dims: Dims, cfg: &SzConfig, plan: &ModePlan) -> 
 /// to tolerate) spills to a sparse overflow map.
 pub(crate) fn global_codebook(outputs: &[BlockOutput], radius: u32) -> Result<Codebook> {
     let hist = {
-        type Acc = (Vec<u64>, std::collections::HashMap<u32, u64>);
+        // The overflow map must be a BTreeMap: its iteration order feeds
+        // the histogram (and therefore the serialized codebook) directly.
+        type Acc = (Vec<u64>, std::collections::BTreeMap<u32, u64>);
         let dense_len = 2 * radius as usize;
-        let new_acc = || (vec![0u64; dense_len], std::collections::HashMap::new());
+        let new_acc = || (vec![0u64; dense_len], std::collections::BTreeMap::new());
         let (dense, sparse) = outputs
             .par_iter()
             .fold(new_acc, |mut acc: Acc, o| {
@@ -157,11 +159,9 @@ pub(crate) fn global_codebook(outputs: &[BlockOutput], radius: u32) -> Result<Co
             .filter(|&(_, &f)| f > 0)
             .map(|(s, &f)| (s as u32, f))
             .collect();
-        // Overflow symbols are all >= dense_len, so appending them sorted
-        // keeps the histogram in ascending symbol order.
-        let mut extra: Vec<(u32, u64)> = sparse.into_iter().collect();
-        extra.sort_unstable();
-        v.extend(extra);
+        // Overflow symbols are all >= dense_len and BTreeMap iterates in
+        // key order, so appending keeps the histogram sorted by symbol.
+        v.extend(sparse);
         v
     };
     Codebook::from_frequencies(&hist)
