@@ -50,6 +50,18 @@
 //! section, and `cluster_trace.json` carries one track per request with
 //! flow arrows linking retries and failovers to device lanes.
 //!
+//! `store` manages seekable snapshot archives (see the `foresight-store`
+//! crate): `pack` generates the configured dataset and seals it into a
+//! chunked archive with the sweep's first codec (the config's optional
+//! `store` section sets the chunk shape and snapshot id); `ls` prints
+//! the directory; `verify` checks every chunk CRC and field digest
+//! without decoding; `extract` reads one field — or, with `--region`, a
+//! subvolume decoding only the chunks it intersects — as little-endian
+//! f32 bytes; `serve` runs a synthetic region-read workload straight
+//! out of the archive through both schedulers, verifies bit-identity,
+//! prints the read-amplification counters, and — with `--out` — writes
+//! `telemetry.json` with both runs' metric snapshots.
+//!
 //! `obs-report` pretty-prints the observability sections of a previously
 //! written `telemetry.json` — the windowed-series summary and the
 //! `== slo ==` verdict table — and exits 5 if any objective is at
@@ -77,7 +89,7 @@ use foresight_util::table::{fmt_f64, Table};
 use foresight_util::telemetry::{self, ChromeTraceOptions};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli obs-report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]\n       foresight-cli analyze [workspace-root] [--deny-new] [--bless] [--baseline <path>] [--sarif <path>] [--hops <n>]";
+const USAGE: &str = "usage: foresight-cli [--trace <path>] [--metrics-out <path>] [--memcheck] [--racecheck] [--quiet] <config.json>\n       foresight-cli report <telemetry.json>\n       foresight-cli obs-report <telemetry.json>\n       foresight-cli serve-bench [--out <dir>] [--requests <n>] [--seed <s>] [<config.json>]\n       foresight-cli cluster-bench [--out <dir>] [--requests <n>] [--seed <s>] [--healthy-only] [<config.json>]\n       foresight-cli analyze [workspace-root] [--deny-new] [--bless] [--baseline <path>] [--sarif <path>] [--hops <n>]\n       foresight-cli store pack <config.json> <archive> [--chunk <n>] [--snapshot <s>]\n       foresight-cli store ls <archive>\n       foresight-cli store verify <archive>\n       foresight-cli store extract <archive> <snapshot> <field> [--region x0:x1,y0:y1,z0:z1] [--out <file>]\n       foresight-cli store serve <archive> [--requests <n>] [--seed <s>] [--out <dir>]";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -559,6 +571,429 @@ fn cluster_bench_main(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// Deterministic xorshift64* for synthetic store workloads.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn open_store_or_die(path: &str) -> foresight::StoreReader {
+    match foresight::StoreReader::open(Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot open archive '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `x0:x1,y0:y1,z0:z1` (1-3 comma-separated `lo:hi` spans,
+/// half-open) into a region; missing trailing axes default to `0:1`.
+fn parse_region(spec: &str) -> Option<foresight::Region> {
+    let mut lo = [0usize; 3];
+    let mut hi = [1usize; 3];
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return None;
+    }
+    for (i, part) in parts.iter().enumerate() {
+        let (a, b) = part.split_once(':')?;
+        lo[i] = a.trim().parse().ok()?;
+        hi[i] = b.trim().parse().ok()?;
+    }
+    foresight::Region::new(lo, hi).ok()
+}
+
+fn fields_table(reader: &foresight::StoreReader) -> Table {
+    let mut table = Table::new([
+        "snap", "field", "shape", "chunk", "codec", "bound", "chunks", "bytes", "ratio",
+    ]);
+    for entry in reader.fields() {
+        let ext = entry.shape().extents();
+        let ch = entry.grid.chunk();
+        let shape_s = match entry.shape().ndim() {
+            1 => format!("{}", ext[0]),
+            2 => format!("{}x{}", ext[0], ext[1]),
+            _ => format!("{}x{}x{}", ext[0], ext[1], ext[2]),
+        };
+        table.push_row([
+            entry.snapshot.to_string(),
+            entry.name.clone(),
+            shape_s,
+            format!("{}x{}x{}", ch[0], ch[1], ch[2]),
+            entry.codec.display().to_string(),
+            entry.bound.label(entry.codec),
+            entry.chunks.len().to_string(),
+            entry.compressed_len().to_string(),
+            fmt_f64(entry.ratio()),
+        ]);
+    }
+    table
+}
+
+/// `store pack`: generate the configured dataset and seal it into a
+/// chunked archive with the sweep's first codec configuration.
+fn store_pack_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut chunk_override: Option<usize> = None;
+    let mut snapshot_override: Option<u32> = None;
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chunk" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                chunk_override = Some(n);
+            }
+            "--snapshot" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                snapshot_override = Some(s);
+            }
+            s if s.starts_with('-') => usage_exit(),
+            _ => positional.push(arg),
+        }
+    }
+    let [config_path, archive_path] = positional.as_slice() else { usage_exit() };
+    let cfg = match ForesightConfig::from_file(config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot load '{config_path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    let st = cfg.store.clone().unwrap_or_default();
+    let chunk = chunk_override.unwrap_or(st.chunk);
+    let snapshot = snapshot_override.unwrap_or(st.snapshot);
+    let codec = match cfg.codec_configs().into_iter().next() {
+        Some(foresight::CodecConfig::Sz(c)) => foresight::ChunkCodec::Sz(c),
+        Some(foresight::CodecConfig::Zfp(c)) => foresight::ChunkCodec::Zfp(c),
+        None => {
+            eprintln!("error: config has no compressor to pack with");
+            std::process::exit(1);
+        }
+    };
+    let pack = || -> foresight_util::Result<usize> {
+        let opts = cosmo_data::SynthOptions {
+            n_side: cfg.input.n_side,
+            box_size: cfg.input.box_size,
+            seed: cfg.input.seed,
+            steps: cfg.input.steps,
+        };
+        let mut writer = foresight::StoreWriter::new();
+        match cfg.input.dataset {
+            foresight::DatasetKind::Nyx => {
+                let snap = cosmo_data::generate_nyx(&opts)?;
+                let n = snap.n_side;
+                for (name, data) in snap.fields() {
+                    writer.add_field(
+                        snapshot,
+                        name,
+                        data,
+                        foresight::FieldShape::d3(n, n, n),
+                        [chunk, chunk, chunk],
+                        &codec,
+                    )?;
+                }
+            }
+            foresight::DatasetKind::Hacc => {
+                let snap = cosmo_data::generate_hacc(&opts)?;
+                for (name, data) in snap.fields() {
+                    writer.add_field(
+                        snapshot,
+                        name,
+                        data,
+                        foresight::FieldShape::d1(data.len()),
+                        [chunk * chunk * chunk, 1, 1],
+                        &codec,
+                    )?;
+                }
+            }
+        }
+        let n_fields = writer.field_count();
+        writer.write_file(Path::new(archive_path))?;
+        Ok(n_fields)
+    };
+    let n_fields = match pack() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("store pack failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Reopen through the reader so pack only reports archives it has
+    // verified end to end (superblock, manifest, directory, chunk CRCs).
+    let reader = open_store_or_die(archive_path);
+    let check = match reader.verify() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("store pack verification failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "packed {n_fields} field(s) / {} chunk(s) with {} into {archive_path} ({} bytes)",
+        check.chunks_ok,
+        codec.label(),
+        reader.superblock().archive_len
+    );
+    println!("manifest sha256 {}", reader.manifest_hex());
+    std::process::exit(0);
+}
+
+/// `store ls`: the archive's directory as a table.
+fn store_ls_main(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(archive_path) = args.next() else { usage_exit() };
+    if args.next().is_some() {
+        usage_exit();
+    }
+    let reader = open_store_or_die(&archive_path);
+    let sb = reader.superblock();
+    println!(
+        "{archive_path}: v{} | {} field(s) | {} bytes | manifest sha256 {}",
+        sb.version,
+        reader.fields().len(),
+        sb.archive_len,
+        reader.manifest_hex()
+    );
+    print!("{}", fields_table(&reader).to_ascii());
+    std::process::exit(0);
+}
+
+/// `store verify`: every chunk CRC and field payload digest, no decode.
+fn store_verify_main(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(archive_path) = args.next() else { usage_exit() };
+    if args.next().is_some() {
+        usage_exit();
+    }
+    let reader = open_store_or_die(&archive_path);
+    match reader.verify() {
+        Ok(check) => {
+            println!(
+                "{archive_path}: OK — {} field digest(s), {} chunk CRC(s)",
+                check.fields_ok, check.chunks_ok
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{archive_path}: CORRUPT — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `store extract`: one field (or a subregion) as little-endian f32
+/// bytes, decoding only intersecting chunks.
+fn store_extract_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut region: Option<foresight::Region> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--region" => {
+                let Some(spec) = args.next() else { usage_exit() };
+                let Some(r) = parse_region(&spec) else {
+                    eprintln!("error: bad region '{spec}' (want x0:x1,y0:y1,z0:z1)");
+                    std::process::exit(2);
+                };
+                region = Some(r);
+            }
+            "--out" => {
+                let Some(p) = args.next() else { usage_exit() };
+                out = Some(PathBuf::from(p));
+            }
+            s if s.starts_with('-') => usage_exit(),
+            _ => positional.push(arg),
+        }
+    }
+    let [archive_path, snapshot_s, field] = positional.as_slice() else { usage_exit() };
+    let Ok(snapshot) = snapshot_s.parse::<u32>() else { usage_exit() };
+    let reader = open_store_or_die(archive_path);
+    let result = match region {
+        Some(r) => reader.read_region(snapshot, field, r),
+        None => reader.extract(snapshot, field),
+    };
+    let (values, stats) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store extract failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} value(s) | {}/{} chunk(s) decoded | {} compressed byte(s) read | amplification {:.4}",
+        values.len(),
+        stats.chunks_decoded,
+        stats.chunks_in_field,
+        stats.compressed_bytes_read,
+        stats.amplification()
+    );
+    if let Some(path) = &out {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        write_or_die(path, "extracted f32le values", || {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            std::fs::write(path, &bytes)?;
+            Ok(())
+        });
+    }
+    std::process::exit(0);
+}
+
+/// `store serve`: a synthetic region-read workload served straight out
+/// of the archive through both schedulers, with bit-identity
+/// verification and store read-amplification counters.
+fn store_serve_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut requests: usize = 24;
+    let mut seed: u64 = 7;
+    let mut archive_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(p) = args.next() else { usage_exit() };
+                out_dir = Some(PathBuf::from(p));
+            }
+            "--requests" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                requests = n;
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else { usage_exit() };
+                seed = s;
+            }
+            s if s.starts_with('-') => usage_exit(),
+            _ if archive_path.is_some() => usage_exit(),
+            _ => archive_path = Some(arg),
+        }
+    }
+    let Some(archive_path) = archive_path else { usage_exit() };
+    let store = std::sync::Arc::new(open_store_or_die(&archive_path));
+    if store.fields().is_empty() {
+        eprintln!("error: archive holds no fields");
+        std::process::exit(1);
+    }
+    // Deterministic open-loop workload: each request reads a random
+    // subregion (~quarter extent per axis) of a random field.
+    let mut rng = seed.max(1);
+    let reqs: Vec<foresight::ServeRequest> = (0..requests)
+        .map(|i| {
+            let entry = &store.fields()[(xorshift(&mut rng) as usize) % store.fields().len()];
+            let ext = entry.shape().extents();
+            let mut lo = [0usize; 3];
+            let mut hi = [1usize; 3];
+            for axis in 0..3 {
+                if ext[axis] <= 1 {
+                    continue;
+                }
+                let span = (ext[axis] / 4).max(1);
+                lo[axis] = (xorshift(&mut rng) as usize) % (ext[axis] - span + 1);
+                hi[axis] = lo[axis] + span;
+            }
+            foresight::ServeRequest {
+                id: i as u64,
+                arrival_s: i as f64 / 2000.0,
+                deadline_s: None,
+                payload: foresight::ServePayload::StoreRead {
+                    store: store.clone(),
+                    snapshot: entry.snapshot,
+                    field: entry.name.clone(),
+                    region: foresight::Region::new(lo, hi)
+                        .expect("non-empty spans by construction"),
+                },
+            }
+        })
+        .collect();
+    let node = foresight::ServeNode::summit();
+    let opts = foresight::ServeOptions::default();
+    println!(
+        "store serve: {} request(s) over {} field(s), seed {seed}, {} device(s)",
+        reqs.len(),
+        store.fields().len(),
+        node.devices
+    );
+    let run = || -> foresight_util::Result<(foresight::ServeReport, foresight::ServeReport)> {
+        let serial = foresight::serve_serial(&node, &opts, &reqs)?;
+        let batched = foresight::serve(&node, &opts, &reqs)?;
+        Ok((serial, batched))
+    };
+    let (serial, batched) = match run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = Table::new(["scheduler", "makespan_s", "GB/s", "batches", "p99_ms"]);
+    for (name, r) in [("serial x1", &serial), (&format!("batched x{}", node.devices), &batched)]
+    {
+        table.push_row([
+            name.to_string(),
+            fmt_f64(r.makespan_s),
+            fmt_f64(r.sustained_gbs),
+            r.batches.to_string(),
+            fmt_f64(r.latency().map_or(0.0, |l| l.p99 * 1e3)),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    let touched = batched.metrics.counter("store.bytes_touched");
+    let returned = batched.metrics.counter("store.bytes_returned");
+    println!(
+        "store: {} chunk(s) decoded | {touched} byte(s) touched / {returned} returned ({:.4}x amplification)",
+        batched.metrics.counter("store.chunks_decoded"),
+        if returned > 0 { touched as f64 / returned as f64 } else { 0.0 }
+    );
+    let mut diverged = 0usize;
+    for b in &batched.responses {
+        if let (Some(bo), Some(s)) = (&b.output, serial.response(b.id)) {
+            if s.output.as_ref() != Some(bo) {
+                eprintln!("DIVERGENCE: request {} bytes differ between schedulers", b.id);
+                diverged += 1;
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create '{}': {e}", dir.display());
+            std::process::exit(1);
+        }
+        let tpath = dir.join("telemetry.json");
+        let doc = Value::Object(vec![
+            ("serial".into(), serial.metrics.to_json()),
+            ("batched".into(), batched.metrics.to_json()),
+        ]);
+        write_or_die(&tpath, "store serve metrics", || {
+            std::fs::write(&tpath, doc.to_json())?;
+            Ok(())
+        });
+    }
+    if diverged > 0 {
+        eprintln!("{diverged} request(s) diverged; store-backed serve is NOT bit-identical");
+        std::process::exit(1);
+    }
+    println!("outputs bit-identical across schedulers");
+    std::process::exit(0);
+}
+
+/// `store`: seekable-archive subcommand family.
+fn store_main(mut args: impl Iterator<Item = String>) -> ! {
+    match args.next().as_deref() {
+        Some("pack") => store_pack_main(args),
+        Some("ls") => store_ls_main(args),
+        Some("verify") => store_verify_main(args),
+        Some("extract") => store_extract_main(args),
+        Some("serve") => store_serve_main(args),
+        _ => usage_exit(),
+    }
+}
+
 struct Cli {
     config: String,
     trace_out: Option<PathBuf>,
@@ -595,6 +1030,9 @@ fn parse_args() -> Cli {
             "analyze" if config.is_none() => {
                 let rest: Vec<String> = args.collect();
                 std::process::exit(foresight_lint::analyze::run_cli(&rest));
+            }
+            "store" if config.is_none() => {
+                store_main(args);
             }
             "--trace" => {
                 let Some(p) = args.next() else { usage_exit() };

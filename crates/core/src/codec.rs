@@ -115,9 +115,10 @@ pub fn compress(data: &[f32], shape: Shape, cfg: &CodecConfig) -> Result<Vec<u8>
     }
 }
 
-/// Decompresses a stream produced by [`compress`], auto-detecting codec.
+/// Decompresses a stream produced by [`compress`], auto-detecting codec
+/// via the magic tags the codec crates export.
 pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Shape)> {
-    if stream.len() >= 4 && &stream[..4] == b"SZRS" {
+    if stream.len() >= 4 && &stream[..4] == lossy_sz::MAGIC {
         let (data, dims) = lossy_sz::decompress(stream)?;
         let shape = match dims {
             SzDims::D1(n) => Shape::D1(n),
@@ -125,7 +126,7 @@ pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Shape)> {
             SzDims::D3(a, b, c) => Shape::D3(a, b, c),
         };
         Ok((data, shape))
-    } else if stream.len() >= 4 && &stream[..4] == b"ZFPR" {
+    } else if stream.len() >= 4 && &stream[..4] == lossy_zfp::MAGIC {
         let (data, dims) = lossy_zfp::decompress(stream)?;
         let shape = match dims {
             ZfpDims::D1(n) => Shape::D1(n),

@@ -1089,6 +1089,74 @@ impl SloSetting {
     }
 }
 
+/// Optional archive-packing settings for the pipeline.
+///
+/// When present, the pipeline adds an `archive` stage after dataset
+/// generation: every generated field is chunked, compressed through the
+/// first codec configuration of the sweep, and sealed into a
+/// `foresight-store` container under the output directory. The archive
+/// then serves chunk-granular `(snapshot, field, region)` reads via
+/// `foresight-cli store` and the store-backed serve path.
+#[derive(Debug, Clone)]
+pub struct StoreSettings {
+    /// Archive file name inside the output directory (default
+    /// "snapshot.fstr").
+    pub file: String,
+    /// Chunk side length in values along each axis (default 16).
+    pub chunk: usize,
+    /// Snapshot id recorded for the packed fields (default 0).
+    pub snapshot: u32,
+}
+
+impl Default for StoreSettings {
+    fn default() -> Self {
+        StoreSettings { file: "snapshot.fstr".into(), chunk: 16, snapshot: 0 }
+    }
+}
+
+impl StoreSettings {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad("'store' must be an object"));
+        }
+        let file = match v.get("file") {
+            None => "snapshot.fstr".to_string(),
+            Some(s) => s
+                .as_str()
+                .ok_or_else(|| bad("field 'file' must be a string"))?
+                .to_string(),
+        };
+        let chunk = usize_field(v, "chunk", 16)?;
+        let snapshot = match v.get("snapshot") {
+            None => 0,
+            Some(s) => u32::try_from(
+                s.as_u64()
+                    .ok_or_else(|| bad("field 'snapshot' must be a non-negative integer"))?,
+            )
+            .map_err(|_| bad("field 'snapshot' must fit in 32 bits"))?,
+        };
+        Ok(StoreSettings { file, chunk, snapshot })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("file".into(), Value::String(self.file.clone())),
+            ("chunk".into(), Value::Number(self.chunk as f64)),
+            ("snapshot".into(), Value::Number(self.snapshot as f64)),
+        ])
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.file.is_empty() {
+            return Err(Error::Config("store.file must be non-empty".into()));
+        }
+        if self.chunk < 4 {
+            return Err(Error::Config("store.chunk must be >= 4".into()));
+        }
+        Ok(())
+    }
+}
+
 /// A full pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct ForesightConfig {
@@ -1113,6 +1181,9 @@ pub struct ForesightConfig {
     /// Optional service-level objectives evaluated over the windowed
     /// telemetry series (absent means no SLO report).
     pub slo: Option<Vec<SloSetting>>,
+    /// Optional archive-packing settings (absent means no archive
+    /// stage).
+    pub store: Option<StoreSettings>,
 }
 
 impl ForesightConfig {
@@ -1164,6 +1235,10 @@ impl ForesightConfig {
                     .collect::<Result<Vec<_>>>()?,
             ),
         };
+        let store = match doc.get("store") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(StoreSettings::from_value(v)?),
+        };
         let cfg = ForesightConfig {
             input: InputConfig::from_value(field(&doc, "input")?)?,
             compressors,
@@ -1174,6 +1249,7 @@ impl ForesightConfig {
             serve,
             cluster,
             slo,
+            store,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -1213,6 +1289,9 @@ impl ForesightConfig {
         }
         if let Some(slo) = &self.slo {
             fields.push(("slo".into(), Value::Array(slo.iter().map(SloSetting::to_value).collect())));
+        }
+        if let Some(store) = &self.store {
+            fields.push(("store".into(), store.to_value()));
         }
         Value::Object(fields).to_json()
     }
@@ -1271,6 +1350,9 @@ impl ForesightConfig {
             for s in slo {
                 s.validate()?;
             }
+        }
+        if let Some(store) = &self.store {
+            store.validate()?;
         }
         Ok(())
     }

@@ -16,10 +16,12 @@
 //! the paper's best-fit configuration guideline ([`optimizer`]), the
 //! telemetry reporting layer ([`trace`]) that turns collected spans and
 //! metrics into Chrome traces, flamegraphs and `telemetry.json`, the
-//! batched multi-device serving scheduler ([`serve`]), and its
-//! fault-tolerant multi-node front end ([`cluster`]) with replicated
-//! placement, health-checked failover, and node-level chaos, observed
-//! end to end by the distributed-tracing/SLO layer ([`obs`]).
+//! batched multi-device serving scheduler ([`serve`]) — which also
+//! serves `(snapshot, field, region)` reads straight out of sealed
+//! `foresight-store` archives — and its fault-tolerant multi-node front
+//! end ([`cluster`]) with replicated placement, health-checked failover,
+//! and node-level chaos, observed end to end by the
+//! distributed-tracing/SLO layer ([`obs`]).
 //!
 //! # Quickstart
 //!
@@ -64,7 +66,7 @@ pub use cluster::{
 pub use codec::{CodecConfig, CompressorId, Shape};
 pub use config::{
     AnalysisKind, ChaosSettings, ClusterFaultSetting, ClusterSettings, DatasetKind,
-    ForesightConfig, SanitizeSettings, ServeSettings, SloSetting,
+    ForesightConfig, SanitizeSettings, ServeSettings, SloSetting, StoreSettings,
 };
 pub use obs::{
     evaluate_slo, evaluate_slos, ObsOptions, ObsRecorder, ObsSpan, ObsTrace, SloLevel, SloSpec,
@@ -76,4 +78,9 @@ pub use runner::{run_pipeline, PipelineReport};
 pub use serve::{
     serve, serve_serial, synth_workload, ServeNode, ServeOptions, ServePayload, ServeReport,
     ServeRequest, ServeResponse, ServeStatus, WorkloadSpec,
+};
+// Re-exported so store-backed serve callers need only the `foresight`
+// crate in scope.
+pub use foresight_store::{
+    ChunkCodec, ChunkGrid, FieldShape, Region, StoreReader, StoreWriter,
 };

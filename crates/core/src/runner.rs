@@ -164,6 +164,72 @@ pub fn run_pipeline(cfg: &ForesightConfig, cluster: &SlurmSim) -> Result<Pipelin
             Ok(format!("{n} fields"))
         }))?;
     }
+    // Stage 1b (optional): seal the generated fields into a seekable
+    // foresight-store archive in the output directory. Runs off the
+    // critical path (only depends on generate) and records its facts as
+    // idempotent gauges so reruns under the retry policy stay correct.
+    if let Some(store_cfg) = &cfg.store {
+        let fields = fields.clone();
+        let store_cfg = store_cfg.clone();
+        let outdir = outdir.clone();
+        let run_metrics = run_metrics.clone();
+        let pack_codec = match configs.first() {
+            Some(crate::codec::CodecConfig::Sz(c)) => foresight_store::ChunkCodec::Sz(c.clone()),
+            Some(crate::codec::CodecConfig::Zfp(c)) => {
+                foresight_store::ChunkCodec::Zfp(*c)
+            }
+            // validate() requires at least one compressor sweep.
+            None => return Err(Error::invalid("store stage needs a codec configuration")),
+        };
+        wf.add(
+            Job::new("archive", 2, move || {
+                let f = fields.lock();
+                let mut writer = foresight_store::StoreWriter::new();
+                let c = store_cfg.chunk;
+                for field in f.iter() {
+                    let (shape, chunk) = match field.shape {
+                        Shape::D1(n) => {
+                            // 1-D fields chunk along their only axis with a
+                            // volume matching the 3-D chunk's value count.
+                            (foresight_store::FieldShape::d1(n), [c * c * c, 1, 1])
+                        }
+                        Shape::D2(a, b) => (foresight_store::FieldShape::d2(a, b), [c, c, 1]),
+                        Shape::D3(a, b, z) => {
+                            (foresight_store::FieldShape::d3(a, b, z), [c, c, c])
+                        }
+                    };
+                    writer.add_field(
+                        store_cfg.snapshot,
+                        &field.name,
+                        &field.data,
+                        shape,
+                        chunk,
+                        &pack_codec,
+                    )?;
+                }
+                let n_fields = writer.field_count();
+                let bytes = writer.finish()?;
+                let archive_bytes = bytes.len();
+                std::fs::create_dir_all(&outdir)?;
+                let path = outdir.join(&store_cfg.file);
+                std::fs::write(&path, &bytes)?;
+                // Reopen through the reader so the pipeline only reports an
+                // archive it has verified end to end (superblock CRC,
+                // manifest digest, directory CRC, chunk CRCs, payload shas).
+                let reader = foresight_store::StoreReader::open(&path)?;
+                let check = reader.verify()?;
+                run_metrics.gauge("store.archive_bytes", archive_bytes as f64);
+                run_metrics.gauge("store.fields_packed", n_fields as f64);
+                run_metrics.gauge("store.chunks_verified", check.chunks_ok as f64);
+                Ok(format!(
+                    "{n_fields} fields, {} chunks, {archive_bytes} bytes -> {}",
+                    check.chunks_ok,
+                    store_cfg.file
+                ))
+            })
+            .after("generate"),
+        )?;
+    }
     // Stage 2: CBench — through the chaos-mode GPU when configured.
     {
         let fields = fields.clone();

@@ -52,9 +52,11 @@ use gpu_sim::{
     kernel_time, FaultKind, FaultPlan, FaultRates, GpuQueueSim, GpuSpec, KernelKind, NodeSpec,
     PcieLink, UnitTiming,
 };
+use foresight_store::{CodecKind as StoreCodec, Region, StoreReader};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Multi-shard compressed stream container magic (version 1).
 const CONTAINER_MAGIC: &[u8; 4] = b"FSH1";
@@ -172,6 +174,19 @@ pub enum ServePayload {
     Decompress {
         /// The compressed bytes.
         stream: Vec<u8>,
+    },
+    /// Read a subvolume of an archived field, decoding only the chunks
+    /// that intersect the region. The response bytes are the region's
+    /// values as little-endian f32, x fastest.
+    StoreRead {
+        /// Shared handle on the sealed archive.
+        store: Arc<StoreReader>,
+        /// Snapshot (timestep) id.
+        snapshot: u32,
+        /// Field name.
+        field: String,
+        /// Requested subvolume.
+        region: Region,
     },
 }
 
@@ -408,6 +423,11 @@ pub(crate) struct Unit {
     pub(crate) out_bytes: u64,
     pub(crate) bits_per_value: f64,
     pub(crate) kind: KernelKind,
+    /// Store-read accounting (zero for compress/decompress units):
+    /// chunks decoded, uncompressed bytes materialized, bytes returned.
+    pub(crate) store_chunks: u64,
+    pub(crate) store_touched: u64,
+    pub(crate) store_returned: u64,
 }
 
 fn batch_key(cfg: &CodecConfig) -> String {
@@ -445,6 +465,18 @@ fn unit_slices(req: &ServeRequest, shard_bytes: u64) -> Result<Vec<(usize, usize
                 None => Ok(vec![(0, stream.len(), Shape::D1(0))]),
             }
         }
+        ServePayload::StoreRead { store, snapshot, field, region } => {
+            // Validate up front so planning errors surface before any
+            // unit executes; a region read is one schedulable unit.
+            let entry = store.find(*snapshot, field).ok_or_else(|| {
+                Error::invalid(format!(
+                    "request {}: no field snapshot={snapshot} name={field:?} in the archive",
+                    req.id
+                ))
+            })?;
+            region.validate_in(entry.shape())?;
+            Ok(vec![(0, 0, Shape::D1(0))])
+        }
     }
 }
 
@@ -466,6 +498,9 @@ fn run_unit(req: &ServeRequest, slice: &(usize, usize, Shape)) -> Result<Unit> {
                     CodecConfig::Sz(_) => KernelKind::SzCompress,
                     CodecConfig::Zfp(_) => KernelKind::ZfpCompress,
                 },
+                store_chunks: 0,
+                store_touched: 0,
+                store_returned: 0,
             })
         }
         ServePayload::Decompress { stream } => {
@@ -488,6 +523,35 @@ fn run_unit(req: &ServeRequest, slice: &(usize, usize, Shape)) -> Result<Unit> {
                 out_bytes: n * 4,
                 bits_per_value: shard.len() as f64 * 8.0 / n as f64,
                 kind,
+                store_chunks: 0,
+                store_touched: 0,
+                store_returned: 0,
+            })
+        }
+        ServePayload::StoreRead { store, snapshot, field, region } => {
+            let (values, stats) = store.read_region(*snapshot, field, *region)?;
+            let mut out = Vec::with_capacity(values.len() * 4);
+            for v in &values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            let kind = match store.find(*snapshot, field).map(|e| e.codec) {
+                Some(StoreCodec::Zfp) => KernelKind::ZfpDecompress,
+                _ => KernelKind::SzDecompress,
+            };
+            // The simulated kernel pays for every value the decoder
+            // materialized (whole chunks), not just the region returned
+            // — chunk misalignment costs real work.
+            let n = (stats.bytes_touched / 4).max(1);
+            Ok(Unit {
+                out,
+                n_values: n,
+                in_bytes: stats.compressed_bytes_read,
+                out_bytes: stats.bytes_returned,
+                bits_per_value: stats.compressed_bytes_read as f64 * 8.0 / n as f64,
+                kind,
+                store_chunks: stats.chunks_decoded,
+                store_touched: stats.bytes_touched,
+                store_returned: stats.bytes_returned,
             })
         }
     }
@@ -539,7 +603,7 @@ pub(crate) fn assemble_output(req: &ServeRequest, units: &[Unit]) -> Vec<u8> {
                 wrap_shards(&shards)
             }
         }
-        ServePayload::Decompress { .. } => {
+        ServePayload::Decompress { .. } | ServePayload::StoreRead { .. } => {
             let mut out = Vec::with_capacity(units.iter().map(|u| u.out.len()).sum());
             for u in units {
                 out.extend_from_slice(&u.out);
@@ -842,6 +906,12 @@ fn complete_request(
     reg.observe("serve.latency_s", latency);
     telemetry::observe("serve.latency_s", latency);
     *executed_bytes += units.iter().map(|u| u.n_values * 4).sum::<u64>();
+    let store_chunks: u64 = units.iter().map(|u| u.store_chunks).sum();
+    if store_chunks > 0 {
+        reg.counter("store.chunks_decoded", store_chunks);
+        reg.counter("store.bytes_touched", units.iter().map(|u| u.store_touched).sum());
+        reg.counter("store.bytes_returned", units.iter().map(|u| u.store_returned).sum());
+    }
     let in_time = req.deadline_s.is_none_or(|d| done <= d);
     let status = if in_time {
         ServeStatus::Done
@@ -964,6 +1034,15 @@ fn finish_report(
     }
     reg.gauge("serve.makespan_s", makespan_s);
     reg.gauge("serve.sustained_gbs", sustained_gbs);
+    // Store-backed reads: bytes the chunk decoders materialized per
+    // byte actually returned (1.0 = perfectly chunk-aligned regions).
+    let store_returned = reg.counter_value("store.bytes_returned");
+    if store_returned > 0 {
+        reg.gauge(
+            "store.read_amplification",
+            reg.counter_value("store.bytes_touched") as f64 / store_returned as f64,
+        );
+    }
     reg.counter("serve.failover", state.failovers);
     reg.counter("serve.cpu_fallback", state.cpu_fallbacks);
     if telemetry::is_enabled() {
@@ -1189,6 +1268,13 @@ fn batch_key_of(req: &ServeRequest) -> String {
                 "decompress sharded".into()
             } else {
                 "decompress cuZFP".into()
+            }
+        }
+        ServePayload::StoreRead { store, snapshot, field, .. } => {
+            // Store reads batch by codec family, like decompressions.
+            match store.find(*snapshot, field).map(|e| e.codec) {
+                Some(StoreCodec::Zfp) => "store-read cuZFP".into(),
+                _ => "store-read GPU-SZ".into(),
             }
         }
     }

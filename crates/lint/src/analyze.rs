@@ -45,6 +45,8 @@ pub const DECODE_CRITICAL: &[&str] = &[
     "crates/zfp/src/codec.rs",
     "crates/zfp/src/gpu_exec.rs",
     "crates/zfp/src/lift.rs",
+    "crates/store/src/format.rs",
+    "crates/store/src/reader.rs",
 ];
 
 /// Byte-producing modules: every byte (or byte ordering) these emit must
@@ -54,6 +56,7 @@ pub const BYTE_PRODUCING: &[&str] = &[
     "crates/sz/src/",
     "crates/zfp/src/",
     "crates/lossless/src/",
+    "crates/store/src/",
     "crates/core/src/serve.rs",
     "crates/core/src/cluster.rs",
 ];

@@ -1,0 +1,50 @@
+//! `foresight-store`: a seekable, write-once snapshot archive with
+//! chunk-granular random access.
+//!
+//! The paper's serving story ("millions of users reading slices" of Nyx
+//! snapshots) needs a durable format, not in-memory planes. This crate
+//! provides an MSFZ-style container: many fields × timesteps in one
+//! file, each field cut into fixed-shape chunks compressed independently
+//! through the existing GPU-SZ / cuZFP stream codecs, addressed by a
+//! compact directory so any subvolume decompresses without touching the
+//! rest of the archive.
+//!
+//! Layout (see `format` for the byte-level contract):
+//!
+//! ```text
+//! superblock (68 B) | chunk fragments ... | directory (tail)
+//! ```
+//!
+//! Integrity is layered: a CRC32 on the superblock, a CRC32 per chunk
+//! payload, a CRC32 on the directory, a SHA-256 payload digest per
+//! field, and a SHA-256 manifest digest over the directory pinned in the
+//! superblock. All parsing is fail-closed on
+//! [`foresight_util::ByteReader`] with capped, checked sizes — malformed
+//! archives produce typed errors, never panics or absurd allocations.
+//!
+//! ```
+//! use foresight_store::{ChunkCodec, FieldShape, Region, StoreReader, StoreWriter};
+//!
+//! let shape = FieldShape::d3(16, 16, 16);
+//! let data: Vec<f32> = (0..shape.len()).map(|i| (i % 97) as f32).collect();
+//! let mut w = StoreWriter::new();
+//! w.add_field(0, "rho", &data, shape, [8, 8, 8], &ChunkCodec::sz_abs(1e-3)).unwrap();
+//! let store = StoreReader::from_bytes(w.finish().unwrap()).unwrap();
+//! let region = Region::new([2, 2, 2], [8, 8, 8]).unwrap();
+//! let (values, stats) = store.read_region(0, "rho", region).unwrap();
+//! assert_eq!(values.len(), 216);
+//! assert_eq!(stats.chunks_decoded, 1);
+//! assert_eq!(stats.chunks_in_field, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod format;
+pub mod grid;
+pub mod reader;
+pub mod writer;
+
+pub use format::{BoundSpec, ChunkRef, CodecKind, Directory, FieldEntry, Superblock};
+pub use grid::{ChunkGrid, FieldShape, Region};
+pub use reader::{ReadStats, StoreCheck, StoreReader};
+pub use writer::{ChunkCodec, StoreWriter};

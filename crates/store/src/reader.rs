@@ -1,0 +1,295 @@
+//! Chunk-granular archive reads.
+//!
+//! [`StoreReader`] opens an archive (in memory or file-backed), verifies
+//! the superblock, the directory CRC, and the manifest SHA-256 up front,
+//! and then serves `(snapshot, field, region)` reads by fetching and
+//! decoding only the chunks that intersect the requested region. Every
+//! chunk payload is CRC-checked before it reaches a decoder, and every
+//! decoded chunk must match the shape and value count the directory
+//! promised.
+//!
+//! Telemetry (zero-cost when disabled):
+//! - `store.region_reads`, `store.chunks_read`, `store.chunks_decoded`
+//! - `store.compressed_bytes_read`, `store.bytes_touched`,
+//!   `store.bytes_returned`
+//! - gauge `store.read_amplification` = bytes touched / bytes returned
+//!   for the most recent read (1.0 is perfect chunk alignment).
+
+use crate::format::{self, Directory, FieldEntry, Superblock, CodecKind, SUPERBLOCK_LEN};
+use crate::grid::Region;
+use foresight_util::crc::crc32;
+use foresight_util::sha256::sha256_hex;
+use foresight_util::{telemetry, Error, Result};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Per-read accounting: how much work a region read actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Chunks in the field's grid.
+    pub chunks_in_field: u64,
+    /// Chunks fetched and decoded for this read.
+    pub chunks_decoded: u64,
+    /// Compressed fragment bytes read from the archive.
+    pub compressed_bytes_read: u64,
+    /// Uncompressed bytes materialized by chunk decodes.
+    pub bytes_touched: u64,
+    /// Uncompressed bytes the caller asked for (region size × 4).
+    pub bytes_returned: u64,
+}
+
+impl ReadStats {
+    /// Bytes touched per byte returned; 1.0 means the region aligned
+    /// perfectly with chunk boundaries.
+    pub fn amplification(&self) -> f64 {
+        if self.bytes_returned == 0 {
+            return 0.0;
+        }
+        self.bytes_touched as f64 / self.bytes_returned as f64
+    }
+}
+
+/// Result of a full-archive integrity verification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreCheck {
+    /// Fields whose payload digest matched.
+    pub fields_ok: usize,
+    /// Chunk payloads whose CRC matched.
+    pub chunks_ok: usize,
+}
+
+enum Backing {
+    Bytes(Vec<u8>),
+    File(Mutex<File>),
+}
+
+/// Read-side handle over a sealed archive.
+pub struct StoreReader {
+    backing: Backing,
+    superblock: Superblock,
+    directory: Directory,
+}
+
+impl std::fmt::Debug for StoreReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreReader")
+            .field("archive_len", &self.superblock.archive_len)
+            .field("fields", &self.directory.fields.len())
+            .finish()
+    }
+}
+
+impl StoreReader {
+    /// Opens an in-memory archive image, verifying superblock CRC,
+    /// layout, manifest digest, and directory before returning.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        let (superblock, directory) = format::parse_archive(&bytes)?;
+        Ok(Self { backing: Backing::Bytes(bytes), superblock, directory })
+    }
+
+    /// Opens a file-backed archive, reading only the superblock and the
+    /// directory tail; fragments stay on disk until a read needs them.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut f = File::open(path)?;
+        let actual_len = f.metadata()?.len();
+        let mut head = [0u8; SUPERBLOCK_LEN];
+        f.read_exact(&mut head)?;
+        let superblock = Superblock::parse(&head)?;
+        let (dir_offset, dir_len) = superblock.layout(actual_len)?;
+        // layout() proved dir_offset + dir_len == the real file length,
+        // so this allocation is bounded by the bytes actually on disk.
+        if (dir_len as u64) > actual_len {
+            return Err(Error::corrupt("directory longer than the archive"));
+        }
+        let mut dir = vec![0u8; dir_len];
+        f.seek(SeekFrom::Start(dir_offset as u64))?;
+        f.read_exact(&mut dir)?;
+        format::verify_manifest_digest(&superblock, &dir)?;
+        let directory = Directory::parse(&dir, SUPERBLOCK_LEN as u64, superblock.dir_offset)?;
+        Ok(Self { backing: Backing::File(Mutex::new(f)), superblock, directory })
+    }
+
+    /// The verified superblock.
+    pub fn superblock(&self) -> &Superblock {
+        &self.superblock
+    }
+
+    /// Manifest digest as lowercase hex.
+    pub fn manifest_hex(&self) -> String {
+        self.superblock.dir_sha256.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// All directory entries, in writer order.
+    pub fn fields(&self) -> &[FieldEntry] {
+        &self.directory.fields
+    }
+
+    /// Looks up one field by `(snapshot, name)`.
+    pub fn find(&self, snapshot: u32, name: &str) -> Option<&FieldEntry> {
+        self.directory.find(snapshot, name)
+    }
+
+    /// Reads the subvolume `region` of field `(snapshot, name)`,
+    /// decoding only intersecting chunks. Returns the region's values in
+    /// x-fastest order plus the read's accounting.
+    pub fn read_region(
+        &self,
+        snapshot: u32,
+        name: &str,
+        region: Region,
+    ) -> Result<(Vec<f32>, ReadStats)> {
+        let entry = self.directory.find(snapshot, name).ok_or_else(|| {
+            Error::invalid(format!("no field snapshot={snapshot} name={name:?} in the archive"))
+        })?;
+        let grid = entry.grid;
+        region.validate_in(grid.shape())?;
+        let n = region
+            .checked_len()
+            .ok_or_else(|| Error::invalid("region value count overflows"))?;
+        let mut out = vec![0f32; n];
+        let mut stats = ReadStats {
+            chunks_in_field: entry.chunks.len() as u64,
+            bytes_returned: (n as u64) * 4,
+            ..ReadStats::default()
+        };
+        for idx in grid.intersecting(&region) {
+            let cid = grid.linear(idx);
+            let cref = entry
+                .chunks
+                .get(cid)
+                .ok_or_else(|| Error::corrupt(format!("chunk id {cid} outside the directory")))?;
+            let payload = self.fragment(cref.offset, cref.len)?;
+            if crc32(&payload) != cref.crc32 {
+                return Err(Error::corrupt(format!(
+                    "chunk {cid} of field {name:?} failed its CRC"
+                )));
+            }
+            let expect = grid.chunk_shape_at(idx);
+            let values = decode_chunk(entry.codec, &payload, expect)?;
+            stats.chunks_decoded += 1;
+            stats.compressed_bytes_read += payload.len() as u64;
+            stats.bytes_touched += (values.len() as u64) * 4;
+            grid.scatter_into(&values, idx, &region, &mut out);
+        }
+        telemetry::counter("store.region_reads", 1);
+        telemetry::counter("store.chunks_read", stats.chunks_decoded);
+        telemetry::counter("store.chunks_decoded", stats.chunks_decoded);
+        telemetry::counter("store.compressed_bytes_read", stats.compressed_bytes_read);
+        telemetry::counter("store.bytes_touched", stats.bytes_touched);
+        telemetry::counter("store.bytes_returned", stats.bytes_returned);
+        telemetry::gauge("store.read_amplification", stats.amplification());
+        Ok((out, stats))
+    }
+
+    /// Reads an entire field (every chunk).
+    pub fn extract(&self, snapshot: u32, name: &str) -> Result<(Vec<f32>, ReadStats)> {
+        let entry = self.directory.find(snapshot, name).ok_or_else(|| {
+            Error::invalid(format!("no field snapshot={snapshot} name={name:?} in the archive"))
+        })?;
+        self.read_region(snapshot, name, Region::full(entry.grid.shape()))
+    }
+
+    /// Verifies every chunk CRC and every field payload digest without
+    /// decoding any stream.
+    pub fn verify(&self) -> Result<StoreCheck> {
+        let mut check = StoreCheck::default();
+        for entry in &self.directory.fields {
+            let mut payload = Vec::new();
+            for (cid, cref) in entry.chunks.iter().enumerate() {
+                let frag = self.fragment(cref.offset, cref.len)?;
+                if crc32(&frag) != cref.crc32 {
+                    return Err(Error::corrupt(format!(
+                        "chunk {cid} of field {:?} failed its CRC",
+                        entry.name
+                    )));
+                }
+                check.chunks_ok += 1;
+                payload.extend_from_slice(&frag);
+            }
+            if foresight_util::sha256::sha256(&payload) != entry.payload_sha256 {
+                return Err(Error::corrupt(format!(
+                    "field {:?} failed its payload digest",
+                    entry.name
+                )));
+            }
+            check.fields_ok += 1;
+        }
+        Ok(check)
+    }
+
+    /// Hex digest of one field's concatenated payload (for manifests).
+    pub fn field_payload_hex(&self, entry: &FieldEntry) -> Result<String> {
+        let mut payload = Vec::new();
+        for cref in &entry.chunks {
+            payload.extend_from_slice(&self.fragment(cref.offset, cref.len)?);
+        }
+        Ok(sha256_hex(&payload))
+    }
+
+    /// Fetches one fragment. Offsets and lengths were validated against
+    /// the fragment region at directory parse time.
+    fn fragment(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let start = usize::try_from(offset)
+            .map_err(|_| Error::corrupt("fragment offset overflows usize"))?;
+        let n =
+            usize::try_from(len).map_err(|_| Error::corrupt("fragment length overflows usize"))?;
+        match &self.backing {
+            Backing::Bytes(bytes) => {
+                let end = start
+                    .checked_add(n)
+                    .ok_or_else(|| Error::corrupt("fragment end overflows"))?;
+                bytes
+                    .get(start..end)
+                    .map(<[u8]>::to_vec)
+                    .ok_or_else(|| Error::corrupt("fragment outside the archive image"))
+            }
+            Backing::File(file) => {
+                let mut f = file
+                    .lock()
+                    .map_err(|_| Error::corrupt("archive file handle poisoned"))?;
+                // Directory parsing bounded every fragment inside
+                // [SUPERBLOCK_LEN, dir_offset), which layout() proved is
+                // inside the file, so n is bounded by the file size.
+                if (n as u64) > self.superblock.archive_len {
+                    return Err(Error::corrupt("fragment longer than the archive"));
+                }
+                let mut buf = vec![0u8; n];
+                f.seek(SeekFrom::Start(offset))?;
+                f.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+}
+
+/// Decodes one chunk payload and checks it against the shape the
+/// directory promised for that chunk.
+fn decode_chunk(codec: CodecKind, payload: &[u8], expect: crate::grid::FieldShape) -> Result<Vec<f32>> {
+    let (values, ok) = match codec {
+        CodecKind::Sz => {
+            let (values, dims) = lossy_sz::decompress(payload)?;
+            let ok = dims == expect.sz_dims();
+            (values, ok)
+        }
+        CodecKind::Zfp => {
+            let (values, dims) = lossy_zfp::decompress(payload)?;
+            let ok = dims == expect.zfp_dims();
+            (values, ok)
+        }
+    };
+    if !ok {
+        return Err(Error::corrupt("chunk stream dims disagree with the directory"));
+    }
+    let want = expect
+        .checked_len()
+        .ok_or_else(|| Error::corrupt("chunk value count overflows"))?;
+    if values.len() != want {
+        return Err(Error::corrupt(format!(
+            "chunk decoded {} values but the directory promised {want}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}

@@ -1,0 +1,260 @@
+//! Mutation fuzzing of the archive container decoder.
+//!
+//! Start from valid archives, then truncate, bit-flip, splice, and
+//! rewrite windows of bytes; also forge directories with hostile chunk
+//! tables (overlapping fragments, out-of-bounds extents, wrong chunk
+//! counts) whose CRCs and manifest digests are all *valid*. The
+//! container must never panic, never allocate past the bytes actually
+//! present, and must fail closed with a typed error: every byte of an
+//! archive is covered by the superblock CRC, the manifest SHA-256, the
+//! directory CRC, or a chunk CRC, so every mutation must surface as
+//! `Err` from opening or from reading — never as silently wrong data.
+
+use foresight_store::{
+    ChunkCodec, ChunkGrid, ChunkRef, CodecKind, Directory, FieldEntry, FieldShape, StoreReader,
+    StoreWriter, Superblock,
+};
+use foresight_store::format::{BoundSpec, SUPERBLOCK_LEN, VERSION};
+use foresight_util::sha256::sha256;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const VARIANTS: usize = 6;
+
+/// A modest valid corpus: both codecs over 1-D/2-D/3-D fields, chunk
+/// shapes that exercise boundary clamping, and a two-field archive.
+fn make_archive(variant: usize) -> &'static [u8] {
+    static CORPUS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    &CORPUS.get_or_init(|| {
+        (0..VARIANTS)
+            .map(|v| {
+                let data: Vec<f32> = (0..512)
+                    .map(|i| ((i as f32) * 0.07 + v as f32).sin() * 30.0)
+                    .collect();
+                let codec = match v % 2 {
+                    0 => ChunkCodec::sz_abs(1e-2),
+                    _ => ChunkCodec::zfp_rate(8.0),
+                };
+                let (shape, chunk) = match v % 3 {
+                    0 => (FieldShape::d1(512), [100, 1, 1]),
+                    1 => (FieldShape::d2(32, 16), [10, 6, 1]),
+                    _ => (FieldShape::d3(8, 8, 8), [4, 4, 4]),
+                };
+                let mut w = StoreWriter::new();
+                w.add_field(1, "alpha", &data, shape, chunk, &codec).unwrap();
+                if v >= 3 {
+                    w.add_field(2, "beta", &data[..256], FieldShape::d3(8, 8, 4), [4, 4, 4], &codec)
+                        .unwrap();
+                }
+                w.finish().unwrap()
+            })
+            .collect()
+    })[variant]
+}
+
+/// Opens an archive image and extracts every field. Fragment corruption
+/// only surfaces at read time (chunk CRCs), so fuzz checks must drive
+/// both the open path and the read path.
+fn open_and_extract_all(bytes: &[u8]) -> foresight_util::Result<usize> {
+    let reader = StoreReader::from_bytes(bytes.to_vec())?;
+    let keys: Vec<(u32, String)> =
+        reader.fields().iter().map(|f| (f.snapshot, f.name.clone())).collect();
+    let mut total = 0usize;
+    for (snapshot, name) in keys {
+        let (values, _) = reader.extract(snapshot, &name)?;
+        total += values.len();
+    }
+    Ok(total)
+}
+
+/// Seals a hand-built directory into a syntactically perfect archive:
+/// correct superblock CRC, correct manifest SHA-256, correct directory
+/// CRC. Only semantic validation can reject it.
+fn forge_archive(fields: Vec<FieldEntry>, frag_bytes: usize) -> Vec<u8> {
+    let dir = Directory { fields }.encode();
+    let dir_offset = SUPERBLOCK_LEN + frag_bytes;
+    let sb = Superblock {
+        version: VERSION,
+        dir_offset: dir_offset as u64,
+        dir_len: dir.len() as u64,
+        archive_len: (dir_offset + dir.len()) as u64,
+        dir_sha256: sha256(&dir),
+    };
+    let mut out = sb.encode();
+    out.extend_from_slice(&vec![0xAAu8; frag_bytes]);
+    out.extend_from_slice(&dir);
+    out
+}
+
+fn forged_entry(chunks: Vec<ChunkRef>) -> FieldEntry {
+    FieldEntry {
+        snapshot: 1,
+        name: "forged".into(),
+        grid: ChunkGrid::new(FieldShape::d3(8, 8, 8), [4, 4, 8]).unwrap(),
+        codec: CodecKind::Sz,
+        bound: BoundSpec { tag: 0, value: 1e-3 },
+        payload_sha256: [0u8; 32],
+        chunks,
+    }
+}
+
+#[test]
+fn forged_overlapping_fragments_rejected() {
+    // Two chunk refs aliasing the same bytes — an amplification trick.
+    let chunks = vec![
+        ChunkRef { offset: 68, len: 100, crc32: 0 },
+        ChunkRef { offset: 100, len: 100, crc32: 0 },
+        ChunkRef { offset: 268, len: 100, crc32: 0 },
+        ChunkRef { offset: 368, len: 100, crc32: 0 },
+    ];
+    let err = StoreReader::from_bytes(forge_archive(vec![forged_entry(chunks)], 400)).unwrap_err();
+    assert!(err.to_string().contains("overlap"), "{err}");
+}
+
+#[test]
+fn forged_out_of_bounds_fragment_rejected() {
+    // Last chunk points past the fragment region into the directory.
+    let chunks = vec![
+        ChunkRef { offset: 68, len: 100, crc32: 0 },
+        ChunkRef { offset: 168, len: 100, crc32: 0 },
+        ChunkRef { offset: 268, len: 100, crc32: 0 },
+        ChunkRef { offset: 468, len: 10_000, crc32: 0 },
+    ];
+    let err = StoreReader::from_bytes(forge_archive(vec![forged_entry(chunks)], 400)).unwrap_err();
+    assert!(err.to_string().contains("fragment"), "{err}");
+}
+
+#[test]
+fn forged_fragment_inside_superblock_rejected() {
+    let chunks = vec![
+        ChunkRef { offset: 0, len: 60, crc32: 0 },
+        ChunkRef { offset: 168, len: 100, crc32: 0 },
+        ChunkRef { offset: 268, len: 100, crc32: 0 },
+        ChunkRef { offset: 368, len: 100, crc32: 0 },
+    ];
+    assert!(StoreReader::from_bytes(forge_archive(vec![forged_entry(chunks)], 400)).is_err());
+}
+
+#[test]
+fn forged_wrong_chunk_count_rejected() {
+    // The 4x4x8 grid over 8x8x8 has 4 chunks; list only 2.
+    let chunks = vec![
+        ChunkRef { offset: 68, len: 100, crc32: 0 },
+        ChunkRef { offset: 168, len: 100, crc32: 0 },
+    ];
+    let err = StoreReader::from_bytes(forge_archive(vec![forged_entry(chunks)], 400)).unwrap_err();
+    assert!(err.to_string().contains("chunks"), "{err}");
+}
+
+#[test]
+fn forged_chunk_crc_fails_at_read_not_open() {
+    // A structurally valid archive whose fragment bytes (0xAA filler)
+    // do not match the chunk CRCs: opening succeeds (the directory is
+    // sound), but every read must fail closed on the chunk CRC.
+    let chunks = (0..4)
+        .map(|i| ChunkRef { offset: 68 + i * 100, len: 100, crc32: 0xDEAD_BEEF })
+        .collect();
+    let archive = forge_archive(vec![forged_entry(chunks)], 400);
+    let reader = StoreReader::from_bytes(archive).unwrap();
+    let err = reader.extract(1, "forged").unwrap_err();
+    assert!(err.to_string().contains("CRC"), "{err}");
+    assert!(reader.verify().is_err());
+}
+
+#[test]
+fn empty_and_tiny_inputs_rejected() {
+    for len in 0..SUPERBLOCK_LEN {
+        assert!(StoreReader::from_bytes(vec![0x46; len]).is_err(), "len {len} accepted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of a valid archive must be rejected at open:
+    /// the superblock pins the exact archive length.
+    #[test]
+    fn truncation_always_errors(variant in 0usize..VARIANTS, cut_sel in any::<u32>()) {
+        let archive = make_archive(variant);
+        let cut = cut_sel as usize % archive.len();
+        prop_assert!(StoreReader::from_bytes(archive[..cut].to_vec()).is_err());
+    }
+
+    /// Every single-bit flip lands in a region covered by the superblock
+    /// CRC, the manifest SHA-256, the directory CRC, or a chunk CRC —
+    /// so open-plus-extract-everything must error, never return altered
+    /// values as valid.
+    #[test]
+    fn bit_flip_fails_closed(variant in 0usize..VARIANTS, flip_sel in any::<u32>()) {
+        let archive = make_archive(variant);
+        let mut bad = archive.to_vec();
+        let bit = flip_sel as usize % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open_and_extract_all(&bad).is_err(), "flip at bit {} accepted", bit);
+    }
+
+    /// Overwriting a window with arbitrary bytes must not panic; if the
+    /// window changed anything, some integrity layer rejects it.
+    #[test]
+    fn window_rewrite_never_panics(
+        variant in 0usize..VARIANTS,
+        start_sel in any::<u32>(),
+        junk in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let archive = make_archive(variant);
+        let mut bad = archive.to_vec();
+        let start = start_sel as usize % bad.len();
+        let end = (start + junk.len()).min(bad.len());
+        bad[start..end].copy_from_slice(&junk[..end - start]);
+        if bad == archive {
+            prop_assert!(open_and_extract_all(&bad).is_ok());
+        } else {
+            prop_assert!(open_and_extract_all(&bad).is_err());
+        }
+    }
+
+    /// Splicing the head of one valid archive onto the tail of another
+    /// (arbitrary cut points) must fail closed.
+    #[test]
+    fn splice_never_panics(
+        va in 0usize..VARIANTS, vb in 0usize..VARIANTS,
+        cut_sel in any::<u32>(),
+    ) {
+        let a = make_archive(va);
+        let b = make_archive(vb);
+        let cut = cut_sel as usize % a.len();
+        let mut spliced = a[..cut].to_vec();
+        spliced.extend_from_slice(&b[cut.min(b.len())..]);
+        if spliced != a && spliced != b {
+            prop_assert!(open_and_extract_all(&spliced).is_err());
+        }
+    }
+
+    /// Raw garbage of any size must be rejected without panicking and
+    /// without allocating past the input (the superblock's sizes must
+    /// reconcile with the bytes actually present before any allocation).
+    #[test]
+    fn garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(StoreReader::from_bytes(junk).is_err());
+    }
+
+    /// Garbage behind a valid-looking superblock (correct magic,
+    /// version, CRC, self-consistent sizes) still fails closed on the
+    /// manifest digest, and the directory allocation stays bounded by
+    /// the declared (true) archive length.
+    #[test]
+    fn forged_superblock_over_garbage_errors(body in prop::collection::vec(any::<u8>(), 1..512)) {
+        let sb = Superblock {
+            version: VERSION,
+            dir_offset: SUPERBLOCK_LEN as u64,
+            dir_len: body.len() as u64,
+            archive_len: (SUPERBLOCK_LEN + body.len()) as u64,
+            dir_sha256: [0u8; 32], // almost surely not sha256(body)
+        };
+        let mut bytes = sb.encode();
+        bytes.extend_from_slice(&body);
+        if sha256(&body) != [0u8; 32] {
+            prop_assert!(StoreReader::from_bytes(bytes).is_err());
+        }
+    }
+}

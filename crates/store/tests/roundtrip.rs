@@ -1,0 +1,146 @@
+//! Round-trip property tests: packing is a pure re-arrangement of the
+//! codecs' own streams.
+//!
+//! Two invariants, over arbitrary shapes × chunk shapes × codec/bound
+//! combinations:
+//!
+//! 1. pack → extract is bit-identical to running the codec directly on
+//!    each chunk (gather → compress → decompress → scatter). The
+//!    container adds integrity metadata, never distortion of its own.
+//! 2. A random subregion read equals the same slice of the full-field
+//!    decode — chunk-granular access must be invisible to the caller.
+
+use foresight_store::{ChunkCodec, ChunkGrid, FieldShape, Region, StoreReader, StoreWriter};
+use proptest::prelude::*;
+
+fn synth(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as u32).wrapping_mul(seed | 1) as f32 * 1e-8).sin() * 25.0 + 1.5)
+        .collect()
+}
+
+fn codec_for(sel: u8) -> ChunkCodec {
+    match sel % 4 {
+        0 => ChunkCodec::sz_abs(1e-2),
+        1 => ChunkCodec::sz_rel(1e-3),
+        2 => ChunkCodec::zfp_rate(8.0),
+        _ => ChunkCodec::zfp_rate(16.0),
+    }
+}
+
+fn shape_for(sel: u8, a: usize, b: usize, c: usize) -> (FieldShape, [usize; 3]) {
+    // Extents in 4..=20 per axis, chunks in 2..=9 — small enough for
+    // debug-profile codecs, boundary-clamping chunks included.
+    let (ax, bx, cx) = (4 + a % 17, 4 + b % 17, 4 + c % 17);
+    let ch = |x: usize| 2 + x % 8;
+    match sel % 3 {
+        0 => (FieldShape::d1(ax * bx), [ch(a), 1, 1]),
+        1 => (FieldShape::d2(ax, bx), [ch(a), ch(b), 1]),
+        _ => (FieldShape::d3(ax, bx, cx), [ch(a), ch(b), ch(c)]),
+    }
+}
+
+/// The expected full-field decode, built with the codec APIs directly:
+/// per chunk, gather → compress → decompress → scatter.
+fn direct_decode(
+    data: &[f32],
+    shape: FieldShape,
+    chunk: [usize; 3],
+    codec: &ChunkCodec,
+) -> Vec<f32> {
+    let grid = ChunkGrid::new(shape, chunk).unwrap();
+    let full = Region::full(shape);
+    let mut out = vec![0f32; shape.len()];
+    for idx in grid.intersecting(&full) {
+        let stream = codec.compress_chunk(&grid.gather(data, idx), grid.chunk_shape_at(idx)).unwrap();
+        let values = match codec {
+            ChunkCodec::Sz(_) => lossy_sz::decompress(&stream).unwrap().0,
+            ChunkCodec::Zfp(_) => lossy_zfp::decompress(&stream).unwrap().0,
+        };
+        grid.scatter_into(&values, idx, &full, &mut out);
+    }
+    out
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: the container reproduces the codec's own output
+    /// bit for bit, for every shape/chunk/codec combination.
+    #[test]
+    fn pack_extract_matches_direct_codec(
+        sel in any::<u8>(),
+        csel in any::<u8>(),
+        a in any::<usize>(), b in any::<usize>(), c in any::<usize>(),
+        seed in any::<u32>(),
+    ) {
+        let (shape, chunk) = shape_for(sel, a, b, c);
+        let codec = codec_for(csel);
+        let data = synth(shape.len(), seed);
+
+        let mut w = StoreWriter::new();
+        w.add_field(9, "field", &data, shape, chunk, &codec).unwrap();
+        let reader = StoreReader::from_bytes(w.finish().unwrap()).unwrap();
+        let (packed, stats) = reader.extract(9, "field").unwrap();
+
+        let direct = direct_decode(&data, shape, chunk, &codec);
+        prop_assert_eq!(bits(&packed), bits(&direct));
+        prop_assert_eq!(stats.chunks_decoded, stats.chunks_in_field);
+        prop_assert_eq!(stats.bytes_returned, (shape.len() as u64) * 4);
+    }
+
+    /// Invariant 2: a random subregion read equals the same slice of
+    /// the full decode, bit for bit, with bounded work accounting.
+    #[test]
+    fn region_read_matches_full_decode_slice(
+        sel in any::<u8>(),
+        csel in any::<u8>(),
+        a in any::<usize>(), b in any::<usize>(), c in any::<usize>(),
+        seed in any::<u32>(),
+        rsel in prop::collection::vec(any::<u32>(), 6),
+    ) {
+        let (shape, chunk) = shape_for(sel, a, b, c);
+        let codec = codec_for(csel);
+        let data = synth(shape.len(), seed);
+
+        let mut w = StoreWriter::new();
+        w.add_field(0, "f", &data, shape, chunk, &codec).unwrap();
+        let reader = StoreReader::from_bytes(w.finish().unwrap()).unwrap();
+        let (full, _) = reader.extract(0, "f").unwrap();
+
+        // A random non-empty subregion per axis.
+        let ext = shape.extents();
+        let mut lo = [0usize; 3];
+        let mut hi = [1usize; 3];
+        for axis in 0..3 {
+            if ext[axis] <= 1 {
+                continue;
+            }
+            let x0 = rsel[axis] as usize % ext[axis];
+            let x1 = rsel[axis + 3] as usize % ext[axis];
+            lo[axis] = x0.min(x1);
+            hi[axis] = x0.max(x1) + 1;
+        }
+        let region = Region::new(lo, hi).unwrap();
+        let (sub, stats) = reader.read_region(0, "f", region).unwrap();
+
+        // Slice the full decode by hand (x fastest).
+        let rext = region.extents();
+        let mut expected = Vec::with_capacity(rext[0] * rext[1] * rext[2]);
+        for z in lo[2]..hi[2] {
+            for y in lo[1]..hi[1] {
+                for x in lo[0]..hi[0] {
+                    expected.push(full[x + ext[0] * (y + ext[1] * z)]);
+                }
+            }
+        }
+        prop_assert_eq!(bits(&sub), bits(&expected));
+        prop_assert!(stats.chunks_decoded <= stats.chunks_in_field);
+        prop_assert!(stats.bytes_touched >= stats.bytes_returned);
+        prop_assert_eq!(stats.bytes_returned, (expected.len() as u64) * 4);
+    }
+}

@@ -50,7 +50,7 @@ pub mod stream;
 pub mod temporal;
 
 pub use config::{Dims, EntropyBackend, ErrorBound, PredictorKind, SzConfig};
-pub use stream::{compress, decompress, info, StreamInfo};
+pub use stream::{compress, decompress, info, StreamInfo, MAGIC};
 pub use gpu_kernel::{compress_dualquant, decompress_dualquant};
 pub use temporal::{compress_temporal, decompress_temporal};
 

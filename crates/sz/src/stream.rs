@@ -25,7 +25,9 @@ use foresight_util::stats::summarize;
 use foresight_util::{telemetry, ByteReader, Error, Result};
 use rayon::prelude::*;
 
-const MAGIC: &[u8; 4] = b"SZRS";
+/// Stream magic tag identifying an SZ stream; exported so containers
+/// and auto-detecting decoders match streams without private knowledge.
+pub const MAGIC: &[u8; 4] = b"SZRS";
 /// Version 2 added the trailing header CRC.
 const VERSION: u8 = 2;
 const META_BYTES: usize = 1 + 4 + 4 + 16;

@@ -34,4 +34,4 @@ pub mod lift;
 pub mod stream;
 
 pub use config::{Dims3, ZfpConfig, ZfpMode};
-pub use stream::{compress, decompress, info, StreamInfo};
+pub use stream::{compress, decompress, info, StreamInfo, MAGIC};

@@ -17,7 +17,9 @@ use foresight_util::crc::crc32;
 use foresight_util::{telemetry, ByteReader, Error, Result};
 use rayon::prelude::*;
 
-const MAGIC: &[u8; 4] = b"ZFPR";
+/// Stream magic tag identifying a ZFP stream; exported so containers
+/// and auto-detecting decoders match streams without private knowledge.
+pub const MAGIC: &[u8; 4] = b"ZFPR";
 const VERSION: u8 = 2;
 /// Byte offset of the trailing header CRC; the CRC covers `[0, HDR_CRC_AT)`.
 const HDR_CRC_AT: usize = 4 + 1 + 1 + 1 + 1 + 24 + 8 + 8 + 8 + 4;

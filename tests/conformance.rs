@@ -9,6 +9,13 @@
 //! and the first differing byte offset — instead of silently shipping an
 //! incompatible stream.
 //!
+//! The fixture set also carries a committed `foresight-store` archive
+//! (the same field chunked at 16^3, one field per codec) with blessed
+//! digests for the archive bytes, its directory manifest, each field's
+//! chunk payloads, the full decode, and a chunk-granular region read —
+//! so the container format, the chunk addressing, and store-backed
+//! serving are pinned by the same bless workflow as the codec streams.
+//!
 //! To re-bless after an *intentional* format change:
 //!
 //! ```text
@@ -20,7 +27,10 @@
 //! manifest; the diff is the reviewable record of the format change.
 
 use foresight::codec::{self, CodecConfig, Shape};
-use foresight::{serve, ServeNode, ServeOptions, ServePayload, ServeRequest};
+use foresight::{
+    serve, ChunkCodec, FieldShape, Region, ServeNode, ServeOptions, ServePayload, ServeRequest,
+    StoreReader, StoreWriter,
+};
 use foresight_util::json::Value;
 use foresight_util::sha256::sha256_hex;
 use lossy_sz::SzConfig;
@@ -29,6 +39,12 @@ use std::path::{Path, PathBuf};
 
 const N_SIDE: usize = 32;
 const INPUT_FILE: &str = "input_32.f32le";
+/// The committed golden archive: the 32^3 input chunked at 16^3 (eight
+/// chunks per field), one field per store vector.
+const ARCHIVE_FILE: &str = "store_32_chunk16.fstr";
+/// The blessed conformance region: inside exactly one 16^3 chunk (x and
+/// y in chunk 0, z in chunk 1), so chunk-granular reads are pinned too.
+const STORE_REGION: ([usize; 3], [usize; 3]) = ([2, 2, 18], [14, 14, 30]);
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -103,6 +119,54 @@ fn diff_report(name: &str, expected: &[u8], actual: &[u8]) -> Option<String> {
     Some(msg)
 }
 
+/// The archive conformance vectors: one chunked field per codec.
+fn store_vectors() -> Vec<(&'static str, ChunkCodec)> {
+    vec![
+        ("sz_abs_1e-3", ChunkCodec::sz_abs(1e-3)),
+        ("zfp_rate_8", ChunkCodec::zfp_rate(8.0)),
+    ]
+}
+
+/// Packs the golden field into the conformance archive (deterministic:
+/// same input, same codec configs, same chunking — same bytes).
+fn build_archive(field: &[f32]) -> Vec<u8> {
+    let mut w = StoreWriter::new();
+    for (name, codec) in store_vectors() {
+        w.add_field(0, name, field, FieldShape::d3(N_SIDE, N_SIDE, N_SIDE), [16, 16, 16], &codec)
+            .unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn store_region() -> Region {
+    Region::new(STORE_REGION.0, STORE_REGION.1).unwrap()
+}
+
+/// The `store` manifest section: archive digest, directory (manifest)
+/// digest, and per-field payload/full-decode/region-read digests.
+fn store_manifest_entry(archive: &[u8]) -> Value {
+    let reader = StoreReader::from_bytes(archive.to_vec()).unwrap();
+    let mut fields = Vec::new();
+    for (name, _) in store_vectors() {
+        let entry = reader.find(0, name).unwrap();
+        let payload_hex = reader.field_payload_hex(entry).unwrap();
+        let (full, _) = reader.extract(0, name).unwrap();
+        let (sub, _) = reader.read_region(0, name, store_region()).unwrap();
+        fields.push(Value::Object(vec![
+            ("name".into(), Value::String(name.into())),
+            ("payload_sha256".into(), Value::String(payload_hex)),
+            ("full_sha256".into(), Value::String(sha256_hex(&f32le_bytes(&full)))),
+            ("region_sha256".into(), Value::String(sha256_hex(&f32le_bytes(&sub)))),
+        ]));
+    }
+    Value::Object(vec![
+        ("file".into(), Value::String(ARCHIVE_FILE.into())),
+        ("sha256".into(), Value::String(sha256_hex(archive))),
+        ("manifest_sha256".into(), Value::String(reader.manifest_hex())),
+        ("fields".into(), Value::Array(fields)),
+    ])
+}
+
 /// Regenerates every golden artifact. Runs only under `FORESIGHT_BLESS=1`.
 fn bless(dir: &Path) {
     std::fs::create_dir_all(dir).unwrap();
@@ -144,11 +208,17 @@ fn bless(dir: &Path) {
             ]),
         ),
         ("vectors".into(), Value::Array(entries)),
+        ("store".into(), {
+            let archive = build_archive(&field);
+            std::fs::write(dir.join(ARCHIVE_FILE), &archive).unwrap();
+            store_manifest_entry(&archive)
+        }),
     ]);
     std::fs::write(dir.join("manifest.json"), manifest.to_json()).unwrap();
     println!(
-        "blessed {} vectors into {} — review `git diff tests/golden/`",
+        "blessed {} vectors + {} store field(s) into {} — review `git diff tests/golden/`",
         vectors().len(),
+        store_vectors().len(),
         dir.display()
     );
 }
@@ -366,4 +436,134 @@ fn perturbed_stream_fails_loudly() {
     }
     // Identical streams produce no report.
     assert!(diff_report(name, &committed, &committed).is_none());
+}
+
+fn store_section(manifest: &Value) -> &Value {
+    manifest.get("store").unwrap_or_else(|| {
+        panic!(
+            "manifest has no 'store' section\nrun `FORESIGHT_BLESS=1 cargo test --test conformance` once"
+        )
+    })
+}
+
+fn store_field_entry<'a>(store: &'a Value, name: &str) -> &'a Value {
+    store
+        .get("fields")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .find(|f| f.get("name").and_then(Value::as_str) == Some(name))
+        .unwrap_or_else(|| panic!("store manifest missing field '{name}'"))
+}
+
+/// The archive container is part of the conformance surface: repacking
+/// the committed input must reproduce the committed archive byte for
+/// byte, the committed archive must verify end to end, and full and
+/// chunk-granular reads must match their blessed digests.
+#[test]
+fn store_archive_matches_golden() {
+    let dir = golden_dir();
+    if bless_requested() {
+        return; // fixtures are being regenerated by the main test
+    }
+    let manifest = load_manifest(&dir);
+    let field = load_input(&dir, &manifest);
+    let store = store_section(&manifest);
+    let file = store.get("file").and_then(Value::as_str).unwrap();
+    let committed = std::fs::read(dir.join(file)).expect("golden archive readable");
+    assert_eq!(
+        sha256_hex(&committed),
+        store.get("sha256").and_then(Value::as_str).unwrap(),
+        "committed {file} does not match its manifest digest — the fixture is corrupt"
+    );
+    // Repack and require byte identity with the committed archive: any
+    // change to the superblock, directory encoding, chunk layout, or the
+    // codecs' wire formats fails here with the first differing offset.
+    let fresh = build_archive(&field);
+    if let Some(msg) = diff_report("store archive", &committed, &fresh) {
+        panic!("{msg}");
+    }
+    // The committed archive must open through the file-backed reader,
+    // verify every integrity layer, and serve blessed reads.
+    let reader = StoreReader::open(&dir.join(file)).unwrap();
+    assert_eq!(
+        reader.manifest_hex(),
+        store.get("manifest_sha256").and_then(Value::as_str).unwrap(),
+        "archive directory digest drifted from the blessed manifest"
+    );
+    let check = reader.verify().unwrap();
+    assert_eq!(check.fields_ok, store_vectors().len());
+    for (name, _) in store_vectors() {
+        let entry = store_field_entry(store, name);
+        let fe = reader.find(0, name).unwrap();
+        assert_eq!(
+            reader.field_payload_hex(fe).unwrap(),
+            entry.get("payload_sha256").and_then(Value::as_str).unwrap(),
+            "field {name}: chunk payload bytes drifted"
+        );
+        let (full, full_stats) = reader.extract(0, name).unwrap();
+        assert_eq!(
+            sha256_hex(&f32le_bytes(&full)),
+            entry.get("full_sha256").and_then(Value::as_str).unwrap(),
+            "field {name}: full decode drifted from the blessed digest"
+        );
+        assert_eq!(full_stats.chunks_decoded, 8, "32^3 at 16^3 chunks");
+        let (sub, stats) = reader.read_region(0, name, store_region()).unwrap();
+        assert_eq!(
+            sha256_hex(&f32le_bytes(&sub)),
+            entry.get("region_sha256").and_then(Value::as_str).unwrap(),
+            "field {name}: region read drifted from the blessed digest"
+        );
+        // The blessed region sits inside exactly one chunk — pin the
+        // chunk-granular access path, not just the bytes.
+        assert_eq!(stats.chunks_decoded, 1, "region must touch exactly one chunk");
+        assert_eq!(stats.chunks_in_field, 8);
+    }
+}
+
+/// Store-backed serving is part of the conformance surface: a
+/// `StoreRead` request routed through the batched scheduler must emit
+/// exactly the blessed region bytes.
+#[test]
+fn store_served_reads_match_golden_vectors() {
+    let dir = golden_dir();
+    if bless_requested() {
+        return; // fixtures are being regenerated by the main test
+    }
+    let manifest = load_manifest(&dir);
+    let store = store_section(&manifest);
+    let file = store.get("file").and_then(Value::as_str).unwrap();
+    let reader =
+        std::sync::Arc::new(StoreReader::open(&dir.join(file)).expect("golden archive opens"));
+    let node = ServeNode::v100_pcie(2);
+    let opts = ServeOptions::default();
+    let requests: Vec<ServeRequest> = store_vectors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, _))| ServeRequest {
+            id: i as u64,
+            arrival_s: i as f64 * 1e-4,
+            deadline_s: None,
+            payload: ServePayload::StoreRead {
+                store: reader.clone(),
+                snapshot: 0,
+                field: name.to_string(),
+                region: store_region(),
+            },
+        })
+        .collect();
+    let report = serve(&node, &opts, &requests).unwrap();
+    for (i, (name, _)) in store_vectors().into_iter().enumerate() {
+        let entry = store_field_entry(store, name);
+        let resp = report.response(i as u64).unwrap();
+        let out = resp.output.as_ref().expect("request served");
+        assert_eq!(
+            sha256_hex(out),
+            entry.get("region_sha256").and_then(Value::as_str).unwrap(),
+            "field {name}: store-served region bytes diverged from golden"
+        );
+    }
+    // The scheduler's store accounting must reflect chunk-granular
+    // reads: one decoded chunk per request, not the whole field.
+    assert_eq!(report.metrics.counter("store.chunks_decoded"), store_vectors().len() as u64);
 }
